@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench experiments experiments-full artifacts examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiments --all --scale quick
+
+experiments-full:
+	python -m repro experiments --all --scale full
+
+artifacts:
+	bash scripts/regenerate_artifacts.sh
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; python $$script; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results results \
+	    src/repro.egg-info test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

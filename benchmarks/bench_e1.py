@@ -1,0 +1,14 @@
+"""Benchmark E1 — regenerates the Protocol A headline numbers (Section 3) table(s).
+
+Run with `pytest benchmarks/bench_e1.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e1.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E1"
+
+
+def test_e1_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E10 — regenerates the deterministic impossibility backdrop table(s).
+
+Run with `pytest benchmarks/bench_e10.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e10.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E10"
+
+
+def test_e10_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

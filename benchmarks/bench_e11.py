@@ -1,0 +1,14 @@
+"""Benchmark E11 — regenerates the model-boundary table (footnote 3).
+
+Run with `pytest benchmarks/bench_e11.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e11.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E11"
+
+
+def test_e11_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E12 — regenerates the asynchronous-extension tables (§8).
+
+Run with `pytest benchmarks/bench_e12.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e12.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E12"
+
+
+def test_e12_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E13 — regenerates the footnote-1 validity tables.
+
+Run with `pytest benchmarks/bench_e13.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e13.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E13"
+
+
+def test_e13_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E14 — regenerates the knowledge-equivalence table ([HM]).
+
+Run with `pytest benchmarks/bench_e14.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e14.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E14"
+
+
+def test_e14_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E15 — regenerates the ablation-study tables.
+
+Run with `pytest benchmarks/bench_e15.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e15.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E15"
+
+
+def test_e15_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

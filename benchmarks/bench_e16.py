@@ -1,0 +1,14 @@
+"""Benchmark E16 — regenerates the search-certification table.
+
+Run with `pytest benchmarks/bench_e16.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e16.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E16"
+
+
+def test_e16_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

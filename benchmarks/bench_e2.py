@@ -1,0 +1,14 @@
+"""Benchmark E2 — regenerates the first lower bound, Theorem 5.4 table(s).
+
+Run with `pytest benchmarks/bench_e2.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e2.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E2"
+
+
+def test_e2_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

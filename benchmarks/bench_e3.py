@@ -1,0 +1,14 @@
+"""Benchmark E3 — regenerates the Protocol S unsafety, Theorem 6.7 table(s).
+
+Run with `pytest benchmarks/bench_e3.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e3.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E3"
+
+
+def test_e3_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E4 — regenerates the Protocol S liveness, Theorem 6.8 table(s).
+
+Run with `pytest benchmarks/bench_e4.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e4.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E4"
+
+
+def test_e4_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E5 — regenerates the level-measure lemmas (4.2, 6.1-6.4) table(s).
+
+Run with `pytest benchmarks/bench_e5.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e5.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E5"
+
+
+def test_e5_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E6 — regenerates the second lower bound, Theorem A.1 table(s).
+
+Run with `pytest benchmarks/bench_e6.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e6.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E6"
+
+
+def test_e6_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E7 — regenerates the tradeoff frontier, Section 8 table(s).
+
+Run with `pytest benchmarks/bench_e7.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e7.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E7"
+
+
+def test_e7_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,14 @@
+"""Benchmark E8 — regenerates the weak adversary reconstruction, Section 8 table(s).
+
+Run with `pytest benchmarks/bench_e8.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e8.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E8"
+
+
+def test_e8_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

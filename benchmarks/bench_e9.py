@@ -1,0 +1,14 @@
+"""Benchmark E9 — regenerates the independence lemmas A.2/A.3 table(s).
+
+Run with `pytest benchmarks/bench_e9.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e9.txt.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E9"
+
+
+def test_e9_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID

@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eX`` file regenerates one experiment's tables (the
+reproduction's analogue of the paper's reported results) under
+pytest-benchmark timing, asserts the experiment's own claim checks
+passed, and writes the rendered report to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import Config, run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> Config:
+    return Config(scale="quick", seed=0)
+
+
+def run_and_record(benchmark, experiment_id, config, results_dir):
+    """Benchmark one experiment runner and persist its report."""
+    report = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, config),
+        rounds=1,
+        iterations=1,
+    )
+    out_path = results_dir / f"{experiment_id.lower()}.txt"
+    out_path.write_text(report.render())
+    (results_dir / f"{experiment_id.lower()}_tables.md").write_text(
+        "\n".join(table.to_markdown() for table in report.tables)
+    )
+    assert report.passed, report.render()
+    return report

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""What do the generals actually *know*? (the [HM] reading)
+
+The paper's level measure is introduced as "a measure of the
+'knowledge' a process has in a run", citing Halpern–Moses.  This study
+makes that literal: it builds the semantic knowledge model over the
+complete run space of a small instance and shows, side by side,
+
+* what each general knows after a given run (semantic S5 knowledge,
+  views = clipped runs),
+* the syntactic levels the paper computes,
+* and why the two never disagree — and why *common* knowledge (and
+  hence guaranteed coordinated attack) is out of reach.
+
+Run:  python examples/knowledge_and_levels.py
+"""
+
+from repro import Topology, good_run, level_profile, round_cut_run, silent_run
+from repro.analysis.knowledge import (
+    KnowledgeModel,
+    check_level_knowledge_equivalence,
+)
+
+
+def narrate_runs() -> None:
+    topology = Topology.pair()
+    num_rounds = 3
+    model = KnowledgeModel(topology, num_rounds)
+    fact = model.input_occurred()
+
+    scenarios = [
+        ("nothing delivered, both have orders", silent_run(topology, num_rounds, [1, 2])),
+        ("one round of messengers survives", round_cut_run(topology, num_rounds, 2)),
+        ("two rounds survive", round_cut_run(topology, num_rounds, 3)),
+        ("every messenger gets through", good_run(topology, num_rounds)),
+    ]
+    print("=== Two generals, three nights of messengers ===")
+    print(
+        f"  {'scenario':<38}{'E-depth':>8}{'L(R)':>6}   reading"
+    )
+    readings = {
+        0: "someone may not even know the order exists",
+        1: "all know the order; none knows the other knows",
+        2: "all know that all know; not that all know that",
+        3: "three levels deep - and still not common knowledge",
+        4: "four levels deep - and still not common knowledge",
+    }
+    for label, run in scenarios:
+        depth = model.knowledge_depth(run, fact, max_depth=num_rounds + 2)
+        level = level_profile(run, 2).run_level()
+        print(
+            f"  {label:<38}{depth:>8}{level:>6}   {readings.get(depth, '')}"
+        )
+    print(
+        "\n  The E-depth (semantic, computed over all "
+        f"{len(model.runs)} possible runs)\n  always equals the paper's "
+        "level L(R) - that equivalence is checked\n  exhaustively below."
+    )
+
+
+def verify_equivalence() -> None:
+    print("\n=== The equivalence, checked over complete run spaces ===")
+    for topology, num_rounds, label in [
+        (Topology.pair(), 2, "pair, N=2"),
+        (Topology.pair(), 3, "pair, N=3"),
+        (Topology.path(3), 2, "path-3, N=2"),
+    ]:
+        result = check_level_knowledge_equivalence(topology, num_rounds)
+        print(
+            f"  {label:<14} {result.runs_checked:>5} runs x "
+            f"{result.depths_checked} depths: "
+            f"{result.mismatches} mismatches, deepest E-depth "
+            f"{result.max_depth_attained}"
+        )
+    print(
+        "\n  No run ever attains unbounded depth: common knowledge of the "
+        "order is\n  unattainable, which is exactly why guaranteed "
+        "coordinated attack is\n  impossible and the paper must settle "
+        "for probability eps per level."
+    )
+
+
+def price_of_knowledge() -> None:
+    print("\n=== The price list (Theorem 5.4 in knowledge terms) ===")
+    print(
+        "  each additional level of 'everyone knows' costs one message "
+        "round\n  and buys exactly eps of attack probability:"
+    )
+    print(f"  {'knowledge depth h':>18}{'rounds needed':>15}{'P[attack] (eps=0.1)':>21}")
+    for depth in (1, 2, 5, 10):
+        print(f"  {depth:>18}{max(0, depth - 1):>15}{min(1.0, 0.1 * depth):>21.1f}")
+
+
+def main() -> None:
+    narrate_runs()
+    verify_equivalence()
+    price_of_knowledge()
+
+
+if __name__ == "__main__":
+    main()

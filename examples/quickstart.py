@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: two generals, one unreliable link, Protocol S.
+
+This walks the library's core loop in one page:
+
+1. build a topology and a protocol,
+2. describe what the adversary delivers (a *run*),
+3. get exact probabilities of total / partial / no attack,
+4. see the paper's tradeoff: liveness per run scales with the
+   information level, disagreement never exceeds epsilon.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ProtocolS,
+    Topology,
+    evaluate,
+    good_run,
+    round_cut_run,
+    run_modified_level,
+    worst_case_unsafety,
+)
+
+
+def main() -> None:
+    # Two generals connected by one unreliable link, 10 message rounds.
+    topology = Topology.pair()
+    num_rounds = 10
+
+    # Protocol S with agreement parameter epsilon = 0.1: the chance the
+    # generals ever disagree is at most 10%, whatever the adversary does.
+    protocol = ProtocolS(epsilon=0.1)
+
+    print("=== The good run: every message is delivered ===")
+    run = good_run(topology, num_rounds)
+    result = evaluate(protocol, topology, run)  # exact, closed form
+    print(f"  P[both attack]      = {result.pr_total_attack:.3f}")
+    print(f"  P[disagreement]     = {result.pr_partial_attack:.3f}")
+    print(f"  P[neither attacks]  = {result.pr_no_attack:.3f}")
+
+    print("\n=== Losing messages degrades liveness gracefully ===")
+    print(f"  {'cut after round':>16}  {'ML(R)':>5}  {'P[total attack]':>15}")
+    for cut in range(num_rounds + 1, 0, -2):
+        run = round_cut_run(topology, num_rounds, cut)
+        ml = run_modified_level(run, topology.num_processes)
+        result = evaluate(protocol, topology, run)
+        print(f"  {cut - 1:>16}  {ml:>5}  {result.pr_total_attack:>15.3f}")
+    print("  (liveness = min(1, eps * ML(R)) exactly — Theorem 6.8)")
+
+    print("\n=== And the adversary can never do better than eps ===")
+    search = worst_case_unsafety(protocol, topology, num_rounds)
+    print(f"  worst run found: {search.run.describe()}")
+    print(
+        f"  P[disagreement] = {search.value:.3f} "
+        f"(bound: eps = {protocol.epsilon}, "
+        f"certification: {search.certification})"
+    )
+
+    print(
+        "\nThat is the paper's tradeoff: with N rounds you can have "
+        "liveness 1\non good runs only if you accept disagreement "
+        "probability ~1/N — and\nProtocol S achieves exactly that frontier."
+    )
+
+
+if __name__ == "__main__":
+    main()

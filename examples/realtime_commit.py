@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The paper's Section 1 motivation: a real-time database commit.
+
+Two database servers must decide within a hard deadline whether to
+commit a transaction, talking over a telephone line that can die at any
+moment.  A standard commit protocol would block ("transaction status:
+uncertain") until the line recovers — useless under a deadline.  The
+coordinated-attack results say exactly what is and is not achievable:
+
+* a deterministic protocol either blocks, or some line-failure pattern
+  makes one server commit while the other aborts;
+* a randomized protocol can bound the inconsistency probability by
+  ~1/N where N is the number of message exchanges the deadline allows.
+
+This example prices that tradeoff in engineering terms: given a round
+trip time and a deadline, what inconsistency risk must be accepted, and
+what does the commit probability look like as the line degrades?
+
+Run:  python examples/realtime_commit.py
+"""
+
+import random
+
+from repro import (
+    ProtocolS,
+    Topology,
+    WeakAdversary,
+    estimate_against_weak_adversary,
+    evaluate,
+    good_run,
+    required_rounds,
+    worst_case_unsafety,
+)
+from repro.protocols.deterministic import InputAttack
+
+# Engineering parameters for the scenario.
+DEADLINE_MS = 10 * 60 * 1000  # the paper's "decision in 10 minutes"
+ROUND_TRIP_MS = 30 * 1000  # one message round over a slow link
+LINE_DEATH_RATES = [0.0, 0.05, 0.2, 0.5]
+
+
+def main() -> None:
+    topology = Topology.pair()
+    num_rounds = DEADLINE_MS // ROUND_TRIP_MS  # rounds the deadline buys
+    epsilon = 1.0 / num_rounds
+    protocol = ProtocolS(epsilon=epsilon)
+
+    print("Scenario: commit-or-abort within a deadline over a flaky line")
+    print(f"  deadline {DEADLINE_MS / 1000:.0f}s / round {ROUND_TRIP_MS / 1000:.0f}s "
+          f"=> N = {num_rounds} message rounds")
+    print(f"  Protocol S with eps = 1/N = {epsilon:.4f}\n")
+
+    print("=== What you must accept: the inconsistency floor ===")
+    search = worst_case_unsafety(protocol, topology, num_rounds)
+    print(
+        f"  worst-case P[one commits, one aborts] = {search.value:.4f} "
+        f"({search.certification})"
+    )
+    naive = InputAttack()
+    naive_search = worst_case_unsafety(naive, topology, num_rounds)
+    print(
+        "  naive 'commit when you hear the request' protocol: "
+        f"P[inconsistent] = {naive_search.value:.1f} on the worst line"
+    )
+    print(
+        "  lower bound (Thm 5.4): commit-probability-1 within N rounds "
+        f"forces P[inconsistent] >= {1.0 / (num_rounds + 1):.4f}\n"
+    )
+
+    print("=== What you get: commit probability as the line degrades ===")
+    print(f"  {'line death rate':>15}  {'P[commit]':>10}  {'P[inconsistent]':>16}")
+    rng = random.Random(0)
+    for death_rate in LINE_DEATH_RATES:
+        if death_rate == 0.0:
+            result = evaluate(protocol, topology, good_run(topology, num_rounds))
+            commit, inconsistent = result.pr_total_attack, result.pr_partial_attack
+        else:
+            estimate = estimate_against_weak_adversary(
+                protocol,
+                topology,
+                num_rounds,
+                WeakAdversary(death_rate),
+                samples=500,
+                rng=rng,
+            )
+            commit = estimate.expected_liveness
+            inconsistent = estimate.expected_unsafety
+        print(f"  {death_rate:>15.2f}  {commit:>10.3f}  {inconsistent:>16.5f}")
+
+    print("\n=== Sizing the deadline for a target risk ===")
+    print(f"  {'max inconsistency':>18}  {'rounds needed':>13}  {'deadline at 30s RTT':>20}")
+    for target in (0.01, 0.001, 0.0001):
+        rounds = required_rounds(1.0, target)
+        print(
+            f"  {target:>18}  {rounds:>13}  "
+            f"{rounds * ROUND_TRIP_MS / 60000:>17.0f} min"
+        )
+    print(
+        "\n  (The paper's Section 8 example: risk 0.001 needs ~1000 "
+        "rounds — at a\n  30-second round trip that is over eight hours. "
+        "Real-time agreement\n  over links an adversary controls is "
+        "fundamentally expensive.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

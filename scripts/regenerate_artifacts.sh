@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every reproduction artifact from scratch.
+#
+# Outputs:
+#   results/full_reports.txt       full-scale text reports, E1..E15
+#   benchmarks/results/*.txt/.md   per-experiment tables (quick scale, timed)
+#   test_output.txt                full unit/property suite transcript
+#   bench_output.txt               benchmark transcript
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== unit + property tests =="
+pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmarks (quick scale, timed) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== full-scale experiment reports =="
+mkdir -p results
+python -m repro experiments --all --scale full | tee results/full_reports.txt
+
+echo "all artifacts regenerated"

@@ -1,0 +1,121 @@
+"""repro — reproduction of Varghese & Lynch, PODC 1992.
+
+"A Tradeoff Between Safety and Liveness for Randomized Coordinated
+Attack Protocols": randomized synchronous protocols for coordinated
+attack over links controlled by an adversary, the tradeoff
+``L/U <= ~N`` between liveness and worst-case disagreement, and the
+optimal Protocol S.
+
+Quickstart::
+
+    from repro import Topology, ProtocolS, good_run, evaluate
+
+    topology = Topology.pair()
+    protocol = ProtocolS(epsilon=0.1)          # agree with error <= 10%
+    run = good_run(topology, num_rounds=10)    # nothing is lost
+    result = evaluate(protocol, topology, run) # exact probabilities
+    print(result.pr_total_attack)              # -> 1.0
+
+Packages:
+
+* :mod:`repro.core`        — model, simulator, measures, probability
+* :mod:`repro.protocols`   — Protocols A, S, W, variants, baselines
+* :mod:`repro.adversary`   — strong/weak adversaries, worst-run search
+* :mod:`repro.analysis`    — theorem formulas, statistics, reports
+* :mod:`repro.experiments` — one runner per reproduced claim (E1-E10)
+"""
+
+from .adversary import (
+    StrongAdversary,
+    WeakAdversary,
+    estimate_against_weak_adversary,
+    exhaustive_search,
+    family_search,
+    worst_case_unsafety,
+)
+from .analysis import (
+    ExperimentReport,
+    Table,
+    first_lower_bound,
+    required_rounds,
+    s_liveness,
+    tradeoff_ratio,
+    usual_case_assumption,
+)
+from .core import (
+    EventProbabilities,
+    Execution,
+    Run,
+    Topology,
+    causally_independent,
+    chain_run,
+    clip,
+    decide,
+    evaluate,
+    execute,
+    flows_to,
+    good_run,
+    level_profile,
+    liveness,
+    modified_level_profile,
+    round_cut_run,
+    run_level,
+    run_modified_level,
+    silent_run,
+    spanning_tree_run,
+    unsafety_on_run,
+)
+from .experiments import Config, run_all, run_experiment
+from .protocols import (
+    ProtocolA,
+    ProtocolS,
+    ProtocolW,
+    RepeatedA,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "EventProbabilities",
+    "Execution",
+    "ExperimentReport",
+    "ProtocolA",
+    "ProtocolS",
+    "ProtocolW",
+    "RepeatedA",
+    "Run",
+    "StrongAdversary",
+    "Table",
+    "Topology",
+    "WeakAdversary",
+    "__version__",
+    "causally_independent",
+    "chain_run",
+    "clip",
+    "decide",
+    "estimate_against_weak_adversary",
+    "evaluate",
+    "execute",
+    "exhaustive_search",
+    "family_search",
+    "first_lower_bound",
+    "flows_to",
+    "good_run",
+    "level_profile",
+    "liveness",
+    "modified_level_profile",
+    "required_rounds",
+    "round_cut_run",
+    "run_all",
+    "run_experiment",
+    "run_level",
+    "run_modified_level",
+    "s_liveness",
+    "silent_run",
+    "spanning_tree_run",
+    "tradeoff_ratio",
+    "unsafety_on_run",
+    "usual_case_assumption",
+    "worst_case_unsafety",
+]

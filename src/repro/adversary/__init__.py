@@ -1,0 +1,81 @@
+"""Adversaries: the strong run-choosing adversary, structured slices of
+it, worst-run search, and the weak probabilistic adversary of §8."""
+
+from .base import Adversary, RunDistribution
+from .online import (
+    BernoulliOnline,
+    BlindCutter,
+    DeliverEverything,
+    DeliverNothing,
+    OmniscientRfireCutter,
+    OnlineAdversary,
+    ReplayRun,
+    SentMessage,
+    online_event_probabilities,
+    run_online,
+)
+from .search import (
+    SearchResult,
+    exhaustive_search,
+    family_search,
+    greedy_search,
+    negated_liveness_objective,
+    random_search,
+    unsafety_objective,
+    worst_case_unsafety,
+)
+from .strong import StrongAdversary
+from .structured import (
+    CHAIN_CUTS,
+    CRASH_LINKS,
+    DOUBLE_LOSSES,
+    INPUT_SILENCES,
+    PARTIAL_ROUND_CUTS,
+    ROUND_CUTS,
+    SINGLE_LOSSES,
+    TREE_RUNS,
+    RunFamily,
+    standard_families,
+)
+from .weak import (
+    WeakAdversary,
+    WeakAdversaryEstimate,
+    estimate_against_weak_adversary,
+)
+
+__all__ = [
+    "Adversary",
+    "BernoulliOnline",
+    "BlindCutter",
+    "CHAIN_CUTS",
+    "CRASH_LINKS",
+    "DOUBLE_LOSSES",
+    "DeliverEverything",
+    "DeliverNothing",
+    "INPUT_SILENCES",
+    "OmniscientRfireCutter",
+    "OnlineAdversary",
+    "PARTIAL_ROUND_CUTS",
+    "ROUND_CUTS",
+    "ReplayRun",
+    "RunDistribution",
+    "RunFamily",
+    "SentMessage",
+    "SINGLE_LOSSES",
+    "SearchResult",
+    "StrongAdversary",
+    "TREE_RUNS",
+    "WeakAdversary",
+    "WeakAdversaryEstimate",
+    "estimate_against_weak_adversary",
+    "exhaustive_search",
+    "family_search",
+    "greedy_search",
+    "negated_liveness_objective",
+    "online_event_probabilities",
+    "random_search",
+    "run_online",
+    "standard_families",
+    "unsafety_objective",
+    "worst_case_unsafety",
+]

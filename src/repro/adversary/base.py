@@ -1,0 +1,55 @@
+"""Adversary interfaces.
+
+The paper models an adversary as a *set of runs* (Section 2); the
+strong adversary ``A_s`` is the set of all runs.  Unsafety is the max
+of ``Pr[PA | R]`` over the adversary's runs.  Two interfaces cover the
+code base:
+
+* :class:`Adversary` — a (possibly huge) set of runs, supporting
+  membership tests and, when tractable, enumeration.  Worst-run search
+  (:mod:`repro.adversary.search`) maximizes over it.
+* :class:`RunDistribution` — a *probabilistic* adversary that draws a
+  run at random, as in the weak adversary of Section 8.  Performance
+  against it is measured in expectation over the run draw rather than
+  as a max.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import Round
+
+
+class Adversary(ABC):
+    """A set of runs the adversary may choose among."""
+
+    name: str = "adversary"
+
+    @abstractmethod
+    def contains(self, topology: Topology, run: Run) -> bool:
+        """Whether the adversary may produce this run."""
+
+    def enumerate(self, topology: Topology, num_rounds: Round) -> Iterator[Run]:
+        """Iterate the run set; only feasible for restricted adversaries."""
+        raise ValueError(f"adversary {self.name!r} cannot be enumerated")
+
+    def size(self, topology: Topology, num_rounds: Round) -> int:
+        """How many runs :meth:`enumerate` would yield."""
+        raise ValueError(f"adversary {self.name!r} has no tractable size")
+
+
+class RunDistribution(ABC):
+    """A probabilistic adversary: a distribution over runs."""
+
+    name: str = "run-distribution"
+
+    @abstractmethod
+    def sample(
+        self, topology: Topology, num_rounds: Round, rng: random.Random
+    ) -> Run:
+        """Draw one run."""

@@ -1,0 +1,318 @@
+"""Online (adaptive) adversaries — probing the edges of the model.
+
+The paper's adversary chooses a *run* — a fixed set of deliveries —
+before the protocol's coins are flipped, and footnote 3 remarks that
+there is no point considering a stronger adversary that can read
+message bits (encryption makes the weaker model reasonable).  This
+module makes both halves of that remark measurable:
+
+* an **online** adversary decides deliveries round by round after
+  seeing which messages were sent — with either *blind* observations
+  (sender, receiver, null-or-not: traffic analysis only) or
+  *omniscient* observations (full payloads);
+* :func:`run_online` plays a protocol against such a strategy and
+  returns the outputs together with the *realized run*, so online play
+  composes with all the offline machinery;
+* :func:`online_event_probabilities` estimates the event distribution
+  over the protocol's tapes with the strategy fixed.
+
+The punchline (experiment E11): a *blind* online adversary gains
+nothing over the paper's offline one — Protocol S still holds
+``U ≤ ε`` — but an *omniscient* adversary that reads ``rfire`` off the
+wire defeats Protocol S completely (``Pr[PA] → 1``): it delivers
+everything until the leading count reaches ``ceil(rfire)`` and then
+silences the network, leaving the counts straddling ``rfire`` with
+certainty.  Randomization only helps against adversaries that cannot
+see the coins.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.events import OutcomeCounts
+from ..core.probability import EventProbabilities
+from ..core.protocol import Protocol, ReceivedMessage
+from ..core.randomness import Tapes
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import MessageTuple, ProcessId, Round
+
+# What a blind adversary sees of one sent message.
+Link = Tuple[ProcessId, ProcessId]
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """One message in flight during an online round.
+
+    ``payload`` is ``None`` for a null message.  Blind strategies must
+    only inspect ``source``/``target``/``is_packet``; omniscient ones
+    may read the payload.  (The distinction is enforced by convention
+    and by the ``observes_payloads`` flag, which the experiments use to
+    label results.)
+    """
+
+    source: ProcessId
+    target: ProcessId
+    payload: object
+
+    @property
+    def is_packet(self) -> bool:
+        return self.payload is not None
+
+
+class OnlineAdversary(ABC):
+    """A round-by-round delivery strategy."""
+
+    name: str = "online-adversary"
+
+    #: Whether the strategy reads message payloads (footnote 3's
+    #: "stronger adversary") or only traffic patterns.
+    observes_payloads: bool = False
+
+    @abstractmethod
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        """Called before each game; clear any per-game state."""
+
+    @abstractmethod
+    def decide(
+        self, round_number: Round, sent: Tuple[SentMessage, ...]
+    ) -> Set[Link]:
+        """Return the set of (source, target) links to deliver this round."""
+
+
+class DeliverEverything(OnlineAdversary):
+    """The null adversary: the good run, played online."""
+
+    name = "deliver-everything"
+
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        pass
+
+    def decide(self, round_number, sent):
+        return {(message.source, message.target) for message in sent}
+
+
+class DeliverNothing(OnlineAdversary):
+    """Total silence."""
+
+    name = "deliver-nothing"
+
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        pass
+
+    def decide(self, round_number, sent):
+        return set()
+
+
+@dataclass
+class ReplayRun(OnlineAdversary):
+    """An offline run replayed through the online interface.
+
+    Playing a replayed run must reproduce exactly what the offline
+    simulator does on that run — the equivalence test that shows the
+    online game generalizes the paper's model.
+    """
+
+    run: Run
+
+    name = "replay-run"
+
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        if num_rounds != self.run.num_rounds:
+            raise ValueError("replayed run has a different horizon")
+
+    def decide(self, round_number, sent):
+        return {
+            (message.source, message.target)
+            for message in sent
+            if self.run.delivers(message.source, message.target, round_number)
+        }
+
+
+@dataclass
+class BernoulliOnline(OnlineAdversary):
+    """The weak adversary, played online: drop each message w.p. ``p``."""
+
+    loss_probability: float
+    rng: random.Random
+
+    name = "bernoulli-online"
+
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        pass
+
+    def decide(self, round_number, sent):
+        return {
+            (message.source, message.target)
+            for message in sent
+            if self.rng.random() >= self.loss_probability
+        }
+
+
+class BlindCutter(OnlineAdversary):
+    """Traffic analysis only: silence the network from a chosen round.
+
+    The strongest *blind* stalling strategy — equivalent to an offline
+    round cut, so it can never beat the offline worst case.
+    """
+
+    def __init__(self, cut_round: Round) -> None:
+        if cut_round < 1:
+            raise ValueError("cut_round must be >= 1")
+        self.cut_round = cut_round
+        self.name = f"blind-cutter(r={cut_round})"
+
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        pass
+
+    def decide(self, round_number, sent):
+        if round_number >= self.cut_round:
+            return set()
+        return {(message.source, message.target) for message in sent}
+
+
+class OmniscientRfireCutter(OnlineAdversary):
+    """Footnote 3's forbidden adversary, realized against Protocol S.
+
+    Reads ``rfire`` and the counts off the wire.  Delivers everything
+    through the first round in which a delivery lifts some receiver's
+    count past ``rfire`` (an in-flight count ``c`` lifts its receiver
+    to ``c + 1``), then silences the network forever.  On two generals
+    the counts then end at ``(c + 1, c)`` with ``c < rfire <= c + 1``:
+    one general attacks and the other cannot — partial attack with
+    certainty, whenever the horizon lets the counts climb that far at
+    all (hence use ``epsilon ~ 1/N``).
+
+    Works against any protocol whose messages expose ``rfire`` and
+    ``count`` attributes (Protocol S and its counting variants).
+    """
+
+    name = "omniscient-rfire-cutter"
+    observes_payloads = True
+
+    def __init__(self) -> None:
+        self._cut = False
+        self._rfire: Optional[float] = None
+
+    def reset(self, topology: Topology, num_rounds: Round) -> None:
+        self._cut = False
+        self._rfire = None
+
+    def decide(self, round_number, sent):
+        if self._cut:
+            return set()
+        for message in sent:
+            rfire = getattr(message.payload, "rfire", None)
+            if rfire is not None:
+                self._rfire = rfire
+        if self._rfire is not None:
+            counts = [
+                getattr(message.payload, "count", None) for message in sent
+            ]
+            if any(c is not None and c >= self._rfire for c in counts):
+                # Some sender is already an attacker (rfire <= 1 at the
+                # start): silence everything so nobody else learns rfire.
+                self._cut = True
+                return set()
+            if any(c is not None and c + 1 >= self._rfire for c in counts):
+                # Delivering this round creates an attacker; from the
+                # next round on, nobody else may catch up.
+                self._cut = True
+        return {(message.source, message.target) for message in sent}
+
+
+def run_online(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    adversary: OnlineAdversary,
+    tapes: Tapes,
+    inputs: frozenset,
+) -> Tuple[Tuple[bool, ...], Run]:
+    """Play one game: protocol vs. online adversary.
+
+    Returns the output vector and the *realized run* (the delivery
+    pattern the adversary ended up choosing), which can be re-evaluated
+    offline.  Null messages are shown to the adversary (it can do
+    traffic analysis) but are never delivered.
+    """
+    adversary.reset(topology, num_rounds)
+    processes = list(topology.processes)
+    locals_ = {i: protocol.local_protocol(i, topology) for i in processes}
+    states = {
+        i: locals_[i].initial_state(i in inputs, tapes.get(i))
+        for i in processes
+    }
+    realized: Set[MessageTuple] = set()
+    for round_number in range(1, num_rounds + 1):
+        sent = []
+        for sender in processes:
+            for neighbor in topology.neighbors(sender):
+                payload = locals_[sender].message(states[sender], neighbor)
+                sent.append(SentMessage(sender, neighbor, payload))
+        chosen = adversary.decide(round_number, tuple(sent))
+        inboxes: Dict[ProcessId, list] = {i: [] for i in processes}
+        for message in sent:
+            link = (message.source, message.target)
+            if link in chosen:
+                realized.add(
+                    MessageTuple(message.source, message.target, round_number)
+                )
+                if message.payload is not None:
+                    inboxes[message.target].append(
+                        ReceivedMessage(message.source, message.payload)
+                    )
+        for process in processes:
+            inbox = tuple(sorted(inboxes[process], key=lambda m: m.sender))
+            states[process] = locals_[process].transition(
+                states[process], round_number, inbox, tapes.get(process)
+            )
+    outputs = tuple(bool(locals_[i].output(states[i])) for i in processes)
+    realized_run = Run(num_rounds, frozenset(inputs), frozenset(realized))
+    return outputs, realized_run
+
+
+def online_event_probabilities(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    adversary: OnlineAdversary,
+    inputs: frozenset,
+    trials: int = 2_000,
+    rng: Optional[random.Random] = None,
+) -> EventProbabilities:
+    """Estimate the event distribution with the strategy fixed.
+
+    The only randomness averaged over is the protocol's tapes (and any
+    randomness inside the strategy itself); this is the online analogue
+    of ``Pr[· | R]``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if rng is None:
+        rng = random.Random(0)
+    space = protocol.tape_space(topology)
+    counts = OutcomeCounts(topology.num_processes)
+    for _ in range(trials):
+        tapes = space.sample(rng)
+        outputs, _ = run_online(
+            protocol, topology, num_rounds, adversary, tapes, inputs
+        )
+        counts.record(outputs)
+    frequencies = counts.frequencies()
+    return EventProbabilities(
+        pr_total_attack=frequencies["TA"],
+        pr_no_attack=frequencies["NA"],
+        pr_partial_attack=frequencies["PA"],
+        pr_attack=tuple(
+            counts.attack_frequency(i)
+            for i in range(1, topology.num_processes + 1)
+        ),
+        method="monte-carlo",
+        trials=trials,
+    )

@@ -1,0 +1,245 @@
+"""Worst-run search: maximizing ``Pr[PA | R]`` over the strong adversary.
+
+The paper's unsafety ``U_s(F) = max_R Pr[PA | R]`` quantifies over an
+exponential run space.  This module offers four strategies, each
+tagging its result with a *certification level* so experiment tables
+can be honest about what was proven:
+
+* ``exact``     — exhaustive enumeration (small instances only);
+* ``family``    — maximum over the structured families of
+  :mod:`repro.adversary.structured`, which contain the analytic worst
+  cases for the paper's protocols;
+* ``greedy``    — hill-climbing over single-tuple flips from a seed
+  run;
+* ``random``    — uniform random runs.
+
+:func:`worst_case_unsafety` composes them: exhaustive when the space
+fits a budget, otherwise families + greedy refinement + random probes.
+The objective is pluggable, so the same machinery also *minimizes*
+liveness (via a negated objective) for adversary-tournament studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..core.probability import EventProbabilities, evaluate
+from ..core.protocol import Protocol
+from ..core.run import (
+    Run,
+    all_message_tuples,
+    random_run,
+    run_space_size,
+)
+from ..core.topology import Topology
+from ..core.types import Round
+from .strong import StrongAdversary
+from .structured import RunFamily, standard_families
+
+Objective = Callable[[EventProbabilities], float]
+
+
+def unsafety_objective(result: EventProbabilities) -> float:
+    """The default objective: ``Pr[PA | R]``."""
+    return result.pr_partial_attack
+
+
+def negated_liveness_objective(result: EventProbabilities) -> float:
+    """Maximizing this minimizes ``Pr[TA | R]`` (a denial adversary)."""
+    return -result.pr_total_attack
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The outcome of one search: best value, witness, and provenance."""
+
+    value: float
+    run: Optional[Run]
+    runs_examined: int
+    certification: str
+    strategy: str
+
+    def describe(self) -> str:
+        """One-line summary: strategy, value, budget, witness."""
+        witness = self.run.describe() if self.run is not None else "none"
+        return (
+            f"{self.strategy}: value={self.value:.6f} over "
+            f"{self.runs_examined} runs [{self.certification}]; {witness}"
+        )
+
+
+def _search_over(
+    protocol: Protocol,
+    topology: Topology,
+    runs: Iterable[Run],
+    objective: Objective,
+    certification: str,
+    strategy: str,
+    trials: int = 2_000,
+    rng: Optional[random.Random] = None,
+) -> SearchResult:
+    best_value = float("-inf")
+    best_run: Optional[Run] = None
+    examined = 0
+    for run in runs:
+        examined += 1
+        result = evaluate(protocol, topology, run, trials=trials, rng=rng)
+        value = objective(result)
+        if value > best_value:
+            best_value = value
+            best_run = run
+    if examined == 0:
+        raise ValueError(f"{strategy} search was given no runs")
+    return SearchResult(best_value, best_run, examined, certification, strategy)
+
+
+def exhaustive_search(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    objective: Objective = unsafety_objective,
+    fixed_inputs: Optional[frozenset] = None,
+    limit: int = 300_000,
+) -> SearchResult:
+    """Enumerate every run of the strong adversary (small instances)."""
+    adversary = StrongAdversary(fixed_inputs=fixed_inputs)
+    runs = adversary.enumerate(topology, num_rounds, limit=limit)
+    return _search_over(
+        protocol, topology, runs, objective, "exact", "exhaustive"
+    )
+
+
+def family_search(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    objective: Objective = unsafety_objective,
+    families: Optional[Sequence[RunFamily]] = None,
+) -> SearchResult:
+    """Maximize over the structured families."""
+    if families is None:
+        families = standard_families()
+    runs: List[Run] = []
+    for family in families:
+        runs.extend(family.runs(topology, num_rounds))
+    return _search_over(protocol, topology, runs, objective, "family", "family")
+
+
+def random_search(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    samples: int = 200,
+    objective: Objective = unsafety_objective,
+    rng: Optional[random.Random] = None,
+) -> SearchResult:
+    """Probe uniformly random runs."""
+    if rng is None:
+        rng = random.Random(0)
+    runs = (
+        random_run(topology, num_rounds, rng) for _ in range(samples)
+    )
+    return _search_over(
+        protocol, topology, runs, objective, "heuristic", "random"
+    )
+
+
+def greedy_search(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    seed_run: Run,
+    objective: Objective = unsafety_objective,
+    max_passes: int = 3,
+) -> SearchResult:
+    """Hill-climb by flipping one delivery or input at a time.
+
+    Starts from ``seed_run`` and repeatedly applies the single-tuple
+    flip (add/remove a message delivery, toggle an input) that most
+    improves the objective, until a pass yields no improvement or the
+    pass budget is exhausted.
+    """
+    all_tuples = all_message_tuples(topology, num_rounds)
+    current = seed_run
+    current_value = objective(evaluate(protocol, topology, current))
+    examined = 1
+    for _ in range(max_passes):
+        improved = False
+        best_neighbor = None
+        best_neighbor_value = current_value
+        neighbors: List[Run] = []
+        for message in all_tuples:
+            if message in current.messages:
+                neighbors.append(current.removing(message))
+            else:
+                neighbors.append(current.adding(message))
+        for process in topology.processes:
+            if process in current.inputs:
+                neighbors.append(
+                    current.with_inputs(current.inputs - {process})
+                )
+            else:
+                neighbors.append(
+                    current.with_inputs(current.inputs | {process})
+                )
+        for neighbor in neighbors:
+            examined += 1
+            value = objective(evaluate(protocol, topology, neighbor))
+            if value > best_neighbor_value:
+                best_neighbor = neighbor
+                best_neighbor_value = value
+        if best_neighbor is not None:
+            current = best_neighbor
+            current_value = best_neighbor_value
+            improved = True
+        if not improved:
+            break
+    return SearchResult(
+        current_value, current, examined, "heuristic", "greedy"
+    )
+
+
+def worst_case_unsafety(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    objective: Objective = unsafety_objective,
+    exhaustive_limit: int = 70_000,
+    random_samples: int = 100,
+    rng: Optional[random.Random] = None,
+) -> SearchResult:
+    """The composite search used by the experiments.
+
+    Exhaustive when the run space fits the budget; otherwise the best
+    of family search, greedy refinement seeded at the family winner,
+    and random probing — certified ``family`` if the family winner
+    stands, ``heuristic`` if a heuristic beat it.
+    """
+    space = run_space_size(topology, num_rounds, fixed_inputs=False)
+    if space <= exhaustive_limit:
+        return exhaustive_search(
+            protocol, topology, num_rounds, objective, limit=exhaustive_limit
+        )
+    family_result = family_search(protocol, topology, num_rounds, objective)
+    candidates = [family_result]
+    if family_result.run is not None:
+        candidates.append(
+            greedy_search(
+                protocol, topology, num_rounds, family_result.run, objective
+            )
+        )
+    candidates.append(
+        random_search(
+            protocol, topology, num_rounds, random_samples, objective, rng
+        )
+    )
+    best = max(candidates, key=lambda result: result.value)
+    examined = sum(result.runs_examined for result in candidates)
+    certification = (
+        "family" if best.value <= family_result.value else "heuristic"
+    )
+    return SearchResult(
+        best.value, best.run, examined, certification, "composite"
+    )

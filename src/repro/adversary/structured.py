@@ -1,0 +1,188 @@
+"""Structured run families: tractable slices of the strong adversary.
+
+The strong adversary's run set is exponential, but the runs that
+actually maximize disagreement (or minimize liveness) for the paper's
+protocols have simple shapes.  Each family below is a small, explicit
+set of runs:
+
+* **chain cuts** — the two-general alternating-chain runs of Section 3
+  broken at every possible round: contains Protocol A's exact worst
+  case (break at round ``rfire``);
+* **round cuts** — deliver everything before a round, nothing from it
+  on: realizes every value of the level measure on connected graphs;
+* **partial round cuts** — like round cuts but the boundary round
+  silences only messages *into* a chosen target set: leaves the
+  blocked processes one count behind and contains Protocol S's exact
+  worst case (``Pr[PA | R] = ε``);
+* **single losses** — the good run minus one delivery: the liveness
+  sensitivity family (the paper's ``L(A, R) = 0`` example lives here);
+* **tree runs** — the Lemma A.6 spanning-tree runs and truncations,
+  with ``ML(R) = 1``;
+* **input variants** — silence with each single input, probing
+  validity-adjacent disagreement.
+
+:func:`standard_families` bundles them; the search module maximizes
+over the union and reports ``certification = "family"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from ..core.run import (
+    Run,
+    all_message_tuples,
+    chain_run,
+    good_run,
+    partial_round_cut_run,
+    round_cut_run,
+    silent_run,
+    spanning_tree_run,
+)
+from ..core.topology import Topology
+from ..core.types import Round
+
+
+@dataclass(frozen=True)
+class RunFamily:
+    """A named, finite family of runs over a (topology, horizon) pair."""
+
+    name: str
+    generate: Callable[[Topology, Round], Iterator[Run]]
+
+    def runs(self, topology: Topology, num_rounds: Round) -> List[Run]:
+        """Materialize the family for one (topology, horizon) pair."""
+        return list(self.generate(topology, num_rounds))
+
+
+def _input_variants(topology: Topology) -> List[frozenset]:
+    """All inputs, plus each single input — the patterns that matter.
+
+    (Runs with no input never disagree in a validity-satisfying
+    protocol, and symmetric larger subsets add nothing the search has
+    found useful; the exhaustive tests confirm these variants suffice
+    for the protocols in this repository.)
+    """
+    variants = [frozenset(topology.processes)]
+    variants.extend(frozenset([i]) for i in topology.processes)
+    return variants
+
+
+def _chain_cut_runs(topology: Topology, num_rounds: Round) -> Iterator[Run]:
+    if topology.num_processes != 2:
+        return
+    for inputs in _input_variants(topology):
+        yield chain_run(num_rounds, None, inputs)
+        for break_round in range(1, num_rounds + 1):
+            yield chain_run(num_rounds, break_round, inputs)
+
+
+def _round_cut_runs(topology: Topology, num_rounds: Round) -> Iterator[Run]:
+    for inputs in _input_variants(topology):
+        for cut in range(1, num_rounds + 2):
+            yield round_cut_run(topology, num_rounds, cut, inputs)
+
+
+def _partial_round_cut_runs(
+    topology: Topology, num_rounds: Round
+) -> Iterator[Run]:
+    processes = list(topology.processes)
+    if topology.num_processes <= 4:
+        blocked_sets: Sequence[Tuple[int, ...]] = [
+            combo
+            for size in range(1, topology.num_processes)
+            for combo in itertools.combinations(processes, size)
+        ]
+    else:
+        blocked_sets = [(i,) for i in processes] + [
+            tuple(j for j in processes if j != i) for i in processes
+        ]
+    for inputs in _input_variants(topology):
+        for cut in range(1, num_rounds + 1):
+            for blocked in blocked_sets:
+                yield partial_round_cut_run(
+                    topology, num_rounds, cut, blocked, inputs
+                )
+
+
+def _single_loss_runs(topology: Topology, num_rounds: Round) -> Iterator[Run]:
+    base = good_run(topology, num_rounds)
+    for message in all_message_tuples(topology, num_rounds):
+        yield base.removing(message)
+
+
+def _tree_runs(topology: Topology, num_rounds: Round) -> Iterator[Run]:
+    if not topology.is_connected():
+        return
+    full = spanning_tree_run(topology, num_rounds)
+    yield full
+    for cut in range(1, num_rounds + 1):
+        yield full.restricted_to_rounds(cut)
+
+
+def _single_input_silences(
+    topology: Topology, num_rounds: Round
+) -> Iterator[Run]:
+    for process in topology.processes:
+        yield silent_run(topology, num_rounds, [process])
+
+
+def _double_loss_runs(topology: Topology, num_rounds: Round) -> Iterator[Run]:
+    """The 2-loss adversary: the good run minus every pair of tuples.
+
+    Quadratic in the tuple count, so it is capped; beyond the cap only
+    pairs sharing a round are generated (losses in the same round are
+    what create count straddles).
+    """
+    tuples = all_message_tuples(topology, num_rounds)
+    base = good_run(topology, num_rounds)
+    if len(tuples) <= 24:
+        for first, second in itertools.combinations(tuples, 2):
+            yield base.removing(first, second)
+    else:
+        for first, second in itertools.combinations(tuples, 2):
+            if first.round == second.round:
+                yield base.removing(first, second)
+
+
+def _crash_link_runs(topology: Topology, num_rounds: Round) -> Iterator[Run]:
+    """The crash-link adversary: one directed link dies permanently.
+
+    For every directed link and every crash round, deliver the good run
+    except that link's messages from the crash round on — the classic
+    fail-stop channel model embedded in the paper's run formalism.
+    """
+    base = good_run(topology, num_rounds)
+    for source, target in topology.directed_links():
+        for crash_round in range(1, num_rounds + 1):
+            dead = [
+                (source, target, round_number)
+                for round_number in range(crash_round, num_rounds + 1)
+            ]
+            yield base.removing(*dead)
+
+
+CHAIN_CUTS = RunFamily("chain-cuts", _chain_cut_runs)
+ROUND_CUTS = RunFamily("round-cuts", _round_cut_runs)
+PARTIAL_ROUND_CUTS = RunFamily("partial-round-cuts", _partial_round_cut_runs)
+SINGLE_LOSSES = RunFamily("single-losses", _single_loss_runs)
+DOUBLE_LOSSES = RunFamily("double-losses", _double_loss_runs)
+CRASH_LINKS = RunFamily("crash-links", _crash_link_runs)
+TREE_RUNS = RunFamily("tree-runs", _tree_runs)
+INPUT_SILENCES = RunFamily("input-silences", _single_input_silences)
+
+
+def standard_families() -> List[RunFamily]:
+    """The families the worst-run search sweeps by default."""
+    return [
+        CHAIN_CUTS,
+        ROUND_CUTS,
+        PARTIAL_ROUND_CUTS,
+        SINGLE_LOSSES,
+        DOUBLE_LOSSES,
+        CRASH_LINKS,
+        TREE_RUNS,
+        INPUT_SILENCES,
+    ]

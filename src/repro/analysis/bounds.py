@@ -1,0 +1,166 @@
+"""Every theorem of the paper as an executable formula.
+
+Experiments and tests compare *measured* quantities against these
+functions, so the reproduction and the documentation quote the same
+math:
+
+* Theorem 5.4 (first lower bound):
+  ``L(F, R) <= U_s(F) · L(R) <= ε · L(R)``;
+* Theorem 6.7: ``U_s(S) <= ε``;
+* Theorem 6.8: ``L(S, R) >= min(1, ε · ML(R))`` (equality holds);
+* Lemma 6.1: ``L_i(R) - 1 <= ML_i(R) <= L_i(R)``;
+* Lemma 6.2: ``ML_j(R) >= ML_i(R) - 1``;
+* Theorem A.1 (second lower bound), under the usual case assumption:
+  no protocol exceeds ``ε · ML(R)`` on one run without dropping below
+  it on another;
+* Section 8 consequence: liveness 1 with unsafety ``U`` needs at least
+  ``1/U`` achievable level, i.e. ``N >= 1/U - 1`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.topology import Topology
+from ..core.types import Round
+
+# Numerical slack for comparing exact closed forms across float paths.
+FLOAT_TOLERANCE = 1e-9
+
+
+def first_lower_bound(unsafety: float, level: int) -> float:
+    """Theorem 5.4: the liveness ceiling ``U_s(F) · L(R)``."""
+    if unsafety < 0:
+        raise ValueError("unsafety must be nonnegative")
+    if level < 0:
+        raise ValueError("level must be nonnegative")
+    return min(1.0, unsafety * level)
+
+
+def satisfies_first_lower_bound(
+    liveness: float,
+    unsafety: float,
+    level: int,
+    tolerance: float = FLOAT_TOLERANCE,
+) -> bool:
+    """Check ``L(F, R) <= U_s(F) · L(R)`` up to float tolerance."""
+    return liveness <= first_lower_bound(unsafety, level) + tolerance
+
+
+def s_liveness(epsilon: float, modified_level: int) -> float:
+    """Theorem 6.8: ``L(S, R) = min(1, ε · ML(R))``."""
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    if modified_level < 0:
+        raise ValueError("modified level must be nonnegative")
+    return min(1.0, epsilon * modified_level)
+
+
+def s_unsafety_bound(epsilon: float) -> float:
+    """Theorem 6.7: ``U_s(S) <= ε``."""
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    return epsilon
+
+
+def second_lower_bound_ceiling(epsilon: float, modified_level: int) -> float:
+    """Theorem A.1: the per-run ceiling ``ε · ML(R)`` no protocol can
+    uniformly exceed under the usual case assumption."""
+    return s_liveness(epsilon, modified_level)
+
+
+def lemma_6_1_holds(level: int, modified_level: int) -> bool:
+    """``L_i(R) - 1 <= ML_i(R) <= L_i(R)``."""
+    return level - 1 <= modified_level <= level
+
+
+def lemma_6_2_holds(modified_levels: Iterable[int]) -> bool:
+    """Any two processes' modified levels differ by at most one."""
+    values = list(modified_levels)
+    if not values:
+        raise ValueError("no modified levels supplied")
+    return max(values) - min(values) <= 1
+
+
+@dataclass(frozen=True)
+class UsualCaseAssumption:
+    """Appendix A's preconditions for the second lower bound."""
+
+    connected: bool
+    diameter_within_rounds: bool
+    epsilon_below_half: bool
+
+    @property
+    def holds(self) -> bool:
+        """All three preconditions satisfied."""
+        return (
+            self.connected
+            and self.diameter_within_rounds
+            and self.epsilon_below_half
+        )
+
+
+def usual_case_assumption(
+    topology: Topology, num_rounds: Round, epsilon: float
+) -> UsualCaseAssumption:
+    """Evaluate the usual case assumption for a concrete instance."""
+    connected = topology.is_connected()
+    diameter_ok = connected and topology.diameter() <= num_rounds
+    return UsualCaseAssumption(
+        connected=connected,
+        diameter_within_rounds=diameter_ok,
+        epsilon_below_half=epsilon < 0.5,
+    )
+
+
+def tradeoff_ratio(liveness: float, unsafety: float) -> float:
+    """``L/U`` — the quantity the paper proves is at most linear in N.
+
+    Returns ``inf`` when a protocol achieves positive liveness with
+    zero unsafety (impossible against the strong adversary, common
+    against weak ones — which is the Section 8 point).
+    """
+    if liveness < 0 or unsafety < 0:
+        raise ValueError("liveness and unsafety must be nonnegative")
+    if unsafety == 0:
+        return math.inf if liveness > 0 else 0.0
+    return liveness / unsafety
+
+
+def max_level_on_good_run(num_rounds: Round, num_processes: int) -> int:
+    """``L(R_good)``: the level of the all-delivered, all-input run.
+
+    On any connected graph the level measure gains one height per round
+    after the input round, so ``L(R_good) = N + 1``; this is the
+    largest level any run can realize, hence the ``L/U <= N`` tradeoff
+    quoted in the abstract (up to the +1).
+    """
+    if num_rounds < 1:
+        raise ValueError("num_rounds must be >= 1")
+    if num_processes < 2:
+        raise ValueError("num_processes must be >= 2")
+    return num_rounds + 1
+
+
+def required_rounds(target_liveness: float, max_unsafety: float) -> int:
+    """Section 8: rounds needed for liveness ``L`` with unsafety ``U``.
+
+    From ``L <= U · L(R)`` and ``L(R) <= N + 1``:
+    ``N >= L/U - 1``.  The paper's example — liveness 1 with error at
+    most 0.001 — gives "at least 1000 rounds" (999 by the exact
+    inequality; the paper speaks to leading order).
+    """
+    if not 0.0 < target_liveness <= 1.0:
+        raise ValueError("target liveness must be in (0, 1]")
+    if not 0.0 < max_unsafety <= 1.0:
+        raise ValueError("max unsafety must be in (0, 1]")
+    return max(1, math.ceil(target_liveness / max_unsafety) - 1)
+
+
+def protocol_a_unsafety(num_rounds: Round) -> float:
+    """Section 3's analytic value: ``U_s(A) = 1/(N - 1)``."""
+    if num_rounds < 2:
+        raise ValueError("Protocol A needs N >= 2")
+    return 1.0 / (num_rounds - 1)

@@ -1,0 +1,122 @@
+"""Causal vs. probabilistic independence (Appendix A, Lemmas A.2/A.3).
+
+Lemma A.2: if processes ``i`` and ``j`` are *causally independent* in
+run ``R`` — no pair ``(k, 0)`` flows to both ``(i, N)`` and
+``(j, N)`` — then the decision events ``(D_i | R)`` and ``(D_j | R)``
+are probabilistically independent.  The reason is structural: each
+local execution is a deterministic function of the tapes of the
+processes in its causal past, and causally independent processes have
+disjoint causal pasts.
+
+Lemma A.3 adds the agreement constraint: in such a run with
+``Pr[D_i | R] = ε < 0.5``, the other process must have
+``Pr[D_j | R] = 0``, else ``Pr[PA | R] >= ε + δ(1 - 2ε) > ε``.
+
+This module measures the joint decision distribution of a pair of
+processes exactly (finite tape spaces) or by sampling, and reports the
+independence gap ``|Pr[D_i D_j] - Pr[D_i]·Pr[D_j]|``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.execution import decide
+from ..core.measures import causally_independent
+from ..core.protocol import Protocol
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId
+
+
+@dataclass(frozen=True)
+class JointDecision:
+    """The joint law of ``(D_i, D_j)`` on one run."""
+
+    pr_first: float
+    pr_second: float
+    pr_both: float
+    causally_independent: bool
+    method: str
+    trials: Optional[int] = None
+
+    @property
+    def independence_gap(self) -> float:
+        """``|Pr[D_i D_j] - Pr[D_i] Pr[D_j]|`` — zero iff independent."""
+        return abs(self.pr_both - self.pr_first * self.pr_second)
+
+    @property
+    def pr_disagreement(self) -> float:
+        """``Pr[D_i xor D_j]`` — a lower bound on ``Pr[PA | R]``."""
+        return self.pr_first + self.pr_second - 2 * self.pr_both
+
+
+def joint_decision_distribution(
+    protocol: Protocol,
+    topology: Topology,
+    run: Run,
+    first: ProcessId,
+    second: ProcessId,
+    trials: int = 20_000,
+    rng: Optional[random.Random] = None,
+    enumeration_limit: int = 100_000,
+) -> JointDecision:
+    """Measure the joint law of two processes' decisions on a run.
+
+    Uses exact enumeration of the tape space when finite and small,
+    else Monte Carlo with the given trial budget.
+    """
+    if first == second:
+        raise ValueError("need two distinct processes")
+    space = protocol.tape_space(topology)
+    size = space.joint_support_size()
+    causal = causally_independent(run, first, second)
+    if size is not None and size <= enumeration_limit:
+        pr_first = pr_second = pr_both = 0.0
+        for tapes, weight in space.enumerate():
+            outputs = decide(protocol, topology, run, tapes)
+            decided_first = outputs[first - 1]
+            decided_second = outputs[second - 1]
+            if decided_first:
+                pr_first += weight
+            if decided_second:
+                pr_second += weight
+            if decided_first and decided_second:
+                pr_both += weight
+        return JointDecision(
+            pr_first, pr_second, pr_both, causal, method="enumeration"
+        )
+    if rng is None:
+        rng = random.Random(0)
+    count_first = count_second = count_both = 0
+    for _ in range(trials):
+        tapes = space.sample(rng)
+        outputs = decide(protocol, topology, run, tapes)
+        decided_first = outputs[first - 1]
+        decided_second = outputs[second - 1]
+        count_first += decided_first
+        count_second += decided_second
+        count_both += decided_first and decided_second
+    return JointDecision(
+        count_first / trials,
+        count_second / trials,
+        count_both / trials,
+        causal,
+        method="monte-carlo",
+        trials=trials,
+    )
+
+
+def lemma_a3_constraint(
+    pr_first: float, epsilon: float
+) -> Tuple[bool, float]:
+    """Lemma A.3's implication for the *other* process.
+
+    Given causal independence and ``Pr[D_i | R] = ε < 0.5``, returns
+    ``(applies, forced_value)`` — when it applies, agreement forces
+    ``Pr[D_j | R] = 0``.
+    """
+    applies = abs(pr_first - epsilon) < 1e-9 and epsilon < 0.5
+    return applies, 0.0

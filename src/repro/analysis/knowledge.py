@@ -1,0 +1,202 @@
+"""The Halpern–Moses knowledge reading of the level measure.
+
+The paper introduces the level as "a measure of the 'knowledge' [HM] a
+process has in a run".  This module makes the connection exact and
+checkable: it builds a *semantic* S5 knowledge model over an
+exhaustively enumerated run space and verifies that the syntactic
+level recursion computes iterated "everyone knows".
+
+**Semantics.**  Fix a topology and horizon and consider the
+full-information reading: a process's *view* of a run is everything it
+could possibly have observed — which, by Lemma 4.2, is exactly the
+clipped run ``Clip_i(R)``.  Then
+
+* ``K_i φ`` holds on ``R`` iff ``φ`` holds on every run with the same
+  view for ``i``;
+* ``E φ = ∧_i K_i φ`` ("everyone knows");
+* ``E^h`` is ``E`` iterated.
+
+**The theorem made executable** (experiment E14): for the stable fact
+``φ = "some input signal occurred"``,
+
+    ``E^h(φ)`` holds on ``R``  ⟺  ``L(R) >= h``,
+
+i.e. the paper's level recursion *is* iterated everyone-knowledge.
+Since ``L(R) <= N + 1`` always, no run ever attains ``E^h`` for all
+``h`` — *common knowledge of the input is unattainable*, which is the
+Halpern–Moses impossibility underlying coordinated attack.
+
+The model enumerates the full run space (``2^(2|E|N + m)`` runs), so
+it is restricted to small instances; that is what makes the check
+*exact* rather than sampled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.measures import clip, level_profile
+from ..core.run import Run, enumerate_runs, run_space_size
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+
+# A fact is a predicate on runs; internally evaluated over the whole
+# enumerated space, so it is represented as a run -> bool map.
+Fact = Dict[Run, bool]
+
+# Guard: semantic models enumerate the full run space.
+DEFAULT_RUN_LIMIT = 5_000
+
+
+@dataclass
+class KnowledgeModel:
+    """Semantic S5 knowledge over one (topology, horizon) instance."""
+
+    topology: Topology
+    num_rounds: Round
+    run_limit: int = DEFAULT_RUN_LIMIT
+    _runs: List[Run] = field(init=False, repr=False)
+    _view_groups: Dict[ProcessId, Dict[Run, Tuple[Run, ...]]] = field(
+        init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        size = run_space_size(self.topology, self.num_rounds, fixed_inputs=False)
+        if size > self.run_limit:
+            raise ValueError(
+                f"run space of {size} exceeds the knowledge-model limit "
+                f"of {self.run_limit}; use a smaller instance"
+            )
+        self._runs = list(enumerate_runs(self.topology, self.num_rounds))
+        self._view_groups = {}
+        for process in self.topology.processes:
+            by_view: Dict[Run, List[Run]] = defaultdict(list)
+            for run in self._runs:
+                by_view[clip(run, process)].append(run)
+            groups: Dict[Run, Tuple[Run, ...]] = {}
+            for members in by_view.values():
+                frozen = tuple(members)
+                for run in members:
+                    groups[run] = frozen
+            self._view_groups[process] = groups
+
+    @property
+    def runs(self) -> List[Run]:
+        """The full run space of the instance."""
+        return list(self._runs)
+
+    def fact(self, predicate: Callable[[Run], bool]) -> Fact:
+        """Materialize a predicate over the run space."""
+        return {run: bool(predicate(run)) for run in self._runs}
+
+    def input_occurred(self) -> Fact:
+        """The stable fact ``φ``: some input signal arrived."""
+        return self.fact(lambda run: bool(run.inputs))
+
+    def knows(self, process: ProcessId, fact: Fact) -> Fact:
+        """``K_i φ``: true where ``φ`` holds on every view-equivalent run."""
+        groups = self._view_groups[process]
+        return {
+            run: all(fact[other] for other in groups[run])
+            for run in self._runs
+        }
+
+    def everyone_knows(self, fact: Fact) -> Fact:
+        """``E φ = ∧_i K_i φ``."""
+        per_process = [
+            self.knows(process, fact) for process in self.topology.processes
+        ]
+        return {
+            run: all(k[run] for k in per_process) for run in self._runs
+        }
+
+    def iterated_everyone_knows(self, fact: Fact, depth: int) -> Fact:
+        """``E^depth φ`` (``depth = 0`` returns ``φ`` itself)."""
+        if depth < 0:
+            raise ValueError("depth must be nonnegative")
+        current = fact
+        for _ in range(depth):
+            current = self.everyone_knows(current)
+        return current
+
+    def knowledge_depth(self, run: Run, fact: Fact, max_depth: int) -> int:
+        """The largest ``h <= max_depth`` with ``E^h φ`` true on ``run``.
+
+        Returns ``-1`` when the fact itself is false on the run
+        (``E^0 φ = φ``).
+        """
+        if not fact[run]:
+            return -1
+        current = fact
+        depth = 0
+        while depth < max_depth:
+            current = self.everyone_knows(current)
+            if not current[run]:
+                break
+            depth += 1
+        return depth
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of checking ``E^h(input) ⟺ L(R) >= h`` exhaustively."""
+
+    topology: Topology
+    num_rounds: Round
+    runs_checked: int
+    depths_checked: int
+    mismatches: int
+    max_depth_attained: int
+
+    @property
+    def holds(self) -> bool:
+        """True iff the equivalence held on every run and depth."""
+        return self.mismatches == 0
+
+
+def check_level_knowledge_equivalence(
+    topology: Topology,
+    num_rounds: Round,
+    max_depth: Optional[int] = None,
+    run_limit: int = DEFAULT_RUN_LIMIT,
+) -> EquivalenceResult:
+    """Exhaustively verify the knowledge reading of the level measure.
+
+    For every run of the instance and every depth ``1..max_depth``
+    (default ``N + 2``, one past the attainable maximum), check
+
+        ``E^h("input occurred")``  ⟺  ``L(R) >= h``.
+
+    Also reports the largest depth attained by any run, which equals
+    ``N + 1`` — finite, hence common knowledge is never attained.
+    """
+    model = KnowledgeModel(topology, num_rounds, run_limit)
+    if max_depth is None:
+        max_depth = num_rounds + 2
+    fact = model.input_occurred()
+    mismatches = 0
+    max_attained = 0
+    levels = {
+        run: level_profile(run, topology.num_processes).run_level()
+        for run in model.runs
+    }
+    current = fact
+    for depth in range(1, max_depth + 1):
+        current = model.everyone_knows(current)
+        for run in model.runs:
+            semantic = current[run]
+            syntactic = levels[run] >= depth
+            if semantic != syntactic:
+                mismatches += 1
+            if semantic:
+                max_attained = max(max_attained, depth)
+    return EquivalenceResult(
+        topology=topology,
+        num_rounds=num_rounds,
+        runs_checked=len(model.runs),
+        depths_checked=max_depth,
+        mismatches=mismatches,
+        max_depth_attained=max_attained,
+    )

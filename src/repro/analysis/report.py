@@ -1,0 +1,168 @@
+"""Report rendering: the tables and series the experiments emit.
+
+Every experiment produces one or more :class:`Table` objects — the
+reproduction's analogue of the paper's (theorem-level) quantitative
+claims — and the benchmark harness prints them.  A :class:`Series` is
+a table specialized to (x, y…) columns, i.e. figure data; it renders
+as text and exports CSV so it can be plotted externally.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or 0 < abs(value) < 1e-4:
+            return f"{value:.3e}"
+        return f"{value:.6g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A captioned, column-aligned text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    caption: str = ""
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_dict_row(self, row: Dict[str, Cell]) -> None:
+        """Append a row given as a column-name -> value mapping."""
+        self.add_row(*(row.get(column) for column in self.columns))
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column, in row order."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned plain-text rendering with title and caption."""
+        formatted = [[_format_cell(cell) for cell in row] for row in self.rows]
+        headers = [str(column) for column in self.columns]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in formatted))
+            if formatted
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header_line = "  ".join(
+            header.ljust(width) for header, width in zip(headers, widths)
+        )
+        out.write(header_line.rstrip() + "\n")
+        out.write("  ".join("-" * width for width in widths) + "\n")
+        for row in formatted:
+            line = "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            )
+            out.write(line.rstrip() + "\n")
+        if self.caption:
+            out.write(f"({self.caption})\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated export (quotes cells containing commas)."""
+        def escape(text: str) -> str:
+            if "," in text or '"' in text:
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(escape(str(column)) for column in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(escape(_format_cell(cell)) for cell in row))
+        return "\n".join(lines) + "\n"
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering for EXPERIMENTS.md."""
+        headers = [str(column) for column in self.columns]
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_format_cell(cell) for cell in row) + " |"
+            )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class Series(Table):
+    """Figure data: the first column is x, the rest are y series."""
+
+    @property
+    def x_label(self) -> str:
+        """The x-axis column name (first column)."""
+        return str(self.columns[0])
+
+    def y_labels(self) -> List[str]:
+        """The y-series column names (all but the first)."""
+        return [str(column) for column in self.columns[1:]]
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced.
+
+    ``passed`` summarizes the experiment's own assertions (every
+    theorem-check table verifies its inequalities); ``notes`` records
+    certification levels, substitutions, and Monte Carlo sample sizes.
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    passed: bool = True
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        """Attach a table to the report and return it for filling."""
+        self.tables.append(table)
+        return table
+
+    def add_note(self, note: str) -> None:
+        """Record a free-form provenance note."""
+        self.notes.append(note)
+
+    def fail(self, note: str) -> None:
+        """Mark the report failed with an explanatory note."""
+        self.passed = False
+        self.notes.append(f"FAIL: {note}")
+
+    def render(self) -> str:
+        """Plain-text rendering: status line, tables, then notes."""
+        out = io.StringIO()
+        status = "PASS" if self.passed else "FAIL"
+        out.write(f"### [{self.experiment_id}] {self.title} — {status}\n\n")
+        for table in self.tables:
+            out.write(table.render())
+            out.write("\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()

@@ -1,0 +1,106 @@
+"""Small-sample statistics for the Monte Carlo estimators.
+
+Binomial confidence machinery used across the experiments:
+
+* :func:`wilson_interval` — the Wilson score interval for an event
+  frequency (better behaved than the normal approximation at the
+  extreme probabilities this paper lives at);
+* :func:`rule_of_three_upper` — the classic upper bound ``~3/n`` when
+  zero events were observed (weak-adversary disagreement counts are
+  usually zero);
+* :func:`sample_mean_interval` — normal-approximation interval for
+  means of bounded quantities (expected liveness over random runs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+# Two-sided 95% critical value; callers may override.
+DEFAULT_Z = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A closed interval with its point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+
+    def contains(self, value: float) -> bool:
+        """Whether the closed interval covers ``value``."""
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        """``high - low``."""
+        return self.high - self.low
+
+    def describe(self) -> str:
+        """``estimate [low, high]`` as text."""
+        return f"{self.estimate:.6f} [{self.low:.6f}, {self.high:.6f}]"
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = DEFAULT_Z
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion."""
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes {successes} out of range 0..{trials}"
+        )
+    proportion = successes / trials
+    z_squared = z * z
+    denominator = 1.0 + z_squared / trials
+    center = (proportion + z_squared / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(
+            proportion * (1 - proportion) / trials
+            + z_squared / (4 * trials * trials)
+        )
+        / denominator
+    )
+    low = max(0.0, center - margin)
+    high = min(1.0, center + margin)
+    return ConfidenceInterval(estimate=proportion, low=low, high=high)
+
+
+def rule_of_three_upper(trials: int, confidence: float = 0.95) -> float:
+    """Upper confidence bound on a probability after zero observations.
+
+    ``Pr[p > bound] < 1 - confidence`` when ``trials`` independent
+    samples all came up negative: ``bound = -ln(1 - confidence) / n``
+    (≈ 3/n at 95%).
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    return min(1.0, -math.log(1.0 - confidence) / trials)
+
+
+def sample_mean_interval(
+    values: Sequence[float], z: float = DEFAULT_Z
+) -> ConfidenceInterval:
+    """Normal-approximation interval for the mean of a bounded sample."""
+    if not values:
+        raise ValueError("no samples supplied")
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1:
+        return ConfidenceInterval(estimate=mean, low=mean, high=mean)
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    margin = z * math.sqrt(variance / count)
+    return ConfidenceInterval(
+        estimate=mean, low=mean - margin, high=mean + margin
+    )

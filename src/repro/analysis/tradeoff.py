@@ -1,0 +1,127 @@
+"""Liveness/unsafety tradeoff frontiers (the abstract's ``L/U <= N``).
+
+The paper's central quantitative message is that against a strong
+adversary the ratio of best-case liveness to worst-case unsafety is at
+most (roughly) the number of rounds, and that Protocol S achieves it.
+This module computes:
+
+* the theoretical frontier ``L/U <= L(R_good) = N + 1``;
+* the achieved points of Protocol A (``(U, L) = (1/(N-1), 1)``) and
+  Protocol S (``(ε, min(1, ε·(N)))`` on the good run, where
+  ``ML(R_good) = N``), measured rather than assumed;
+* the Section 8 consequence table (rounds required for a target
+  liveness/unsafety pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.run import good_run
+from ..core.topology import Topology
+from ..core.types import Round
+from .bounds import max_level_on_good_run, required_rounds, tradeoff_ratio
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One protocol's measured position in (U, L, ratio) space."""
+
+    protocol: str
+    num_rounds: Round
+    unsafety: float
+    liveness_good_run: float
+    certification: str
+
+    @property
+    def ratio(self) -> float:
+        """``L(R_good)/U`` — to be compared against ``N + 1``."""
+        return tradeoff_ratio(self.liveness_good_run, self.unsafety)
+
+    def within_ceiling(self, tolerance: float = 1e-9) -> bool:
+        """The abstract's claim: the ratio never beats ~N."""
+        ceiling = max_level_on_good_run(self.num_rounds, 2)
+        if self.ratio == float("inf"):
+            return False
+        return self.ratio <= ceiling + tolerance
+
+
+def measure_tradeoff_point(
+    protocol,
+    topology: Topology,
+    num_rounds: Round,
+    unsafety_result,
+) -> TradeoffPoint:
+    """Build a tradeoff point from a protocol and a search result.
+
+    ``unsafety_result`` is a :class:`repro.adversary.search.SearchResult`
+    from the worst-run search; liveness is evaluated exactly on the
+    good run.
+    """
+    from ..core.probability import evaluate
+
+    run = good_run(topology, num_rounds)
+    liveness = evaluate(protocol, topology, run).pr_total_attack
+    return TradeoffPoint(
+        protocol=protocol.name,
+        num_rounds=num_rounds,
+        unsafety=unsafety_result.value,
+        liveness_good_run=liveness,
+        certification=unsafety_result.certification,
+    )
+
+
+def protocol_s_frontier(
+    num_rounds: Round, epsilons: Optional[List[float]] = None
+) -> List[TradeoffPoint]:
+    """Protocol S's analytic frontier for a sweep of ε values.
+
+    On the two-general good run ``ML(R_good) = N``, so liveness is
+    ``min(1, ε·N)`` while unsafety is exactly ε (the worst runs achieve
+    the Theorem 6.7 bound).  Setting ``ε = 1/N`` yields the extreme
+    point: liveness 1 at the minimum possible unsafety.
+    """
+    if epsilons is None:
+        epsilons = [1.0 / num_rounds, 2.0 / num_rounds, 0.5 / num_rounds]
+    points = []
+    for epsilon in epsilons:
+        epsilon = min(1.0, epsilon)
+        points.append(
+            TradeoffPoint(
+                protocol=f"protocol-S(eps={epsilon:g})",
+                num_rounds=num_rounds,
+                unsafety=epsilon,
+                liveness_good_run=min(1.0, epsilon * num_rounds),
+                certification="analytic",
+            )
+        )
+    return points
+
+
+def section_8_requirements_table() -> List[dict]:
+    """The Section 8 consequence: target (L, U) -> minimum rounds.
+
+    Includes the paper's own example (liveness 1, error 0.001 ->
+    about 1000 rounds).
+    """
+    targets = [
+        (1.0, 0.1),
+        (1.0, 0.01),
+        (1.0, 0.001),  # the paper's example
+        (1.0, 0.0001),
+        (0.5, 0.001),
+        (0.9, 0.01),
+    ]
+    rows = []
+    for target_liveness, max_unsafety in targets:
+        rows.append(
+            {
+                "target liveness": target_liveness,
+                "max unsafety": max_unsafety,
+                "rounds required": required_rounds(
+                    target_liveness, max_unsafety
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,335 @@
+"""Command-line interface: explore the model without writing code.
+
+Subcommands:
+
+* ``simulate`` — evaluate a protocol on a run (exact probabilities);
+* ``search``   — worst-run search (the unsafety maximum);
+* ``level``    — level / modified-level tables for a run;
+* ``validity`` — check the validity condition on input-free probes;
+* ``experiments`` — delegate to the experiment runner (same as
+  ``python -m repro.experiments``).
+
+Specification mini-language (shared by the flags):
+
+* topology: ``pair``, ``path:M``, ``ring:M``, ``star:M``,
+  ``complete:M``, ``grid:RxC``;
+* run: ``good``, ``silent``, ``cut:R`` (deliver rounds < R),
+  ``chain:B`` (two-general chain broken at B), ``tree``
+  (the Lemma A.6 spanning-tree run), ``loss:P:SEED`` (i.i.d. loss);
+* protocol: ``S:EPS``, ``A``, ``W:K``, ``repeatedA:COPIES:COMBINER``,
+  ``never``, ``input-attack``.
+
+Examples::
+
+    python -m repro simulate --topology pair --rounds 10 \
+        --protocol S:0.1 --run cut:5
+    python -m repro search --topology path:3 --rounds 5 --protocol S:0.2
+    python -m repro level --topology star:4 --rounds 4 --run tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .adversary.search import worst_case_unsafety
+from .analysis.report import Table
+from .core.measures import level_profile, modified_level_profile
+from .core.metrics import check_validity, validity_probe_runs
+from .core.probability import evaluate
+from .core.run import (
+    Run,
+    bernoulli_run,
+    chain_run,
+    good_run,
+    round_cut_run,
+    silent_run,
+    spanning_tree_run,
+)
+from .core.topology import Topology
+from .core.types import Round
+from .protocols.deterministic import InputAttack, NeverAttack
+from .protocols.protocol_a import ProtocolA
+from .protocols.protocol_s import ProtocolS
+from .protocols.repeated_a import RepeatedA
+from .protocols.weak_adversary import ProtocolW
+
+
+class SpecError(ValueError):
+    """A malformed --topology/--run/--protocol specification."""
+
+
+def parse_topology(spec: str) -> Topology:
+    """Parse the topology mini-language (see module docstring)."""
+    name, _, argument = spec.partition(":")
+    try:
+        if name == "pair":
+            return Topology.pair()
+        if name == "path":
+            return Topology.path(int(argument))
+        if name == "ring":
+            return Topology.ring(int(argument))
+        if name == "star":
+            return Topology.star(int(argument))
+        if name == "complete":
+            return Topology.complete(int(argument))
+        if name == "grid":
+            rows, _, cols = argument.partition("x")
+            return Topology.grid(int(rows), int(cols))
+    except (ValueError, TypeError) as error:
+        raise SpecError(f"bad topology spec {spec!r}: {error}") from error
+    raise SpecError(
+        f"unknown topology {spec!r} (try pair, path:M, ring:M, star:M, "
+        "complete:M, grid:RxC)"
+    )
+
+
+def parse_run(spec: str, topology: Topology, num_rounds: Round) -> Run:
+    """Parse the run mini-language (see module docstring)."""
+    name, _, argument = spec.partition(":")
+    try:
+        if name == "good":
+            return good_run(topology, num_rounds)
+        if name == "silent":
+            return silent_run(topology, num_rounds, list(topology.processes))
+        if name == "cut":
+            return round_cut_run(topology, num_rounds, int(argument))
+        if name == "chain":
+            if topology.num_processes != 2:
+                raise SpecError("chain runs need the pair topology")
+            break_round = None if argument in ("", "none") else int(argument)
+            return chain_run(num_rounds, break_round)
+        if name == "tree":
+            return spanning_tree_run(topology, num_rounds)
+        if name == "loss":
+            probability_text, _, seed_text = argument.partition(":")
+            rng = random.Random(int(seed_text) if seed_text else 0)
+            return bernoulli_run(
+                topology, num_rounds, float(probability_text), rng
+            )
+        if name == "file":
+            from .core.serialization import run_from_json
+
+            with open(argument) as handle:
+                run = run_from_json(handle.read())
+            if run.num_rounds != num_rounds:
+                raise SpecError(
+                    f"run in {argument!r} has N={run.num_rounds}, "
+                    f"but --rounds is {num_rounds}"
+                )
+            run.validate_for(topology)
+            return run
+    except SpecError:
+        raise
+    except (ValueError, TypeError) as error:
+        raise SpecError(f"bad run spec {spec!r}: {error}") from error
+    raise SpecError(
+        f"unknown run {spec!r} (try good, silent, cut:R, chain:B, tree, "
+        "loss:P[:SEED], file:PATH)"
+    )
+
+
+def parse_protocol(spec: str, num_rounds: Round):
+    """Parse the protocol mini-language (see module docstring)."""
+    name, _, argument = spec.partition(":")
+    try:
+        if name in ("S", "s"):
+            return ProtocolS(epsilon=float(argument) if argument else 1.0 / num_rounds)
+        if name in ("A", "a"):
+            return ProtocolA(num_rounds)
+        if name in ("W", "w"):
+            threshold = int(argument) if argument else max(1, num_rounds // 3)
+            return ProtocolW(threshold)
+        if name == "repeatedA":
+            copies_text, _, combiner = argument.partition(":")
+            return RepeatedA(
+                num_rounds,
+                copies=int(copies_text),
+                combiner=combiner or "any",
+            )
+        if name == "never":
+            return NeverAttack()
+        if name == "input-attack":
+            return InputAttack()
+    except SpecError:
+        raise
+    except (ValueError, TypeError) as error:
+        raise SpecError(f"bad protocol spec {spec!r}: {error}") from error
+    raise SpecError(
+        f"unknown protocol {spec!r} (try S:EPS, A, W:K, "
+        "repeatedA:COPIES:COMBINER, never, input-attack)"
+    )
+
+
+def _cmd_simulate(args) -> int:
+    topology = parse_topology(args.topology)
+    protocol = parse_protocol(args.protocol, args.rounds)
+    run = parse_run(args.run, topology, args.rounds)
+    result = evaluate(protocol, topology, run)
+    table = Table(
+        title=f"{protocol.name} on {run.describe()}",
+        columns=["quantity", "value"],
+        caption=f"backend: {result.method}",
+    )
+    table.add_row("P[total attack]  (liveness)", result.pr_total_attack)
+    table.add_row("P[partial attack] (unsafety)", result.pr_partial_attack)
+    table.add_row("P[no attack]", result.pr_no_attack)
+    for process in topology.processes:
+        table.add_row(f"P[process {process} attacks]", result.pr_attack_by(process))
+    print(table.render())
+    return 0
+
+
+def _cmd_search(args) -> int:
+    topology = parse_topology(args.topology)
+    protocol = parse_protocol(args.protocol, args.rounds)
+    result = worst_case_unsafety(protocol, topology, args.rounds)
+    if args.save_witness and result.run is not None:
+        from .core.serialization import run_to_json
+
+        with open(args.save_witness, "w") as handle:
+            handle.write(run_to_json(result.run) + "\n")
+    table = Table(
+        title=f"Worst-run search: {protocol.name} on {topology.describe()}",
+        columns=["quantity", "value"],
+    )
+    table.add_row("worst P[partial attack]", result.value)
+    table.add_row("runs examined", result.runs_examined)
+    table.add_row("certification", result.certification)
+    table.add_row("worst run", result.run.describe() if result.run else "-")
+    if args.save_witness:
+        table.add_row("witness saved to", args.save_witness)
+    print(table.render())
+    return 0
+
+
+def _cmd_level(args) -> int:
+    topology = parse_topology(args.topology)
+    run = parse_run(args.run, topology, args.rounds)
+    levels = level_profile(run, topology.num_processes)
+    mlevels = modified_level_profile(run, topology.num_processes)
+    table = Table(
+        title=f"Information levels on {run.describe()}",
+        columns=["process", "L_i(R)", "ML_i(R)"],
+        caption=(
+            f"L(R) = {levels.run_level()}, ML(R) = {mlevels.run_level()}"
+        ),
+    )
+    for process in topology.processes:
+        table.add_row(
+            process, levels.final_level(process), mlevels.final_level(process)
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_validity(args) -> int:
+    topology = parse_topology(args.topology)
+    protocol = parse_protocol(args.protocol, args.rounds)
+    rng = random.Random(args.seed)
+    probes = validity_probe_runs(topology, args.rounds, rng)
+    ok, witness = check_validity(protocol, topology, probes, rng=rng)
+    if ok:
+        print(f"{protocol.name}: validity holds on {len(probes)} probe runs")
+        return 0
+    print(f"{protocol.name}: VALIDITY VIOLATED on {witness.describe()}")
+    return 1
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    forwarded: List[str] = list(args.ids)
+    if args.all:
+        forwarded.append("--all")
+    forwarded.extend(["--scale", args.scale, "--seed", str(args.seed)])
+    return experiments_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Randomized coordinated attack (Varghese & Lynch, PODC 1992) "
+            "— reproduction toolkit."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub, run_flag=True, protocol_flag=True):
+        sub.add_argument("--topology", default="pair", help="topology spec")
+        sub.add_argument(
+            "--rounds", type=int, default=8, help="message rounds N"
+        )
+        if run_flag:
+            sub.add_argument("--run", default="good", help="run spec")
+        if protocol_flag:
+            sub.add_argument(
+                "--protocol", default="S", help="protocol spec"
+            )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="evaluate a protocol on a run"
+    )
+    add_common(simulate)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    search = subparsers.add_parser(
+        "search", help="worst-run search for unsafety"
+    )
+    add_common(search, run_flag=False)
+    search.add_argument(
+        "--save-witness",
+        metavar="PATH",
+        default=None,
+        help="write the worst run found as JSON to PATH",
+    )
+    search.set_defaults(handler=_cmd_search)
+
+    level = subparsers.add_parser(
+        "level", help="level / modified-level tables for a run"
+    )
+    add_common(level, protocol_flag=False)
+    level.set_defaults(handler=_cmd_level)
+
+    validity = subparsers.add_parser(
+        "validity", help="check validity on input-free probe runs"
+    )
+    add_common(validity, run_flag=False)
+    validity.add_argument("--seed", type=int, default=0)
+    validity.set_defaults(handler=_cmd_validity)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run reproduction experiments (E1..E15)"
+    )
+    experiments.add_argument("ids", nargs="*", help="experiment ids")
+    experiments.add_argument("--all", action="store_true")
+    experiments.add_argument(
+        "--scale", choices=["quick", "full"], default="quick"
+    )
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except SpecError as error:
+        parser.error(str(error))
+        return 2  # unreachable; parser.error exits
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head,
+        # less q): not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

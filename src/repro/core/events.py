@@ -1,0 +1,99 @@
+"""Outcome events: total attack, no attack, partial attack.
+
+Section 2 defines, over the executions of a protocol:
+
+* ``D_i`` — the executions in which ``O_i = 1``,
+* ``TA = D_1 D_2 ... D_m`` — every process attacks,
+* ``NA = D̄_1 D̄_2 ... D̄_m`` — no process attacks,
+* ``PA`` — the complement of ``TA ∪ NA``: some pair disagrees.
+
+This module classifies output vectors and accumulates outcome counts
+for the Monte Carlo estimator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .types import ProcessId
+
+
+class Outcome(enum.Enum):
+    """Which of the three disjoint events an execution falls in."""
+
+    TOTAL_ATTACK = "TA"
+    NO_ATTACK = "NA"
+    PARTIAL_ATTACK = "PA"
+
+
+def classify(outputs: Sequence[bool]) -> Outcome:
+    """Map an output vector ``(O_i)`` to its outcome event."""
+    if not outputs:
+        raise ValueError("cannot classify an empty output vector")
+    if all(outputs):
+        return Outcome.TOTAL_ATTACK
+    if not any(outputs):
+        return Outcome.NO_ATTACK
+    return Outcome.PARTIAL_ATTACK
+
+
+def is_agreement(outputs: Sequence[bool]) -> bool:
+    """The agreement predicate: either everyone attacks or nobody does."""
+    return classify(outputs) is not Outcome.PARTIAL_ATTACK
+
+
+@dataclass
+class OutcomeCounts:
+    """Tally of outcomes over repeated executions of one run.
+
+    Used by the Monte Carlo estimator; the exact engine accumulates
+    weighted probabilities directly instead.
+    """
+
+    num_processes: int
+    total: int = 0
+    total_attack: int = 0
+    no_attack: int = 0
+    partial_attack: int = 0
+    attacks_per_process: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.attacks_per_process:
+            self.attacks_per_process = [0] * self.num_processes
+
+    def record(self, outputs: Sequence[bool]) -> Outcome:
+        """Record one output vector and return its classification."""
+        if len(outputs) != self.num_processes:
+            raise ValueError(
+                f"expected {self.num_processes} outputs, got {len(outputs)}"
+            )
+        outcome = classify(outputs)
+        self.total += 1
+        if outcome is Outcome.TOTAL_ATTACK:
+            self.total_attack += 1
+        elif outcome is Outcome.NO_ATTACK:
+            self.no_attack += 1
+        else:
+            self.partial_attack += 1
+        for index, decided in enumerate(outputs):
+            if decided:
+                self.attacks_per_process[index] += 1
+        return outcome
+
+    def frequencies(self) -> Dict[str, float]:
+        """Empirical frequencies of the three events."""
+        if self.total == 0:
+            raise ValueError("no executions recorded")
+        return {
+            "TA": self.total_attack / self.total,
+            "NA": self.no_attack / self.total,
+            "PA": self.partial_attack / self.total,
+        }
+
+    def attack_frequency(self, process: ProcessId) -> float:
+        """Empirical ``Pr[D_i | R]`` for a process (1-indexed)."""
+        if self.total == 0:
+            raise ValueError("no executions recorded")
+        return self.attacks_per_process[process - 1] / self.total

@@ -1,0 +1,188 @@
+"""The synchronous simulator: executions ``Ex(R, α)`` of Section 2.
+
+Given a protocol ``F``, a topology, a run ``R``, and a joint tape
+assignment ``α``, the simulator produces the unique execution:
+
+* ``q_i^0`` is the start state selected by whether ``(v0, i, 0) ∈ R``;
+* in each round ``r ∈ 1..N`` every process sends
+  ``m_ij^r = σ_i(q_i^{r-1}, j)`` to every neighbor ``j``;
+* ``m_ji^r ∈ S_i^r`` iff ``(j, i, r) ∈ R`` (and the message is not
+  null);
+* ``q_i^r = δ_i(q_i^{r-1}, r, S_i^r, α_i)``;
+* after round ``N`` process ``i`` outputs ``O_i(q_i^N)``.
+
+Two entry points are provided: :func:`execute` records the complete
+execution (states, sent and received messages, outputs) for tests and
+invariant checking, and :func:`decide` computes only the output vector
+for the Monte Carlo inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .protocol import LocalProtocol, Protocol, ReceivedMessage
+from .randomness import Tapes
+from .run import Run
+from .topology import Topology
+from .types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class LocalExecution:
+    """The paper's ``E_i``: everything process ``i`` sees and does.
+
+    ``states[r]`` is ``q_i^r`` for ``r = 0..N``.  ``received[r - 1]``
+    is ``S_i^r`` and ``sent[r - 1]`` maps neighbor to the payload of
+    ``m_ij^r`` (``None`` for a null message), for ``r = 1..N``.
+    """
+
+    process: ProcessId
+    states: Tuple[object, ...]
+    received: Tuple[Tuple[ReceivedMessage, ...], ...]
+    sent: Tuple[Tuple[Tuple[ProcessId, Optional[object]], ...], ...]
+    output: bool
+
+    def state_at(self, round_number: Round) -> object:
+        """``q_i^r`` for ``r = 0..N``."""
+        return self.states[round_number]
+
+    def received_in(self, round_number: Round) -> Tuple[ReceivedMessage, ...]:
+        """``S_i^r`` for ``r = 1..N``."""
+        return self.received[round_number - 1]
+
+    def identical_to(self, other: "LocalExecution") -> bool:
+        """The paper's ``E_i = Ẽ_i``, used to check indistinguishability."""
+        return (
+            self.process == other.process
+            and self.states == other.states
+            and self.received == other.received
+            and self.sent == other.sent
+            and self.output == other.output
+        )
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A full execution: the vector ``(E_i)`` plus the generating pair."""
+
+    run: Run
+    tapes: Tuple[Tuple[ProcessId, object], ...]
+    locals: Tuple[LocalExecution, ...]
+
+    def local(self, process: ProcessId) -> LocalExecution:
+        """``E_i`` for the given process (processes are numbered from 1)."""
+        return self.locals[process - 1]
+
+    @property
+    def outputs(self) -> Tuple[bool, ...]:
+        """The output vector ``(O_i)`` in process order."""
+        return tuple(local.output for local in self.locals)
+
+    def identical_to(self, other: "Execution", process: ProcessId) -> bool:
+        """True iff the two executions are identical to ``process``."""
+        return self.local(process).identical_to(other.local(process))
+
+
+def _check_preconditions(protocol: Protocol, topology: Topology, run: Run) -> None:
+    if not protocol.supports_topology(topology):
+        raise ValueError(
+            f"protocol {protocol.name!r} is not defined on {topology.describe()}"
+        )
+    run.validate_for(topology)
+
+
+def execute(
+    protocol: Protocol, topology: Topology, run: Run, tapes: Tapes
+) -> Execution:
+    """Produce the full execution ``Ex(R, α)`` with all history recorded."""
+    _check_preconditions(protocol, topology, run)
+    processes = list(topology.processes)
+    locals_: Dict[ProcessId, LocalProtocol] = {
+        i: protocol.local_protocol(i, topology) for i in processes
+    }
+    states: Dict[ProcessId, object] = {
+        i: locals_[i].initial_state(run.has_input(i), tapes.get(i))
+        for i in processes
+    }
+    state_history: Dict[ProcessId, List[object]] = {
+        i: [states[i]] for i in processes
+    }
+    received_history: Dict[ProcessId, List[Tuple[ReceivedMessage, ...]]] = {
+        i: [] for i in processes
+    }
+    sent_history: Dict[
+        ProcessId, List[Tuple[Tuple[ProcessId, Optional[object]], ...]]
+    ] = {i: [] for i in processes}
+
+    for round_number in range(1, run.num_rounds + 1):
+        inboxes: Dict[ProcessId, List[ReceivedMessage]] = {
+            i: [] for i in processes
+        }
+        for sender in processes:
+            sent_this_round: List[Tuple[ProcessId, Optional[object]]] = []
+            for neighbor in topology.neighbors(sender):
+                payload = locals_[sender].message(states[sender], neighbor)
+                sent_this_round.append((neighbor, payload))
+                if payload is not None and run.delivers(
+                    sender, neighbor, round_number
+                ):
+                    inboxes[neighbor].append(ReceivedMessage(sender, payload))
+            sent_history[sender].append(tuple(sent_this_round))
+        for process in processes:
+            inbox = tuple(sorted(inboxes[process], key=lambda m: m.sender))
+            received_history[process].append(inbox)
+            states[process] = locals_[process].transition(
+                states[process], round_number, inbox, tapes.get(process)
+            )
+            state_history[process].append(states[process])
+
+    local_executions = tuple(
+        LocalExecution(
+            process=i,
+            states=tuple(state_history[i]),
+            received=tuple(received_history[i]),
+            sent=tuple(sent_history[i]),
+            output=bool(locals_[i].output(states[i])),
+        )
+        for i in processes
+    )
+    frozen_tapes = tuple(sorted((i, tapes.get(i)) for i in processes))
+    return Execution(run=run, tapes=frozen_tapes, locals=local_executions)
+
+
+def decide(
+    protocol: Protocol, topology: Topology, run: Run, tapes: Tapes
+) -> Tuple[bool, ...]:
+    """Compute only the output vector ``(O_i)`` — the Monte Carlo fast path.
+
+    Behaviorally identical to ``execute(...).outputs`` (the test suite
+    asserts this) but allocates no history.
+    """
+    _check_preconditions(protocol, topology, run)
+    processes = list(topology.processes)
+    locals_: Dict[ProcessId, LocalProtocol] = {
+        i: protocol.local_protocol(i, topology) for i in processes
+    }
+    states: Dict[ProcessId, object] = {
+        i: locals_[i].initial_state(run.has_input(i), tapes.get(i))
+        for i in processes
+    }
+    for round_number in range(1, run.num_rounds + 1):
+        inboxes: Dict[ProcessId, List[ReceivedMessage]] = {
+            i: [] for i in processes
+        }
+        for sender in processes:
+            for neighbor in topology.neighbors(sender):
+                if not run.delivers(sender, neighbor, round_number):
+                    continue
+                payload = locals_[sender].message(states[sender], neighbor)
+                if payload is not None:
+                    inboxes[neighbor].append(ReceivedMessage(sender, payload))
+        for process in processes:
+            inbox = tuple(sorted(inboxes[process], key=lambda m: m.sender))
+            states[process] = locals_[process].transition(
+                states[process], round_number, inbox, tapes.get(process)
+            )
+    return tuple(bool(locals_[i].output(states[i])) for i in processes)

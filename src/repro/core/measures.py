@@ -1,0 +1,348 @@
+"""Information flow, levels, clipping, and causal independence.
+
+This module implements Section 4 of the paper (and the modified-level
+measure of Section 6 plus the causal-independence notion of Appendix A):
+
+* the *flows-to* relation between process-round pairs — the reflexive
+  transitive closure of "``(i, r)`` directly flows to ``(k, r + 1)``
+  iff ``i = k`` or ``(i, k, r + 1) ∈ R``";
+* *height* and *level* ``L_j^r(R)``: a process reaches height 1 when it
+  hears the input, and height ``h > 1`` when it has heard that **all**
+  other processes reached height ``h - 1``;
+* *m-height* and *modified level* ``ML_j^r(R)``: identical except that
+  m-height 1 additionally requires hearing from process 1 (who owns the
+  random value *rfire* in Protocol S);
+* *clipping* ``Clip_i(R)``: the subrun of tuples whose receipt flows to
+  ``(i, N)``; Lemma 4.2 shows clipping preserves everything ``i`` can
+  observe, which drives both lower bounds;
+* *causal independence* (Appendix A): ``i`` and ``j`` are causally
+  independent in ``R`` when no ``(k, 0)`` flows to both ``(i, N)`` and
+  ``(j, N)``.
+
+The level computation uses the characterization
+
+    ``t_h[j] = max_{i != j} earliest-arrival((i, t_{h-1}[i]) -> j)``
+
+where ``t_h[j]`` is the earliest round by which ``j`` reaches height
+``h``.  This is equivalent to the paper's existential definition
+because reachability from ``(i, r)`` only shrinks as ``r`` grows and a
+process that has reached a height keeps it forever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .run import Run
+from .types import (
+    ENVIRONMENT,
+    INPUT_SEND_ROUND,
+    MessageTuple,
+    ProcessId,
+    ProcessRound,
+    Round,
+)
+
+# Sentinel for "never": rounds are small ints, so math.inf is safe to
+# compare against but must never be stored in a Run.
+NEVER: float = math.inf
+
+
+def _deliveries_by_round(run: Run) -> Dict[Round, List[MessageTuple]]:
+    """Group the run's delivered messages by round for forward sweeps."""
+    by_round: Dict[Round, List[MessageTuple]] = {}
+    for message in run.messages:
+        by_round.setdefault(message.round, []).append(message)
+    return by_round
+
+
+def earliest_arrivals(
+    run: Run, source: ProcessId, start_round: Round
+) -> Dict[ProcessId, Round]:
+    """Earliest round each process is flow-reachable from ``(source, start_round)``.
+
+    Returns a map ``j -> min { s : (source, start_round) flows to (j, s) }``;
+    processes that are never reached are absent.  ``source`` itself maps
+    to ``start_round`` (flows-to is reflexive).
+
+    For the environment pair ``(v0, -1)`` use
+    :func:`earliest_input_arrivals` instead, which handles the input
+    tuples of round 0.
+    """
+    if source == ENVIRONMENT:
+        raise ValueError("use earliest_input_arrivals for the environment pair")
+    arrivals: Dict[ProcessId, Round] = {source: start_round}
+    by_round = _deliveries_by_round(run)
+    for round_number in range(start_round + 1, run.num_rounds + 1):
+        for message in by_round.get(round_number, ()):
+            if message.source in arrivals and message.target not in arrivals:
+                if arrivals[message.source] <= round_number - 1:
+                    arrivals[message.target] = round_number
+    return arrivals
+
+
+def earliest_input_arrivals(run: Run) -> Dict[ProcessId, Round]:
+    """Earliest round each process is flow-reachable from ``(v0, -1)``.
+
+    ``(v0, -1)`` directly flows to ``(i, 0)`` iff ``(v0, i, 0) ∈ R``, so
+    the sweep starts from the input set at round 0 and then follows
+    delivered messages.
+    """
+    arrivals: Dict[ProcessId, Round] = {i: 0 for i in run.inputs}
+    by_round = _deliveries_by_round(run)
+    for round_number in range(1, run.num_rounds + 1):
+        for message in by_round.get(round_number, ()):
+            if message.source in arrivals and message.target not in arrivals:
+                if arrivals[message.source] <= round_number - 1:
+                    arrivals[message.target] = round_number
+    return arrivals
+
+
+def flows_to(run: Run, source: ProcessRound, target: ProcessRound) -> bool:
+    """The paper's flows-to relation between two process-round pairs.
+
+    Handles the environment pair ``(v0, -1)`` as a source.  A pair never
+    flows backwards in time, and ``(i, r)`` always flows to ``(i, s)``
+    for ``s >= r``.
+    """
+    if target.round < source.round:
+        return False
+    if source.process == ENVIRONMENT:
+        if source.round != INPUT_SEND_ROUND:
+            return False
+        if target.process == ENVIRONMENT:
+            return True
+        arrivals = earliest_input_arrivals(run)
+    else:
+        if target.process == source.process:
+            return True
+        arrivals = earliest_arrivals(run, source.process, source.round)
+    reached = arrivals.get(target.process)
+    return reached is not None and reached <= target.round
+
+
+def backward_closure(run: Run, anchor: ProcessRound) -> Set[ProcessRound]:
+    """All pairs ``(k, r)`` with ``k ∈ V`` that flow to ``anchor``.
+
+    Computed by sweeping rounds backwards: ``(k, s)`` flows to the
+    anchor iff ``(k, s + 1)`` does, or some delivered message
+    ``(k, k', s + 1)`` lands on a pair ``(k', s + 1)`` that does.
+    """
+    closure: Set[ProcessRound] = set()
+    if anchor.process == ENVIRONMENT:
+        return closure
+    current: Set[ProcessId] = {anchor.process}
+    closure.add(ProcessRound(anchor.process, anchor.round))
+    by_round = _deliveries_by_round(run)
+    for round_number in range(anchor.round, -1, -1):
+        previous = set(current)
+        for message in by_round.get(round_number, ()):
+            if message.target in current:
+                previous.add(message.source)
+        current = previous
+        for process in current:
+            closure.add(ProcessRound(process, round_number - 1))
+    # Pairs at the anchor round other than the anchor itself do not
+    # flow to it, so only earlier rounds were added above; re-add pairs
+    # at the anchor round exactly equal to the anchor (done already).
+    return {pair for pair in closure if pair.round >= INPUT_SEND_ROUND}
+
+
+def clip(run: Run, process: ProcessId) -> Run:
+    """``Clip_i(R)``: keep only tuples whose receipt flows to ``(i, N)``.
+
+    A message tuple ``(j, k, r)`` survives iff ``(k, r)`` flows to
+    ``(i, N)``; an input tuple ``(v0, k, 0)`` survives iff ``(k, 0)``
+    flows to ``(i, N)``.  Lemma 4.2: the clipped run is
+    indistinguishable from ``R`` to ``i`` and preserves ``L_i``.
+    """
+    closure = backward_closure(run, ProcessRound(process, run.num_rounds))
+    kept_inputs = frozenset(
+        i for i in run.inputs if ProcessRound(i, 0) in closure
+    )
+    kept_messages = frozenset(
+        m
+        for m in run.messages
+        if ProcessRound(m.target, m.round) in closure
+    )
+    return Run(run.num_rounds, kept_inputs, kept_messages)
+
+
+def causally_independent(
+    run: Run, first: ProcessId, second: ProcessId
+) -> bool:
+    """Appendix A: no ``(k, 0)`` flows to both ``(first, N)`` and ``(second, N)``.
+
+    When this holds, Lemma A.2 shows the decision events
+    ``(D_first | R)`` and ``(D_second | R)`` are probabilistically
+    independent for *any* protocol, because the two local executions
+    are functions of disjoint random tapes.
+    """
+    horizon = run.num_rounds
+    first_closure = backward_closure(run, ProcessRound(first, horizon))
+    second_closure = backward_closure(run, ProcessRound(second, horizon))
+    first_roots = {p.process for p in first_closure if p.round == 0}
+    second_roots = {p.process for p in second_closure if p.round == 0}
+    return not (first_roots & second_roots)
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Per-process level thresholds for one run.
+
+    ``thresholds[h - 1][j]`` is the earliest round by which process
+    ``j`` reaches height ``h`` (``NEVER`` if it never does).  From the
+    thresholds every quantity of Sections 4-6 is derivable:
+
+    * ``level_at(j, r)`` — ``L_j^r(R)`` (or ``ML_j^r(R)``),
+    * ``final_level(j)`` — ``L_j(R) = L_j^N(R)``,
+    * ``run_level()`` — ``L(R) = min_j L_j(R)``.
+    """
+
+    num_rounds: Round
+    num_processes: int
+    thresholds: Tuple[Dict[ProcessId, float], ...]
+
+    def level_at(self, process: ProcessId, round_number: Round) -> int:
+        """``L_j^r(R)``: the maximum height ``j`` reaches by round ``r``."""
+        level = 0
+        for height_thresholds in self.thresholds:
+            if height_thresholds.get(process, NEVER) <= round_number:
+                level += 1
+            else:
+                break
+        return level
+
+    def final_level(self, process: ProcessId) -> int:
+        """``L_j(R) = L_j^N(R)``."""
+        return self.level_at(process, self.num_rounds)
+
+    def run_level(self) -> int:
+        """``L(R) = min_j L_j(R)`` — the bound of Theorem 5.4."""
+        return min(self.final_level(j) for j in range(1, self.num_processes + 1))
+
+    def max_level(self) -> int:
+        """``max_j L_j(R)`` — useful for spread checks (Lemma 6.2)."""
+        return max(self.final_level(j) for j in range(1, self.num_processes + 1))
+
+    def levels(self) -> Dict[ProcessId, int]:
+        """Final level of every process."""
+        return {
+            j: self.final_level(j) for j in range(1, self.num_processes + 1)
+        }
+
+
+def compute_profile_from_arrivals(
+    num_rounds: Round,
+    num_processes: int,
+    base_thresholds: Dict[ProcessId, float],
+    arrivals_fn,
+) -> LevelProfile:
+    """Shared recursion for level and modified level.
+
+    ``base_thresholds`` is ``t_1``: the earliest round each process
+    reaches height 1.  Heights above the first follow the recursion
+    ``t_h[j] = max_{i != j} earliest-arrival((i, t_{h-1}[i]) -> j)``.
+
+    ``arrivals_fn(source, start_round)`` returns the earliest-arrival
+    map from the pair ``(source, start_round)``.  This indirection lets
+    the timed (delayed-message) model of :mod:`repro.timed` reuse the
+    exact recursion with its own flows-to relation.
+    """
+    processes = range(1, num_processes + 1)
+    thresholds: List[Dict[ProcessId, float]] = [dict(base_thresholds)]
+    # Heights are bounded: each new height needs at least the previous
+    # threshold round, and t_h >= h - 1, so h <= N + 2 suffices as a cap.
+    while True:
+        previous = thresholds[-1]
+        if all(previous.get(j, NEVER) > num_rounds for j in processes):
+            thresholds.pop()
+            break
+        current: Dict[ProcessId, float] = {}
+        arrival_cache: Dict[ProcessId, Dict[ProcessId, Round]] = {}
+        for i in processes:
+            start = previous.get(i, NEVER)
+            if start <= num_rounds:
+                arrival_cache[i] = arrivals_fn(i, int(start))
+        for j in processes:
+            worst: float = 0
+            for i in processes:
+                if i == j:
+                    continue
+                if i not in arrival_cache:
+                    worst = NEVER
+                    break
+                reached = arrival_cache[i].get(j)
+                if reached is None:
+                    worst = NEVER
+                    break
+                worst = max(worst, reached)
+            if worst is not NEVER and worst <= num_rounds:
+                current[j] = worst
+        if not current:
+            break
+        thresholds.append(current)
+        if len(thresholds) > num_rounds + 2:
+            raise AssertionError(
+                "level recursion exceeded its theoretical bound of N + 2"
+            )
+    return LevelProfile(num_rounds, num_processes, tuple(thresholds))
+
+
+def _compute_profile(
+    run: Run,
+    num_processes: int,
+    base_thresholds: Dict[ProcessId, float],
+) -> LevelProfile:
+    """The synchronous instantiation of the shared level recursion."""
+    return compute_profile_from_arrivals(
+        run.num_rounds,
+        num_processes,
+        base_thresholds,
+        lambda source, start: earliest_arrivals(run, source, start),
+    )
+
+
+def level_profile(run: Run, num_processes: int) -> LevelProfile:
+    """The level measure ``L_j^r(R)`` of Section 4 for every ``j, r``.
+
+    Height 1 requires ``(v0, -1)`` to flow to ``(j, r)``.
+    """
+    base = dict(earliest_input_arrivals(run))
+    typed_base: Dict[ProcessId, float] = {j: float(r) for j, r in base.items()}
+    return _compute_profile(run, num_processes, typed_base)
+
+
+def modified_level_profile(
+    run: Run, num_processes: int, coordinator: ProcessId = 1
+) -> LevelProfile:
+    """The modified level ``ML_j^r(R)`` of Section 6.
+
+    M-height 1 requires both ``(v0, -1)`` *and* ``(coordinator, 0)`` to
+    flow to ``(j, r)`` — the process must have heard the input and the
+    coordinator's *rfire* value.  The paper fixes the coordinator to
+    process 1; the parameter exists for symmetry experiments.
+    """
+    input_arrivals = earliest_input_arrivals(run)
+    coordinator_arrivals = earliest_arrivals(run, coordinator, 0)
+    base: Dict[ProcessId, float] = {}
+    for j in range(1, num_processes + 1):
+        input_round = input_arrivals.get(j)
+        heard_round = coordinator_arrivals.get(j)
+        if input_round is not None and heard_round is not None:
+            base[j] = float(max(input_round, heard_round))
+    return _compute_profile(run, num_processes, base)
+
+
+def run_level(run: Run, num_processes: int) -> int:
+    """``L(R)`` — convenience wrapper over :func:`level_profile`."""
+    return level_profile(run, num_processes).run_level()
+
+
+def run_modified_level(
+    run: Run, num_processes: int, coordinator: ProcessId = 1
+) -> int:
+    """``ML(R)`` — convenience wrapper over :func:`modified_level_profile`."""
+    return modified_level_profile(run, num_processes, coordinator).run_level()

@@ -1,0 +1,152 @@
+"""The paper's correctness conditions and performance measures.
+
+Section 2 defines, for a protocol ``F`` and adversary ``A`` (a set of
+runs):
+
+* **Validity** — if ``I(R) = ∅`` then no process attacks, for every
+  tape vector;
+* **Unsafety** ``U_A(F) = max_{R ∈ A} Pr[PA | R]``; agreement with
+  parameter ε means ``U_A(F) <= ε``;
+* **Liveness** ``L(F, R) = Pr[TA | R]``.
+
+This module computes the per-run quantities and the maximization over
+an explicit iterable of runs.  Searching the full strong adversary
+(whose run set is exponential) lives in :mod:`repro.adversary.search`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .execution import decide
+from .probability import evaluate
+from .protocol import Protocol
+from .run import Run, silent_run
+from .topology import Topology
+
+
+def liveness(
+    protocol: Protocol,
+    topology: Topology,
+    run: Run,
+    method: str = "auto",
+    trials: int = 4_000,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """``L(F, R) = Pr[TA | R]``."""
+    result = evaluate(protocol, topology, run, method, trials, rng)
+    return result.pr_total_attack
+
+
+def unsafety_on_run(
+    protocol: Protocol,
+    topology: Topology,
+    run: Run,
+    method: str = "auto",
+    trials: int = 4_000,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """``Pr[PA | R]`` — one run's contribution to the unsafety max."""
+    result = evaluate(protocol, topology, run, method, trials, rng)
+    return result.pr_partial_attack
+
+
+@dataclass(frozen=True)
+class UnsafetyResult:
+    """The outcome of maximizing ``Pr[PA | R]`` over a set of runs."""
+
+    value: float
+    worst_run: Optional[Run]
+    runs_examined: int
+    certification: str
+
+    def describe(self) -> str:
+        """One-line summary of the maximization outcome."""
+        run_text = self.worst_run.describe() if self.worst_run else "none"
+        return (
+            f"U = {self.value:.6f} over {self.runs_examined} runs "
+            f"({self.certification}); worst run: {run_text}"
+        )
+
+
+def max_unsafety_over(
+    protocol: Protocol,
+    topology: Topology,
+    runs: Iterable[Run],
+    method: str = "auto",
+    trials: int = 4_000,
+    rng: Optional[random.Random] = None,
+    certification: str = "explicit-set",
+) -> UnsafetyResult:
+    """``max_R Pr[PA | R]`` over an explicit iterable of runs."""
+    best_value = 0.0
+    best_run: Optional[Run] = None
+    examined = 0
+    for run in runs:
+        examined += 1
+        value = unsafety_on_run(protocol, topology, run, method, trials, rng)
+        if value > best_value or best_run is None:
+            best_value = value
+            best_run = run
+    if examined == 0:
+        raise ValueError("no runs supplied to maximize over")
+    return UnsafetyResult(best_value, best_run, examined, certification)
+
+
+def check_validity(
+    protocol: Protocol,
+    topology: Topology,
+    runs: Iterable[Run],
+    trials: int = 64,
+    rng: Optional[random.Random] = None,
+) -> Tuple[bool, Optional[Run]]:
+    """Test the validity condition on input-free runs.
+
+    For each supplied run (which must have ``I(R) = ∅``), samples tape
+    vectors and checks no process attacks.  Returns ``(True, None)`` or
+    ``(False, offending_run)``.  Exhaustive when the tape space is
+    finite and small enough for enumeration to be cheaper than
+    sampling.
+    """
+    if rng is None:
+        rng = random.Random(0)
+    for run in runs:
+        if run.inputs:
+            raise ValueError(
+                f"validity is only defined for input-free runs, got {run.describe()}"
+            )
+        space = protocol.tape_space(topology)
+        size = space.joint_support_size()
+        if size is not None and size <= trials:
+            assignments = (tapes for tapes, _ in space.enumerate())
+        else:
+            assignments = (space.sample(rng) for _ in range(trials))
+        for tapes in assignments:
+            outputs = decide(protocol, topology, run, tapes)
+            if any(outputs):
+                return False, run
+    return True, None
+
+
+def validity_probe_runs(
+    topology: Topology, num_rounds: int, rng: Optional[random.Random] = None
+) -> List[Run]:
+    """A standard battery of input-free runs for validity checking.
+
+    Includes the silent run, the all-delivered run without inputs, and
+    a handful of random input-free runs.
+    """
+    from .run import good_run, random_run
+
+    if rng is None:
+        rng = random.Random(7)
+    probes = [
+        silent_run(topology, num_rounds),
+        good_run(topology, num_rounds, inputs=[]),
+    ]
+    for _ in range(6):
+        candidate = random_run(topology, num_rounds, rng)
+        probes.append(candidate.with_inputs([]))
+    return probes

@@ -1,0 +1,129 @@
+"""The protocol abstraction: local state machines per Section 2.
+
+A protocol ``F`` is a vector of local protocols ``F_i``, one per
+process.  Each ``F_i`` is a state machine with
+
+* two start states ``s_i^0`` (no input signal) and ``s_i^1`` (signal),
+* a state transition function ``δ_i(q^{r-1}, r, S^r, α_i)``,
+* a message generation function ``σ_i(q^{r-1}, j)``, and
+* an output bit ``O_i(q^N)`` (1 = attack).
+
+The paper assumes WLOG that every process sends a message to every
+neighbor in every round, simulating silence with null messages the
+receiver ignores.  We encode a null message as ``None`` from
+:meth:`LocalProtocol.message`; the simulator drops delivered nulls
+before handing ``S_i^r`` to the receiver, which is observationally
+equivalent and keeps protocol code readable.
+
+States must be immutable values (tuples / frozen dataclasses): the
+simulator stores every intermediate state for invariant checking and
+relies on value semantics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .randomness import TapeSpace
+from .topology import Topology
+from .types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """One element of ``S_i^r``: a delivered, non-null message."""
+
+    sender: ProcessId
+    payload: object
+
+
+class LocalProtocol(ABC):
+    """The state machine ``F_i`` run by a single process."""
+
+    @abstractmethod
+    def initial_state(self, got_input: bool, tape: object) -> object:
+        """The start state: ``s_i^1`` if the input signal arrived, else ``s_i^0``.
+
+        The tape is available so protocols whose initial state embeds a
+        random draw (Protocol S stores *rfire* in process 1's start
+        state) can be expressed directly.
+        """
+
+    @abstractmethod
+    def transition(
+        self,
+        state: object,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> object:
+        """``δ_i``: the state at the end of ``round_number``.
+
+        ``received`` is ``S_i^r`` — the delivered non-null messages of
+        this round, in sender order.
+        """
+
+    @abstractmethod
+    def message(self, state: object, neighbor: ProcessId) -> Optional[object]:
+        """``σ_i``: the payload sent to ``neighbor`` this round.
+
+        Return ``None`` for a null message (the receiver sees nothing).
+        Called with the state from the *end of the previous round*.
+        """
+
+    @abstractmethod
+    def output(self, state: object) -> bool:
+        """``O_i``: the decision bit from the final state (True = attack)."""
+
+
+class Protocol(ABC):
+    """A full protocol: local machines plus the joint tape distribution."""
+
+    #: Human-readable identifier used in reports and experiment tables.
+    name: str = "unnamed-protocol"
+
+    @abstractmethod
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        """The local machine ``F_i`` for ``process`` on the given graph.
+
+        The topology is supplied because several protocols need global
+        graph facts baked into their local machines (Protocol S's
+        counting rule tests ``seen_i = V``).  A local machine may only
+        use the topology for such static structure — all run-time
+        information must arrive through received messages.
+        """
+
+    @abstractmethod
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        """The joint distribution of the tapes ``α = (α_i)``."""
+
+    def supports_topology(self, topology: Topology) -> bool:
+        """Whether the protocol is defined on this graph.
+
+        Protocol A, for example, is a two-general protocol only.
+        """
+        return True
+
+    def describe(self) -> str:
+        """One-line description for experiment reports."""
+        return self.name
+
+
+class ClosedFormProtocol(Protocol):
+    """A protocol that can compute its event probabilities analytically.
+
+    Protocols whose randomness enters only the final decision (the
+    *rfire* pattern: the message flow is the same for every tape value)
+    can compute ``Pr[TA | R]``, ``Pr[NA | R]``, ``Pr[PA | R]`` and the
+    per-process attack probabilities exactly.  The probability engine
+    prefers this backend when available and the test suite cross-checks
+    it against enumeration / Monte Carlo.
+    """
+
+    @abstractmethod
+    def closed_form_probabilities(self, topology: Topology, run):
+        """Return exact :class:`~repro.core.probability.EventProbabilities`."""

@@ -1,0 +1,204 @@
+"""Random tapes: the per-process randomness ``α_i`` of the model.
+
+Section 2 gives each process ``i`` a sequence ``α_i`` of random bits
+drawn uniformly, and all probabilities (``Pr[X | R]``) are taken over
+the joint tape distribution with the run held fixed.  We generalize the
+bit-sequence view slightly: each process's tape is a value drawn from a
+declared :class:`TapeDistribution`.  This keeps protocols honest (all
+randomness is declared up front, none is drawn during execution) and
+lets the probability engine pick the right backend:
+
+* every distribution finite and small  →  exact enumeration,
+* otherwise                            →  Monte Carlo sampling,
+* protocol supplies a closed form      →  analytic evaluation.
+
+A bit-string tape is still available (:class:`BitStringTape`) for
+protocols written against the literal model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .types import ProcessId
+
+# A joint assignment of tapes: process id -> tape value.
+Tapes = Dict[ProcessId, object]
+
+# An atom of a finite distribution: (value, probability).
+Atom = Tuple[object, float]
+
+
+class TapeDistribution:
+    """Distribution of a single process's tape value.
+
+    Subclasses implement :meth:`sample`; finite distributions also
+    implement :meth:`atoms` and report a finite :meth:`support_size`.
+    """
+
+    def sample(self, rng: random.Random) -> object:
+        """Draw one tape value."""
+        raise NotImplementedError
+
+    def support_size(self) -> Optional[int]:
+        """Number of atoms, or ``None`` when infinite/continuous."""
+        return None
+
+    def atoms(self) -> List[Atom]:
+        """The full finite support as ``(value, probability)`` pairs."""
+        raise ValueError(f"{type(self).__name__} has no finite support")
+
+
+@dataclass(frozen=True)
+class ConstantTape(TapeDistribution):
+    """A degenerate tape: the process is deterministic."""
+
+    value: object = None
+
+    def sample(self, rng: random.Random) -> object:
+        return self.value
+
+    def support_size(self) -> Optional[int]:
+        return 1
+
+    def atoms(self) -> List[Atom]:
+        return [(self.value, 1.0)]
+
+
+@dataclass(frozen=True)
+class UniformIntTape(TapeDistribution):
+    """Uniform over the integers ``low .. high`` inclusive.
+
+    Protocol A draws *rfire* uniformly from ``{2, ..., N}`` this way.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty integer range {self.low}..{self.high}")
+
+    def sample(self, rng: random.Random) -> object:
+        return rng.randint(self.low, self.high)
+
+    def support_size(self) -> Optional[int]:
+        return self.high - self.low + 1
+
+    def atoms(self) -> List[Atom]:
+        count = self.high - self.low + 1
+        weight = 1.0 / count
+        return [(value, weight) for value in range(self.low, self.high + 1)]
+
+
+@dataclass(frozen=True)
+class UniformRealTape(TapeDistribution):
+    """Uniform over the half-open real interval ``(low, high]``.
+
+    Protocol S draws *rfire* uniformly from ``(0, 1/ε]``.  The support
+    is continuous, so this distribution only samples; protocols using
+    it should provide a closed-form analyzer for exact probabilities.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"empty real interval ({self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> object:
+        # random() is in [0, 1); flip it to (0, 1] to match the paper's
+        # half-open interval (rfire > 0 matters for validity).
+        unit = 1.0 - rng.random()
+        return self.low + unit * (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class BitStringTape(TapeDistribution):
+    """Uniform over ``{0, 1}^J`` — the literal tape of the model."""
+
+    num_bits: int
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 0:
+            raise ValueError("num_bits must be nonnegative")
+
+    def sample(self, rng: random.Random) -> object:
+        return tuple(rng.randint(0, 1) for _ in range(self.num_bits))
+
+    def support_size(self) -> Optional[int]:
+        return 2 ** self.num_bits
+
+    def atoms(self) -> List[Atom]:
+        weight = 1.0 / (2 ** self.num_bits)
+        return [
+            (bits, weight)
+            for bits in itertools.product((0, 1), repeat=self.num_bits)
+        ]
+
+
+@dataclass(frozen=True)
+class TapeSpace:
+    """The joint tape distribution: one independent draw per process."""
+
+    distributions: Tuple[Tuple[ProcessId, TapeDistribution], ...]
+
+    @classmethod
+    def from_dict(
+        cls, distributions: Dict[ProcessId, TapeDistribution]
+    ) -> "TapeSpace":
+        ordered = tuple(sorted(distributions.items()))
+        return cls(ordered)
+
+    @classmethod
+    def deterministic(cls, processes: Sequence[ProcessId]) -> "TapeSpace":
+        """A space where no process has randomness."""
+        return cls.from_dict({i: ConstantTape() for i in processes})
+
+    def distribution_for(self, process: ProcessId) -> TapeDistribution:
+        for owner, distribution in self.distributions:
+            if owner == process:
+                return distribution
+        return ConstantTape()
+
+    def sample(self, rng: random.Random) -> Tapes:
+        """Draw one joint tape assignment."""
+        return {
+            process: distribution.sample(rng)
+            for process, distribution in self.distributions
+        }
+
+    def joint_support_size(self) -> Optional[int]:
+        """Product of per-process supports, or ``None`` if any is infinite."""
+        total = 1
+        for _, distribution in self.distributions:
+            size = distribution.support_size()
+            if size is None:
+                return None
+            total *= size
+        return total
+
+    def enumerate(self) -> Iterator[Tuple[Tapes, float]]:
+        """All joint assignments with their probabilities.
+
+        Raises ``ValueError`` if any per-process distribution is
+        continuous; callers should check :meth:`joint_support_size`
+        first (and bound it) before enumerating.
+        """
+        processes = [process for process, _ in self.distributions]
+        atom_lists = [
+            distribution.atoms() for _, distribution in self.distributions
+        ]
+        for combination in itertools.product(*atom_lists):
+            tapes = {
+                process: value
+                for process, (value, _) in zip(processes, combination)
+            }
+            probability = 1.0
+            for _, weight in combination:
+                probability *= weight
+            yield tapes, probability

@@ -1,0 +1,159 @@
+"""JSON (de)serialization for runs and results.
+
+Reproduction artifacts — worst-case witness runs, measured event
+probabilities, experiment reports — should survive outside a Python
+session.  This module provides stable, schema-versioned dict/JSON
+round-trips:
+
+* :func:`run_to_dict` / :func:`run_from_dict` — synchronous runs;
+* :func:`timed_run_to_dict` / :func:`timed_run_from_dict` — delayed
+  runs (the asynchronous extension);
+* :func:`probabilities_to_dict` — measured event distributions;
+* :func:`report_to_dict` — a full experiment report with its tables.
+
+The schemas are plain JSON (lists and scalars only), so witnesses can
+be diffed, archived, and reloaded across versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .probability import EventProbabilities
+from .run import Run
+from .types import MessageTuple
+
+SCHEMA_VERSION = 1
+
+
+def run_to_dict(run: Run) -> Dict[str, Any]:
+    """A stable dict form of a synchronous run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "run",
+        "num_rounds": run.num_rounds,
+        "inputs": sorted(run.inputs),
+        "messages": sorted(
+            [m.source, m.target, m.round] for m in run.messages
+        ),
+    }
+
+
+def run_from_dict(payload: Dict[str, Any]) -> Run:
+    """Inverse of :func:`run_to_dict`; validates the payload."""
+    if payload.get("kind") != "run":
+        raise ValueError(f"not a run payload: kind={payload.get('kind')!r}")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {payload.get('schema')!r}"
+        )
+    return Run(
+        int(payload["num_rounds"]),
+        frozenset(int(i) for i in payload["inputs"]),
+        frozenset(
+            MessageTuple(int(s), int(t), int(r))
+            for s, t, r in payload["messages"]
+        ),
+    )
+
+
+def run_to_json(run: Run) -> str:
+    """Compact JSON text for a run."""
+    return json.dumps(run_to_dict(run), sort_keys=True)
+
+
+def run_from_json(text: str) -> Run:
+    """Inverse of :func:`run_to_json`."""
+    return run_from_dict(json.loads(text))
+
+
+def timed_run_to_dict(run) -> Dict[str, Any]:
+    """A stable dict form of a timed (delayed-message) run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "timed-run",
+        "num_rounds": run.num_rounds,
+        "inputs": sorted(run.inputs),
+        "deliveries": sorted(
+            [d.source, d.target, d.sent, d.arrival] for d in run.deliveries
+        ),
+    }
+
+
+def timed_run_from_dict(payload: Dict[str, Any]):
+    """Inverse of :func:`timed_run_to_dict`."""
+    from ..timed.run import Delivery, TimedRun
+
+    if payload.get("kind") != "timed-run":
+        raise ValueError(
+            f"not a timed-run payload: kind={payload.get('kind')!r}"
+        )
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {payload.get('schema')!r}"
+        )
+    return TimedRun(
+        int(payload["num_rounds"]),
+        frozenset(int(i) for i in payload["inputs"]),
+        frozenset(
+            Delivery(int(s), int(t), int(sent), int(arrival))
+            for s, t, sent, arrival in payload["deliveries"]
+        ),
+    )
+
+
+def probabilities_to_dict(result: EventProbabilities) -> Dict[str, Any]:
+    """A stable dict form of measured event probabilities."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "event-probabilities",
+        "pr_total_attack": result.pr_total_attack,
+        "pr_no_attack": result.pr_no_attack,
+        "pr_partial_attack": result.pr_partial_attack,
+        "pr_attack": list(result.pr_attack),
+        "method": result.method,
+        "trials": result.trials,
+    }
+
+
+def probabilities_from_dict(payload: Dict[str, Any]) -> EventProbabilities:
+    """Inverse of :func:`probabilities_to_dict`."""
+    if payload.get("kind") != "event-probabilities":
+        raise ValueError(
+            f"not a probabilities payload: kind={payload.get('kind')!r}"
+        )
+    return EventProbabilities(
+        pr_total_attack=float(payload["pr_total_attack"]),
+        pr_no_attack=float(payload["pr_no_attack"]),
+        pr_partial_attack=float(payload["pr_partial_attack"]),
+        pr_attack=tuple(float(p) for p in payload["pr_attack"]),
+        method=str(payload["method"]),
+        trials=payload.get("trials"),
+    )
+
+
+def report_to_dict(report) -> Dict[str, Any]:
+    """A stable dict form of an experiment report (tables included)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "experiment-report",
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "passed": report.passed,
+        "notes": list(report.notes),
+        "tables": [
+            {
+                "title": table.title,
+                "columns": list(table.columns),
+                "caption": table.caption,
+                "rows": [list(row) for row in table.rows],
+            }
+            for table in report.tables
+        ],
+    }
+
+
+def report_to_json(report, indent: int = 2) -> str:
+    """JSON text for a report (for archiving experiment outcomes)."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

@@ -1,0 +1,304 @@
+"""Undirected communication graphs for the coordinated-attack model.
+
+The generals sit at the vertices of an undirected graph ``G(V, E)``
+(Section 2 of the paper).  This module provides an immutable graph type
+plus the constructions the paper and our experiments need:
+
+* standard families (pair, path, ring, complete, star, grid, random
+  connected graphs),
+* breadth-first distances and graph diameter (the *usual case
+  assumption* of Appendix A requires ``diameter(G) <= N``),
+* rooted spanning trees (the run construction of Lemma A.6 delivers
+  messages only parent-to-child down a spanning tree rooted at
+  process 1).
+
+The implementation is self-contained; ``networkx`` is used only in the
+test suite as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .types import MIN_PROCESSES, ProcessId
+
+Edge = Tuple[ProcessId, ProcessId]
+
+
+def _normalize_edge(a: ProcessId, b: ProcessId) -> Edge:
+    """Return the canonical (sorted) form of an undirected edge."""
+    if a == b:
+        raise ValueError(f"self-loop edge ({a}, {b}) is not allowed")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An immutable undirected graph on vertices ``1..num_processes``.
+
+    Edges are stored in canonical sorted form.  The class is hashable so
+    topologies can key caches in the run-search code.
+    """
+
+    num_processes: int
+    edges: FrozenSet[Edge]
+    _adjacency: Dict[ProcessId, Tuple[ProcessId, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_processes < MIN_PROCESSES:
+            raise ValueError(
+                f"need at least {MIN_PROCESSES} processes, got {self.num_processes}"
+            )
+        for a, b in self.edges:
+            if not (1 <= a <= self.num_processes and 1 <= b <= self.num_processes):
+                raise ValueError(f"edge ({a}, {b}) has an endpoint outside 1..{self.num_processes}")
+            if a >= b:
+                raise ValueError(f"edge ({a}, {b}) is not in canonical sorted form")
+        adjacency: Dict[ProcessId, List[ProcessId]] = {
+            v: [] for v in range(1, self.num_processes + 1)
+        }
+        for a, b in self.edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        frozen = {v: tuple(sorted(ns)) for v, ns in adjacency.items()}
+        object.__setattr__(self, "_adjacency", frozen)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, num_processes: int, edges: Iterable[Edge]) -> "Topology":
+        """Build a topology from an iterable of (possibly unordered) edges."""
+        canonical = frozenset(_normalize_edge(a, b) for a, b in edges)
+        return cls(num_processes, canonical)
+
+    @classmethod
+    def pair(cls) -> "Topology":
+        """The two-general graph: a single link between processes 1 and 2."""
+        return cls.from_edges(2, [(1, 2)])
+
+    @classmethod
+    def path(cls, num_processes: int) -> "Topology":
+        """A path ``1 - 2 - ... - m``."""
+        return cls.from_edges(
+            num_processes, [(i, i + 1) for i in range(1, num_processes)]
+        )
+
+    @classmethod
+    def ring(cls, num_processes: int) -> "Topology":
+        """A cycle ``1 - 2 - ... - m - 1`` (requires ``m >= 3``)."""
+        if num_processes < 3:
+            raise ValueError("a ring needs at least 3 processes")
+        edges = [(i, i + 1) for i in range(1, num_processes)]
+        edges.append((1, num_processes))
+        return cls.from_edges(num_processes, edges)
+
+    @classmethod
+    def complete(cls, num_processes: int) -> "Topology":
+        """The complete graph ``K_m``."""
+        edges = [
+            (i, j)
+            for i in range(1, num_processes + 1)
+            for j in range(i + 1, num_processes + 1)
+        ]
+        return cls.from_edges(num_processes, edges)
+
+    @classmethod
+    def star(cls, num_processes: int, center: ProcessId = 1) -> "Topology":
+        """A star with the given center process."""
+        edges = [
+            (center, i) for i in range(1, num_processes + 1) if i != center
+        ]
+        return cls.from_edges(num_processes, edges)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "Topology":
+        """A ``rows x cols`` grid; vertices numbered row-major from 1."""
+        if rows < 1 or cols < 1 or rows * cols < MIN_PROCESSES:
+            raise ValueError("grid must contain at least 2 vertices")
+
+        def vid(r: int, c: int) -> ProcessId:
+            return r * cols + c + 1
+
+        edges: List[Edge] = []
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    edges.append((vid(r, c), vid(r, c + 1)))
+                if r + 1 < rows:
+                    edges.append((vid(r, c), vid(r + 1, c)))
+        return cls.from_edges(rows * cols, edges)
+
+    @classmethod
+    def random_connected(
+        cls, num_processes: int, extra_edge_probability: float, rng: random.Random
+    ) -> "Topology":
+        """A random connected graph: a random spanning tree plus extras.
+
+        Each non-tree edge is added independently with probability
+        ``extra_edge_probability``.  The spanning tree is generated with
+        a random-attachment process, so all tree shapes are reachable.
+        """
+        if not 0.0 <= extra_edge_probability <= 1.0:
+            raise ValueError("extra_edge_probability must be in [0, 1]")
+        vertices = list(range(1, num_processes + 1))
+        rng.shuffle(vertices)
+        edges = set()
+        for index in range(1, num_processes):
+            parent = vertices[rng.randrange(index)]
+            edges.add(_normalize_edge(parent, vertices[index]))
+        for i in range(1, num_processes + 1):
+            for j in range(i + 1, num_processes + 1):
+                edge = (i, j)
+                if edge not in edges and rng.random() < extra_edge_probability:
+                    edges.add(edge)
+        return cls(num_processes, frozenset(edges))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def processes(self) -> range:
+        """The vertex set ``V = 1..m`` as a range."""
+        return range(1, self.num_processes + 1)
+
+    def neighbors(self, process: ProcessId) -> Tuple[ProcessId, ...]:
+        """The sorted neighbors of ``process``."""
+        try:
+            return self._adjacency[process]
+        except KeyError:
+            raise ValueError(f"unknown process id {process}") from None
+
+    def has_edge(self, a: ProcessId, b: ProcessId) -> bool:
+        """True iff ``{a, b}`` is an edge of the graph."""
+        if a == b:
+            return False
+        return _normalize_edge(a, b) in self.edges
+
+    def directed_links(self) -> Iterator[Tuple[ProcessId, ProcessId]]:
+        """Iterate all ordered pairs ``(i, j)`` with ``{i, j}`` an edge.
+
+        Each undirected edge yields two directed links, matching the
+        paper's message tuples which are directed.
+        """
+        for a, b in sorted(self.edges):
+            yield (a, b)
+            yield (b, a)
+
+    def num_directed_links(self) -> int:
+        """The number of ordered sender/receiver pairs."""
+        return 2 * len(self.edges)
+
+    def distances_from(self, source: ProcessId) -> Dict[ProcessId, int]:
+        """BFS hop distances from ``source``; unreachable vertices absent."""
+        if not 1 <= source <= self.num_processes:
+            raise ValueError(f"unknown process id {source}")
+        distances = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbor in self._adjacency[vertex]:
+                if neighbor not in distances:
+                    distances[neighbor] = distances[vertex] + 1
+                    frontier.append(neighbor)
+        return distances
+
+    def is_connected(self) -> bool:
+        """True iff the graph is connected."""
+        return len(self.distances_from(1)) == self.num_processes
+
+    def diameter(self) -> int:
+        """The graph diameter; raises ``ValueError`` if disconnected.
+
+        The *usual case assumption* (Appendix A) requires the diameter
+        to be at most the number of rounds ``N``.
+        """
+        best = 0
+        for source in self.processes:
+            distances = self.distances_from(source)
+            if len(distances) != self.num_processes:
+                raise ValueError("diameter is undefined for a disconnected graph")
+            best = max(best, max(distances.values()))
+        return best
+
+    def eccentricity(self, source: ProcessId) -> int:
+        """Largest hop distance from ``source``; raises if disconnected."""
+        distances = self.distances_from(source)
+        if len(distances) != self.num_processes:
+            raise ValueError("eccentricity is undefined for a disconnected graph")
+        return max(distances.values())
+
+    def spanning_tree(self, root: ProcessId = 1) -> Dict[ProcessId, Optional[ProcessId]]:
+        """A BFS spanning tree rooted at ``root`` as a parent map.
+
+        The root maps to ``None``.  Raises ``ValueError`` if the graph
+        is disconnected.  Lemma A.6 builds the run that establishes
+        ``ML(R) = 1`` by delivering messages only parent-to-child down
+        such a tree rooted at process 1.
+        """
+        parents: Dict[ProcessId, Optional[ProcessId]] = {root: None}
+        frontier = deque([root])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbor in self._adjacency[vertex]:
+                if neighbor not in parents:
+                    parents[neighbor] = vertex
+                    frontier.append(neighbor)
+        if len(parents) != self.num_processes:
+            raise ValueError("spanning tree is undefined for a disconnected graph")
+        return parents
+
+    def tree_children(
+        self, parents: Dict[ProcessId, Optional[ProcessId]]
+    ) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        """Invert a parent map into a children map (sorted tuples)."""
+        children: Dict[ProcessId, List[ProcessId]] = {v: [] for v in self.processes}
+        for child, parent in parents.items():
+            if parent is not None:
+                children[parent].append(child)
+        return {v: tuple(sorted(cs)) for v, cs in children.items()}
+
+    def tree_depths(
+        self, parents: Dict[ProcessId, Optional[ProcessId]]
+    ) -> Dict[ProcessId, int]:
+        """Depth of every vertex in a spanning tree (root depth 0)."""
+        depths: Dict[ProcessId, int] = {}
+
+        def depth_of(vertex: ProcessId) -> int:
+            if vertex in depths:
+                return depths[vertex]
+            parent = parents[vertex]
+            value = 0 if parent is None else depth_of(parent) + 1
+            depths[vertex] = value
+            return value
+
+        for vertex in parents:
+            depth_of(vertex)
+        return depths
+
+    def describe(self) -> str:
+        """A short human-readable summary, used in experiment reports."""
+        connectivity = "connected" if self.is_connected() else "disconnected"
+        return (
+            f"Topology(m={self.num_processes}, |E|={len(self.edges)}, {connectivity})"
+        )
+
+
+def standard_topologies(num_processes: int) -> Sequence[Tuple[str, Topology]]:
+    """The named graph families used across the experiment sweeps."""
+    families: List[Tuple[str, Topology]] = []
+    if num_processes == 2:
+        families.append(("pair", Topology.pair()))
+        return families
+    families.append(("path", Topology.path(num_processes)))
+    families.append(("ring", Topology.ring(num_processes)))
+    families.append(("complete", Topology.complete(num_processes)))
+    families.append(("star", Topology.star(num_processes)))
+    return families

@@ -1,0 +1,125 @@
+"""Basic identifiers and tuple types for the coordinated-attack model.
+
+The model follows Section 2 of Varghese & Lynch (PODC 1992).  Generals
+are processes at the vertices of an undirected graph ``G(V, E)`` with
+``V = {1, ..., m}`` and ``m >= 2``.  Protocols are synchronous and work
+in ``N + 2`` rounds numbered ``-1, 0, ..., N``:
+
+* Round ``-1`` is fictitious; the environment node ``v0`` "sends" the
+  input signals during it.
+* Round ``0`` delivers the input signals: a process ``i`` with
+  ``(v0, i, 0)`` in the run receives a signal to try to attack.
+* Rounds ``1 .. N`` are the message rounds in which every process sends
+  a (possibly null) message to each neighbor.
+
+This module defines the identifier conventions shared by every other
+module: process ids, round numbers, and the input/message tuples that
+make up a *run*.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+# The environment node v0 of the paper.  The paper requires v0 not to be
+# a vertex of G; we reserve id 0 for it and number processes from 1, so
+# the convention can never collide with a real process.
+ENVIRONMENT: int = 0
+
+# Round in which the environment "sends" input signals.
+INPUT_SEND_ROUND: int = -1
+
+# Round in which input signals arrive at processes.
+INPUT_ARRIVAL_ROUND: int = 0
+
+# Smallest legal number of message rounds (the paper assumes N >= 1).
+MIN_ROUNDS: int = 1
+
+# Smallest legal number of generals (the paper assumes m >= 2).
+MIN_PROCESSES: int = 2
+
+ProcessId = int
+Round = int
+
+
+class InputTuple(NamedTuple):
+    """An input signal ``(v0, i, 0)``: process ``i`` is told to attack.
+
+    ``source`` is always :data:`ENVIRONMENT` and ``round`` is always
+    :data:`INPUT_ARRIVAL_ROUND`; they are stored explicitly so that the
+    tuple reads exactly like the paper's notation.
+    """
+
+    source: ProcessId
+    target: ProcessId
+    round: Round
+
+    @classmethod
+    def for_process(cls, target: ProcessId) -> "InputTuple":
+        """Build the input tuple ``(v0, target, 0)``."""
+        return cls(ENVIRONMENT, target, INPUT_ARRIVAL_ROUND)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless this is a well-formed input tuple."""
+        if self.source != ENVIRONMENT:
+            raise ValueError(
+                f"input tuple source must be v0={ENVIRONMENT}, got {self.source}"
+            )
+        if self.round != INPUT_ARRIVAL_ROUND:
+            raise ValueError(
+                f"input tuple round must be {INPUT_ARRIVAL_ROUND}, got {self.round}"
+            )
+        if self.target <= ENVIRONMENT:
+            raise ValueError(f"input tuple target must be a process id, got {self.target}")
+
+
+class MessageTuple(NamedTuple):
+    """A delivery tuple ``(i, j, r)``: the round-``r`` message from ``i``
+    to ``j`` is delivered.
+
+    Tuples absent from a run mean the corresponding sent message was
+    destroyed by the adversary.
+    """
+
+    source: ProcessId
+    target: ProcessId
+    round: Round
+
+    def validate(self, num_rounds: Round) -> None:
+        """Raise ``ValueError`` unless well-formed for an ``N``-round protocol."""
+        if self.source <= ENVIRONMENT or self.target <= ENVIRONMENT:
+            raise ValueError(f"message tuple endpoints must be process ids: {self}")
+        if self.source == self.target:
+            raise ValueError(f"message tuple may not be a self-loop: {self}")
+        if not 1 <= self.round <= num_rounds:
+            raise ValueError(
+                f"message tuple round must be in 1..{num_rounds}: {self}"
+            )
+
+
+class ProcessRound(NamedTuple):
+    """A process-round pair ``(i, r)`` as used by the flows-to relation.
+
+    The environment pair ``(v0, -1)`` is also representable, which lets
+    the information-flow code treat input signals uniformly with
+    ordinary messages.
+    """
+
+    process: ProcessId
+    round: Round
+
+
+def validate_process_id(process: ProcessId, num_processes: int) -> None:
+    """Raise ``ValueError`` unless ``process`` is in ``V = {1..m}``."""
+    if not 1 <= process <= num_processes:
+        raise ValueError(
+            f"process id {process} out of range 1..{num_processes}"
+        )
+
+
+def validate_round(round_number: Round, num_rounds: Round) -> None:
+    """Raise ``ValueError`` unless ``round_number`` is in ``-1..N``."""
+    if not INPUT_SEND_ROUND <= round_number <= num_rounds:
+        raise ValueError(
+            f"round {round_number} out of range {INPUT_SEND_ROUND}..{num_rounds}"
+        )

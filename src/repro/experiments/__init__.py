@@ -1,0 +1,30 @@
+"""Experiment runners: one per reproduced table/figure-level claim.
+
+See DESIGN.md's per-experiment index.  Run from code::
+
+    from repro.experiments import run_experiment, Config
+    print(run_experiment("E3", Config(scale="quick")).render())
+
+or from the command line::
+
+    python -m repro.experiments E3
+    python -m repro.experiments --all --scale full
+"""
+
+from .common import Config
+from .registry import (
+    REGISTRY,
+    ExperimentEntry,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "Config",
+    "ExperimentEntry",
+    "REGISTRY",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+]

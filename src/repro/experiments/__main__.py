@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.experiments E1 [E2 ...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common import Config
+from .registry import experiment_ids, run_experiment
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Run the Varghese-Lynch (PODC 1992) reproduction experiments."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids to run (known: {', '.join(experiment_ids())})",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="sweep size preset (default: quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="random seed (default: 0)"
+    )
+    args = parser.parse_args(argv)
+    ids = experiment_ids() if args.all else [e.upper() for e in args.experiments]
+    if not ids:
+        parser.error("name at least one experiment or pass --all")
+    config = Config(scale=args.scale, seed=args.seed)
+    all_passed = True
+    for experiment_id in ids:
+        report = run_experiment(experiment_id, config)
+        print(report.render())
+        all_passed = all_passed and report.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

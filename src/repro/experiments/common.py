@@ -1,0 +1,79 @@
+"""Shared infrastructure for the experiment runners.
+
+Every experiment is a function ``run(config) -> ExperimentReport``.  A
+:class:`Config` carries the sweep sizes so benchmarks can run a quick
+but representative configuration while examples and EXPERIMENTS.md use
+the full one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.report import ExperimentReport
+from ..core.topology import Topology
+
+
+@dataclass(frozen=True)
+class Config:
+    """Knobs shared across experiments.
+
+    ``scale`` selects preset sweep sizes: ``"quick"`` keeps every
+    experiment under a few seconds (benchmark default), ``"full"`` is
+    the configuration EXPERIMENTS.md reports.
+    """
+
+    scale: str = "quick"
+    seed: int = 0
+    monte_carlo_trials: int = 4_000
+
+    def __post_init__(self) -> None:
+        if self.scale not in ("quick", "full"):
+            raise ValueError(f"unknown scale {self.scale!r}")
+
+    @property
+    def quick(self) -> bool:
+        """True for the fast benchmark-sized sweeps."""
+        return self.scale == "quick"
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic generator per call site."""
+        return random.Random(self.seed)
+
+    def pick(self, quick_value, full_value):
+        """Scale-dependent parameter selection."""
+        return quick_value if self.quick else full_value
+
+
+def small_topologies(config: Config) -> List[tuple]:
+    """(name, topology) pairs for multi-process sweeps."""
+    families = [
+        ("pair", Topology.pair()),
+        ("path-3", Topology.path(3)),
+    ]
+    if not config.quick:
+        families.extend(
+            [
+                ("ring-4", Topology.ring(4)),
+                ("star-4", Topology.star(4)),
+                ("complete-4", Topology.complete(4)),
+                ("path-5", Topology.path(5)),
+            ]
+        )
+    return families
+
+
+def new_report(experiment_id: str, title: str) -> ExperimentReport:
+    """A fresh, passing report for one experiment."""
+    return ExperimentReport(experiment_id=experiment_id, title=title)
+
+
+def assert_in_report(
+    report: ExperimentReport, condition: bool, message: str
+) -> bool:
+    """Record a failed check on the report instead of raising."""
+    if not condition:
+        report.fail(message)
+    return condition

@@ -1,0 +1,118 @@
+"""E11 — why the adversary must not read message bits (footnote 3).
+
+The paper's strong adversary chooses which messages to destroy but
+"has no access to message bits", with a footnote arguing this is the
+right model (encryption justifies it, and the lower bounds are already
+pessimistic).  This experiment makes the boundary executable:
+
+* **blind online play adds nothing**: an adaptive adversary that sees
+  only traffic (who sent to whom, packet or null) cannot push Protocol
+  S's disagreement probability above the offline worst case ε — the
+  best blind stalling strategy is exactly an offline round cut, and
+  the replay equivalence shows online play generalizes offline runs;
+* **payload-reading play breaks everything**: an omniscient adversary
+  that reads ``rfire`` and the counts off the wire drives
+  ``Pr[PA] = 1`` against Protocol S — it delivers messages until the
+  leading count crosses ``rfire`` and then silences the network,
+  leaving the counts straddling the threshold with certainty.
+
+Together: randomization buys safety *only* against adversaries that
+cannot see the coins, which is exactly the modeling line the paper
+draws.
+"""
+
+from __future__ import annotations
+
+from ..adversary.online import (
+    BlindCutter,
+    DeliverEverything,
+    OmniscientRfireCutter,
+    online_event_probabilities,
+)
+from ..analysis.report import ExperimentReport, Table
+from ..core.topology import Topology
+from ..protocols.protocol_s import ProtocolS
+from .common import Config, assert_in_report, new_report
+
+EXPERIMENT_ID = "E11"
+TITLE = "Model boundary: blind adaptivity is harmless, payload reading is fatal"
+
+
+def run(config: Config = Config()) -> ExperimentReport:
+    """Run this experiment at the configured scale; see the module
+    docstring for the claims under test."""
+    report = new_report(EXPERIMENT_ID, TITLE)
+    topology = Topology.pair()
+    inputs = frozenset([1, 2])
+    trials = config.pick(1_500, 6_000)
+    rng = config.rng()
+    horizons = config.pick([8], [8, 16, 32])
+
+    table = Table(
+        title="Online adversaries against Protocol S (eps = 1/N)",
+        columns=[
+            "N",
+            "strategy",
+            "reads payloads",
+            "Pr[PA] measured",
+            "offline bound eps",
+            "trials",
+        ],
+        caption=(
+            "blind strategies stay at or below eps; the omniscient "
+            "cutter reaches certainty"
+        ),
+    )
+    report.add_table(table)
+
+    for num_rounds in horizons:
+        epsilon = 1.0 / num_rounds
+        protocol = ProtocolS(epsilon=epsilon)
+        strategies = [DeliverEverything(), OmniscientRfireCutter()]
+        strategies.extend(
+            BlindCutter(cut)
+            for cut in (2, num_rounds // 2 + 1, num_rounds)
+        )
+        for strategy in strategies:
+            result = online_event_probabilities(
+                protocol,
+                topology,
+                num_rounds,
+                strategy,
+                inputs,
+                trials=trials,
+                rng=rng,
+            )
+            table.add_row(
+                num_rounds,
+                strategy.name,
+                strategy.observes_payloads,
+                result.pr_partial_attack,
+                epsilon,
+                trials,
+            )
+            # Monte Carlo slack: 4 standard errors at the observed rate.
+            slack = 4.0 * (epsilon * (1 - epsilon) / trials) ** 0.5 + 1e-9
+            if strategy.observes_payloads:
+                assert_in_report(
+                    report,
+                    result.pr_partial_attack >= 1.0 - 1e-9,
+                    f"N={num_rounds}: omniscient cutter only reached "
+                    f"PA={result.pr_partial_attack}",
+                )
+            else:
+                assert_in_report(
+                    report,
+                    result.pr_partial_attack <= epsilon + slack,
+                    f"N={num_rounds} {strategy.name}: blind strategy "
+                    f"exceeded eps (PA={result.pr_partial_attack})",
+                )
+
+    report.add_note(
+        "Footnote 3 quantified: against payload-blind adversaries "
+        "(adaptive or not) Protocol S holds U <= eps, while an adversary "
+        "reading rfire off the wire forces disagreement with probability "
+        "1. Randomized coordinated attack is only meaningful under "
+        "content-oblivious failure models (or encryption)."
+    )
+    return report

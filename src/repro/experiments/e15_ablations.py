@@ -1,0 +1,188 @@
+"""E15 — ablation study: Protocol S's design choices are load-bearing.
+
+Protocol S makes three specific choices; removing any one of them is
+measurably worse, at the same good-run liveness:
+
+1. **the ``seen`` set** (Figure 1's wait-for-everyone rule) — the
+   ablated :class:`NaiveCountingS` advances on hearing *anyone* at its
+   level.  Its count races past the true modified level on graphs with
+   ``m >= 3``, the spread between processes can exceed one, and the
+   worst-run search finds disagreement windows wider than ε.
+2. **the m-level gating** (count only what you can act on) — the
+   ablated :class:`EagerS` counts the plain level.  One count of the
+   spread becomes invisible to the decision rule and measured
+   unsafety doubles to 2ε (also part of E6).
+3. **the uniform law of rfire** — the ablated :class:`SkewedS` draws
+   ``rfire = t·V²``.  Good-run liveness is unchanged, but the worst
+   single-level window is ``sqrt(ε)`` instead of ε: uniformity is what
+   makes every stalling point equally (un)attractive to the adversary.
+
+The table reports, per variant, good-run liveness, searched worst-case
+unsafety, and the achieved ratio — Protocol S dominates its ablations.
+"""
+
+from __future__ import annotations
+
+from ..adversary.search import worst_case_unsafety
+from ..analysis.report import ExperimentReport, Table
+from ..core.measures import modified_level_profile
+from ..core.probability import evaluate
+from ..core.run import good_run
+from ..core.topology import Topology
+from ..protocols.ablations import NaiveCountingS, SkewedS
+from ..protocols.protocol_s import ProtocolS
+from ..protocols.variants import EagerS
+from .common import Config, assert_in_report, new_report
+
+EXPERIMENT_ID = "E15"
+TITLE = "Ablations: seen-set, m-level gating, and uniform rfire all matter"
+
+
+def run(config: Config = Config()) -> ExperimentReport:
+    """Run this experiment at the configured scale; see the module
+    docstring for the claims under test."""
+    report = new_report(EXPERIMENT_ID, TITLE)
+
+    # Part 1: the naive count races past the modified level (m >= 3).
+    topology = Topology.star(4)
+    num_rounds = config.pick(4, 6)
+    naive = NaiveCountingS(epsilon=0.1)
+    run_ = good_run(topology, num_rounds)
+    counts = naive.final_counts(topology, run_)
+    true_ml = modified_level_profile(run_, topology.num_processes).levels()
+    inflation = Table(
+        title=f"Count inflation without the seen set (star-4, N={num_rounds})",
+        columns=["process", "naive count", "true ML", "overshoot"],
+        caption="the seen set is what pins count = ML (Lemma 6.4)",
+    )
+    report.add_table(inflation)
+    overshoot_seen = False
+    for process in topology.processes:
+        overshoot = counts[process] - true_ml[process]
+        inflation.add_row(process, counts[process], true_ml[process], overshoot)
+        if overshoot > 0:
+            overshoot_seen = True
+    assert_in_report(
+        report, overshoot_seen, "naive counting never overshot ML (m=4)"
+    )
+
+    # Part 2: unsafety of each ablation at matched good-run liveness.
+    pair = Topology.pair()
+    pair_rounds = config.pick(8, 12)
+    epsilon = 1.0 / pair_rounds
+    ablation_table = Table(
+        title=(
+            f"Ablations vs Protocol S (two generals, N={pair_rounds}, "
+            f"eps=1/N={epsilon:g})"
+        ),
+        columns=[
+            "protocol",
+            "ablated choice",
+            "L(good run)",
+            "U searched",
+            "U/eps",
+            "certification",
+        ],
+        caption=(
+            "every ablation pays unsafety above eps at the same good-run "
+            "liveness; only the full design attains the optimum"
+        ),
+    )
+    report.add_table(ablation_table)
+
+    candidates = [
+        (ProtocolS(epsilon=epsilon), "none (the full design)", 1.0),
+        (EagerS(epsilon=epsilon), "m-level gating", 2.0),
+        (SkewedS(epsilon=epsilon), "uniform rfire", None),
+    ]
+    for protocol, ablated, expected_ratio in candidates:
+        liveness = evaluate(
+            protocol, pair, good_run(pair, pair_rounds)
+        ).pr_total_attack
+        search = worst_case_unsafety(protocol, pair, pair_rounds)
+        ratio = search.value / epsilon
+        ablation_table.add_row(
+            protocol.name,
+            ablated,
+            liveness,
+            search.value,
+            ratio,
+            search.certification,
+        )
+        assert_in_report(
+            report,
+            abs(liveness - 1.0) < 1e-9,
+            f"{protocol.name}: good-run liveness {liveness} != 1",
+        )
+        if ablated == "none (the full design)":
+            assert_in_report(
+                report,
+                abs(ratio - 1.0) < 1e-9,
+                f"Protocol S off its bound: U/eps = {ratio}",
+            )
+        else:
+            assert_in_report(
+                report,
+                ratio > 1.0 + 1e-9,
+                f"{protocol.name}: ablation did not hurt (U/eps = {ratio})",
+            )
+        if expected_ratio is not None and ablated != "none (the full design)":
+            assert_in_report(
+                report,
+                abs(ratio - expected_ratio) < 1e-6,
+                f"{protocol.name}: expected U/eps = {expected_ratio}, "
+                f"got {ratio}",
+            )
+
+    # SkewedS's analytic worst window is sqrt(eps).
+    skewed = SkewedS(epsilon=epsilon)
+    skewed_search = worst_case_unsafety(skewed, pair, pair_rounds)
+    expected = epsilon ** 0.5
+    assert_in_report(
+        report,
+        abs(skewed_search.value - expected) < 1e-6,
+        f"skewed rfire: searched U {skewed_search.value} != sqrt(eps) "
+        f"{expected}",
+    )
+
+    # Part 3: the seen-set ablation on a multi-process graph.
+    multi_rounds = config.pick(4, 5)
+    multi_eps = 0.1
+    naive_multi = NaiveCountingS(epsilon=multi_eps)
+    search = worst_case_unsafety(naive_multi, topology, multi_rounds)
+    s_search = worst_case_unsafety(
+        ProtocolS(epsilon=multi_eps), topology, multi_rounds
+    )
+    seen_table = Table(
+        title=f"Seen-set ablation under search (star-4, N={multi_rounds})",
+        columns=["protocol", "U searched", "eps", "U/eps"],
+    )
+    seen_table.add_row(
+        naive_multi.name, search.value, multi_eps, search.value / multi_eps
+    )
+    seen_table.add_row(
+        f"protocol-S(eps={multi_eps:g})",
+        s_search.value,
+        multi_eps,
+        s_search.value / multi_eps,
+    )
+    report.add_table(seen_table)
+    assert_in_report(
+        report,
+        search.value > multi_eps + 1e-9,
+        f"naive counting stayed within eps (U={search.value}) — the "
+        "seen set would be redundant",
+    )
+    assert_in_report(
+        report,
+        s_search.value <= multi_eps + 1e-9,
+        f"Protocol S exceeded eps on star-4 (U={s_search.value})",
+    )
+
+    report.add_note(
+        "Each design choice removed costs real unsafety at identical "
+        "good-run liveness: 2x for the m-level gating, sqrt(eps)/eps for "
+        "the uniform draw, and the seen set is what keeps multi-process "
+        "counts honest."
+    )
+    return report

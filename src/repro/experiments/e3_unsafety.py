@@ -1,0 +1,77 @@
+"""E3 — Protocol S satisfies agreement: ``U_s(S) <= ε`` (Theorem 6.7).
+
+The worst-run search (exhaustive on small instances, structured
+families beyond) must never find a run with ``Pr[PA | R] > ε``, and on
+every instance some run should *reach* ε (the partial-round-cut runs
+leave part of the network one count behind, putting ``rfire`` in the
+straddling window with probability exactly ε) — the bound is tight.
+"""
+
+from __future__ import annotations
+
+from ..adversary.search import worst_case_unsafety
+from ..analysis.report import ExperimentReport, Table
+from ..protocols.protocol_s import ProtocolS
+from .common import Config, assert_in_report, new_report, small_topologies
+
+EXPERIMENT_ID = "E3"
+TITLE = "Protocol S unsafety: U_s(S) <= eps, tightly (Theorem 6.7)"
+
+
+def run(config: Config = Config()) -> ExperimentReport:
+    """Run this experiment at the configured scale; see the module
+    docstring for the claims under test."""
+    report = new_report(EXPERIMENT_ID, TITLE)
+    table = Table(
+        title="Worst-run search against Protocol S",
+        columns=[
+            "topology",
+            "N",
+            "eps",
+            "U found",
+            "U/eps",
+            "certification",
+            "runs examined",
+        ],
+        caption=(
+            "Theorem 6.7 requires U <= eps; U/eps = 1 shows the bound "
+            "is attained."
+        ),
+    )
+    report.add_table(table)
+
+    epsilons = config.pick([0.25, 0.125], [0.5, 0.25, 0.125, 0.05])
+    for name, topology in small_topologies(config):
+        horizons = config.pick([3, 5], [3, 5, 8])
+        for num_rounds in horizons:
+            for epsilon in epsilons:
+                protocol = ProtocolS(epsilon=epsilon)
+                search = worst_case_unsafety(protocol, topology, num_rounds)
+                table.add_row(
+                    name,
+                    num_rounds,
+                    epsilon,
+                    search.value,
+                    search.value / epsilon,
+                    search.certification,
+                    search.runs_examined,
+                )
+                assert_in_report(
+                    report,
+                    search.value <= epsilon + 1e-9,
+                    f"{name} N={num_rounds} eps={epsilon}: found "
+                    f"U={search.value} > eps",
+                )
+                assert_in_report(
+                    report,
+                    search.value >= epsilon - 1e-9,
+                    f"{name} N={num_rounds} eps={epsilon}: search reached "
+                    f"only U={search.value}, expected tightness at eps",
+                )
+
+    report.add_note(
+        "Every instance satisfies U <= eps and the search exhibits a "
+        "witness run attaining eps exactly, matching Theorem 6.7's "
+        "analysis (Mincount < rfire <= Mincount + 1)."
+    )
+    return report

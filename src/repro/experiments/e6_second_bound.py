@@ -1,0 +1,158 @@
+"""E6 — the second lower bound: Protocol S is optimal (Theorem A.1).
+
+Under the usual case assumption (connected graph, diameter <= N,
+ε < 0.5), any protocol whose liveness exceeds ``ε · ML(R)`` on some run
+must fall below ``ε · ML(R̃)`` on another — equivalently, no protocol
+satisfying agreement with ε can dominate Protocol S.  Three empirical
+renderings:
+
+1. **Equality for S** — ``L(S, R) = ε · ML(R)`` (below saturation) on
+   every run swept, i.e. S sits exactly on the ceiling;
+2. **The Lemma A.6 run** — the spanning-tree run ``R₁`` has
+   ``ML(R₁) = 1`` and forces ``Pr[D_1 | R₁] = ε`` for any ceiling-
+   matching protocol; measured for S;
+3. **No free lunch** — the eager/greedy variants do exceed
+   ``ε · ML(R)`` on witness runs, but their *measured* unsafety rises
+   above ε, so they fall outside the theorem's protocol class; the
+   table shows liveness gain and unsafety cost move together.
+"""
+
+from __future__ import annotations
+
+from ..adversary.search import worst_case_unsafety
+from ..analysis.bounds import (
+    second_lower_bound_ceiling,
+    usual_case_assumption,
+)
+from ..analysis.report import ExperimentReport, Table
+from ..core.measures import run_modified_level
+from ..core.probability import evaluate
+from ..core.run import good_run, round_cut_run, spanning_tree_run, Run
+from ..core.topology import Topology
+from ..protocols.protocol_s import ProtocolS
+from ..protocols.variants import EagerS, GreedyS
+from .common import Config, assert_in_report, new_report
+
+EXPERIMENT_ID = "E6"
+TITLE = "Second lower bound: no protocol dominates eps*ML(R) (Theorem A.1)"
+
+
+def run(config: Config = Config()) -> ExperimentReport:
+    """Run this experiment at the configured scale; see the module
+    docstring for the claims under test."""
+    report = new_report(EXPERIMENT_ID, TITLE)
+    num_rounds = config.pick(6, 8)
+    epsilon = 1.0 / (2 * num_rounds)  # well below 1/2 and non-saturating
+    topology = Topology.pair()
+
+    assumption = usual_case_assumption(topology, num_rounds, epsilon)
+    assert_in_report(
+        report, assumption.holds, "usual case assumption violated in setup"
+    )
+
+    # Part 1: Protocol S rides the ceiling exactly.
+    protocol_s = ProtocolS(epsilon=epsilon)
+    ceiling_table = Table(
+        title=f"Protocol S sits on the ceiling (eps={epsilon:g}, N={num_rounds})",
+        columns=["run", "ML(R)", "eps*ML(R)", "L(S,R)"],
+    )
+    report.add_table(ceiling_table)
+    sweep = [good_run(topology, num_rounds)]
+    sweep.extend(
+        round_cut_run(topology, num_rounds, cut)
+        for cut in range(1, num_rounds + 2)
+    )
+    sweep.append(spanning_tree_run(topology, num_rounds))
+    for run_ in sweep:
+        ml = run_modified_level(run_, topology.num_processes)
+        ceiling = second_lower_bound_ceiling(epsilon, ml)
+        liveness = evaluate(protocol_s, topology, run_).pr_total_attack
+        ceiling_table.add_row(run_.describe(), ml, ceiling, liveness)
+        assert_in_report(
+            report,
+            abs(liveness - ceiling) < 1e-9,
+            f"S off the ceiling on {run_.describe()}: "
+            f"L={liveness}, eps*ML={ceiling}",
+        )
+
+    # Part 2: the Lemma A.6 run pins Pr[D_1 | R1] to eps.
+    tree_run = spanning_tree_run(topology, num_rounds)
+    ml_tree = run_modified_level(tree_run, topology.num_processes)
+    tree_result = evaluate(protocol_s, topology, tree_run)
+    lemma_table = Table(
+        title="Lemma A.6 run R1 (spanning tree, input only at the root)",
+        columns=["ML(R1)", "Pr[D_1|R1]", "eps", "L(S,R1)"],
+    )
+    lemma_table.add_row(
+        ml_tree, tree_result.pr_attack_by(1), epsilon, tree_result.pr_total_attack
+    )
+    report.add_table(lemma_table)
+    assert_in_report(
+        report, ml_tree == 1, f"Lemma A.6 run has ML={ml_tree}, expected 1"
+    )
+    assert_in_report(
+        report,
+        abs(tree_result.pr_attack_by(1) - epsilon) < 1e-9,
+        "Pr[D_1 | R1] != eps on the Lemma A.6 run",
+    )
+
+    # Part 3: variants that exceed the ceiling pay in unsafety.
+    oneway = Run.build(
+        num_rounds,
+        [1, 2],
+        [(2, 1, round_number) for round_number in range(1, num_rounds + 1)],
+    )
+    witness_runs = [good_run(topology, num_rounds), oneway]
+    variants_table = Table(
+        title="Ceiling-beating variants violate agreement",
+        columns=[
+            "protocol",
+            "exceeds eps*ML on",
+            "L gain over ceiling",
+            "measured U",
+            "U <= eps?",
+        ],
+        caption=(
+            "each variant beats the ceiling somewhere, and its searched "
+            "unsafety exceeds eps — exactly the Theorem A.1 tradeoff"
+        ),
+    )
+    report.add_table(variants_table)
+    for variant in (EagerS(epsilon=epsilon), GreedyS(epsilon=epsilon)):
+        best_gain = 0.0
+        best_run = None
+        for run_ in witness_runs + sweep:
+            ml = run_modified_level(run_, topology.num_processes)
+            ceiling = second_lower_bound_ceiling(epsilon, ml)
+            liveness = evaluate(variant, topology, run_).pr_total_attack
+            gain = liveness - ceiling
+            if gain > best_gain:
+                best_gain = gain
+                best_run = run_
+        unsafety = worst_case_unsafety(variant, topology, num_rounds)
+        within = unsafety.value <= epsilon + 1e-9
+        variants_table.add_row(
+            variant.name,
+            best_run.describe() if best_run else "never",
+            best_gain,
+            unsafety.value,
+            within,
+        )
+        assert_in_report(
+            report,
+            best_gain > 1e-9,
+            f"{variant.name} never exceeded the ceiling (setup issue)",
+        )
+        assert_in_report(
+            report,
+            not within,
+            f"{variant.name} beat the ceiling while keeping U <= eps — "
+            "this would contradict Theorem A.1",
+        )
+
+    report.add_note(
+        "Protocol S attains eps*ML(R) exactly on every run; every variant "
+        "that exceeds the ceiling somewhere was found to violate the "
+        "agreement precondition, as Theorem A.1 demands."
+    )
+    return report

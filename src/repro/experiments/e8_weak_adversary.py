@@ -1,0 +1,171 @@
+"""E8 — the weak adversary: vastly better tradeoffs (§8, reconstruction).
+
+The paper closes: against a probabilistic adversary that drops each
+message independently with unknown probability ``p``, "vastly improved
+performance" is possible.  No protocol or numbers are given, so this
+experiment is our reconstruction (see DESIGN.md's substitution notes):
+
+* **Protocol W** (deterministic level threshold ``K``) against i.i.d.
+  loss: expected liveness stays near 1 while expected disagreement is
+  so rare that zero disagreeing runs are observed — the table reports
+  the rule-of-three 95% upper bound, already orders of magnitude below
+  the strong-adversary floor ``U >= L/(N+1)``;
+* **Protocol S** against the same adversary: its rfire randomization
+  also collapses expected unsafety (once every count clears ``1/ε``
+  the straddling window is unreachable);
+* **the contrast**: the same Protocol W against the *strong* adversary
+  has a run with ``Pr[PA | R] = 1`` (found by search), confirming the
+  improvement is entirely the adversary's weakness.
+"""
+
+from __future__ import annotations
+
+from ..adversary.search import worst_case_unsafety
+from ..adversary.weak import WeakAdversary, estimate_against_weak_adversary
+from ..analysis.report import ExperimentReport, Table
+from ..analysis.stats import rule_of_three_upper
+from ..core.topology import Topology
+from ..protocols.protocol_s import ProtocolS
+from ..protocols.weak_adversary import ProtocolW
+from .common import Config, assert_in_report, new_report
+
+EXPERIMENT_ID = "E8"
+TITLE = "Weak adversary: L/U far beyond the strong-adversary ceiling (Section 8)"
+
+
+def run(config: Config = Config()) -> ExperimentReport:
+    """Run this experiment at the configured scale; see the module
+    docstring for the claims under test."""
+    report = new_report(EXPERIMENT_ID, TITLE)
+    topology = Topology.pair()
+    rng = config.rng()
+    samples = config.pick(400, 3_000)
+    horizons = config.pick([12], [12, 24, 40])
+    loss_probabilities = config.pick([0.1, 0.3], [0.05, 0.1, 0.2, 0.3, 0.4])
+
+    table = Table(
+        title="Expected behavior under i.i.d. message loss",
+        columns=[
+            "N",
+            "p",
+            "protocol",
+            "E[liveness]",
+            "E[unsafety]",
+            "U upper bound (95%)",
+            "implied L/U lower bound",
+            "strong-adversary ceiling N+1",
+        ],
+        caption=(
+            "zero observed disagreements give a rule-of-three upper "
+            "bound; the implied ratio dwarfs the strong-adversary ceiling"
+        ),
+    )
+    report.add_table(table)
+
+    improvement_seen = False
+    for num_rounds in horizons:
+        threshold = max(1, num_rounds // 3)
+        for loss in loss_probabilities:
+            adversary = WeakAdversary(loss)
+            for protocol in (
+                ProtocolW(threshold),
+                ProtocolS(epsilon=1.0 / num_rounds),
+            ):
+                estimate = estimate_against_weak_adversary(
+                    protocol, topology, num_rounds, adversary, samples, rng
+                )
+                if estimate.expected_unsafety > 0:
+                    upper = estimate.expected_unsafety
+                else:
+                    upper = rule_of_three_upper(samples)
+                implied_ratio = (
+                    estimate.expected_liveness / upper if upper > 0 else 0.0
+                )
+                ceiling = num_rounds + 1
+                table.add_row(
+                    num_rounds,
+                    loss,
+                    protocol.name,
+                    estimate.expected_liveness,
+                    estimate.expected_unsafety,
+                    upper,
+                    implied_ratio,
+                    ceiling,
+                )
+                if implied_ratio > 3 * ceiling and estimate.expected_liveness > 0.9:
+                    improvement_seen = True
+    assert_in_report(
+        report,
+        improvement_seen,
+        "no configuration beat the strong-adversary ceiling by 3x — "
+        "the Section 8 claim did not reproduce",
+    )
+
+    # The contrast: W against the strong adversary is defenseless.
+    num_rounds = horizons[0]
+    protocol_w = ProtocolW(max(1, num_rounds // 3))
+    strong = worst_case_unsafety(protocol_w, topology, num_rounds)
+    contrast = Table(
+        title="The same Protocol W against the strong adversary",
+        columns=["protocol", "N", "U_s found", "certification"],
+        caption="deterministic protocols are defeated outright (U = 1)",
+    )
+    contrast.add_row(
+        protocol_w.name, num_rounds, strong.value, strong.certification
+    )
+    report.add_table(contrast)
+    assert_in_report(
+        report,
+        strong.value >= 1.0 - 1e-9,
+        f"strong adversary only reached U={strong.value} against W",
+    )
+
+    # The concentration claim at scale: disagreement decays rapidly in N
+    # at a fixed K/N ratio. Needs large N and sample counts, so it uses
+    # the numpy-vectorized pair recurrence (equivalence-tested against
+    # the generic simulator in tests/analysis/test_fast_mc.py).
+    from ..analysis.fast_mc import fast_protocol_w_weak_estimate
+
+    loss = 0.4
+    fast_samples = config.pick(100_000, 400_000)
+    decay = Table(
+        title=(
+            f"Concentration at scale (vectorized, p={loss}, K=N/3, "
+            f"{fast_samples} runs per cell)"
+        ),
+        columns=["N", "E[liveness]", "E[unsafety]", "disagreeing runs"],
+        caption=(
+            "E[U] collapses as N grows at fixed K/N — the "
+            "exponential-concentration mechanism behind the Section 8 "
+            "claim"
+        ),
+    )
+    report.add_table(decay)
+    decay_values = []
+    for num_rounds in (12, 24, 48, 96):
+        estimate = fast_protocol_w_weak_estimate(
+            num_rounds,
+            max(1, num_rounds // 3),
+            loss,
+            samples=fast_samples,
+            seed=config.seed,
+        )
+        decay.add_row(
+            num_rounds,
+            estimate.expected_liveness,
+            estimate.expected_unsafety,
+            estimate.disagreement_runs,
+        )
+        decay_values.append(estimate.expected_unsafety)
+    assert_in_report(
+        report,
+        decay_values[-1] < decay_values[0] / 10,
+        f"E[U] did not collapse with N: {decay_values}",
+    )
+
+    report.add_note(
+        "Reconstruction of the paper's closing claim: the weak adversary "
+        "admits L/U far beyond the linear strong-adversary ceiling. "
+        "Numbers are ours, not the paper's (it reports none)."
+    )
+    return report

@@ -1,0 +1,93 @@
+"""The experiment registry: one entry per reproduced claim.
+
+Maps the experiment ids of DESIGN.md's per-experiment index to their
+runners.  ``run_experiment("E3")`` executes one; ``run_all()`` sweeps
+them and returns the reports in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..analysis.report import ExperimentReport
+from . import (
+    e1_protocol_a,
+    e2_lower_bound,
+    e3_unsafety,
+    e4_liveness,
+    e5_measures,
+    e6_second_bound,
+    e7_tradeoff,
+    e8_weak_adversary,
+    e9_independence,
+    e10_deterministic,
+    e11_omniscient,
+    e12_asynchronous,
+    e13_message_validity,
+    e14_knowledge,
+    e15_ablations,
+    e16_search_certification,
+)
+from .common import Config
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """A registered experiment: id, title, and runner."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[[Config], ExperimentReport]
+
+
+_MODULES = (
+    e1_protocol_a,
+    e2_lower_bound,
+    e3_unsafety,
+    e4_liveness,
+    e5_measures,
+    e6_second_bound,
+    e7_tradeoff,
+    e8_weak_adversary,
+    e9_independence,
+    e10_deterministic,
+    e11_omniscient,
+    e12_asynchronous,
+    e13_message_validity,
+    e14_knowledge,
+    e15_ablations,
+    e16_search_certification,
+)
+
+REGISTRY: Dict[str, ExperimentEntry] = {
+    module.EXPERIMENT_ID: ExperimentEntry(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        runner=module.run,
+    )
+    for module in _MODULES
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered ids in declaration order."""
+    return [module.EXPERIMENT_ID for module in _MODULES]
+
+
+def run_experiment(
+    experiment_id: str, config: Config = Config()
+) -> ExperimentReport:
+    """Run one experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(experiment_ids())}"
+        )
+    return REGISTRY[key].runner(config)
+
+
+def run_all(config: Config = Config()) -> List[ExperimentReport]:
+    """Run every experiment in order."""
+    return [REGISTRY[eid].runner(config) for eid in experiment_ids()]

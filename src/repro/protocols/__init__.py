@@ -1,0 +1,78 @@
+"""The paper's protocols plus baselines.
+
+* :class:`ProtocolA` — the simple two-general protocol of Section 3
+  (``U ≈ 1/N``, all-or-nothing liveness).
+* :class:`ProtocolS` — the optimal protocol of Section 6 (``U <= ε``,
+  liveness ``min(1, ε · ML(R))``).
+* :class:`RepeatedA` — "run A several times", the composite Section 5
+  proves cannot beat the tradeoff.
+* :class:`ProtocolW` — our reconstruction of the Section 8 weak-
+  adversary protocol (deterministic level threshold).
+* deterministic baselines (:mod:`repro.protocols.deterministic`) for
+  the impossibility backdrop.
+* executable Lemma 6.3 invariants (:mod:`repro.protocols.invariants`).
+"""
+
+from .ablations import (
+    NaiveCountingS,
+    SkewedS,
+    threshold_probabilities_with_cdf,
+)
+from .counting import CountingLocal, CountingMessage, CountingState
+from .deterministic import (
+    AlwaysAttack,
+    DeterministicProtocol,
+    InputAttack,
+    NeverAttack,
+    deterministic_threshold,
+    impossibility_suite,
+)
+from .invariants import (
+    check_counts_equal_level,
+    checked_execute,
+    check_counts_equal_modified_level,
+    check_invariants,
+)
+from .message_validity import MessageValidityS
+from .protocol_a import APacket, AState, ProtocolA, sender_for_round
+from .protocol_s import ProtocolS
+from .repeated_a import COMBINERS, RepeatedA
+from .variants import (
+    EagerS,
+    GreedyS,
+    XorCoin,
+    rfire_threshold_probabilities,
+)
+from .weak_adversary import ProtocolW
+
+__all__ = [
+    "APacket",
+    "AState",
+    "AlwaysAttack",
+    "COMBINERS",
+    "CountingLocal",
+    "CountingMessage",
+    "CountingState",
+    "DeterministicProtocol",
+    "EagerS",
+    "GreedyS",
+    "InputAttack",
+    "MessageValidityS",
+    "NaiveCountingS",
+    "NeverAttack",
+    "ProtocolA",
+    "ProtocolS",
+    "ProtocolW",
+    "RepeatedA",
+    "SkewedS",
+    "XorCoin",
+    "check_counts_equal_level",
+    "checked_execute",
+    "check_counts_equal_modified_level",
+    "check_invariants",
+    "deterministic_threshold",
+    "impossibility_suite",
+    "rfire_threshold_probabilities",
+    "threshold_probabilities_with_cdf",
+    "sender_for_round",
+]

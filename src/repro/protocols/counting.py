@@ -1,0 +1,179 @@
+"""Shared level-counting machinery for Protocols S and W.
+
+Protocol S (Section 6) tracks its *modified level* with a ``count``
+variable driven by the ``PROCESS-MESSAGE`` procedure of Figure 1.  The
+same counting core, with a different start condition, tracks the plain
+level measure of Section 4:
+
+* **rfire-gated start** (Protocol S): counting begins once the process
+  has heard the input *and* process 1's random value — ``count_i^r``
+  then equals ``ML_i^r(R)`` (Lemma 6.4);
+* **valid-gated start** (Protocol W and the deterministic threshold
+  baselines): counting begins once the process has heard the input —
+  ``count_i^r`` then equals ``L_i^r(R)``.
+
+The transition below is a line-for-line transcription of Figure 1,
+including the ``highcount`` / ``highset`` / ``highseen`` temporaries.
+The only addition is that ``seen`` is initialized to ``{i}`` whenever
+``count`` first becomes 1, which the paper leaves implicit but which
+its Invariant 7 ("if ``count_i^r >= 1`` then ``i ∈ seen_i^r``")
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+from ..core.protocol import LocalProtocol, ReceivedMessage
+from ..core.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class CountingState:
+    """The per-process state of Section 6.1.
+
+    ``rfire`` is ``None`` while *undefined* (the paper's special value);
+    for valid-gated counting it stays ``None`` forever and is ignored.
+    """
+
+    count: int
+    rfire: Optional[float]
+    seen: FrozenSet[ProcessId]
+    valid: bool
+
+
+@dataclass(frozen=True)
+class CountingMessage:
+    """The message ``m(rfire, count, seen, valid)`` sent every round."""
+
+    rfire: Optional[float]
+    count: int
+    seen: FrozenSet[ProcessId]
+    valid: bool
+
+
+class CountingLocal(LocalProtocol):
+    """The local machine of Figure 1, parameterized by the start rule.
+
+    ``rfire_gated`` selects Protocol S's start condition (valid *and*
+    rfire known); otherwise counting starts as soon as the process is
+    valid, which makes ``count`` track the plain level measure.
+    """
+
+    def __init__(
+        self,
+        process: ProcessId,
+        all_processes: FrozenSet[ProcessId],
+        rfire_gated: bool,
+        coordinator: ProcessId = 1,
+    ) -> None:
+        self._process = process
+        self._all_processes = all_processes
+        self._rfire_gated = rfire_gated
+        self._coordinator = coordinator
+
+    @property
+    def process(self) -> ProcessId:
+        """This machine's own process id."""
+        return self._process
+
+    def initial_state(self, got_input: bool, tape: object) -> CountingState:
+        """Initial states of Section 6.1.
+
+        The coordinator (process 1) stores its random draw in ``rfire``;
+        everyone else starts with ``rfire`` undefined.  The coordinator
+        starts counting immediately iff it received the input signal.
+        For valid-gated counting every valid process starts at count 1.
+        """
+        if self._process == self._coordinator and tape is not None:
+            rfire: Optional[float] = float(tape)
+        else:
+            rfire = None
+        if self._rfire_gated:
+            counting = got_input and rfire is not None
+        else:
+            counting = got_input
+        count = 1 if counting else 0
+        seen = frozenset([self._process]) if counting else frozenset()
+        return CountingState(
+            count=count, rfire=rfire, seen=seen, valid=got_input
+        )
+
+    def _starts_counting(
+        self, state: CountingState, has_messages: bool
+    ) -> bool:
+        """The start rule: Figure 1 line 3, or its valid-gated analogue.
+
+        ``has_messages`` reports whether any message arrived this round;
+        the base rule ignores it, but the footnote-1 variant (see
+        :mod:`repro.protocols.message_validity`) gates the coordinator's
+        start on it.
+        """
+        if not state.valid or state.count != 0:
+            return False
+        if self._rfire_gated:
+            return state.rfire is not None
+        return True
+
+    def transition(
+        self,
+        state: CountingState,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> CountingState:
+        """``PROCESS-MESSAGE(S_i, i)`` from Figure 1."""
+        payloads = [message.payload for message in received]
+        rfire = state.rfire
+        valid = state.valid
+        count = state.count
+        seen = state.seen
+
+        # Line 1: adopt the first defined rfire heard (all copies equal).
+        if rfire is None:
+            for payload in payloads:
+                if payload.rfire is not None:
+                    rfire = payload.rfire
+                    break
+        # Line 2: adopt validity.
+        if not valid and any(payload.valid for payload in payloads):
+            valid = True
+        # Line 3: start counting.
+        probe = CountingState(count=count, rfire=rfire, seen=seen, valid=valid)
+        if self._starts_counting(probe, bool(payloads)):
+            count = 1
+            seen = frozenset([self._process])
+        # Counting block.
+        if count >= 1 and payloads:
+            highcount = max(payload.count for payload in payloads)
+            highset = [
+                payload for payload in payloads if payload.count == highcount
+            ]
+            highseen: FrozenSet[ProcessId] = frozenset().union(
+                *(payload.seen for payload in highset)
+            )
+            if highcount == count:
+                seen = seen | highseen | {self._process}
+            elif highcount > count:
+                seen = highseen | {self._process}
+                count = highcount
+            if seen == self._all_processes:
+                count = count + 1
+                seen = frozenset([self._process])
+        return CountingState(count=count, rfire=rfire, seen=seen, valid=valid)
+
+    def message(
+        self, state: CountingState, neighbor: ProcessId
+    ) -> Optional[CountingMessage]:
+        """Send the full current state to every neighbor, every round."""
+        return CountingMessage(
+            rfire=state.rfire,
+            count=state.count,
+            seen=state.seen,
+            valid=state.valid,
+        )
+
+    def output(self, state: CountingState) -> bool:
+        """Overridden by the concrete protocols (S and W decide differently)."""
+        raise NotImplementedError

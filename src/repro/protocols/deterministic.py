@@ -1,0 +1,170 @@
+"""Deterministic baseline protocols and the impossibility backdrop.
+
+([G], [HM]) show there is no deterministic protocol satisfying
+validity, agreement, and nontriviality against the strong adversary.
+These baselines make the trilemma concrete — each one gives up a
+different leg — and experiment E10 verifies the failure of each by
+exhaustive run search:
+
+* :class:`NeverAttack`  — valid and safe, but ``L(F, R) = 0`` on every
+  run (gives up nontriviality);
+* :class:`AlwaysAttack` — live and safe, but attacks on input-free
+  runs (gives up validity);
+* :class:`InputAttack`  — attacks as soon as it hears an input signal;
+  valid and live, but an adversary that delivers nothing after one
+  input makes exactly one general attack (``Pr[PA | R] = 1``);
+* the deterministic threshold family — Protocol W from
+  :mod:`repro.protocols.weak_adversary` with any ``K >= 1``; valid and
+  live, but the strong adversary builds the run whose counts straddle
+  ``K``.
+
+All baselines are deterministic, so probabilities are computed by one
+execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import ClosedFormProtocol, LocalProtocol, ReceivedMessage
+from ..core.randomness import TapeSpace
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+from .weak_adversary import ProtocolW
+
+
+class DeterministicProtocol(ClosedFormProtocol):
+    """Base class: probabilities of a deterministic protocol are 0/1."""
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        return TapeSpace.deterministic(list(topology.processes))
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        from ..core.execution import decide
+
+        outputs = decide(self, topology, run, {})
+        all_attack = all(outputs)
+        none_attack = not any(outputs)
+        return EventProbabilities(
+            pr_total_attack=1.0 if all_attack else 0.0,
+            pr_no_attack=1.0 if none_attack else 0.0,
+            pr_partial_attack=1.0 if not (all_attack or none_attack) else 0.0,
+            pr_attack=tuple(1.0 if decided else 0.0 for decided in outputs),
+            method="closed-form",
+        )
+
+
+@dataclass(frozen=True)
+class _ConstantLocal(LocalProtocol):
+    """A stateless machine that always outputs the same decision."""
+
+    decision: bool
+
+    def initial_state(self, got_input: bool, tape: object) -> object:
+        return got_input
+
+    def transition(
+        self,
+        state: object,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> object:
+        return state
+
+    def message(self, state: object, neighbor: ProcessId) -> Optional[object]:
+        return None
+
+    def output(self, state: object) -> bool:
+        return self.decision
+
+
+@dataclass(frozen=True)
+class NeverAttack(DeterministicProtocol):
+    """Gives up nontriviality: ``U = 0`` but ``L(F, R) = 0`` everywhere."""
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "never-attack"
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _ConstantLocal(decision=False)
+
+
+@dataclass(frozen=True)
+class AlwaysAttack(DeterministicProtocol):
+    """Gives up validity: attacks even when ``I(R) = ∅``."""
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "always-attack"
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _ConstantLocal(decision=True)
+
+
+class _InputAttackLocal(LocalProtocol):
+    """Flood the input bit; attack iff it ever arrives."""
+
+    def initial_state(self, got_input: bool, tape: object) -> bool:
+        return got_input
+
+    def transition(
+        self,
+        state: bool,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> bool:
+        return state or any(message.payload for message in received)
+
+    def message(self, state: bool, neighbor: ProcessId) -> Optional[bool]:
+        return state
+
+    def output(self, state: bool) -> bool:
+        return state
+
+
+@dataclass(frozen=True)
+class InputAttack(DeterministicProtocol):
+    """Gives up agreement: one silenced link forces partial attack."""
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "input-attack"
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _InputAttackLocal()
+
+
+def deterministic_threshold(threshold: int) -> ProtocolW:
+    """The deterministic handshake family: attack at level ``K``.
+
+    This is Protocol W viewed as a strong-adversary baseline; E10 shows
+    the strong adversary defeats every ``K``.
+    """
+    return ProtocolW(threshold=threshold)
+
+
+def impossibility_suite(num_rounds: Round) -> list:
+    """The baseline protocols examined by experiment E10."""
+    return [
+        NeverAttack(),
+        AlwaysAttack(),
+        InputAttack(),
+        deterministic_threshold(1),
+        deterministic_threshold(2),
+        deterministic_threshold(max(1, num_rounds // 2)),
+        deterministic_threshold(num_rounds),
+    ]

@@ -1,0 +1,232 @@
+"""Executable versions of the Lemma 6.3 invariants for Protocol S.
+
+The paper defers the proofs of the eight invariants "to the final
+paper"; here they are machine-checked on concrete executions instead.
+:func:`check_invariants` takes a full execution of Protocol S and
+returns a list of human-readable violations (empty means every
+invariant holds for every process and round), covering:
+
+1. ``rfire_i^r`` is either the coordinator's draw or undefined;
+2. ``count_i^r >= 1`` iff ``rfire_i^r`` is defined and ``valid_i^r``;
+3. ``(1, 0)`` flows to ``(i, r)`` iff ``rfire_i^r`` is defined;
+4. ``(v0, -1)`` flows to ``(i, r)`` iff ``valid_i^r``;
+5. if ``(j, s)`` flows to ``(i, r)`` then ``count_i^r > count_j^s``,
+   or ``j ∈ seen_i^r`` with equal counts, or both counts are 0;
+6. if ``j ∈ seen_i^r`` then some ``s`` has ``count_j^s = count_i^r``
+   and ``(j, s)`` flows to ``(i, r)``;
+7. ``seen_i^r ∉ {V, V - {i}}``, and ``i ∈ seen_i^r`` when counting;
+8. ``ML_i^r(R) >= count_i^r`` — strengthened by Lemma 6.4 to equality,
+   which :func:`check_counts_equal_modified_level` verifies.
+
+These checks are the backbone of the Protocol S property tests and of
+experiment E5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.execution import Execution
+from ..core.measures import earliest_arrivals, earliest_input_arrivals, modified_level_profile
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+from .counting import CountingState
+
+
+def _arrival_tables(
+    run: Run, topology: Topology
+) -> Dict[Tuple[ProcessId, Round], Dict[ProcessId, Round]]:
+    """Forward-reachability tables for every source pair ``(j, s)``.
+
+    ``tables[(j, s)][i] = earliest r`` with ``(j, s)`` flowing to
+    ``(i, r)`` (absent if never).
+    """
+    tables: Dict[Tuple[ProcessId, Round], Dict[ProcessId, Round]] = {}
+    for j in topology.processes:
+        for s in range(0, run.num_rounds + 1):
+            tables[(j, s)] = earliest_arrivals(run, j, s)
+    return tables
+
+
+def check_invariants(
+    execution: Execution,
+    topology: Topology,
+    run: Run,
+    coordinator: ProcessId = 1,
+) -> List[str]:
+    """Check invariants 1-8 of Lemma 6.3 on one Protocol S execution."""
+    violations: List[str] = []
+    num_rounds = run.num_rounds
+    processes = list(topology.processes)
+    vertex_set = frozenset(processes)
+
+    coordinator_state: CountingState = execution.local(coordinator).states[0]
+    rfire = coordinator_state.rfire
+    if rfire is None:
+        violations.append("coordinator has no rfire in its start state")
+        return violations
+
+    arrivals = _arrival_tables(run, topology)
+    input_arrivals = earliest_input_arrivals(run)
+    ml_profile = modified_level_profile(
+        run, topology.num_processes, coordinator
+    )
+
+    def state_of(process: ProcessId, round_number: Round) -> CountingState:
+        return execution.local(process).states[round_number]
+
+    def flows(j: ProcessId, s: Round, i: ProcessId, r: Round) -> bool:
+        reached = arrivals[(j, s)].get(i)
+        return reached is not None and reached <= r
+
+    for i in processes:
+        for r in range(0, num_rounds + 1):
+            state = state_of(i, r)
+
+            # Invariant 1: rfire is the coordinator's draw or undefined.
+            if state.rfire is not None and state.rfire != rfire:
+                violations.append(
+                    f"inv1: rfire_{i}^{r} = {state.rfire} != {rfire}"
+                )
+            # Invariant 2: counting iff rfire known and valid.
+            counting = state.count >= 1
+            gated = state.rfire is not None and state.valid
+            if counting != gated:
+                violations.append(
+                    f"inv2: count_{i}^{r} = {state.count} but "
+                    f"rfire known={state.rfire is not None}, valid={state.valid}"
+                )
+            # Invariant 3: rfire knowledge == flow from (coordinator, 0).
+            hears_coordinator = flows(coordinator, 0, i, r)
+            if hears_coordinator != (state.rfire is not None):
+                violations.append(
+                    f"inv3: (1,0) flows to ({i},{r}) is {hears_coordinator} "
+                    f"but rfire known={state.rfire is not None}"
+                )
+            # Invariant 4: validity == flow from (v0, -1).
+            hears_input = input_arrivals.get(i, num_rounds + 1) <= r
+            if hears_input != state.valid:
+                violations.append(
+                    f"inv4: (v0,-1) flows to ({i},{r}) is {hears_input} "
+                    f"but valid={state.valid}"
+                )
+            # Invariant 7: seen is a proper subset missing more than i.
+            if state.seen == vertex_set:
+                violations.append(f"inv7: seen_{i}^{r} = V")
+            if state.seen == vertex_set - {i}:
+                violations.append(f"inv7: seen_{i}^{r} = V - {{i}}")
+            if state.count >= 1 and i not in state.seen:
+                violations.append(
+                    f"inv7: count_{i}^{r} >= 1 but {i} not in seen"
+                )
+            # Invariant 8: count never exceeds the modified level.
+            ml = ml_profile.level_at(i, r)
+            if state.count > ml:
+                violations.append(
+                    f"inv8: count_{i}^{r} = {state.count} > ML = {ml}"
+                )
+            # Invariant 6: seen members flowed in at the same count.
+            for j in state.seen:
+                witnessed = any(
+                    state_of(j, s).count == state.count and flows(j, s, i, r)
+                    for s in range(0, r + 1)
+                )
+                if not witnessed:
+                    violations.append(
+                        f"inv6: {j} in seen_{i}^{r} without a witness round"
+                    )
+
+    # Invariant 5: flow forces count dominance.
+    for j in processes:
+        for s in range(0, num_rounds + 1):
+            count_j = state_of(j, s).count
+            for i in processes:
+                for r in range(s, num_rounds + 1):
+                    if not flows(j, s, i, r):
+                        continue
+                    state = state_of(i, r)
+                    dominates = (
+                        state.count > count_j
+                        or (j in state.seen and state.count == count_j)
+                        or (state.count == 0 and count_j == 0)
+                    )
+                    if not dominates:
+                        violations.append(
+                            f"inv5: ({j},{s}) flows to ({i},{r}) but "
+                            f"count_{j}^{s}={count_j}, count_{i}^{r}={state.count}, "
+                            f"seen={sorted(state.seen)}"
+                        )
+    return violations
+
+
+def check_counts_equal_modified_level(
+    execution: Execution,
+    topology: Topology,
+    run: Run,
+    coordinator: ProcessId = 1,
+) -> List[str]:
+    """Lemma 6.4: ``count_i^r = ML_i^r(R)`` for every process and round."""
+    violations: List[str] = []
+    profile = modified_level_profile(run, topology.num_processes, coordinator)
+    for i in topology.processes:
+        for r in range(0, run.num_rounds + 1):
+            count = execution.local(i).states[r].count
+            ml = profile.level_at(i, r)
+            if count != ml:
+                violations.append(
+                    f"lemma6.4: count_{i}^{r} = {count} != ML_{i}^{r} = {ml}"
+                )
+    return violations
+
+
+def check_counts_equal_level(
+    execution: Execution,
+    topology: Topology,
+    run: Run,
+) -> List[str]:
+    """The valid-gated analogue for Protocol W: ``count_i^r = L_i^r(R)``."""
+    from ..core.measures import level_profile
+
+    violations: List[str] = []
+    profile = level_profile(run, topology.num_processes)
+    for i in topology.processes:
+        for r in range(0, run.num_rounds + 1):
+            count = execution.local(i).states[r].count
+            level = profile.level_at(i, r)
+            if count != level:
+                violations.append(
+                    f"level-count: count_{i}^{r} = {count} != L_{i}^{r} = {level}"
+                )
+    return violations
+
+
+def checked_execute(
+    protocol,
+    topology: Topology,
+    run: Run,
+    tapes,
+    coordinator: ProcessId = 1,
+) -> Execution:
+    """Run Protocol S with the Lemma 6.3/6.4 invariants enforced.
+
+    A drop-in replacement for :func:`repro.core.execution.execute` for
+    Protocol S (and its faithful-counting variants): executes, then
+    machine-checks every invariant and the ``count = ML`` identity,
+    raising ``AssertionError`` with the violation list on any failure.
+    Useful when developing protocol changes — the DESIGN.md "checked
+    simulation" mode.
+    """
+    from ..core.execution import execute
+
+    execution = execute(protocol, topology, run, tapes)
+    violations = check_invariants(execution, topology, run, coordinator)
+    violations.extend(
+        check_counts_equal_modified_level(execution, topology, run, coordinator)
+    )
+    if violations:
+        raise AssertionError(
+            "invariant violations in checked execution:\n  "
+            + "\n  ".join(violations)
+        )
+    return execution

@@ -1,0 +1,255 @@
+"""Protocol A — the simple two-general protocol of Section 3.
+
+Process 1 draws ``rfire`` uniformly from the integers ``{2, ..., N}``
+and includes it in every packet it sends.  The processes exchange
+*packets* (non-null messages) in alternating rounds — process 2 in odd
+rounds starting with round 1, process 1 in even rounds — and after the
+first round a process sends a packet only if it received one in the
+previous round.  If the adversary destroys any packet, all packet
+traffic stops.
+
+Decision rule: if every packet sent strictly before round ``rfire`` was
+delivered, the process that received the last such packet attacks; if
+the round-``rfire`` packet also gets through, the other process attacks
+too.  Locally: attack iff you know some input arrived, you know
+``rfire``, and you received a packet in round ``rfire - 1`` or round
+``rfire``.
+
+Validity is enforced with input bits on packets: process 1 sends its
+round-2 packet only if it knows an input signal arrived (its own, or
+process 2's bit on the round-1 packet), which stops the chain before
+anything can fire on input-free runs.
+
+Properties reproduced by tests and experiment E1:
+
+* ``U_s(A) = 1/(N - 1)`` — the adversary causes partial attack only by
+  destroying exactly the round-``rfire`` packet, and it cannot see
+  ``rfire``;
+* ``L(A, R_good) = 1`` — on a run delivering everything (with input),
+  both processes always attack;
+* ``L(A, R) = 0`` for the run that loses only the round-2 message —
+  the motivation for Protocol S's graded liveness.
+
+Like Protocol S, the message *flow* of A does not depend on the drawn
+``rfire`` value (only the final decision compares it), so exact event
+probabilities come from one placeholder execution plus an average over
+the ``N - 1`` equally likely values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import ClosedFormProtocol, LocalProtocol, ReceivedMessage
+from ..core.randomness import ConstantTape, TapeSpace, UniformIntTape
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+
+# Placeholder rfire for flow-only executions (any in-range value works:
+# the flow never inspects it).
+_PLACEHOLDER_RFIRE = 2
+
+
+def sender_for_round(round_number: Round) -> ProcessId:
+    """Packet parity: process 2 sends in odd rounds, process 1 in even."""
+    return 2 if round_number % 2 == 1 else 1
+
+
+@dataclass(frozen=True)
+class APacket:
+    """A non-null Protocol A message: ``rfire`` (from process 1 only)
+    plus the sender's knowledge of whether any input signal arrived."""
+
+    rfire: Optional[int]
+    valid: bool
+
+
+@dataclass(frozen=True)
+class AState:
+    """Local state: the completed round, randomness, and packet history.
+
+    ``received_rounds`` is the set of rounds in which this process
+    received a packet; the chain structure makes it a parity-stride
+    prefix, but storing the set keeps the machine honest about what it
+    locally observed.
+    """
+
+    round: Round
+    rfire: Optional[int]
+    valid: bool
+    received_rounds: FrozenSet[Round]
+
+
+class _ProtocolALocal(LocalProtocol):
+    """The local machine for one of the two generals."""
+
+    def __init__(self, process: ProcessId) -> None:
+        if process not in (1, 2):
+            raise ValueError("Protocol A is a two-general protocol")
+        self._process = process
+
+    def initial_state(self, got_input: bool, tape: object) -> AState:
+        rfire = int(tape) if self._process == 1 else None
+        return AState(
+            round=0, rfire=rfire, valid=got_input, received_rounds=frozenset()
+        )
+
+    def message(self, state: AState, neighbor: ProcessId) -> Optional[APacket]:
+        """``σ_i``: a packet when the chain rules allow, else null.
+
+        ``state.round`` is the last completed round, so the packet being
+        generated belongs to round ``state.round + 1``.
+        """
+        round_number = state.round + 1
+        if sender_for_round(round_number) != self._process:
+            return None
+        if round_number == 1:
+            # Process 2 opens the protocol unconditionally, carrying its
+            # input bit so process 1 can apply the validity gate.
+            pass
+        elif round_number == 2:
+            # Validity gate: process 1 continues only if it received the
+            # opening packet and knows some input signal arrived.
+            if 1 not in state.received_rounds or not state.valid:
+                return None
+        else:
+            # Chain rule: send only if the previous round's packet arrived.
+            if round_number - 1 not in state.received_rounds:
+                return None
+        rfire = state.rfire if self._process == 1 else None
+        return APacket(rfire=rfire, valid=state.valid)
+
+    def transition(
+        self,
+        state: AState,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> AState:
+        rfire = state.rfire
+        valid = state.valid
+        received_rounds = state.received_rounds
+        for message in received:
+            packet: APacket = message.payload
+            if packet.rfire is not None and rfire is None:
+                rfire = packet.rfire
+            valid = valid or packet.valid
+            received_rounds = received_rounds | {round_number}
+        return AState(
+            round=round_number,
+            rfire=rfire,
+            valid=valid,
+            received_rounds=received_rounds,
+        )
+
+    def output(self, state: AState) -> bool:
+        """Attack iff valid, ``rfire`` known, and the chain reached round
+        ``rfire - 1`` (this process received that packet or the next)."""
+        if not state.valid or state.rfire is None:
+            return False
+        return (
+            state.rfire - 1 in state.received_rounds
+            or state.rfire in state.received_rounds
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolA(ClosedFormProtocol):
+    """Protocol A for ``num_rounds = N >= 2`` message rounds.
+
+    The horizon is a protocol parameter because the ``rfire`` draw
+    ranges over ``{2, ..., N}``; construct the protocol with the same
+    ``N`` as the runs it will be evaluated on.
+    """
+
+    num_rounds: Round
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 2:
+            raise ValueError(
+                f"Protocol A needs N >= 2 rounds, got {self.num_rounds}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"protocol-A(N={self.num_rounds})"
+
+    def supports_topology(self, topology: Topology) -> bool:
+        return topology.num_processes == 2 and topology.has_edge(1, 2)
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _ProtocolALocal(process)
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        return TapeSpace.from_dict(
+            {
+                1: UniformIntTape(2, self.num_rounds),
+                2: ConstantTape(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Closed form
+    # ------------------------------------------------------------------
+
+    def _flow_summary(
+        self, topology: Topology, run: Run
+    ) -> Dict[ProcessId, AState]:
+        """One placeholder execution; the flow is rfire-independent."""
+        from ..core.execution import execute
+
+        if run.num_rounds != self.num_rounds:
+            raise ValueError(
+                f"{self.name} evaluated on a run with N={run.num_rounds}"
+            )
+        execution = execute(self, topology, run, {1: _PLACEHOLDER_RFIRE})
+        return {
+            process: execution.local(process).states[-1]
+            for process in (1, 2)
+        }
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        """Average the deterministic decision over the ``N - 1`` draws."""
+        finals = self._flow_summary(topology, run)
+        knows_rfire = {1: True, 2: finals[2].rfire is not None}
+        weight = 1.0 / (self.num_rounds - 1)
+        pr_ta = 0.0
+        pr_na = 0.0
+        pr_pa = 0.0
+        pr_attack = [0.0, 0.0]
+        for rfire in range(2, self.num_rounds + 1):
+            outputs = []
+            for process in (1, 2):
+                state = finals[process]
+                attacks = (
+                    state.valid
+                    and knows_rfire[process]
+                    and (
+                        rfire - 1 in state.received_rounds
+                        or rfire in state.received_rounds
+                    )
+                )
+                outputs.append(attacks)
+            if all(outputs):
+                pr_ta += weight
+            elif not any(outputs):
+                pr_na += weight
+            else:
+                pr_pa += weight
+            for index, decided in enumerate(outputs):
+                if decided:
+                    pr_attack[index] += weight
+        return EventProbabilities(
+            pr_total_attack=min(1.0, pr_ta),
+            pr_no_attack=min(1.0, pr_na),
+            pr_partial_attack=max(0.0, 1.0 - min(1.0, pr_ta) - min(1.0, pr_na)),
+            pr_attack=tuple(min(1.0, p) for p in pr_attack),
+            method="closed-form",
+        )

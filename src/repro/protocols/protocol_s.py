@@ -1,0 +1,154 @@
+"""Protocol S — the optimal protocol against a strong adversary (§6).
+
+Process 1 draws ``rfire`` uniformly from the half-open interval
+``(0, 1/ε]`` and attaches it to every message.  Every process runs the
+counting machine of Figure 1, whose ``count_i`` tracks the modified
+level ``ML_i^r(R)`` (Lemma 6.4).  After ``N`` rounds, process ``i``
+attacks iff it has heard ``rfire`` and ``count_i >= rfire``.
+
+Guarantees reproduced by the test suite and experiments:
+
+* validity (Theorem 6.5),
+* ``U_s(S) <= ε`` (Theorem 6.7), and
+* ``L(S, R) >= min(1, ε · ML(R))`` (Theorem 6.8) — with equality, as
+  the proof in fact shows, since ``Mincount = ML(R)``.
+
+Because the message flow of S is the same for every value of ``rfire``
+(the value is only *compared* at output time), all event probabilities
+have closed forms: with ``a_i = count_i^N`` if process ``i`` heard
+``rfire`` (else 0) and ``t = 1/ε``,
+
+* ``Pr[D_i | R] = min(1, a_i / t)``,
+* ``Pr[TA | R] = min(1, min_i a_i / t)``,
+* ``Pr[NA | R] = max(0, 1 - max_i a_i / t)``,
+* ``Pr[PA | R]`` is the remainder — the probability that ``rfire``
+  lands strictly between the smallest and largest attack thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import ClosedFormProtocol, LocalProtocol
+from ..core.randomness import ConstantTape, TapeSpace, UniformRealTape
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId
+from .counting import CountingLocal, CountingState
+
+# Placeholder rfire used when extracting the (rfire-independent) counts.
+_PLACEHOLDER_RFIRE = 1.0
+
+
+class _ProtocolSLocal(CountingLocal):
+    """Figure 1 counting plus the Protocol S output rule."""
+
+    def output(self, state: CountingState) -> bool:
+        """``O_i = 1`` iff ``rfire_i != undefined`` and ``count_i >= rfire_i``."""
+        return state.rfire is not None and state.count >= state.rfire
+
+
+@dataclass(frozen=True)
+class ProtocolS(ClosedFormProtocol):
+    """Protocol S with agreement parameter ``ε`` (so ``t = 1/ε``).
+
+    ``coordinator`` is the process that draws ``rfire``; the paper
+    arbitrarily designates process 1 and the modified-level measure is
+    defined relative to it.
+    """
+
+    epsilon: float
+    coordinator: ProcessId = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if self.coordinator < 1:
+            raise ValueError("coordinator must be a process id")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"protocol-S(eps={self.epsilon:g})"
+
+    @property
+    def threshold(self) -> float:
+        """``t = 1/ε`` — the top of the rfire interval."""
+        return 1.0 / self.epsilon
+
+    def supports_topology(self, topology: Topology) -> bool:
+        return self.coordinator <= topology.num_processes
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _ProtocolSLocal(
+            process=process,
+            all_processes=frozenset(topology.processes),
+            rfire_gated=True,
+            coordinator=self.coordinator,
+        )
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        """Only the coordinator is randomized: ``rfire ~ U(0, 1/ε]``."""
+        distributions: Dict[ProcessId, object] = {
+            i: ConstantTape() for i in topology.processes
+        }
+        distributions[self.coordinator] = UniformRealTape(0.0, self.threshold)
+        return TapeSpace.from_dict(distributions)
+
+    # ------------------------------------------------------------------
+    # Closed form
+    # ------------------------------------------------------------------
+
+    def attack_thresholds(
+        self, topology: Topology, run: Run
+    ) -> Dict[ProcessId, int]:
+        """The rfire-independent attack thresholds ``a_i``.
+
+        ``a_i = count_i^N`` when process ``i`` heard ``rfire`` in the
+        run, else 0 (it can never attack).  The counts do not depend on
+        the numeric value of ``rfire`` — it is only compared at output
+        time — so one execution with a placeholder draw recovers them.
+        By Lemma 6.4, ``a_i = ML_i(R)`` whenever process ``i`` heard
+        both the input and the coordinator.
+        """
+        from ..core.execution import execute
+
+        tapes = {self.coordinator: _PLACEHOLDER_RFIRE}
+        execution = execute(self, topology, run, tapes)
+        thresholds: Dict[ProcessId, int] = {}
+        for process in topology.processes:
+            state: CountingState = execution.local(process).states[-1]
+            if state.rfire is None:
+                thresholds[process] = 0
+            else:
+                thresholds[process] = state.count
+        return thresholds
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        """Exact event probabilities via the uniform law of ``rfire``.
+
+        Process ``i`` attacks iff ``rfire <= a_i`` (and ``a_i > 0``),
+        where ``rfire ~ U(0, t]``; everything follows from
+        ``Pr[rfire <= c] = min(1, c / t)`` for integer ``c >= 0``.
+        """
+        thresholds = self.attack_thresholds(topology, run)
+        t = self.threshold
+        ordered = [thresholds[i] for i in topology.processes]
+        low = min(ordered)
+        high = max(ordered)
+        pr_ta = min(1.0, low / t)
+        pr_na = max(0.0, 1.0 - high / t)
+        pr_pa = max(0.0, 1.0 - pr_ta - pr_na)
+        pr_attack = tuple(min(1.0, a / t) for a in ordered)
+        return EventProbabilities(
+            pr_total_attack=pr_ta,
+            pr_no_attack=pr_na,
+            pr_partial_attack=pr_pa,
+            pr_attack=pr_attack,
+            method="closed-form",
+        )

@@ -1,0 +1,313 @@
+"""Repeated Protocol A — the "just run A several times" composite.
+
+Section 5 is motivated by the question whether running Protocol A
+several times can push the disagreement probability below ``1/N``
+while keeping liveness 1 on the good run.  The lower bound says no;
+this module provides the composite protocol so the experiments can
+*measure* that it fails.
+
+``RepeatedA(num_rounds, copies, combiner)`` partitions the ``N``
+rounds into ``copies`` consecutive blocks of ``block_length =
+N // copies`` rounds (trailing rounds idle) and runs an independent
+instance of Protocol A inside each block, with an independent
+``rfire_b`` drawn uniformly from ``{2, ..., block_length}``.  The final
+decision combines the per-block decisions:
+
+* ``"any"``      — attack if any block fired (liveness-greedy),
+* ``"all"``      — attack only if every block fired (safety-greedy),
+* ``"majority"`` — attack if more than half the blocks fired.
+
+Whatever the combiner, Theorem 5.4 forces
+``L(F, R) <= U_s(F) · L(R)``; experiment E2 checks the bound against
+all three variants and E1/E7 show none beats plain A's tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import ClosedFormProtocol, LocalProtocol, ReceivedMessage
+from ..core.randomness import ConstantTape, TapeDistribution, TapeSpace
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+from .protocol_a import APacket, sender_for_round
+
+COMBINERS = ("any", "all", "majority")
+
+# Placeholder rfire vector for flow-only executions.
+_PLACEHOLDER = 2
+
+
+@dataclass(frozen=True)
+class RfireVectorTape(TapeDistribution):
+    """Independent uniform draws ``rfire_b ~ U{2..block_length}`` per block."""
+
+    copies: int
+    block_length: int
+
+    def sample(self, rng) -> Tuple[int, ...]:
+        return tuple(
+            rng.randint(2, self.block_length) for _ in range(self.copies)
+        )
+
+    def support_size(self) -> Optional[int]:
+        return (self.block_length - 1) ** self.copies
+
+    def atoms(self) -> List[Tuple[object, float]]:
+        import itertools
+
+        values = range(2, self.block_length + 1)
+        weight = 1.0 / (self.block_length - 1) ** self.copies
+        return [
+            (combo, weight)
+            for combo in itertools.product(values, repeat=self.copies)
+        ]
+
+
+@dataclass(frozen=True)
+class RepeatedAState:
+    """Local state: per-block rfire knowledge plus packet history."""
+
+    round: Round
+    rfires: Tuple[Optional[int], ...]
+    valid: bool
+    received_rounds: FrozenSet[Round]
+
+
+@dataclass(frozen=True)
+class _BlockPacket:
+    """A Protocol A packet tagged with its block index."""
+
+    block: int
+    inner: APacket
+
+
+class _RepeatedALocal(LocalProtocol):
+    """Runs the A chain rules block by block."""
+
+    def __init__(
+        self, process: ProcessId, copies: int, block_length: int, combiner: str
+    ) -> None:
+        if process not in (1, 2):
+            raise ValueError("Repeated A is a two-general protocol")
+        self._process = process
+        self._copies = copies
+        self._block_length = block_length
+        self._combiner = combiner
+
+    def _block_of(self, round_number: Round) -> Optional[int]:
+        """Which block a global round belongs to (None for idle rounds)."""
+        block = (round_number - 1) // self._block_length
+        if block >= self._copies:
+            return None
+        return block
+
+    def _local_round(self, round_number: Round) -> Round:
+        return (round_number - 1) % self._block_length + 1
+
+    def initial_state(self, got_input: bool, tape: object) -> RepeatedAState:
+        if self._process == 1:
+            rfires = tuple(int(v) for v in tape)
+            if len(rfires) != self._copies:
+                raise ValueError(
+                    f"expected {self._copies} rfire draws, got {len(rfires)}"
+                )
+        else:
+            rfires = tuple(None for _ in range(self._copies))
+        return RepeatedAState(
+            round=0, rfires=rfires, valid=got_input, received_rounds=frozenset()
+        )
+
+    def message(
+        self, state: RepeatedAState, neighbor: ProcessId
+    ) -> Optional[_BlockPacket]:
+        round_number = state.round + 1
+        block = self._block_of(round_number)
+        if block is None:
+            return None
+        local_round = self._local_round(round_number)
+        if sender_for_round(local_round) != self._process:
+            return None
+        block_start = block * self._block_length
+        if local_round == 1:
+            pass  # the block opener is unconditional, like A's round 1
+        elif local_round == 2:
+            if (
+                block_start + 1 not in state.received_rounds
+                or not state.valid
+            ):
+                return None
+        else:
+            if round_number - 1 not in state.received_rounds:
+                return None
+        rfire = state.rfires[block] if self._process == 1 else None
+        return _BlockPacket(
+            block=block, inner=APacket(rfire=rfire, valid=state.valid)
+        )
+
+    def transition(
+        self,
+        state: RepeatedAState,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> RepeatedAState:
+        rfires = list(state.rfires)
+        valid = state.valid
+        received_rounds = state.received_rounds
+        for message in received:
+            packet: _BlockPacket = message.payload
+            if packet.inner.rfire is not None and rfires[packet.block] is None:
+                rfires[packet.block] = packet.inner.rfire
+            valid = valid or packet.inner.valid
+            received_rounds = received_rounds | {round_number}
+        return RepeatedAState(
+            round=round_number,
+            rfires=tuple(rfires),
+            valid=valid,
+            received_rounds=received_rounds,
+        )
+
+    def _block_fired(self, state: RepeatedAState, block: int) -> bool:
+        rfire = state.rfires[block]
+        if rfire is None or not state.valid:
+            return False
+        block_start = block * self._block_length
+        return (
+            block_start + rfire - 1 in state.received_rounds
+            or block_start + rfire in state.received_rounds
+        )
+
+    def output(self, state: RepeatedAState) -> bool:
+        fired = sum(
+            1 for block in range(self._copies) if self._block_fired(state, block)
+        )
+        if self._combiner == "any":
+            return fired >= 1
+        if self._combiner == "all":
+            return fired == self._copies
+        return fired > self._copies / 2
+
+
+@dataclass(frozen=True)
+class RepeatedA(ClosedFormProtocol):
+    """``copies`` independent A instances in consecutive round blocks."""
+
+    num_rounds: Round
+    copies: int
+    combiner: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise ValueError("copies must be >= 1")
+        if self.combiner not in COMBINERS:
+            raise ValueError(
+                f"combiner must be one of {COMBINERS}, got {self.combiner!r}"
+            )
+        if self.block_length < 2:
+            raise ValueError(
+                f"{self.copies} copies need at least {2 * self.copies} rounds, "
+                f"got {self.num_rounds}"
+            )
+
+    @property
+    def block_length(self) -> int:
+        """Rounds per block (trailing remainder rounds are idle)."""
+        return self.num_rounds // self.copies
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return (
+            f"repeated-A(N={self.num_rounds}, k={self.copies}, "
+            f"{self.combiner})"
+        )
+
+    def supports_topology(self, topology: Topology) -> bool:
+        return topology.num_processes == 2 and topology.has_edge(1, 2)
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _RepeatedALocal(
+            process, self.copies, self.block_length, self.combiner
+        )
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        return TapeSpace.from_dict(
+            {
+                1: RfireVectorTape(self.copies, self.block_length),
+                2: ConstantTape(),
+            }
+        )
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        """One placeholder execution, then enumerate the rfire vectors.
+
+        The flow is rfire-independent, so per-block firing for each
+        process reduces to membership tests on the observed packet
+        rounds; blocks are then combined per the configured rule.  The
+        rfire vectors are enumerated directly (the decision evaluation
+        is cheap; no re-simulation happens).
+        """
+        from ..core.execution import execute
+
+        if run.num_rounds != self.num_rounds:
+            raise ValueError(
+                f"{self.name} evaluated on a run with N={run.num_rounds}"
+            )
+        placeholder = tuple(_PLACEHOLDER for _ in range(self.copies))
+        execution = execute(self, topology, run, {1: placeholder})
+        finals: Dict[ProcessId, RepeatedAState] = {
+            process: execution.local(process).states[-1] for process in (1, 2)
+        }
+        locals_ = {
+            process: _RepeatedALocal(
+                process, self.copies, self.block_length, self.combiner
+            )
+            for process in (1, 2)
+        }
+        knows = {
+            1: [True] * self.copies,
+            2: [rfire is not None for rfire in finals[2].rfires],
+        }
+        space = self.tape_space(topology)
+        pr_ta = pr_na = pr_pa = 0.0
+        pr_attack = [0.0, 0.0]
+        for tapes, weight in space.enumerate():
+            vector = tapes[1]
+            outputs = []
+            for process in (1, 2):
+                state = finals[process]
+                substituted = RepeatedAState(
+                    round=state.round,
+                    rfires=tuple(
+                        vector[b] if knows[process][b] else None
+                        for b in range(self.copies)
+                    ),
+                    valid=state.valid,
+                    received_rounds=state.received_rounds,
+                )
+                outputs.append(locals_[process].output(substituted))
+            if all(outputs):
+                pr_ta += weight
+            elif not any(outputs):
+                pr_na += weight
+            else:
+                pr_pa += weight
+            for index, decided in enumerate(outputs):
+                if decided:
+                    pr_attack[index] += weight
+        return EventProbabilities(
+            pr_total_attack=min(1.0, pr_ta),
+            pr_no_attack=min(1.0, pr_na),
+            pr_partial_attack=max(
+                0.0, 1.0 - min(1.0, pr_ta) - min(1.0, pr_na)
+            ),
+            pr_attack=tuple(min(1.0, p) for p in pr_attack),
+            method="closed-form",
+        )

@@ -1,0 +1,275 @@
+"""Protocol variants used to probe the optimality of Protocol S.
+
+Theorem A.1 says that (under the usual case assumption) no protocol
+can exceed ``ε · ML(R)`` liveness on one run without paying for it
+elsewhere.  These variants are the natural "improvement" attempts; the
+experiments measure exactly how each one pays:
+
+* :class:`EagerS` — counts the *plain* level (valid-gated counting,
+  so ``count_i = L_i^r(R)``) but still fires on ``count >= rfire``.
+  Beats ``ε · ML(R)`` on runs where ``L(R) > ML(R)`` — and its
+  measured unsafety rises to ``2ε`` (the level spread seen by the
+  decision rule widens), violating the agreement precondition.
+* :class:`GreedyS` — Protocol S with a firing discount: attack when
+  ``count >= rfire - slack``.  Liveness grows by ``slack·ε`` per run,
+  and unsafety grows to ``(1 + slack)·ε`` in lock step.
+* :class:`XorCoin` — a two-coin toy protocol for the Appendix A
+  independence lemmas: each process holds one random bit; a process
+  that heard the other's bit decides on the XOR, otherwise on its own
+  bit.  On runs where the processes are causally independent the
+  decisions are probabilistically independent (Lemma A.2); on
+  connected runs they are perfectly correlated.  (It makes no attempt
+  at agreement — the lemma quantifies over *all* protocols.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import (
+    ClosedFormProtocol,
+    LocalProtocol,
+    Protocol,
+    ReceivedMessage,
+)
+from ..core.randomness import (
+    BitStringTape,
+    ConstantTape,
+    TapeSpace,
+    UniformRealTape,
+)
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+from .counting import CountingLocal, CountingState
+
+_PLACEHOLDER_RFIRE = 1.0
+
+
+def rfire_threshold_probabilities(
+    thresholds: Sequence[float], t: float
+) -> EventProbabilities:
+    """Event probabilities when process ``i`` attacks iff ``rfire <= a_i``.
+
+    Shared by every rfire-style closed form: ``rfire ~ U(0, t]``, so
+    ``Pr[D_i] = min(1, a_i/t)``, total attack is governed by the
+    minimum threshold and no-attack by the maximum.
+    """
+    low = min(thresholds)
+    high = max(thresholds)
+    pr_ta = min(1.0, max(0.0, low) / t)
+    pr_na = max(0.0, 1.0 - max(0.0, high) / t)
+    pr_pa = max(0.0, 1.0 - pr_ta - pr_na)
+    return EventProbabilities(
+        pr_total_attack=pr_ta,
+        pr_no_attack=pr_na,
+        pr_partial_attack=pr_pa,
+        pr_attack=tuple(min(1.0, max(0.0, a) / t) for a in thresholds),
+        method="closed-form",
+    )
+
+
+class _EagerSLocal(CountingLocal):
+    """Valid-gated counting; fires on ``count >= rfire`` if rfire known."""
+
+    def output(self, state: CountingState) -> bool:
+        return (
+            state.rfire is not None
+            and state.valid
+            and state.count >= state.rfire
+        )
+
+
+@dataclass(frozen=True)
+class EagerS(ClosedFormProtocol):
+    """Protocol S driven by the plain level instead of the modified level."""
+
+    epsilon: float
+    coordinator: ProcessId = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {self.epsilon}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"eager-S(eps={self.epsilon:g})"
+
+    @property
+    def threshold(self) -> float:
+        return 1.0 / self.epsilon
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _EagerSLocal(
+            process=process,
+            all_processes=frozenset(topology.processes),
+            rfire_gated=False,
+            coordinator=self.coordinator,
+        )
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        distributions: Dict[ProcessId, object] = {
+            i: ConstantTape() for i in topology.processes
+        }
+        distributions[self.coordinator] = UniformRealTape(0.0, self.threshold)
+        return TapeSpace.from_dict(distributions)
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        from ..core.execution import execute
+
+        execution = execute(
+            self, topology, run, {self.coordinator: _PLACEHOLDER_RFIRE}
+        )
+        thresholds = []
+        for process in topology.processes:
+            state: CountingState = execution.local(process).states[-1]
+            if state.rfire is None or not state.valid:
+                thresholds.append(0.0)
+            else:
+                thresholds.append(float(state.count))
+        return rfire_threshold_probabilities(thresholds, self.threshold)
+
+
+class _GreedySLocal(CountingLocal):
+    """Protocol S counting; fires ``slack`` levels early."""
+
+    def __init__(self, process, all_processes, coordinator, slack) -> None:
+        super().__init__(
+            process=process,
+            all_processes=all_processes,
+            rfire_gated=True,
+            coordinator=coordinator,
+        )
+        self._slack = slack
+
+    def output(self, state: CountingState) -> bool:
+        return (
+            state.rfire is not None
+            and state.count >= 1
+            and state.count >= state.rfire - self._slack
+        )
+
+
+@dataclass(frozen=True)
+class GreedyS(ClosedFormProtocol):
+    """Protocol S with an early-firing discount of ``slack`` levels."""
+
+    epsilon: float
+    slack: int = 1
+    coordinator: ProcessId = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if self.slack < 1:
+            raise ValueError("slack must be >= 1 (use ProtocolS for slack 0)")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"greedy-S(eps={self.epsilon:g}, slack={self.slack})"
+
+    @property
+    def threshold(self) -> float:
+        return 1.0 / self.epsilon
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _GreedySLocal(
+            process=process,
+            all_processes=frozenset(topology.processes),
+            coordinator=self.coordinator,
+            slack=self.slack,
+        )
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        distributions: Dict[ProcessId, object] = {
+            i: ConstantTape() for i in topology.processes
+        }
+        distributions[self.coordinator] = UniformRealTape(0.0, self.threshold)
+        return TapeSpace.from_dict(distributions)
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        from ..core.execution import execute
+
+        execution = execute(
+            self, topology, run, {self.coordinator: _PLACEHOLDER_RFIRE}
+        )
+        thresholds = []
+        for process in topology.processes:
+            state: CountingState = execution.local(process).states[-1]
+            if state.rfire is None or state.count < 1:
+                thresholds.append(0.0)
+            else:
+                thresholds.append(float(state.count + self.slack))
+        return rfire_threshold_probabilities(thresholds, self.threshold)
+
+
+class _XorCoinLocal(LocalProtocol):
+    """State: (my coin, other's coin or None, valid)."""
+
+    def initial_state(self, got_input: bool, tape: object) -> tuple:
+        coin = int(tape[0])
+        return (coin, None, got_input)
+
+    def transition(
+        self,
+        state: tuple,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> tuple:
+        coin, other, valid = state
+        for message in received:
+            heard_coin, heard_valid = message.payload
+            if other is None:
+                other = heard_coin
+            valid = valid or heard_valid
+        return (coin, other, valid)
+
+    def message(self, state: tuple, neighbor: ProcessId) -> Optional[tuple]:
+        coin, _, valid = state
+        return (coin, valid)
+
+    def output(self, state: tuple) -> bool:
+        coin, other, valid = state
+        if not valid:
+            return False
+        if other is None:
+            return bool(coin)
+        return bool(coin ^ other)
+
+
+@dataclass(frozen=True)
+class XorCoin(Protocol):
+    """The Appendix-A independence probe (two generals).
+
+    Not a coordinated-attack protocol — it deliberately ignores
+    agreement so that both decision probabilities are 1/2 and the
+    *correlation structure* is what varies with the run.
+    """
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "xor-coin"
+
+    def supports_topology(self, topology: Topology) -> bool:
+        return topology.num_processes == 2
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _XorCoinLocal()
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        return TapeSpace.from_dict(
+            {i: BitStringTape(1) for i in topology.processes}
+        )

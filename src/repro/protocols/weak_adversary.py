@@ -1,0 +1,123 @@
+"""Protocol W — a counting protocol for the weak adversary of §8.
+
+The paper closes by observing that against a *weak adversary* — a
+probabilistic adversary that destroys each message independently with
+some probability ``p`` not known in advance — "vastly improved
+performance" is possible.  No protocol or numbers are given; this
+module is our reconstruction of that claim (documented as a
+substitution in DESIGN.md / EXPERIMENTS.md).
+
+Protocol W runs the same Figure 1 counting machine as Protocol S, but
+with two changes:
+
+* counting starts as soon as a process has heard the input (no random
+  ``rfire`` needs to propagate), so ``count_i^r`` tracks the *plain*
+  level ``L_i^r(R)`` of Section 4;
+* the decision is a fixed deterministic threshold: attack iff
+  ``count_i >= K``.
+
+Why this beats the strong-adversary tradeoff against random losses:
+disagreement requires the final counts to straddle ``K`` exactly
+(counts at different processes differ by at most one), i.e. the
+minimum final count must land on exactly ``K - 1``.  Under i.i.d.
+losses with ``p`` bounded away from 1, counts concentrate around
+``c(p) · N`` with Gaussian-scale fluctuations, so picking ``K`` well
+below the typical count (e.g. ``K ≈ c · N/2``) makes
+``Pr[Mincount = K - 1]`` exponentially small in ``N`` while liveness
+stays near 1.  Experiment E8 measures exactly this.
+
+Against a *strong* adversary, W is hopeless — the adversary simply
+builds the straddling run, giving ``Pr[PA | R] = 1`` — which is also
+measured (and is the deterministic-impossibility backdrop of E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import ClosedFormProtocol, LocalProtocol
+from ..core.randomness import TapeSpace
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId
+from .counting import CountingLocal, CountingState
+
+
+class _ProtocolWLocal(CountingLocal):
+    """Valid-gated counting plus a fixed-threshold output rule."""
+
+    def __init__(self, process, all_processes, threshold: int) -> None:
+        super().__init__(
+            process=process, all_processes=all_processes, rfire_gated=False
+        )
+        self._threshold = threshold
+
+    def output(self, state: CountingState) -> bool:
+        """``O_i = 1`` iff ``count_i >= K``."""
+        return state.count >= self._threshold
+
+
+@dataclass(frozen=True)
+class ProtocolW(ClosedFormProtocol):
+    """Deterministic-threshold counting protocol (our §8 reconstruction).
+
+    ``threshold`` is ``K``: the level a process must certify before
+    attacking.  ``K >= 1`` preserves validity (a process with no input
+    flow never starts counting, so its count stays 0 < K).
+    """
+
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(
+                f"threshold must be >= 1 for validity, got {self.threshold}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"protocol-W(K={self.threshold})"
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _ProtocolWLocal(
+            process=process,
+            all_processes=frozenset(topology.processes),
+            threshold=self.threshold,
+        )
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        """W is deterministic: no process holds any randomness."""
+        return TapeSpace.deterministic(list(topology.processes))
+
+    def final_counts(self, topology: Topology, run: Run):
+        """The deterministic final counts — equal to ``L_i(R)`` for
+        processes that heard the input (Lemma 6.4's valid-gated analogue).
+        """
+        from ..core.execution import execute
+
+        execution = execute(self, topology, run, {})
+        return {
+            process: execution.local(process).states[-1].count
+            for process in topology.processes
+        }
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        """W is deterministic, so every probability is 0 or 1."""
+        counts = self.final_counts(topology, run)
+        outputs = [
+            counts[process] >= self.threshold for process in topology.processes
+        ]
+        all_attack = all(outputs)
+        none_attack = not any(outputs)
+        return EventProbabilities(
+            pr_total_attack=1.0 if all_attack else 0.0,
+            pr_no_attack=1.0 if none_attack else 0.0,
+            pr_partial_attack=1.0 if not (all_attack or none_attack) else 0.0,
+            pr_attack=tuple(1.0 if decided else 0.0 for decided in outputs),
+            method="closed-form",
+        )

@@ -1,0 +1,58 @@
+"""The asynchronous (delayed-message) extension of the model (§8).
+
+The conclusions assert the results "can be extended to an asynchronous
+model"; this package carries the extension out: timed runs in which
+the adversary controls delays as well as losses, the generalized
+flows-to/level machinery, a delayed-delivery simulator, and the
+Protocol S closed form over timed runs.  Experiment E12 verifies that
+Lemma 6.4 and Theorems 6.7/6.8 survive verbatim.
+"""
+
+from .analysis import (
+    check_timed_counts_equal_modified_level,
+    timed_attack_thresholds,
+    timed_closed_form,
+    timed_monte_carlo,
+)
+from .execution import timed_decide, timed_execute_counts
+from .measures import (
+    timed_backward_closure,
+    timed_causally_independent,
+    timed_clip,
+    timed_earliest_arrivals,
+    timed_earliest_input_arrivals,
+    timed_level_profile,
+    timed_modified_level_profile,
+    timed_run_level,
+    timed_run_modified_level,
+)
+from .run import (
+    Delivery,
+    TimedRun,
+    delayed_good_run,
+    jittered_run,
+    random_timed_run,
+)
+
+__all__ = [
+    "Delivery",
+    "TimedRun",
+    "check_timed_counts_equal_modified_level",
+    "delayed_good_run",
+    "jittered_run",
+    "random_timed_run",
+    "timed_attack_thresholds",
+    "timed_backward_closure",
+    "timed_causally_independent",
+    "timed_clip",
+    "timed_closed_form",
+    "timed_decide",
+    "timed_earliest_arrivals",
+    "timed_earliest_input_arrivals",
+    "timed_execute_counts",
+    "timed_level_profile",
+    "timed_modified_level_profile",
+    "timed_monte_carlo",
+    "timed_run_level",
+    "timed_run_modified_level",
+]

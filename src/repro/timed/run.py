@@ -1,0 +1,250 @@
+"""Timed runs: the asynchronous extension of the adversary's choices.
+
+The paper's conclusions state that "while our results are stated in a
+synchronous model, it seems clear that they can be extended to an
+asynchronous model".  This package carries that extension out for the
+natural *timed* reading: processes still share a clock (the problem is
+real-time coordination, so a deadline exists), but the adversary
+controls not only *whether* a message is delivered but also *when* —
+any delay is allowed, up to the horizon.
+
+A :class:`TimedRun` over horizon ``T`` consists of input signals plus a
+set of :class:`Delivery` records ``(i, j, s, a)``: the message process
+``i`` sends to ``j`` in round ``s`` arrives at the end of round ``a``,
+with ``s <= a <= T``.  The synchronous model is the special case
+``a = s`` (:meth:`TimedRun.from_synchronous`), and destroyed messages
+are simply absent.
+
+Information flow generalizes directly: the message sent in round ``s``
+carries the sender's state from the end of round ``s - 1``, so a
+delivery ``(i, j, s, a)`` lets ``(i, s - 1)`` flow to ``(j, a)``.
+Everything downstream of flows-to — levels, modified levels, clipping
+— is inherited through :mod:`repro.timed.measures`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One delayed delivery: sent in round ``sent``, arrives at ``arrival``."""
+
+    source: ProcessId
+    target: ProcessId
+    sent: Round
+    arrival: Round
+
+    def validate(self, num_rounds: Round) -> None:
+        if self.source == self.target:
+            raise ValueError(f"delivery may not be a self-loop: {self}")
+        if self.source < 1 or self.target < 1:
+            raise ValueError(f"delivery endpoints must be process ids: {self}")
+        if not 1 <= self.sent <= num_rounds:
+            raise ValueError(f"sent round out of range 1..{num_rounds}: {self}")
+        if not self.sent <= self.arrival <= num_rounds:
+            raise ValueError(
+                f"arrival must be in sent..{num_rounds}: {self}"
+            )
+
+    @property
+    def delay(self) -> Round:
+        """Extra rounds in flight beyond the synchronous case."""
+        return self.arrival - self.sent
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Inputs plus delayed deliveries over a real-time horizon.
+
+    At most one delivery may exist per ``(source, target, sent)``
+    triple — a sent message either arrives once (at its recorded
+    arrival round) or never.
+    """
+
+    num_rounds: Round
+    inputs: FrozenSet[ProcessId]
+    deliveries: FrozenSet[Delivery]
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 1:
+            raise ValueError("num_rounds must be >= 1")
+        for process in self.inputs:
+            if process < 1:
+                raise ValueError(f"input target must be a process id: {process}")
+        seen = set()
+        for delivery in self.deliveries:
+            delivery.validate(self.num_rounds)
+            key = (delivery.source, delivery.target, delivery.sent)
+            if key in seen:
+                raise ValueError(f"duplicate delivery for {key}")
+            seen.add(key)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        num_rounds: Round,
+        inputs: Iterable[ProcessId] = (),
+        deliveries: Iterable[Tuple[ProcessId, ProcessId, Round, Round]] = (),
+    ) -> "TimedRun":
+        return cls(
+            num_rounds,
+            frozenset(inputs),
+            frozenset(Delivery(*record) for record in deliveries),
+        )
+
+    @classmethod
+    def from_synchronous(cls, run: Run) -> "TimedRun":
+        """Embed a synchronous run: every delivery has zero delay."""
+        return cls(
+            run.num_rounds,
+            run.inputs,
+            frozenset(
+                Delivery(m.source, m.target, m.round, m.round)
+                for m in run.messages
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def has_input(self, process: ProcessId) -> bool:
+        return process in self.inputs
+
+    def arrivals_in_round(self, round_number: Round) -> List[Delivery]:
+        """Deliveries arriving at the end of ``round_number``, sorted."""
+        found = [d for d in self.deliveries if d.arrival == round_number]
+        found.sort(key=lambda d: (d.target, d.source, d.sent))
+        return found
+
+    def delivery_count(self) -> int:
+        return len(self.deliveries)
+
+    def max_delay(self) -> Round:
+        """The largest delay of any delivery (0 if none)."""
+        if not self.deliveries:
+            return 0
+        return max(d.delay for d in self.deliveries)
+
+    def is_synchronous(self) -> bool:
+        """True iff every delivery has zero delay."""
+        return self.max_delay() == 0
+
+    def to_synchronous(self) -> Run:
+        """The inverse of :meth:`from_synchronous` (zero delays only)."""
+        if not self.is_synchronous():
+            raise ValueError("run has delayed deliveries")
+        from ..core.types import MessageTuple
+
+        return Run(
+            self.num_rounds,
+            self.inputs,
+            frozenset(
+                MessageTuple(d.source, d.target, d.sent)
+                for d in self.deliveries
+            ),
+        )
+
+    def validate_for(self, topology: Topology) -> None:
+        for process in self.inputs:
+            if process > topology.num_processes:
+                raise ValueError(f"input process {process} is not a vertex")
+        for delivery in self.deliveries:
+            if not topology.has_edge(delivery.source, delivery.target):
+                raise ValueError(f"delivery {delivery} does not follow an edge")
+
+    def describe(self) -> str:
+        return (
+            f"TimedRun(T={self.num_rounds}, inputs={sorted(self.inputs)}, "
+            f"|D|={len(self.deliveries)}, max delay={self.max_delay()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def delayed_good_run(
+    topology: Topology,
+    num_rounds: Round,
+    delay: Round,
+    inputs: Optional[Iterable[ProcessId]] = None,
+) -> TimedRun:
+    """Every message delivered, all with the same fixed delay.
+
+    Messages whose arrival would exceed the horizon are destroyed —
+    exactly the real-time effect of latency: a slower network certifies
+    fewer levels before the deadline.
+    """
+    if delay < 0:
+        raise ValueError("delay must be nonnegative")
+    signal_set = (
+        frozenset(topology.processes) if inputs is None else frozenset(inputs)
+    )
+    deliveries = set()
+    for sent in range(1, num_rounds + 1):
+        arrival = sent + delay
+        if arrival > num_rounds:
+            continue
+        for source, target in topology.directed_links():
+            deliveries.add(Delivery(source, target, sent, arrival))
+    return TimedRun(num_rounds, signal_set, frozenset(deliveries))
+
+
+def random_timed_run(
+    topology: Topology,
+    num_rounds: Round,
+    rng: random.Random,
+    delivery_probability: float = 0.6,
+    max_delay: Round = 3,
+    input_probability: float = 0.5,
+) -> TimedRun:
+    """A random timed run: random losses and random bounded delays."""
+    inputs = frozenset(
+        i for i in topology.processes if rng.random() < input_probability
+    )
+    deliveries = set()
+    for sent in range(1, num_rounds + 1):
+        for source, target in topology.directed_links():
+            if rng.random() >= delivery_probability:
+                continue
+            arrival = sent + rng.randint(0, max_delay)
+            if arrival <= num_rounds:
+                deliveries.add(Delivery(source, target, sent, arrival))
+    return TimedRun(num_rounds, inputs, frozenset(deliveries))
+
+
+def jittered_run(
+    topology: Topology,
+    num_rounds: Round,
+    rng: random.Random,
+    loss_probability: float,
+    max_delay: Round,
+    inputs: Optional[Iterable[ProcessId]] = None,
+) -> TimedRun:
+    """The weak adversary with latency: i.i.d. loss plus uniform jitter."""
+    signal_set = (
+        frozenset(topology.processes) if inputs is None else frozenset(inputs)
+    )
+    deliveries = set()
+    for sent in range(1, num_rounds + 1):
+        for source, target in topology.directed_links():
+            if rng.random() < loss_probability:
+                continue
+            arrival = sent + rng.randint(0, max_delay)
+            if arrival <= num_rounds:
+                deliveries.add(Delivery(source, target, sent, arrival))
+    return TimedRun(num_rounds, signal_set, frozenset(deliveries))

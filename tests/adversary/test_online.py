@@ -1,0 +1,160 @@
+"""Unit tests for the online (adaptive) adversary machinery."""
+
+import random
+
+import pytest
+
+from repro.adversary.online import (
+    BernoulliOnline,
+    BlindCutter,
+    DeliverEverything,
+    DeliverNothing,
+    OmniscientRfireCutter,
+    ReplayRun,
+    online_event_probabilities,
+    run_online,
+)
+from repro.core.execution import decide
+from repro.core.run import good_run, random_run
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_s import ProtocolS
+
+INPUTS = frozenset([1, 2])
+
+
+class TestBasicStrategies:
+    def test_deliver_everything_matches_good_run(self, pair):
+        protocol = ProtocolS(epsilon=0.25)
+        tapes = {1: 2.5}
+        outputs, realized = run_online(
+            protocol, pair, 4, DeliverEverything(), tapes, INPUTS
+        )
+        assert realized == good_run(pair, 4)
+        assert outputs == decide(protocol, pair, good_run(pair, 4), tapes)
+
+    def test_deliver_nothing(self, pair):
+        protocol = ProtocolS(epsilon=0.25)
+        outputs, realized = run_online(
+            protocol, pair, 4, DeliverNothing(), {1: 0.5}, INPUTS
+        )
+        assert realized.message_count() == 0
+        assert outputs == (True, False)  # coordinator fires alone
+
+    def test_blind_cutter_realizes_round_cut(self, pair):
+        protocol = ProtocolS(epsilon=0.25)
+        _, realized = run_online(
+            protocol, pair, 5, BlindCutter(3), {1: 1.0}, INPUTS
+        )
+        assert all(m.round < 3 for m in realized.messages)
+        assert realized.deliveries_in_round(2)
+
+    def test_blind_cutter_validates(self):
+        with pytest.raises(ValueError):
+            BlindCutter(0)
+
+    def test_bernoulli_extremes(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.25)
+        _, all_runs = run_online(
+            protocol, pair, 3, BernoulliOnline(0.0, rng), {1: 1.0}, INPUTS
+        )
+        assert all_runs == good_run(pair, 3)
+        _, nothing = run_online(
+            protocol, pair, 3, BernoulliOnline(1.0, rng), {1: 1.0}, INPUTS
+        )
+        assert nothing.message_count() == 0
+
+
+class TestReplayEquivalence:
+    """Online play generalizes the offline model exactly."""
+
+    def test_replay_protocol_s(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.2)
+        for _ in range(15):
+            run = random_run(pair, 4, rng)
+            tapes = {1: rng.uniform(0.01, 5.0)}
+            outputs, realized = run_online(
+                protocol, pair, 4, ReplayRun(run), tapes, run.inputs
+            )
+            assert outputs == decide(protocol, pair, run, tapes)
+
+    def test_replay_realizes_subrun_for_null_senders(self, pair):
+        # Protocol A sends nulls on off-parity rounds: the realized run
+        # records every chosen delivery (nulls included), matching the
+        # paper's convention that the run is about links, not payloads.
+        protocol = ProtocolA(4)
+        run = good_run(pair, 4)
+        outputs, realized = run_online(
+            protocol, pair, 4, ReplayRun(run), {1: 2}, run.inputs
+        )
+        assert realized == run
+        assert outputs == decide(protocol, pair, run, {1: 2})
+
+    def test_replay_rejects_horizon_mismatch(self, pair):
+        adversary = ReplayRun(good_run(pair, 3))
+        with pytest.raises(ValueError, match="horizon"):
+            run_online(
+                ProtocolS(epsilon=0.5), pair, 4, adversary, {1: 1.0}, INPUTS
+            )
+
+
+class TestOmniscientCutter:
+    def test_certain_partial_attack_against_s(self, pair, rng):
+        num_rounds = 8
+        protocol = ProtocolS(epsilon=1.0 / num_rounds)
+        result = online_event_probabilities(
+            protocol,
+            pair,
+            num_rounds,
+            OmniscientRfireCutter(),
+            INPUTS,
+            trials=400,
+            rng=rng,
+        )
+        assert result.pr_partial_attack == pytest.approx(1.0)
+
+    def test_flags_payload_reading(self):
+        assert OmniscientRfireCutter().observes_payloads
+        assert not BlindCutter(2).observes_payloads
+
+    def test_resets_between_games(self, pair, rng):
+        # The same instance must be reusable across tape samples.
+        protocol = ProtocolS(epsilon=0.25)
+        adversary = OmniscientRfireCutter()
+        for _ in range(5):
+            outputs, _ = run_online(
+                protocol, pair, 6, adversary, {1: rng.uniform(0.1, 3.9)},
+                INPUTS,
+            )
+            assert sorted(outputs) == [False, True]
+
+    def test_blind_strategies_bounded_by_epsilon(self, pair, rng):
+        num_rounds = 6
+        epsilon = 0.25
+        protocol = ProtocolS(epsilon=epsilon)
+        for strategy in (BlindCutter(2), BlindCutter(4), DeliverEverything()):
+            result = online_event_probabilities(
+                protocol, pair, num_rounds, strategy, INPUTS,
+                trials=2_000, rng=rng,
+            )
+            assert result.pr_partial_attack <= epsilon + 0.05
+
+
+class TestOnlineEstimator:
+    def test_rejects_zero_trials(self, pair):
+        with pytest.raises(ValueError):
+            online_event_probabilities(
+                ProtocolS(epsilon=0.5), pair, 3, DeliverEverything(), INPUTS,
+                trials=0,
+            )
+
+    def test_deterministic_given_seed(self, pair):
+        protocol = ProtocolS(epsilon=0.3)
+        first = online_event_probabilities(
+            protocol, pair, 4, BlindCutter(2), INPUTS,
+            trials=300, rng=random.Random(5),
+        )
+        second = online_event_probabilities(
+            protocol, pair, 4, BlindCutter(2), INPUTS,
+            trials=300, rng=random.Random(5),
+        )
+        assert first == second

@@ -1,0 +1,75 @@
+"""Unit tests for the weak (probabilistic) adversary."""
+
+
+import pytest
+
+from repro.adversary.weak import (
+    WeakAdversary,
+    estimate_against_weak_adversary,
+)
+from repro.core.run import good_run
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.weak_adversary import ProtocolW
+
+
+class TestSampling:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            WeakAdversary(1.5)
+
+    def test_zero_loss_gives_good_run(self, pair, rng):
+        adversary = WeakAdversary(0.0)
+        assert adversary.sample(pair, 3, rng) == good_run(pair, 3)
+
+    def test_total_loss_gives_silence(self, pair, rng):
+        adversary = WeakAdversary(1.0)
+        assert adversary.sample(pair, 3, rng).message_count() == 0
+
+    def test_inputs_default_to_everyone(self, path3, rng):
+        adversary = WeakAdversary(0.5)
+        assert adversary.sample(path3, 3, rng).inputs == frozenset([1, 2, 3])
+
+    def test_inputs_override(self, pair, rng):
+        adversary = WeakAdversary(0.5, inputs=frozenset([1]))
+        assert adversary.sample(pair, 3, rng).inputs == frozenset([1])
+
+
+class TestEstimation:
+    def test_zero_loss_perfect_liveness(self, pair, rng):
+        estimate = estimate_against_weak_adversary(
+            ProtocolW(2), pair, 6, WeakAdversary(0.0), samples=20, rng=rng
+        )
+        assert estimate.expected_liveness == pytest.approx(1.0)
+        assert estimate.expected_unsafety == pytest.approx(0.0)
+
+    def test_total_loss_no_liveness(self, pair, rng):
+        estimate = estimate_against_weak_adversary(
+            ProtocolW(2), pair, 6, WeakAdversary(1.0), samples=20, rng=rng
+        )
+        assert estimate.expected_liveness == pytest.approx(0.0)
+        assert estimate.expected_unsafety == pytest.approx(0.0)
+
+    def test_protocol_s_moderate_loss(self, pair, rng):
+        estimate = estimate_against_weak_adversary(
+            ProtocolS(epsilon=0.25),
+            pair,
+            8,
+            WeakAdversary(0.2),
+            samples=150,
+            rng=rng,
+        )
+        assert estimate.expected_liveness > 0.8
+        assert estimate.expected_unsafety < 0.05
+
+    def test_rejects_zero_samples(self, pair):
+        with pytest.raises(ValueError, match="samples"):
+            estimate_against_weak_adversary(
+                ProtocolW(1), pair, 3, WeakAdversary(0.5), samples=0
+            )
+
+    def test_describe(self, pair, rng):
+        estimate = estimate_against_weak_adversary(
+            ProtocolW(2), pair, 4, WeakAdversary(0.1), samples=10, rng=rng
+        )
+        text = estimate.describe()
+        assert "E[L]" in text and "E[U]" in text

@@ -1,0 +1,129 @@
+"""Unit tests for the theorem formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    first_lower_bound,
+    lemma_6_1_holds,
+    lemma_6_2_holds,
+    max_level_on_good_run,
+    protocol_a_unsafety,
+    required_rounds,
+    s_liveness,
+    s_unsafety_bound,
+    satisfies_first_lower_bound,
+    second_lower_bound_ceiling,
+    tradeoff_ratio,
+    usual_case_assumption,
+)
+from repro.core.topology import Topology
+
+
+class TestFirstLowerBound:
+    def test_basic_product(self):
+        assert first_lower_bound(0.1, 5) == pytest.approx(0.5)
+
+    def test_caps_at_one(self):
+        assert first_lower_bound(0.5, 10) == 1.0
+
+    def test_satisfies_with_tolerance(self):
+        assert satisfies_first_lower_bound(0.5, 0.1, 5)
+        assert satisfies_first_lower_bound(0.5 + 1e-12, 0.1, 5)
+        assert not satisfies_first_lower_bound(0.6, 0.1, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            first_lower_bound(-0.1, 3)
+        with pytest.raises(ValueError):
+            first_lower_bound(0.1, -3)
+
+
+class TestSFormulas:
+    def test_s_liveness(self):
+        assert s_liveness(0.2, 3) == pytest.approx(0.6)
+        assert s_liveness(0.2, 9) == 1.0
+        assert s_liveness(0.2, 0) == 0.0
+
+    def test_s_liveness_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            s_liveness(0.0, 3)
+        with pytest.raises(ValueError):
+            s_liveness(0.2, -1)
+
+    def test_s_unsafety_bound(self):
+        assert s_unsafety_bound(0.25) == 0.25
+        with pytest.raises(ValueError):
+            s_unsafety_bound(2.0)
+
+    def test_second_lower_bound_ceiling_matches_liveness(self):
+        assert second_lower_bound_ceiling(0.1, 4) == s_liveness(0.1, 4)
+
+
+class TestLemmaChecks:
+    def test_lemma_6_1(self):
+        assert lemma_6_1_holds(3, 3)
+        assert lemma_6_1_holds(3, 2)
+        assert not lemma_6_1_holds(3, 1)
+        assert not lemma_6_1_holds(3, 4)
+
+    def test_lemma_6_2(self):
+        assert lemma_6_2_holds([2, 3, 3])
+        assert not lemma_6_2_holds([1, 3])
+        with pytest.raises(ValueError):
+            lemma_6_2_holds([])
+
+
+class TestUsualCase:
+    def test_holds_for_standard_setup(self):
+        assumption = usual_case_assumption(Topology.pair(), 5, 0.1)
+        assert assumption.holds
+
+    def test_fails_for_large_epsilon(self):
+        assumption = usual_case_assumption(Topology.pair(), 5, 0.6)
+        assert not assumption.holds
+        assert not assumption.epsilon_below_half
+
+    def test_fails_for_short_horizon(self):
+        assumption = usual_case_assumption(Topology.path(5), 2, 0.1)
+        assert not assumption.diameter_within_rounds
+        assert not assumption.holds
+
+    def test_fails_for_disconnected(self):
+        disconnected = Topology.from_edges(4, [(1, 2)])
+        assumption = usual_case_assumption(disconnected, 5, 0.1)
+        assert not assumption.connected
+        assert not assumption.holds
+
+
+class TestTradeoff:
+    def test_ratio(self):
+        assert tradeoff_ratio(1.0, 0.001) == pytest.approx(1000.0)
+
+    def test_zero_unsafety(self):
+        assert tradeoff_ratio(0.5, 0.0) == math.inf
+        assert tradeoff_ratio(0.0, 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tradeoff_ratio(-0.1, 0.5)
+
+    def test_max_level_on_good_run(self):
+        assert max_level_on_good_run(10, 2) == 11
+        with pytest.raises(ValueError):
+            max_level_on_good_run(0, 2)
+
+    def test_required_rounds_paper_example(self):
+        assert required_rounds(1.0, 0.001) == 999
+
+    def test_required_rounds_validation(self):
+        with pytest.raises(ValueError):
+            required_rounds(0.0, 0.5)
+        with pytest.raises(ValueError):
+            required_rounds(0.5, 0.0)
+
+    def test_protocol_a_unsafety(self):
+        assert protocol_a_unsafety(11) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            protocol_a_unsafety(1)

@@ -1,0 +1,82 @@
+"""Unit tests for the independence analysis (Lemmas A.2 / A.3)."""
+
+import pytest
+
+from repro.analysis.independence import (
+    JointDecision,
+    joint_decision_distribution,
+    lemma_a3_constraint,
+)
+from repro.core.run import good_run, silent_run
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.variants import XorCoin
+
+
+class TestJointDecision:
+    def test_gap_and_disagreement(self):
+        joint = JointDecision(0.5, 0.5, 0.25, True, "enumeration")
+        assert joint.independence_gap == pytest.approx(0.0)
+        assert joint.pr_disagreement == pytest.approx(0.5)
+
+    def test_correlated_gap(self):
+        joint = JointDecision(0.5, 0.5, 0.5, False, "enumeration")
+        assert joint.independence_gap == pytest.approx(0.25)
+        assert joint.pr_disagreement == pytest.approx(0.0)
+
+
+class TestJointDistribution:
+    def test_enumeration_on_finite_space(self, pair):
+        joint = joint_decision_distribution(
+            XorCoin(), pair, silent_run(pair, 3, [1, 2]), 1, 2
+        )
+        assert joint.method == "enumeration"
+        assert joint.causally_independent
+        assert joint.independence_gap == pytest.approx(0.0)
+
+    def test_monte_carlo_on_continuous_space(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.3)
+        joint = joint_decision_distribution(
+            protocol,
+            pair,
+            good_run(pair, 4),
+            1,
+            2,
+            trials=4000,
+            rng=rng,
+        )
+        assert joint.method == "monte-carlo"
+        assert joint.trials == 4000
+        # On the good run both attack with identical probability...
+        assert joint.pr_first == pytest.approx(joint.pr_both, abs=0.03)
+
+    def test_rejects_same_process(self, pair):
+        with pytest.raises(ValueError, match="distinct"):
+            joint_decision_distribution(
+                XorCoin(), pair, good_run(pair, 2), 1, 1
+            )
+
+    def test_lemma_a2_holds_for_s_on_independent_run(self, pair):
+        # Protocol S only randomizes process 1; independence is trivial
+        # but the joint law must still factor exactly.
+        protocol = ProtocolS(epsilon=0.4)
+        run = silent_run(pair, 3, [1, 2])
+        joint = joint_decision_distribution(
+            protocol, pair, run, 1, 2, trials=3000
+        )
+        assert joint.causally_independent
+        assert joint.independence_gap < 0.02
+
+
+class TestLemmaA3:
+    def test_applies_at_epsilon(self):
+        applies, forced = lemma_a3_constraint(0.2, 0.2)
+        assert applies
+        assert forced == 0.0
+
+    def test_does_not_apply_above_half(self):
+        applies, _ = lemma_a3_constraint(0.6, 0.6)
+        assert not applies
+
+    def test_does_not_apply_off_epsilon(self):
+        applies, _ = lemma_a3_constraint(0.3, 0.2)
+        assert not applies

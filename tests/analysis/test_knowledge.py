@@ -1,0 +1,105 @@
+"""Unit tests for the semantic knowledge model ([HM] connection)."""
+
+import pytest
+
+from repro.analysis.knowledge import (
+    KnowledgeModel,
+    check_level_knowledge_equivalence,
+)
+from repro.core.measures import level_profile
+from repro.core.run import Run, good_run, silent_run
+from repro.core.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def pair_model():
+    return KnowledgeModel(Topology.pair(), 2)
+
+
+class TestModelConstruction:
+    def test_enumerates_full_space(self, pair_model):
+        assert len(pair_model.runs) == 64
+
+    def test_refuses_large_instances(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            KnowledgeModel(Topology.pair(), 6, run_limit=100)
+
+
+class TestKnowledgeOperators:
+    def test_fact_materialization(self, pair_model):
+        fact = pair_model.fact(lambda run: run.message_count() == 0)
+        trues = sum(fact.values())
+        assert trues == 4  # 4 input patterns x empty message set
+
+    def test_knows_own_input(self, pair_model):
+        # Process 1 always knows whether it received the signal itself.
+        fact = pair_model.fact(lambda run: run.has_input(1))
+        knows = pair_model.knows(1, fact)
+        for run in pair_model.runs:
+            if run.has_input(1):
+                assert knows[run]
+
+    def test_cannot_know_undelivered_input(self, pair_model):
+        # With no deliveries, process 2 cannot know about 1's input.
+        fact = pair_model.fact(lambda run: run.has_input(1))
+        knows = pair_model.knows(2, fact)
+        isolated = Run.build(2, [1])
+        assert not knows[isolated]
+
+    def test_everyone_knows_good_run(self, pair_model):
+        fact = pair_model.input_occurred()
+        everyone = pair_model.everyone_knows(fact)
+        assert everyone[good_run(Topology.pair(), 2)]
+        assert not everyone[silent_run(Topology.pair(), 2, [1])]
+
+    def test_iteration_is_monotone_decreasing(self, pair_model):
+        fact = pair_model.input_occurred()
+        previous = fact
+        for depth in range(1, 4):
+            current = pair_model.iterated_everyone_knows(fact, depth)
+            for run in pair_model.runs:
+                # E^h implies E^{h-1} for this stable fact.
+                assert not current[run] or previous[run]
+            previous = current
+
+    def test_iterated_depth_zero_is_identity(self, pair_model):
+        fact = pair_model.input_occurred()
+        assert pair_model.iterated_everyone_knows(fact, 0) == fact
+
+    def test_iterated_rejects_negative(self, pair_model):
+        with pytest.raises(ValueError):
+            pair_model.iterated_everyone_knows(pair_model.input_occurred(), -1)
+
+    def test_knowledge_depth(self, pair_model):
+        fact = pair_model.input_occurred()
+        run = good_run(Topology.pair(), 2)
+        depth = pair_model.knowledge_depth(run, fact, max_depth=5)
+        assert depth == level_profile(run, 2).run_level() == 3
+
+    def test_knowledge_depth_false_fact(self, pair_model):
+        fact = pair_model.input_occurred()
+        no_input = silent_run(Topology.pair(), 2)
+        assert pair_model.knowledge_depth(no_input, fact, 5) == -1
+
+
+class TestEquivalence:
+    def test_pair_two_rounds(self):
+        result = check_level_knowledge_equivalence(Topology.pair(), 2)
+        assert result.holds
+        assert result.max_depth_attained == 3
+
+    def test_pair_three_rounds(self):
+        result = check_level_knowledge_equivalence(Topology.pair(), 3)
+        assert result.holds
+        assert result.max_depth_attained == 4
+
+    def test_path3_two_rounds(self):
+        result = check_level_knowledge_equivalence(Topology.path(3), 2)
+        assert result.holds
+        assert result.runs_checked == 2048
+
+    def test_common_knowledge_never_attained(self):
+        # Depth N+2 is checked and never reached by any run.
+        result = check_level_knowledge_equivalence(Topology.pair(), 2)
+        assert result.depths_checked == 4
+        assert result.max_depth_attained < result.depths_checked

@@ -1,0 +1,67 @@
+"""Unit tests for coordinator placement analysis."""
+
+import pytest
+
+from repro.analysis.placement import best_coordinator, rank_coordinators
+from repro.core.run import good_run
+from repro.core.topology import Topology
+
+
+class TestRanking:
+    def test_star_center_wins(self):
+        topology = Topology.star(5, center=3)
+        scores = rank_coordinators(topology, 4, epsilon=0.1)
+        assert scores[0].coordinator == 3
+        assert scores[0].eccentricity == 1
+
+    def test_path_center_beats_endpoint(self):
+        topology = Topology.path(5)
+        scores = {
+            score.coordinator: score
+            for score in rank_coordinators(topology, 6, epsilon=0.05)
+        }
+        assert scores[3].mean_liveness > scores[1].mean_liveness
+
+    def test_pair_is_symmetric(self):
+        scores = rank_coordinators(Topology.pair(), 6, epsilon=0.1)
+        assert scores[0].mean_liveness == pytest.approx(
+            scores[1].mean_liveness
+        )
+
+    def test_every_vertex_scored(self):
+        topology = Topology.ring(5)
+        scores = rank_coordinators(topology, 4, epsilon=0.1)
+        assert {score.coordinator for score in scores} == set(
+            topology.processes
+        )
+
+    def test_custom_run_set(self):
+        topology = Topology.path(3)
+        runs = [good_run(topology, 4), good_run(topology, 4, inputs=[2])]
+        scores = rank_coordinators(topology, 4, epsilon=0.2, runs=runs)
+        assert all(0.0 <= s.worst_liveness <= s.mean_liveness <= 1.0 for s in scores)
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError, match="no runs"):
+            rank_coordinators(Topology.pair(), 4, 0.1, runs=[])
+
+    def test_best_coordinator_wrapper(self):
+        assert best_coordinator(Topology.star(4), 4, 0.1) == 1
+
+    def test_describe(self):
+        score = rank_coordinators(Topology.pair(), 4, 0.25)[0]
+        assert "coordinator" in score.describe()
+
+
+class TestPlacementInvariants:
+    def test_unsafety_is_placement_independent(self):
+        """U <= eps regardless of who holds rfire (spot check by
+        family search on a path)."""
+        from repro.adversary.search import family_search
+        from repro.protocols.protocol_s import ProtocolS
+
+        topology = Topology.path(3)
+        for coordinator in (1, 2, 3):
+            protocol = ProtocolS(epsilon=0.2, coordinator=coordinator)
+            result = family_search(protocol, topology, 4)
+            assert result.value <= 0.2 + 1e-9

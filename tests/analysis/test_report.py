@@ -1,0 +1,92 @@
+"""Unit tests for table/series/report rendering."""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, Series, Table
+
+
+class TestTable:
+    def _sample(self):
+        table = Table(
+            title="demo",
+            columns=["name", "value", "flag"],
+            caption="a caption",
+        )
+        table.add_row("alpha", 0.5, True)
+        table.add_row("beta", 123456.0, False)
+        table.add_row("gamma", None, True)
+        return table
+
+    def test_add_row_validates_width(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_add_dict_row(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_dict_row({"b": 2, "a": 1})
+        assert table.rows == [[1, 2]]
+
+    def test_column_accessor(self):
+        table = self._sample()
+        assert table.column("name") == ["alpha", "beta", "gamma"]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_render_contains_everything(self):
+        text = self._sample().render()
+        assert "== demo ==" in text
+        assert "alpha" in text
+        assert "yes" in text and "no" in text
+        assert "a caption" in text
+        assert "1.235e+05" in text  # large floats go scientific
+
+    def test_render_empty_table(self):
+        table = Table(title="empty", columns=["x"])
+        text = table.render()
+        assert "empty" in text
+
+    def test_none_renders_as_dash(self):
+        text = self._sample().render()
+        assert "-" in text
+
+    def test_csv_round_trip_shape(self):
+        csv = self._sample().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "name,value,flag"
+        assert len(lines) == 4
+
+    def test_csv_escapes_commas(self):
+        table = Table(title="t", columns=["a"])
+        table.add_row("x,y")
+        assert '"x,y"' in table.to_csv()
+
+    def test_markdown(self):
+        md = self._sample().to_markdown()
+        assert md.startswith("| name | value | flag |")
+        assert "| alpha | 0.5 | yes |" in md
+
+
+class TestSeries:
+    def test_labels(self):
+        series = Series(title="fig", columns=["x", "y1", "y2"])
+        assert series.x_label == "x"
+        assert series.y_labels() == ["y1", "y2"]
+
+
+class TestExperimentReport:
+    def test_pass_render(self):
+        report = ExperimentReport("E0", "demo experiment")
+        table = report.add_table(Table(title="t", columns=["a"]))
+        table.add_row(1)
+        report.add_note("all good")
+        text = report.render()
+        assert "[E0]" in text and "PASS" in text
+        assert "note: all good" in text
+
+    def test_fail_marks_report(self):
+        report = ExperimentReport("E0", "demo")
+        report.fail("something broke")
+        assert not report.passed
+        assert "FAIL" in report.render()
+        assert "something broke" in report.render()

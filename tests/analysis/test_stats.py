@@ -1,0 +1,108 @@
+"""Unit tests for the confidence-interval helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    rule_of_three_upper,
+    sample_mean_interval,
+    wilson_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_contains(self):
+        interval = ConfidenceInterval(0.5, 0.4, 0.6)
+        assert interval.contains(0.45)
+        assert not interval.contains(0.7)
+        assert interval.width == pytest.approx(0.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.5, 0.6, 0.4)
+
+    def test_describe(self):
+        text = ConfidenceInterval(0.5, 0.4, 0.6).describe()
+        assert "0.5" in text
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        interval = wilson_interval(30, 100)
+        assert interval.contains(0.3)
+
+    def test_bounds_in_unit_interval(self):
+        for successes in (0, 1, 50, 99, 100):
+            interval = wilson_interval(successes, 100)
+            assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_zero_successes_has_positive_upper(self):
+        interval = wilson_interval(0, 100)
+        assert interval.low < 1e-12
+        assert 0.0 < interval.high < 0.06
+
+    def test_narrows_with_trials(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert narrow.width < wide.width
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_matches_scipy_normal_case(self):
+        # Cross-check against the standard closed form via scipy.
+        from scipy import stats as sps
+
+        successes, trials = 42, 200
+        z = sps.norm.ppf(0.975)
+        ours = wilson_interval(successes, trials, z=z)
+        p = successes / trials
+        denominator = 1 + z * z / trials
+        center = (p + z * z / (2 * trials)) / denominator
+        margin = (
+            z
+            * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials**2))
+            / denominator
+        )
+        assert ours.low == pytest.approx(center - margin)
+        assert ours.high == pytest.approx(center + margin)
+
+
+class TestRuleOfThree:
+    def test_approximately_three_over_n(self):
+        assert rule_of_three_upper(100) == pytest.approx(3.0 / 100, rel=0.01)
+
+    def test_capped_at_one(self):
+        assert rule_of_three_upper(1) == 1.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            rule_of_three_upper(0)
+        with pytest.raises(ValueError):
+            rule_of_three_upper(100, confidence=1.0)
+
+
+class TestSampleMean:
+    def test_single_sample_degenerate(self):
+        interval = sample_mean_interval([0.7])
+        assert interval.low == interval.high == 0.7
+
+    def test_contains_true_mean_mostly(self):
+        import random
+
+        rng = random.Random(0)
+        hits = 0
+        for _ in range(100):
+            values = [rng.random() for _ in range(50)]
+            if sample_mean_interval(values).contains(0.5):
+                hits += 1
+        assert hits >= 85  # 95% nominal coverage, generous slack
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sample_mean_interval([])

@@ -1,0 +1,77 @@
+"""Unit tests for the tradeoff-frontier helpers."""
+
+import pytest
+
+from repro.adversary.search import worst_case_unsafety
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    measure_tradeoff_point,
+    protocol_s_frontier,
+    section_8_requirements_table,
+)
+from repro.protocols.protocol_a import ProtocolA
+
+
+class TestTradeoffPoint:
+    def test_ratio(self):
+        point = TradeoffPoint("p", 10, unsafety=0.1, liveness_good_run=1.0,
+                              certification="analytic")
+        assert point.ratio == pytest.approx(10.0)
+        assert point.within_ceiling()
+
+    def test_infinite_ratio_fails_ceiling(self):
+        point = TradeoffPoint("p", 10, unsafety=0.0, liveness_good_run=0.5,
+                              certification="analytic")
+        assert not point.within_ceiling()
+
+    def test_ceiling_boundary(self):
+        point = TradeoffPoint("p", 10, unsafety=1.0 / 11, liveness_good_run=1.0,
+                              certification="analytic")
+        assert point.within_ceiling()
+
+
+class TestMeasurement:
+    def test_protocol_a_point(self, pair):
+        num_rounds = 4
+        protocol = ProtocolA(num_rounds)
+        search = worst_case_unsafety(protocol, pair, num_rounds)
+        point = measure_tradeoff_point(protocol, pair, num_rounds, search)
+        assert point.unsafety == pytest.approx(1.0 / 3)
+        assert point.liveness_good_run == pytest.approx(1.0)
+        assert point.ratio == pytest.approx(3.0)
+        assert point.within_ceiling()
+
+
+class TestAnalyticFrontier:
+    def test_default_epsilons(self):
+        points = protocol_s_frontier(10)
+        assert len(points) == 3
+        extreme = points[0]
+        assert extreme.unsafety == pytest.approx(0.1)
+        assert extreme.liveness_good_run == pytest.approx(1.0)
+
+    def test_custom_epsilons(self):
+        points = protocol_s_frontier(10, epsilons=[0.05])
+        assert points[0].liveness_good_run == pytest.approx(0.5)
+        assert points[0].within_ceiling()
+
+
+class TestRequirementsTable:
+    def test_contains_paper_example(self):
+        rows = section_8_requirements_table()
+        example = [
+            row
+            for row in rows
+            if row["max unsafety"] == 0.001 and row["target liveness"] == 1.0
+        ]
+        assert example
+        assert example[0]["rounds required"] == 999
+
+    def test_rounds_scale_inversely_with_unsafety(self):
+        rows = {
+            row["max unsafety"]: row["rounds required"]
+            for row in section_8_requirements_table()
+            if row["target liveness"] == 1.0
+        }
+        assert rows[0.01] > rows[0.1]
+        assert rows[0.001] > rows[0.01]

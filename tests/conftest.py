@@ -1,0 +1,61 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.run import Run, all_message_tuples
+from repro.core.topology import Topology
+
+
+@pytest.fixture
+def pair():
+    """The two-general topology."""
+    return Topology.pair()
+
+
+@pytest.fixture
+def path3():
+    return Topology.path(3)
+
+
+@pytest.fixture
+def ring4():
+    return Topology.ring(4)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(12345)
+
+
+def runs_for(topology: Topology, num_rounds: int) -> st.SearchStrategy[Run]:
+    """Hypothesis strategy: arbitrary runs on a fixed topology/horizon."""
+    tuples = all_message_tuples(topology, num_rounds)
+    return st.builds(
+        lambda inputs, kept: Run(
+            num_rounds,
+            frozenset(inputs),
+            frozenset(kept),
+        ),
+        st.sets(st.sampled_from(list(topology.processes))),
+        st.sets(st.sampled_from(tuples)) if tuples else st.just(set()),
+    )
+
+
+def small_topology_strategy() -> st.SearchStrategy[Topology]:
+    """Hypothesis strategy over a few small named topologies."""
+    return st.sampled_from(
+        [
+            Topology.pair(),
+            Topology.path(3),
+            Topology.path(4),
+            Topology.ring(4),
+            Topology.star(4),
+            Topology.complete(3),
+        ]
+    )

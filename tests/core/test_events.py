@@ -1,0 +1,59 @@
+"""Unit tests for outcome classification and tallying."""
+
+import pytest
+
+from repro.core.events import Outcome, OutcomeCounts, classify, is_agreement
+
+
+class TestClassify:
+    def test_total_attack(self):
+        assert classify([True, True, True]) is Outcome.TOTAL_ATTACK
+
+    def test_no_attack(self):
+        assert classify([False, False]) is Outcome.NO_ATTACK
+
+    def test_partial_attack(self):
+        assert classify([True, False]) is Outcome.PARTIAL_ATTACK
+        assert classify([False, True, True]) is Outcome.PARTIAL_ATTACK
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify([])
+
+    def test_agreement_predicate(self):
+        assert is_agreement([True, True])
+        assert is_agreement([False, False])
+        assert not is_agreement([True, False])
+
+
+class TestOutcomeCounts:
+    def test_record_and_frequencies(self):
+        counts = OutcomeCounts(2)
+        counts.record([True, True])
+        counts.record([True, False])
+        counts.record([False, False])
+        counts.record([False, False])
+        frequencies = counts.frequencies()
+        assert frequencies == {"TA": 0.25, "PA": 0.25, "NA": 0.5}
+
+    def test_attack_frequency_per_process(self):
+        counts = OutcomeCounts(2)
+        counts.record([True, False])
+        counts.record([True, True])
+        assert counts.attack_frequency(1) == 1.0
+        assert counts.attack_frequency(2) == 0.5
+
+    def test_record_returns_outcome(self):
+        counts = OutcomeCounts(2)
+        assert counts.record([True, False]) is Outcome.PARTIAL_ATTACK
+
+    def test_wrong_width_rejected(self):
+        counts = OutcomeCounts(3)
+        with pytest.raises(ValueError, match="expected 3"):
+            counts.record([True, False])
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="no executions"):
+            OutcomeCounts(2).frequencies()
+        with pytest.raises(ValueError, match="no executions"):
+            OutcomeCounts(2).attack_frequency(1)

@@ -1,0 +1,162 @@
+"""Unit tests for the synchronous simulator.
+
+Uses a transparent echo protocol whose executions are easy to predict,
+plus Protocol S for the indistinguishability (Lemma 2.1 / 4.2) checks.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.execution import decide, execute
+from repro.core.protocol import LocalProtocol, Protocol
+from repro.core.randomness import TapeSpace
+from repro.core.run import Run, good_run, silent_run
+from repro.core.measures import clip
+from repro.core.topology import Topology
+from repro.protocols.protocol_s import ProtocolS
+
+
+class _EchoLocal(LocalProtocol):
+    """State = (my id or input flag, everything heard so far)."""
+
+    def initial_state(self, got_input: bool, tape: object):
+        return (got_input, frozenset())
+
+    def transition(self, state, round_number, received, tape):
+        got_input, heard = state
+        extra = frozenset(
+            (message.sender, message.payload, round_number)
+            for message in received
+        )
+        return (got_input, heard | extra)
+
+    def message(self, state, neighbor):
+        got_input, heard = state
+        return ("hello", got_input)
+
+    def output(self, state):
+        got_input, heard = state
+        return bool(heard)
+
+
+class _SilentLocal(_EchoLocal):
+    def message(self, state, neighbor):
+        return None
+
+
+@dataclass(frozen=True)
+class _EchoProtocol(Protocol):
+    silent: bool = False
+
+    @property
+    def name(self):
+        return "echo"
+
+    def local_protocol(self, process, topology):
+        return _SilentLocal() if self.silent else _EchoLocal()
+
+    def tape_space(self, topology):
+        return TapeSpace.deterministic(list(topology.processes))
+
+
+class TestExecute:
+    def test_initial_states_reflect_inputs(self, pair):
+        run = silent_run(pair, 2, [2])
+        execution = execute(_EchoProtocol(), pair, run, {})
+        assert execution.local(1).states[0] == (False, frozenset())
+        assert execution.local(2).states[0] == (True, frozenset())
+
+    def test_messages_delivered_per_run(self, pair):
+        run = Run.build(2, [], [(1, 2, 1)])
+        execution = execute(_EchoProtocol(), pair, run, {})
+        received = execution.local(2).received_in(1)
+        assert len(received) == 1
+        assert received[0].sender == 1
+        assert execution.local(1).received_in(1) == ()
+
+    def test_null_messages_not_delivered(self, pair):
+        run = good_run(pair, 2)
+        execution = execute(_EchoProtocol(silent=True), pair, run, {})
+        for process in (1, 2):
+            assert execution.local(process).received_in(1) == ()
+            assert execution.local(process).received_in(2) == ()
+
+    def test_sent_history_records_payloads(self, pair):
+        run = silent_run(pair, 1, [1])
+        execution = execute(_EchoProtocol(), pair, run, {})
+        sent = execution.local(1).sent[0]
+        assert sent == ((2, ("hello", True)),)
+
+    def test_outputs_match_decide(self, pair):
+        protocol = ProtocolS(epsilon=0.25)
+        for run in (
+            good_run(pair, 3),
+            Run.build(3, [1], [(1, 2, 2)]),
+            silent_run(pair, 3),
+        ):
+            tapes = {1: 2.5}
+            assert (
+                execute(protocol, pair, run, tapes).outputs
+                == decide(protocol, pair, run, tapes)
+            )
+
+    def test_state_count_is_rounds_plus_one(self, pair):
+        run = good_run(pair, 4)
+        execution = execute(_EchoProtocol(), pair, run, {})
+        assert len(execution.local(1).states) == 5
+
+    def test_rejects_run_not_matching_topology(self, pair):
+        bad_run = Run.build(2, [3])
+        with pytest.raises(ValueError):
+            execute(_EchoProtocol(), pair, bad_run, {})
+
+    def test_rejects_unsupported_topology(self):
+        from repro.protocols.protocol_a import ProtocolA
+
+        topology = Topology.path(3)
+        with pytest.raises(ValueError, match="not defined"):
+            execute(ProtocolA(3), topology, silent_run(topology, 3), {1: 2})
+
+    def test_received_sorted_by_sender(self):
+        topology = Topology.star(4)  # center 1 hears 2, 3, 4
+        run = Run.build(1, [], [(2, 1, 1), (4, 1, 1), (3, 1, 1)])
+        execution = execute(_EchoProtocol(), topology, run, {})
+        senders = [m.sender for m in execution.local(1).received_in(1)]
+        assert senders == [2, 3, 4]
+
+
+class TestIndistinguishability:
+    """Lemma 4.2: executions on R and Clip_i(R) are identical to i."""
+
+    @pytest.mark.parametrize("process", [1, 2])
+    def test_clip_indistinguishable_protocol_s(self, pair, process):
+        protocol = ProtocolS(epsilon=0.2)
+        run = Run.build(4, [1, 2], [(1, 2, 1), (2, 1, 2), (1, 2, 4)])
+        clipped = clip(run, process)
+        tapes = {1: 3.7}
+        original = execute(protocol, pair, run, tapes)
+        alternate = execute(protocol, pair, clipped, tapes)
+        assert original.identical_to(alternate, process)
+
+    def test_clip_indistinguishable_multiprocess(self, path3):
+        protocol = ProtocolS(epsilon=0.25)
+        run = Run.build(
+            3, [1, 3], [(1, 2, 1), (2, 3, 2), (3, 2, 1), (2, 1, 2)]
+        )
+        tapes = {1: 1.5}
+        original = execute(protocol, path3, run, tapes)
+        for process in path3.processes:
+            alternate = execute(protocol, path3, clip(run, process), tapes)
+            assert original.identical_to(alternate, process)
+
+    def test_distinguishable_when_flow_differs(self, pair):
+        protocol = ProtocolS(epsilon=0.2)
+        tapes = {1: 0.5}
+        with_message = execute(
+            protocol, pair, Run.build(2, [1], [(1, 2, 1)]), tapes
+        )
+        without = execute(protocol, pair, Run.build(2, [1]), tapes)
+        assert not with_message.identical_to(without, 2)
+        # ...but identical to the sender, who cannot observe the loss.
+        assert with_message.identical_to(without, 1)

@@ -1,0 +1,304 @@
+"""Unit tests for information flow, levels, clipping, independence.
+
+These pin down the worked examples one can verify by hand against the
+definitions in Sections 4 and 6 and Appendix A.
+"""
+
+import pytest
+
+from repro.core.measures import (
+    backward_closure,
+    causally_independent,
+    clip,
+    earliest_arrivals,
+    earliest_input_arrivals,
+    flows_to,
+    level_profile,
+    modified_level_profile,
+    run_level,
+    run_modified_level,
+)
+from repro.core.run import (
+    Run,
+    good_run,
+    round_cut_run,
+    silent_run,
+    spanning_tree_run,
+)
+from repro.core.topology import Topology
+from repro.core.types import ENVIRONMENT, ProcessRound
+
+
+class TestFlowsTo:
+    def test_reflexive_over_time(self):
+        run = silent_run(Topology.pair(), 3)
+        assert flows_to(run, ProcessRound(1, 0), ProcessRound(1, 3))
+        assert flows_to(run, ProcessRound(1, 2), ProcessRound(1, 2))
+
+    def test_never_backwards_in_time(self):
+        run = good_run(Topology.pair(), 3)
+        assert not flows_to(run, ProcessRound(1, 2), ProcessRound(2, 1))
+
+    def test_via_single_message(self):
+        run = Run.build(3, [], [(1, 2, 2)])
+        assert flows_to(run, ProcessRound(1, 0), ProcessRound(2, 2))
+        assert flows_to(run, ProcessRound(1, 1), ProcessRound(2, 2))
+        assert not flows_to(run, ProcessRound(1, 2), ProcessRound(2, 2))
+        assert not flows_to(run, ProcessRound(1, 0), ProcessRound(2, 1))
+
+    def test_transitive_chain(self):
+        # 1 -> 2 in round 1, 2 -> 3 in round 2 on a path graph.
+        run = Run.build(3, [], [(1, 2, 1), (2, 3, 2)])
+        assert flows_to(run, ProcessRound(1, 0), ProcessRound(3, 2))
+        assert not flows_to(run, ProcessRound(1, 1), ProcessRound(3, 2))
+
+    def test_environment_flow_needs_input_tuple(self):
+        env = ProcessRound(ENVIRONMENT, -1)
+        with_input = Run.build(3, [2])
+        without = Run.build(3, [])
+        assert flows_to(with_input, env, ProcessRound(2, 0))
+        assert not flows_to(without, env, ProcessRound(2, 0))
+
+    def test_environment_flow_propagates(self):
+        run = Run.build(3, [1], [(1, 2, 3)])
+        env = ProcessRound(ENVIRONMENT, -1)
+        assert flows_to(run, env, ProcessRound(2, 3))
+        assert not flows_to(run, env, ProcessRound(2, 2))
+
+    def test_environment_requires_round_minus_one(self):
+        run = Run.build(3, [1])
+        assert not flows_to(run, ProcessRound(ENVIRONMENT, 0), ProcessRound(1, 2))
+
+    def test_earliest_arrivals_rejects_environment(self):
+        with pytest.raises(ValueError, match="environment"):
+            earliest_arrivals(Run.build(2), ENVIRONMENT, -1)
+
+
+class TestEarliestArrivals:
+    def test_direct_and_stale_messages(self):
+        # The round-1 message leaves before (1,1) exists, so starting at
+        # round 1 the flow must wait for the round-3 message.
+        run = Run.build(4, [], [(1, 2, 1), (1, 2, 3)])
+        from_round_0 = earliest_arrivals(run, 1, 0)
+        from_round_1 = earliest_arrivals(run, 1, 1)
+        assert from_round_0[2] == 1
+        assert from_round_1[2] == 3
+
+    def test_unreachable_absent(self):
+        run = silent_run(Topology.pair(), 3)
+        assert 2 not in earliest_arrivals(run, 1, 0)
+
+    def test_input_arrivals(self):
+        run = Run.build(3, [1], [(1, 2, 2)])
+        arrivals = earliest_input_arrivals(run)
+        assert arrivals == {1: 0, 2: 2}
+
+
+class TestLevels:
+    def test_good_run_levels_two_generals(self):
+        # Hand-checkable: every process gains one height per round, so
+        # L_i = N + 1 for both.
+        run = good_run(Topology.pair(), 4)
+        profile = level_profile(run, 2)
+        assert profile.levels() == {1: 5, 2: 5}
+        assert profile.run_level() == 5
+
+    def test_silent_run_levels(self):
+        run = silent_run(Topology.pair(), 4, [1])
+        profile = level_profile(run, 2)
+        assert profile.levels() == {1: 1, 2: 0}
+        assert profile.run_level() == 0
+
+    def test_no_input_means_level_zero(self):
+        run = good_run(Topology.pair(), 3, inputs=[])
+        assert run_level(run, 2) == 0
+
+    def test_level_at_intermediate_rounds(self):
+        run = good_run(Topology.pair(), 4)
+        profile = level_profile(run, 2)
+        assert profile.level_at(1, 0) == 1
+        assert profile.level_at(1, 1) == 2
+        assert profile.level_at(1, 4) == 5
+
+    def test_round_cut_caps_level(self):
+        topology = Topology.pair()
+        for cut in range(1, 6):
+            run = round_cut_run(topology, 4, cut)
+            assert run_level(run, 2) == cut
+
+    def test_level_monotone_in_messages(self):
+        base = round_cut_run(Topology.pair(), 4, 3)
+        richer = base.adding((1, 2, 3))
+        assert run_level(richer, 2) >= run_level(base, 2)
+
+    def test_path_levels_limited_by_distance(self):
+        topology = Topology.path(3)
+        run = good_run(topology, 1)
+        profile = level_profile(run, 3)
+        # One round: only the middle vertex hears from *all* others, so
+        # only it reaches height 2; the endpoints never hear the far end.
+        assert profile.final_level(2) == 2
+        assert profile.final_level(1) == 1
+        assert profile.final_level(3) == 1
+        assert profile.run_level() == 1
+
+    def test_max_level(self):
+        run = good_run(Topology.pair(), 3)
+        profile = level_profile(run, 2)
+        assert profile.max_level() == 4
+
+
+class TestModifiedLevels:
+    def test_good_run_modified_levels(self):
+        # ML lags L by exactly one for the process whose parity receives
+        # last; ML(R_good) = N.
+        run = good_run(Topology.pair(), 4)
+        profile = modified_level_profile(run, 2)
+        assert profile.run_level() == 4
+        assert sorted(profile.levels().values()) == [4, 5]
+
+    def test_requires_hearing_coordinator(self):
+        # Input everywhere but process 1 never reaches process 2.
+        run = Run.build(3, [1, 2], [(2, 1, r) for r in (1, 2, 3)])
+        profile = modified_level_profile(run, 2)
+        assert profile.final_level(2) == 0
+        assert profile.final_level(1) >= 1
+
+    def test_spanning_tree_run_is_ml_one(self):
+        # Lemma A.6 on several graphs.
+        for topology in (Topology.pair(), Topology.star(4), Topology.path(4)):
+            run = spanning_tree_run(topology, topology.num_processes)
+            profile = modified_level_profile(run, topology.num_processes)
+            assert profile.final_level(1) == 1
+            assert profile.run_level() == 1
+
+    def test_alternate_coordinator(self):
+        run = Run.build(3, [1, 2], [(2, 1, r) for r in (1, 2, 3)])
+        profile = modified_level_profile(run, 2, coordinator=2)
+        assert profile.final_level(1) >= 1
+        assert profile.final_level(2) >= 1
+
+    def test_convenience_wrappers(self):
+        run = good_run(Topology.pair(), 3)
+        assert run_modified_level(run, 2) == 3
+        assert run_level(run, 2) == 4
+
+
+class TestClipping:
+    def test_clip_drops_unheard_tuples(self):
+        # The 2 -> 1 message of the last round can never reach process 2
+        # again, so clipping to 2 drops it.
+        run = Run.build(3, [1, 2], [(2, 1, 3), (1, 2, 1)])
+        clipped = clip(run, 2)
+        assert clipped.delivers(1, 2, 1)
+        assert not clipped.delivers(2, 1, 3)
+
+    def test_clip_keeps_useful_relay(self):
+        run = Run.build(3, [], [(1, 2, 1), (2, 1, 2)])
+        clipped = clip(run, 1)
+        assert clipped.delivers(1, 2, 1)
+        assert clipped.delivers(2, 1, 2)
+
+    def test_clip_drops_unflowing_inputs(self):
+        run = silent_run(Topology.pair(), 3, [1, 2])
+        clipped = clip(run, 1)
+        assert clipped.inputs == frozenset([1])
+
+    def test_clip_is_subrun(self):
+        run = good_run(Topology.ring(4), 3)
+        for process in run.inputs:
+            assert clip(run, process).is_subrun_of(run)
+
+    def test_clip_idempotent(self):
+        run = good_run(Topology.path(3), 3)
+        once = clip(run, 2)
+        assert clip(once, 2) == once
+
+    def test_clip_preserves_own_level(self):
+        # Lemma 4.2 on a concrete run.
+        run = Run.build(4, [1, 2], [(1, 2, 1), (2, 1, 2), (1, 2, 4)])
+        for process in (1, 2):
+            clipped = clip(run, process)
+            assert (
+                level_profile(run, 2).final_level(process)
+                == level_profile(clipped, 2).final_level(process)
+            )
+
+
+class TestBackwardClosure:
+    def test_anchor_only_at_final_round(self):
+        run = silent_run(Topology.pair(), 2)
+        closure = backward_closure(run, ProcessRound(1, 2))
+        assert ProcessRound(1, 2) in closure
+        assert ProcessRound(2, 2) not in closure
+        assert ProcessRound(1, 0) in closure
+
+    def test_message_adds_sender_history(self):
+        run = Run.build(2, [], [(2, 1, 2)])
+        closure = backward_closure(run, ProcessRound(1, 2))
+        assert ProcessRound(2, 1) in closure
+        assert ProcessRound(2, 0) in closure
+        assert ProcessRound(2, 2) not in closure
+
+
+class TestCausalIndependence:
+    def test_silent_run_independent(self):
+        run = silent_run(Topology.pair(), 3, [1, 2])
+        assert causally_independent(run, 1, 2)
+
+    def test_any_message_breaks_independence(self):
+        run = Run.build(3, [1, 2], [(1, 2, 2)])
+        assert not causally_independent(run, 1, 2)
+
+    def test_relay_breaks_independence(self):
+        # 2 hears nothing, but (2, 0) flows to itself and to 1? No — the
+        # shared root here is process 2's own round-0 pair flowing to
+        # both ends via the middle of a path.
+        topology = Topology.path(3)
+        run = Run.build(3, [2], [(2, 1, 1), (2, 3, 1)])
+        run.validate_for(topology)
+        assert not causally_independent(run, 1, 3)
+
+    def test_disjoint_branches_stay_independent(self):
+        # On a path 1-2-3, information flowing only 1 -> 2 leaves 1 and 3
+        # causally independent? No: (1,0) flows to (1,N) and nothing
+        # flows to 3 except (3,0); the roots {1,2} vs {3} are disjoint.
+        run = Run.build(3, [1], [(1, 2, 1)])
+        assert causally_independent(run, 1, 3)
+
+
+class TestUsualCaseBoundary:
+    """Appendix A: without 'diameter <= N', the run level is capped at 1.
+
+    (The paper states ``L_i(R) <= 1`` for all ``i``; read as the run
+    minimum — interior vertices of a long path can still reach level 2,
+    but some process always stalls at 1, which is what the bound
+    ``L(F, R) <= eps`` needs.)
+    """
+
+    def test_run_level_capped_when_diameter_exceeds_rounds(self):
+        import random as _random
+
+        from repro.core.run import good_run, random_run
+
+        topology = Topology.path(5)  # diameter 4
+        num_rounds = 3  # < diameter
+        assert run_level(good_run(topology, num_rounds), 5) <= 1
+        rng = _random.Random(4)
+        for _ in range(25):
+            run = random_run(topology, num_rounds, rng)
+            assert run_level(run, 5) <= 1
+
+    def test_interior_vertices_may_still_exceed_one(self):
+        from repro.core.run import good_run
+
+        topology = Topology.path(5)
+        profile = level_profile(good_run(topology, 3), 5)
+        assert profile.final_level(3) >= 2  # the middle hears everyone
+        assert profile.final_level(1) <= 1  # the endpoint cannot
+
+    def test_cap_lifts_once_rounds_cover_diameter(self):
+        from repro.core.run import good_run
+
+        topology = Topology.path(5)
+        assert run_level(good_run(topology, 4), 5) >= 2

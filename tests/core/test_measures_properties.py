@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for the information measures.
+
+These are the invariants the lower-bound proofs lean on; hypothesis
+hammers them with arbitrary runs on small topologies:
+
+* flows-to is reflexive and transitive (Lemma 4.1);
+* clipping is idempotent, yields a subrun, preserves ``L_i``
+  (Lemma 4.2), and removing clipped-away tuples never changes what
+  ``i`` observes;
+* levels are monotone under message addition and bounded by ``N + 1``;
+* ``L_i - 1 <= ML_i <= L_i`` (Lemma 6.1) and modified levels differ
+  pairwise by at most 1 (Lemma 6.2);
+* a positive level needs a delivered message (Lemma 5.1's shape);
+* ``Clip_i`` of a level-``l`` run leaves some process at level
+  ``<= l - 1`` (Lemma 5.2).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measures import (
+    causally_independent,
+    clip,
+    flows_to,
+    level_profile,
+    modified_level_profile,
+)
+from repro.core.run import all_message_tuples
+from repro.core.topology import Topology
+from repro.core.types import ProcessRound
+
+from ..conftest import runs_for
+
+PAIR = Topology.pair()
+PATH3 = Topology.path(3)
+RING4 = Topology.ring(4)
+
+pair_runs = runs_for(PAIR, 4)
+path3_runs = runs_for(PATH3, 3)
+ring4_runs = runs_for(RING4, 3)
+
+any_runs = st.one_of(pair_runs, path3_runs, ring4_runs)
+
+
+def _num_processes(run):
+    """Infer the vertex count from the strategy that produced the run."""
+    peak = max(
+        [2]
+        + [i for i in run.inputs]
+        + [m.source for m in run.messages]
+        + [m.target for m in run.messages]
+    )
+    # Strategies above only produce runs on PAIR, PATH3 or RING4; the
+    # horizon disambiguates pair (4 rounds) from the others (3 rounds).
+    if run.num_rounds == 4:
+        return 2
+    return 3 if peak <= 3 else 4
+
+
+@given(pair_runs, st.integers(0, 4), st.integers(0, 4))
+@settings(max_examples=60, deadline=None)
+def test_flows_to_reflexive(run, r, s):
+    if r <= s:
+        assert flows_to(run, ProcessRound(1, r), ProcessRound(1, s))
+
+
+@given(path3_runs)
+@settings(max_examples=60, deadline=None)
+def test_flows_to_transitive(run):
+    pairs = [
+        ProcessRound(i, r)
+        for i in (1, 2, 3)
+        for r in range(0, run.num_rounds + 1)
+    ]
+    for a, b, c in itertools.product(pairs, repeat=3):
+        if flows_to(run, a, b) and flows_to(run, b, c):
+            assert flows_to(run, a, c)
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_clip_is_subrun_and_idempotent(run):
+    m = _num_processes(run)
+    for process in range(1, m + 1):
+        clipped = clip(run, process)
+        assert clipped.is_subrun_of(run)
+        assert clip(clipped, process) == clipped
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_clip_preserves_own_level(run):
+    m = _num_processes(run)
+    profile = level_profile(run, m)
+    for process in range(1, m + 1):
+        clipped = clip(run, process)
+        assert (
+            level_profile(clipped, m).final_level(process)
+            == profile.final_level(process)
+        )
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_levels_bounded_by_rounds_plus_one(run):
+    m = _num_processes(run)
+    profile = level_profile(run, m)
+    for process in range(1, m + 1):
+        assert 0 <= profile.final_level(process) <= run.num_rounds + 1
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_lemma_6_1_and_6_2(run):
+    m = _num_processes(run)
+    levels = level_profile(run, m)
+    mlevels = modified_level_profile(run, m)
+    finals = []
+    for process in range(1, m + 1):
+        level = levels.final_level(process)
+        mlevel = mlevels.final_level(process)
+        assert level - 1 <= mlevel <= level
+        finals.append(mlevel)
+    assert max(finals) - min(finals) <= 1
+
+
+@given(pair_runs)
+@settings(max_examples=100, deadline=None)
+def test_level_monotone_under_message_addition(run):
+    profile = level_profile(run, 2)
+    for extra in all_message_tuples(PAIR, run.num_rounds):
+        if extra in run.messages:
+            continue
+        richer = level_profile(run.adding(tuple(extra)), 2)
+        for process in (1, 2):
+            assert richer.final_level(process) >= profile.final_level(process)
+        break  # one addition per example keeps the test fast
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_positive_level_requires_input_flow(run):
+    # Level >= 1 means the environment pair flows to the process; with
+    # no inputs at all, every level is 0 (the validity backbone).
+    m = _num_processes(run)
+    if not run.inputs:
+        profile = level_profile(run, m)
+        assert all(
+            profile.final_level(process) == 0 for process in range(1, m + 1)
+        )
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_lemma_5_2_clip_leaves_a_laggard(run):
+    m = _num_processes(run)
+    profile = level_profile(run, m)
+    for process in range(1, m + 1):
+        level = profile.final_level(process)
+        if level == 0:
+            continue
+        clipped_profile = level_profile(clip(run, process), m)
+        assert any(
+            clipped_profile.final_level(other) <= level - 1
+            for other in range(1, m + 1)
+        )
+
+
+@given(any_runs)
+@settings(max_examples=100, deadline=None)
+def test_levels_monotone_in_round(run):
+    m = _num_processes(run)
+    profile = level_profile(run, m)
+    for process in range(1, m + 1):
+        previous = 0
+        for round_number in range(0, run.num_rounds + 1):
+            current = profile.level_at(process, round_number)
+            assert current >= previous
+            previous = current
+
+
+@given(pair_runs)
+@settings(max_examples=100, deadline=None)
+def test_causal_independence_is_symmetric(run):
+    assert causally_independent(run, 1, 2) == causally_independent(run, 2, 1)
+
+
+@given(pair_runs)
+@settings(max_examples=100, deadline=None)
+def test_messages_break_independence_when_both_rooted(run):
+    # If any message is delivered from i to j, (i, 0) flows to both
+    # (i, N) and (j, N) — so they cannot be causally independent.
+    if any(True for _ in run.messages):
+        assert not causally_independent(run, 1, 2)

@@ -1,0 +1,71 @@
+"""Unit tests for the liveness/unsafety/validity metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    check_validity,
+    liveness,
+    max_unsafety_over,
+    unsafety_on_run,
+    validity_probe_runs,
+)
+from repro.core.run import chain_run, good_run, silent_run
+from repro.protocols.deterministic import AlwaysAttack, NeverAttack
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_s import ProtocolS
+
+
+class TestPerRunMetrics:
+    def test_liveness_good_run(self, pair):
+        assert liveness(ProtocolA(4), pair, good_run(pair, 4)) == pytest.approx(1.0)
+
+    def test_liveness_scales_with_epsilon(self, pair):
+        run = good_run(pair, 4)
+        assert liveness(ProtocolS(epsilon=0.1), pair, run) == pytest.approx(0.4)
+
+    def test_unsafety_on_break_run(self, pair):
+        assert unsafety_on_run(
+            ProtocolA(5), pair, chain_run(5, 3)
+        ) == pytest.approx(0.25)
+
+
+class TestMaxUnsafetyOver:
+    def test_finds_worst_run(self, pair):
+        protocol = ProtocolA(5)
+        runs = [chain_run(5, b) for b in range(1, 6)] + [chain_run(5, None)]
+        result = max_unsafety_over(protocol, pair, runs)
+        assert result.value == pytest.approx(0.25)
+        assert result.runs_examined == 6
+        assert result.worst_run is not None
+        assert "explicit-set" in result.describe()
+
+    def test_empty_iterable_rejected(self, pair):
+        with pytest.raises(ValueError, match="no runs"):
+            max_unsafety_over(ProtocolA(3), pair, [])
+
+
+class TestValidity:
+    def test_valid_protocols_pass(self, pair, rng):
+        probes = validity_probe_runs(pair, 4, rng)
+        for protocol in (ProtocolA(4), ProtocolS(epsilon=0.2), NeverAttack()):
+            ok, witness = check_validity(protocol, pair, probes, rng=rng)
+            assert ok, f"{protocol.name} flagged invalid on {witness}"
+
+    def test_always_attack_fails(self, pair, rng):
+        probes = validity_probe_runs(pair, 4, rng)
+        ok, witness = check_validity(AlwaysAttack(), pair, probes, rng=rng)
+        assert not ok
+        assert witness is not None
+
+    def test_rejects_runs_with_inputs(self, pair):
+        with pytest.raises(ValueError, match="input-free"):
+            check_validity(NeverAttack(), pair, [silent_run(pair, 3, [1])])
+
+    def test_probe_runs_are_input_free(self, pair, rng):
+        for run in validity_probe_runs(pair, 3, rng):
+            assert not run.inputs
+
+    def test_multiprocess_validity(self, path3, rng):
+        probes = validity_probe_runs(path3, 3, rng)
+        ok, _ = check_validity(ProtocolS(epsilon=0.3), path3, probes, rng=rng)
+        assert ok

@@ -1,0 +1,141 @@
+"""Unit tests for the probability engines and backend agreement."""
+
+import random
+
+import pytest
+
+from repro.core.probability import (
+    EventProbabilities,
+    evaluate,
+    exact_probabilities,
+    monte_carlo_probabilities,
+)
+from repro.core.run import Run, chain_run, good_run, silent_run
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.variants import XorCoin
+
+
+class TestEventProbabilities:
+    def test_rejects_non_normalized(self):
+        with pytest.raises(ValueError, match="sum to"):
+            EventProbabilities(0.5, 0.1, 0.1, (0.5, 0.5), "closed-form")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EventProbabilities(1.5, -0.5, 0.0, (1.0, 1.0), "closed-form")
+
+    def test_accessors(self):
+        result = EventProbabilities(0.5, 0.25, 0.25, (0.6, 0.7), "enumeration")
+        assert result.liveness == 0.5
+        assert result.unsafety == 0.25
+        assert result.pr_attack_by(2) == 0.7
+        assert result.is_exact()
+
+    def test_agrees_with(self):
+        a = EventProbabilities(0.5, 0.5, 0.0, (0.5, 0.5), "closed-form")
+        b = EventProbabilities(0.51, 0.49, 0.0, (0.5, 0.52), "monte-carlo")
+        assert a.agrees_with(b, tolerance=0.03)
+        assert not a.agrees_with(b, tolerance=0.001)
+
+
+class TestExactEnumeration:
+    def test_protocol_a_break_run(self, pair):
+        # Breaking the chain at round b makes PA happen iff rfire = b.
+        protocol = ProtocolA(5)
+        result = exact_probabilities(protocol, pair, chain_run(5, 3))
+        assert result.method == "enumeration"
+        assert result.pr_partial_attack == pytest.approx(0.25)
+        # rfire in {2} -> both attack; {3} -> partial; {4, 5} -> none.
+        assert result.pr_total_attack == pytest.approx(0.25)
+        assert result.pr_no_attack == pytest.approx(0.5)
+
+    def test_refuses_continuous_space(self, pair):
+        with pytest.raises(ValueError, match="continuous"):
+            exact_probabilities(ProtocolS(epsilon=0.5), pair, good_run(pair, 2))
+
+    def test_refuses_oversized_space(self, pair):
+        protocol = XorCoin()
+        with pytest.raises(ValueError, match="exceeds"):
+            exact_probabilities(
+                protocol, pair, good_run(pair, 2), enumeration_limit=2
+            )
+
+
+class TestMonteCarlo:
+    def test_matches_exact_on_protocol_a(self, pair, rng):
+        protocol = ProtocolA(6)
+        run = chain_run(6, 4)
+        exact = exact_probabilities(protocol, pair, run)
+        sampled = monte_carlo_probabilities(
+            protocol, pair, run, trials=8000, rng=rng
+        )
+        assert sampled.method == "monte-carlo"
+        assert sampled.trials == 8000
+        assert exact.agrees_with(sampled, tolerance=0.02)
+
+    def test_rejects_nonpositive_trials(self, pair):
+        with pytest.raises(ValueError):
+            monte_carlo_probabilities(
+                ProtocolA(3), pair, good_run(pair, 3), trials=0
+            )
+
+    def test_deterministic_given_seed(self, pair):
+        protocol = ProtocolS(epsilon=0.3)
+        run = chain_run(4, 3)
+        first = monte_carlo_probabilities(
+            protocol, pair, run, trials=500, rng=random.Random(9)
+        )
+        second = monte_carlo_probabilities(
+            protocol, pair, run, trials=500, rng=random.Random(9)
+        )
+        assert first == second
+
+
+class TestEvaluateDispatch:
+    def test_prefers_closed_form(self, pair):
+        result = evaluate(ProtocolS(epsilon=0.5), pair, good_run(pair, 3))
+        assert result.method == "closed-form"
+
+    def test_enumeration_for_finite_without_closed_form(self, pair):
+        result = evaluate(
+            XorCoin(), pair, good_run(pair, 2), method="enumeration"
+        )
+        assert result.method == "enumeration"
+
+    def test_auto_uses_enumeration_for_finite(self, pair):
+        result = evaluate(XorCoin(), pair, good_run(pair, 2))
+        assert result.method == "enumeration"
+
+    def test_forced_monte_carlo(self, pair, rng):
+        result = evaluate(
+            ProtocolA(4),
+            pair,
+            good_run(pair, 4),
+            method="monte-carlo",
+            trials=200,
+            rng=rng,
+        )
+        assert result.method == "monte-carlo"
+
+    def test_closed_form_unavailable_raises(self, pair):
+        with pytest.raises(ValueError, match="no closed form"):
+            evaluate(XorCoin(), pair, good_run(pair, 2), method="closed-form")
+
+    def test_unknown_method_raises(self, pair):
+        with pytest.raises(ValueError, match="unknown method"):
+            evaluate(XorCoin(), pair, good_run(pair, 2), method="magic")
+
+    def test_closed_form_matches_enumeration_protocol_a(self, pair):
+        # The decisive cross-check: two independent exact backends.
+        protocol = ProtocolA(5)
+        for run in (
+            good_run(pair, 5),
+            chain_run(5, 2),
+            chain_run(5, 4, inputs=[1]),
+            silent_run(pair, 5, [2]),
+            Run.build(5, [1, 2], [(2, 1, 1), (1, 2, 2), (2, 1, 3)]),
+        ):
+            closed = protocol.closed_form_probabilities(pair, run)
+            enumerated = exact_probabilities(protocol, pair, run)
+            assert closed.agrees_with(enumerated, tolerance=1e-9), run

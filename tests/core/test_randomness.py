@@ -1,0 +1,130 @@
+"""Unit tests for tape distributions and the joint tape space."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.randomness import (
+    BitStringTape,
+    ConstantTape,
+    TapeSpace,
+    UniformIntTape,
+    UniformRealTape,
+)
+
+
+class TestConstantTape:
+    def test_sample_and_atoms(self):
+        tape = ConstantTape("x")
+        assert tape.sample(random.Random(0)) == "x"
+        assert tape.atoms() == [("x", 1.0)]
+        assert tape.support_size() == 1
+
+
+class TestUniformIntTape:
+    def test_atoms_sum_to_one(self):
+        tape = UniformIntTape(2, 6)
+        atoms = tape.atoms()
+        assert len(atoms) == tape.support_size() == 5
+        assert math.isclose(sum(weight for _, weight in atoms), 1.0)
+
+    def test_sample_in_range(self):
+        tape = UniformIntTape(2, 6)
+        rng = random.Random(1)
+        values = {tape.sample(rng) for _ in range(200)}
+        assert values == {2, 3, 4, 5, 6}
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError, match="empty"):
+            UniformIntTape(3, 2)
+
+
+class TestUniformRealTape:
+    def test_sample_in_half_open_interval(self):
+        tape = UniformRealTape(0.0, 4.0)
+        rng = random.Random(2)
+        for _ in range(500):
+            value = tape.sample(rng)
+            assert 0.0 < value <= 4.0
+
+    def test_sample_is_roughly_uniform(self):
+        tape = UniformRealTape(0.0, 1.0)
+        rng = random.Random(3)
+        mean = sum(tape.sample(rng) for _ in range(5000)) / 5000
+        assert abs(mean - 0.5) < 0.02
+
+    def test_no_finite_support(self):
+        tape = UniformRealTape(0.0, 1.0)
+        assert tape.support_size() is None
+        with pytest.raises(ValueError, match="no finite support"):
+            tape.atoms()
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError, match="empty"):
+            UniformRealTape(1.0, 1.0)
+
+
+class TestBitStringTape:
+    def test_support(self):
+        tape = BitStringTape(3)
+        assert tape.support_size() == 8
+        atoms = tape.atoms()
+        assert len(atoms) == 8
+        assert all(math.isclose(weight, 1 / 8) for _, weight in atoms)
+
+    def test_sample_shape(self):
+        tape = BitStringTape(4)
+        value = tape.sample(random.Random(0))
+        assert len(value) == 4
+        assert set(value) <= {0, 1}
+
+    def test_zero_bits(self):
+        tape = BitStringTape(0)
+        assert tape.support_size() == 1
+        assert tape.sample(random.Random(0)) == ()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitStringTape(-1)
+
+
+class TestTapeSpace:
+    def test_joint_support_size(self):
+        space = TapeSpace.from_dict(
+            {1: UniformIntTape(1, 3), 2: BitStringTape(2)}
+        )
+        assert space.joint_support_size() == 12
+
+    def test_joint_support_none_when_continuous(self):
+        space = TapeSpace.from_dict(
+            {1: UniformRealTape(0, 1), 2: ConstantTape()}
+        )
+        assert space.joint_support_size() is None
+
+    def test_enumerate_weights_sum_to_one(self):
+        space = TapeSpace.from_dict(
+            {1: UniformIntTape(1, 2), 2: BitStringTape(1)}
+        )
+        assignments = list(space.enumerate())
+        assert len(assignments) == 4
+        assert math.isclose(sum(w for _, w in assignments), 1.0)
+        for tapes, _ in assignments:
+            assert set(tapes) == {1, 2}
+
+    def test_sample_respects_distributions(self):
+        space = TapeSpace.from_dict(
+            {1: ConstantTape(7), 2: UniformIntTape(0, 0)}
+        )
+        tapes = space.sample(random.Random(0))
+        assert tapes == {1: 7, 2: 0}
+
+    def test_deterministic_space(self):
+        space = TapeSpace.deterministic([1, 2, 3])
+        assert space.joint_support_size() == 1
+        tapes = space.sample(random.Random(0))
+        assert all(value is None for value in tapes.values())
+
+    def test_distribution_for_unknown_process_is_constant(self):
+        space = TapeSpace.from_dict({1: UniformIntTape(1, 2)})
+        assert isinstance(space.distribution_for(9), ConstantTape)

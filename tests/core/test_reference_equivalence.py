@@ -1,0 +1,108 @@
+"""Cross-validation: optimized measures == literal-definition reference.
+
+The optimized level machinery (earliest-arrival DP + shared recursion)
+is compared against a second, independent implementation that follows
+the paper's definitions verbatim (tests/core/reference_measures.py).
+Agreement on arbitrary hypothesis-generated runs is strong evidence
+that neither implementation mis-reads the definitions.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.measures import (
+    clip,
+    flows_to,
+    level_profile,
+    modified_level_profile,
+)
+from repro.core.topology import Topology
+from repro.core.types import ENVIRONMENT, INPUT_SEND_ROUND, ProcessRound
+
+from ..conftest import runs_for
+from .reference_measures import (
+    clip_ref,
+    flows_ref,
+    level_ref,
+    modified_level_ref,
+)
+
+PAIR = Topology.pair()
+PATH3 = Topology.path(3)
+
+pair_runs = runs_for(PAIR, 3)
+path3_runs = runs_for(PATH3, 3)
+
+
+@given(pair_runs)
+@settings(max_examples=60, deadline=None)
+def test_flows_to_matches_reference_pair(run):
+    for i in (1, 2):
+        for r in range(0, run.num_rounds + 1):
+            for k in (1, 2):
+                for t in range(0, run.num_rounds + 1):
+                    assert flows_to(
+                        run, ProcessRound(i, r), ProcessRound(k, t)
+                    ) == flows_ref(run, i, r, k, t)
+
+
+@given(pair_runs)
+@settings(max_examples=60, deadline=None)
+def test_environment_flows_match_reference(run):
+    env = ProcessRound(ENVIRONMENT, INPUT_SEND_ROUND)
+    for k in (1, 2):
+        for t in range(0, run.num_rounds + 1):
+            assert flows_to(run, env, ProcessRound(k, t)) == flows_ref(
+                run, ENVIRONMENT, INPUT_SEND_ROUND, k, t
+            )
+
+
+@given(pair_runs)
+@settings(max_examples=40, deadline=None)
+def test_levels_match_reference_pair(run):
+    profile = level_profile(run, 2)
+    for j in (1, 2):
+        for r in range(0, run.num_rounds + 1):
+            assert profile.level_at(j, r) == level_ref(run, 2, j, r)
+
+
+@given(path3_runs)
+@settings(max_examples=25, deadline=None)
+def test_levels_match_reference_path3(run):
+    profile = level_profile(run, 3)
+    for j in (1, 2, 3):
+        assert profile.final_level(j) == level_ref(
+            run, 3, j, run.num_rounds
+        )
+
+
+@given(pair_runs)
+@settings(max_examples=40, deadline=None)
+def test_modified_levels_match_reference_pair(run):
+    profile = modified_level_profile(run, 2)
+    for j in (1, 2):
+        for r in range(0, run.num_rounds + 1):
+            assert profile.level_at(j, r) == modified_level_ref(run, 2, j, r)
+
+
+@given(path3_runs)
+@settings(max_examples=25, deadline=None)
+def test_modified_levels_match_reference_path3(run):
+    profile = modified_level_profile(run, 3)
+    for j in (1, 2, 3):
+        assert profile.final_level(j) == modified_level_ref(
+            run, 3, j, run.num_rounds
+        )
+
+
+@given(pair_runs)
+@settings(max_examples=60, deadline=None)
+def test_clip_matches_reference_pair(run):
+    for process in (1, 2):
+        assert clip(run, process) == clip_ref(run, process)
+
+
+@given(path3_runs)
+@settings(max_examples=30, deadline=None)
+def test_clip_matches_reference_path3(run):
+    for process in (1, 2, 3):
+        assert clip(run, process) == clip_ref(run, process)

@@ -1,0 +1,96 @@
+"""Unit tests for the JSON serialization of runs and results."""
+
+import json
+
+import pytest
+
+from repro.core.probability import EventProbabilities
+from repro.core.run import good_run, random_run
+from repro.core.serialization import (
+    probabilities_from_dict,
+    probabilities_to_dict,
+    report_to_dict,
+    report_to_json,
+    run_from_dict,
+    run_from_json,
+    run_to_dict,
+    run_to_json,
+    timed_run_from_dict,
+    timed_run_to_dict,
+)
+from repro.timed.run import TimedRun, delayed_good_run
+
+
+class TestRunRoundTrip:
+    def test_dict_round_trip(self, pair, rng):
+        for _ in range(20):
+            run = random_run(pair, 5, rng)
+            assert run_from_dict(run_to_dict(run)) == run
+
+    def test_json_round_trip(self, ring4, rng):
+        run = random_run(ring4, 3, rng)
+        text = run_to_json(run)
+        json.loads(text)  # is valid JSON
+        assert run_from_json(text) == run
+
+    def test_json_is_canonical(self, pair):
+        run = good_run(pair, 3)
+        assert run_to_json(run) == run_to_json(run_from_json(run_to_json(run)))
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a run"):
+            run_from_dict({"kind": "something-else"})
+
+    def test_rejects_wrong_schema(self, pair):
+        payload = run_to_dict(good_run(pair, 2))
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            run_from_dict(payload)
+
+
+class TestTimedRunRoundTrip:
+    def test_round_trip(self, pair):
+        run = delayed_good_run(pair, 5, 2)
+        assert timed_run_from_dict(timed_run_to_dict(run)) == run
+
+    def test_rejects_plain_run_payload(self, pair):
+        with pytest.raises(ValueError, match="not a timed-run"):
+            timed_run_from_dict(run_to_dict(good_run(pair, 2)))
+
+    def test_payload_is_json_safe(self, pair):
+        run = TimedRun.build(4, [1], [(1, 2, 1, 3)])
+        json.dumps(timed_run_to_dict(run))
+
+
+class TestProbabilitiesRoundTrip:
+    def test_round_trip(self):
+        result = EventProbabilities(0.5, 0.25, 0.25, (0.7, 0.5), "enumeration")
+        payload = probabilities_to_dict(result)
+        assert probabilities_from_dict(payload) == result
+
+    def test_trials_preserved(self):
+        result = EventProbabilities(
+            0.5, 0.5, 0.0, (0.5, 0.5), "monte-carlo", trials=1234
+        )
+        assert probabilities_from_dict(
+            probabilities_to_dict(result)
+        ).trials == 1234
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a probabilities"):
+            probabilities_from_dict({"kind": "run"})
+
+
+class TestReportSerialization:
+    def test_report_to_json(self):
+        from repro.experiments import Config, run_experiment
+
+        report = run_experiment("E1", Config(scale="quick"))
+        payload = report_to_dict(report)
+        assert payload["experiment_id"] == "E1"
+        assert payload["passed"] is True
+        assert payload["tables"]
+        text = report_to_json(report)
+        reloaded = json.loads(text)
+        assert reloaded["title"] == report.title
+        assert reloaded["tables"][0]["rows"]

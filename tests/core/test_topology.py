@@ -1,0 +1,171 @@
+"""Unit tests for the topology module, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.topology import Topology, standard_topologies
+
+
+def _to_networkx(topology: Topology) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.processes)
+    graph.add_edges_from(topology.edges)
+    return graph
+
+
+class TestConstruction:
+    def test_pair(self):
+        pair = Topology.pair()
+        assert pair.num_processes == 2
+        assert pair.has_edge(1, 2)
+        assert pair.has_edge(2, 1)
+
+    def test_from_edges_normalizes_orientation(self):
+        topology = Topology.from_edges(3, [(2, 1), (3, 2)])
+        assert (1, 2) in topology.edges
+        assert (2, 3) in topology.edges
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology.from_edges(3, [(1, 1)])
+
+    def test_rejects_vertex_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            Topology.from_edges(2, [(1, 3)])
+
+    def test_rejects_single_process(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Topology.from_edges(1, [])
+
+    def test_rejects_non_canonical_edges_in_direct_constructor(self):
+        with pytest.raises(ValueError, match="canonical"):
+            Topology(2, frozenset([(2, 1)]))
+
+    def test_path_shape(self):
+        path = Topology.path(4)
+        assert len(path.edges) == 3
+        assert path.neighbors(1) == (2,)
+        assert path.neighbors(2) == (1, 3)
+
+    def test_ring_shape(self):
+        ring = Topology.ring(5)
+        assert len(ring.edges) == 5
+        assert all(len(ring.neighbors(v)) == 2 for v in ring.processes)
+
+    def test_ring_requires_three_vertices(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            Topology.ring(2)
+
+    def test_complete_shape(self):
+        complete = Topology.complete(4)
+        assert len(complete.edges) == 6
+        assert complete.diameter() == 1
+
+    def test_star_shape(self):
+        star = Topology.star(5, center=2)
+        assert len(star.edges) == 4
+        assert len(star.neighbors(2)) == 4
+
+    def test_grid_shape(self):
+        grid = Topology.grid(2, 3)
+        assert grid.num_processes == 6
+        assert len(grid.edges) == 7  # 3 horizontal per row? 2*2 + 3 = 7
+        assert grid.is_connected()
+
+    def test_grid_rejects_single_cell(self):
+        with pytest.raises(ValueError):
+            Topology.grid(1, 1)
+
+    def test_random_connected_is_connected(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            topology = Topology.random_connected(6, 0.2, rng)
+            assert topology.is_connected()
+
+    def test_random_connected_zero_extras_is_tree(self):
+        rng = random.Random(1)
+        topology = Topology.random_connected(7, 0.0, rng)
+        assert len(topology.edges) == 6
+
+
+class TestQueries:
+    def test_neighbors_unknown_process(self):
+        with pytest.raises(ValueError, match="unknown process"):
+            Topology.pair().neighbors(9)
+
+    def test_directed_links_double_edges(self):
+        topology = Topology.path(3)
+        links = list(topology.directed_links())
+        assert len(links) == topology.num_directed_links() == 4
+        assert (1, 2) in links and (2, 1) in links
+
+    def test_distances_match_networkx(self):
+        topology = Topology.grid(3, 3)
+        expected = dict(nx.single_source_shortest_path_length(
+            _to_networkx(topology), 1
+        ))
+        assert topology.distances_from(1) == expected
+
+    def test_diameter_matches_networkx(self):
+        for _, topology in standard_topologies(5):
+            assert topology.diameter() == nx.diameter(_to_networkx(topology))
+
+    def test_diameter_disconnected_raises(self):
+        disconnected = Topology.from_edges(4, [(1, 2), (3, 4)])
+        assert not disconnected.is_connected()
+        with pytest.raises(ValueError, match="disconnected"):
+            disconnected.diameter()
+
+    def test_eccentricity(self):
+        path = Topology.path(5)
+        assert path.eccentricity(1) == 4
+        assert path.eccentricity(3) == 2
+
+
+class TestSpanningTree:
+    def test_tree_covers_all_vertices(self):
+        topology = Topology.ring(6)
+        parents = topology.spanning_tree(1)
+        assert set(parents) == set(topology.processes)
+        assert parents[1] is None
+
+    def test_tree_edges_exist_in_graph(self):
+        topology = Topology.grid(2, 3)
+        parents = topology.spanning_tree(1)
+        for child, parent in parents.items():
+            if parent is not None:
+                assert topology.has_edge(parent, child)
+
+    def test_tree_depths_bounded_by_eccentricity(self):
+        topology = Topology.ring(7)
+        parents = topology.spanning_tree(1)
+        depths = topology.tree_depths(parents)
+        assert max(depths.values()) == topology.eccentricity(1)
+
+    def test_tree_children_inverts_parents(self):
+        topology = Topology.star(5)
+        parents = topology.spanning_tree(1)
+        children = topology.tree_children(parents)
+        assert set(children[1]) == {2, 3, 4, 5}
+
+    def test_disconnected_raises(self):
+        disconnected = Topology.from_edges(4, [(1, 2)])
+        with pytest.raises(ValueError, match="disconnected"):
+            disconnected.spanning_tree(1)
+
+
+class TestStandardTopologies:
+    def test_two_processes_yields_pair_only(self):
+        families = standard_topologies(2)
+        assert [name for name, _ in families] == ["pair"]
+
+    def test_larger_families_are_connected(self):
+        for name, topology in standard_topologies(5):
+            assert topology.is_connected(), name
+
+    def test_topology_is_hashable_and_equal_by_value(self):
+        assert Topology.path(3) == Topology.path(3)
+        assert hash(Topology.path(3)) == hash(Topology.path(3))
+        assert Topology.path(3) != Topology.complete(3)

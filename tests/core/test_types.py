@@ -1,0 +1,87 @@
+"""Unit tests for the identifier and tuple types."""
+
+import pytest
+
+from repro.core.types import (
+    ENVIRONMENT,
+    INPUT_ARRIVAL_ROUND,
+    INPUT_SEND_ROUND,
+    InputTuple,
+    MessageTuple,
+    ProcessRound,
+    validate_process_id,
+    validate_round,
+)
+
+
+class TestInputTuple:
+    def test_for_process_builds_paper_notation(self):
+        tup = InputTuple.for_process(3)
+        assert tup == (ENVIRONMENT, 3, INPUT_ARRIVAL_ROUND)
+
+    def test_validate_accepts_well_formed(self):
+        InputTuple.for_process(1).validate()
+
+    def test_validate_rejects_wrong_source(self):
+        with pytest.raises(ValueError, match="source must be v0"):
+            InputTuple(5, 1, 0).validate()
+
+    def test_validate_rejects_wrong_round(self):
+        with pytest.raises(ValueError, match="round must be"):
+            InputTuple(ENVIRONMENT, 1, 1).validate()
+
+    def test_validate_rejects_environment_target(self):
+        with pytest.raises(ValueError, match="target must be a process"):
+            InputTuple(ENVIRONMENT, ENVIRONMENT, 0).validate()
+
+
+class TestMessageTuple:
+    def test_validate_accepts_well_formed(self):
+        MessageTuple(1, 2, 3).validate(num_rounds=5)
+
+    def test_validate_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            MessageTuple(2, 2, 1).validate(num_rounds=5)
+
+    def test_validate_rejects_round_zero(self):
+        with pytest.raises(ValueError, match="round must be in"):
+            MessageTuple(1, 2, 0).validate(num_rounds=5)
+
+    def test_validate_rejects_round_past_horizon(self):
+        with pytest.raises(ValueError, match="round must be in"):
+            MessageTuple(1, 2, 6).validate(num_rounds=5)
+
+    def test_validate_rejects_environment_endpoint(self):
+        with pytest.raises(ValueError, match="endpoints must be process ids"):
+            MessageTuple(ENVIRONMENT, 2, 1).validate(num_rounds=5)
+
+    def test_tuples_are_ordered_and_hashable(self):
+        assert MessageTuple(1, 2, 1) < MessageTuple(1, 2, 2)
+        assert len({MessageTuple(1, 2, 1), MessageTuple(1, 2, 1)}) == 1
+
+
+class TestProcessRound:
+    def test_environment_pair_is_representable(self):
+        pair = ProcessRound(ENVIRONMENT, INPUT_SEND_ROUND)
+        assert pair.process == ENVIRONMENT
+        assert pair.round == -1
+
+
+class TestValidators:
+    def test_validate_process_id_accepts_in_range(self):
+        validate_process_id(1, 3)
+        validate_process_id(3, 3)
+
+    @pytest.mark.parametrize("bad", [0, -1, 4])
+    def test_validate_process_id_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            validate_process_id(bad, 3)
+
+    def test_validate_round_accepts_full_range(self):
+        for round_number in range(-1, 6):
+            validate_round(round_number, 5)
+
+    @pytest.mark.parametrize("bad", [-2, 6])
+    def test_validate_round_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            validate_round(bad, 5)

@@ -1,0 +1,69 @@
+"""Unit tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments.common import (
+    Config,
+    assert_in_report,
+    new_report,
+    small_topologies,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = Config()
+        assert config.quick
+        assert config.monte_carlo_trials == 4_000
+
+    def test_full_scale(self):
+        config = Config(scale="full")
+        assert not config.quick
+        assert config.pick("a", "b") == "b"
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            Config(scale="medium")
+
+    def test_rng_independent_instances(self):
+        config = Config(seed=11)
+        first = config.rng()
+        second = config.rng()
+        assert first is not second
+        assert first.random() == second.random()
+
+
+class TestSmallTopologies:
+    def test_quick_set(self):
+        names = [name for name, _ in small_topologies(Config())]
+        assert names == ["pair", "path-3"]
+
+    def test_full_set_superset(self):
+        quick = {name for name, _ in small_topologies(Config())}
+        full = {name for name, _ in small_topologies(Config(scale="full"))}
+        assert quick < full
+        assert "complete-4" in full
+
+    def test_all_connected(self):
+        for _, topology in small_topologies(Config(scale="full")):
+            assert topology.is_connected()
+
+
+class TestReportHelpers:
+    def test_new_report(self):
+        report = new_report("EX", "a title")
+        assert isinstance(report, ExperimentReport)
+        assert report.passed
+
+    def test_assert_in_report_pass(self):
+        report = new_report("EX", "t")
+        assert assert_in_report(report, True, "fine")
+        assert report.passed
+        assert not report.notes
+
+    def test_assert_in_report_fail(self):
+        report = new_report("EX", "t")
+        assert not assert_in_report(report, False, "broken invariant")
+        assert not report.passed
+        assert any("broken invariant" in note for note in report.notes)

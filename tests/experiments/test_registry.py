@@ -1,0 +1,57 @@
+"""Unit tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.experiments import REGISTRY, Config, experiment_ids, run_experiment
+from repro.experiments.__main__ import main
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert experiment_ids() == [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+            "E11", "E12", "E13", "E14", "E15", "E16",
+        ]
+
+    def test_entries_carry_titles(self):
+        for entry in REGISTRY.values():
+            assert entry.title
+            assert callable(entry.runner)
+
+    def test_case_insensitive_lookup(self):
+        report = run_experiment("e1", Config(scale="quick"))
+        assert report.experiment_id == "E1"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("E99")
+
+
+class TestConfig:
+    def test_pick(self):
+        assert Config(scale="quick").pick(1, 2) == 1
+        assert Config(scale="full").pick(1, 2) == 2
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            Config(scale="huge")
+
+    def test_rng_is_deterministic(self):
+        a = Config(seed=3).rng().random()
+        b = Config(seed=3).rng().random()
+        assert a == b
+
+
+class TestCli:
+    def test_runs_named_experiment(self, capsys):
+        code = main(["E1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[E1]" in captured.out
+
+    def test_requires_an_argument(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_lowercase_accepted(self, capsys):
+        assert main(["e9"]) == 0

@@ -1,0 +1,107 @@
+"""Cross-backend agreement: every protocol, every backend, same answer.
+
+For each protocol with a closed form, compare against exact enumeration
+(when the tape space is finite) and Monte Carlo on a battery of runs.
+This is the repository's main defense against closed-form
+transcription errors.
+"""
+
+import random
+
+import pytest
+
+from repro.core.probability import (
+    exact_probabilities,
+    monte_carlo_probabilities,
+)
+from repro.core.run import (
+    Run,
+    chain_run,
+    good_run,
+    partial_round_cut_run,
+    round_cut_run,
+    silent_run,
+)
+from repro.core.topology import Topology
+from repro.protocols.deterministic import InputAttack, NeverAttack
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.repeated_a import RepeatedA
+from repro.protocols.variants import EagerS, GreedyS
+from repro.protocols.weak_adversary import ProtocolW
+
+PAIR = Topology.pair()
+NUM_ROUNDS = 6
+
+
+def _battery():
+    yield good_run(PAIR, NUM_ROUNDS)
+    yield good_run(PAIR, NUM_ROUNDS, inputs=[1])
+    yield silent_run(PAIR, NUM_ROUNDS, [1, 2])
+    yield silent_run(PAIR, NUM_ROUNDS)
+    for cut in (2, 4):
+        yield round_cut_run(PAIR, NUM_ROUNDS, cut)
+        yield chain_run(NUM_ROUNDS, cut)
+    yield partial_round_cut_run(PAIR, NUM_ROUNDS, 3, blocked_targets=[2])
+    yield Run.build(NUM_ROUNDS, [2], [(2, 1, 1), (1, 2, 2), (2, 1, 5)])
+
+
+FINITE_PROTOCOLS = [
+    ProtocolA(NUM_ROUNDS),
+    RepeatedA(NUM_ROUNDS, copies=2, combiner="any"),
+    RepeatedA(NUM_ROUNDS, copies=2, combiner="all"),
+    RepeatedA(NUM_ROUNDS, copies=3, combiner="majority"),
+    ProtocolW(2),
+    NeverAttack(),
+    InputAttack(),
+]
+
+CONTINUOUS_PROTOCOLS = [
+    ProtocolS(epsilon=0.2),
+    ProtocolS(epsilon=0.05),
+    EagerS(epsilon=0.2),
+    GreedyS(epsilon=0.1, slack=1),
+]
+
+
+@pytest.mark.parametrize(
+    "protocol", FINITE_PROTOCOLS, ids=lambda p: p.name
+)
+def test_closed_form_matches_enumeration(protocol):
+    for run in _battery():
+        closed = protocol.closed_form_probabilities(PAIR, run)
+        enumerated = exact_probabilities(protocol, PAIR, run)
+        assert closed.agrees_with(enumerated, tolerance=1e-9), run.describe()
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    FINITE_PROTOCOLS + CONTINUOUS_PROTOCOLS,
+    ids=lambda p: p.name,
+)
+def test_closed_form_matches_monte_carlo(protocol):
+    rng = random.Random(99)
+    for index, run in enumerate(_battery()):
+        if index % 3:  # subsample: Monte Carlo is the slow backend
+            continue
+        closed = protocol.closed_form_probabilities(PAIR, run)
+        sampled = monte_carlo_probabilities(
+            protocol, PAIR, run, trials=4000, rng=rng
+        )
+        assert closed.agrees_with(sampled, tolerance=0.035), run.describe()
+
+
+def test_protocol_s_multiprocess_backends_agree():
+    rng = random.Random(5)
+    topology = Topology.path(3)
+    protocol = ProtocolS(epsilon=0.25)
+    for run in (
+        good_run(topology, 4),
+        round_cut_run(topology, 4, 2),
+        partial_round_cut_run(topology, 4, 2, blocked_targets=[3]),
+    ):
+        closed = protocol.closed_form_probabilities(topology, run)
+        sampled = monte_carlo_probabilities(
+            protocol, topology, run, trials=4000, rng=rng
+        )
+        assert closed.agrees_with(sampled, tolerance=0.035), run.describe()

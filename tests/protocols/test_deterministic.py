@@ -1,0 +1,73 @@
+"""Unit tests for the deterministic baselines."""
+
+
+from repro.core.execution import decide
+from repro.core.probability import evaluate
+from repro.core.run import Run, good_run, silent_run
+from repro.protocols.deterministic import (
+    AlwaysAttack,
+    InputAttack,
+    NeverAttack,
+    deterministic_threshold,
+    impossibility_suite,
+)
+
+
+class TestNeverAttack:
+    def test_never_attacks(self, pair):
+        protocol = NeverAttack()
+        for run in (good_run(pair, 3), silent_run(pair, 3, [1, 2])):
+            assert decide(protocol, pair, run, {}) == (False, False)
+
+    def test_probabilities(self, pair):
+        result = evaluate(NeverAttack(), pair, good_run(pair, 3))
+        assert result.pr_no_attack == 1.0
+        assert result.method == "closed-form"
+
+
+class TestAlwaysAttack:
+    def test_attacks_without_input(self, pair):
+        outputs = decide(AlwaysAttack(), pair, silent_run(pair, 3), {})
+        assert outputs == (True, True)
+
+
+class TestInputAttack:
+    def test_attacks_on_heard_input(self, pair):
+        protocol = InputAttack()
+        assert decide(protocol, pair, good_run(pair, 3), {}) == (True, True)
+
+    def test_input_propagates(self, pair):
+        protocol = InputAttack()
+        run = Run.build(3, [1], [(1, 2, 2)])
+        assert decide(protocol, pair, run, {}) == (True, True)
+
+    def test_partial_attack_when_isolated(self, pair):
+        protocol = InputAttack()
+        run = silent_run(pair, 3, [1])
+        result = evaluate(protocol, pair, run)
+        assert result.pr_partial_attack == 1.0
+
+    def test_validity(self, pair):
+        assert decide(InputAttack(), pair, silent_run(pair, 3), {}) == (
+            False,
+            False,
+        )
+
+    def test_multiprocess(self, path3):
+        protocol = InputAttack()
+        run = Run.build(2, [1], [(1, 2, 1), (2, 3, 2)])
+        assert decide(protocol, path3, run, {}) == (True, True, True)
+
+
+class TestThresholdFamily:
+    def test_factory_returns_w(self):
+        protocol = deterministic_threshold(3)
+        assert protocol.threshold == 3
+
+    def test_suite_contents(self):
+        suite = impossibility_suite(6)
+        names = [protocol.name for protocol in suite]
+        assert "never-attack" in names
+        assert "always-attack" in names
+        assert "input-attack" in names
+        assert any("protocol-W" in name for name in names)

@@ -1,0 +1,162 @@
+"""Property-based tests: Lemma 6.3 invariants and Lemma 6.4 equality.
+
+Hypothesis drives Protocol S over arbitrary runs on several small
+topologies and demands that every invariant hold in every round.  This
+is the strongest transcription check on the Figure 1 code: any
+deviation from the paper's PROCESS-MESSAGE shows up here as a shrunken
+counterexample run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.execution import execute
+from repro.core.probability import EventProbabilities
+from repro.core.run import good_run
+from repro.core.topology import Topology
+from repro.protocols.invariants import (
+    check_counts_equal_level,
+    check_counts_equal_modified_level,
+    check_invariants,
+)
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.weak_adversary import ProtocolW
+
+from ..conftest import runs_for
+
+PAIR = Topology.pair()
+PATH3 = Topology.path(3)
+STAR4 = Topology.star(4)
+
+PROTOCOL = ProtocolS(epsilon=0.25)
+
+
+@given(runs_for(PAIR, 4))
+@settings(max_examples=80, deadline=None)
+def test_invariants_pair(run):
+    execution = execute(PROTOCOL, PAIR, run, {1: 1.0})
+    assert check_invariants(execution, PAIR, run) == []
+
+
+@given(runs_for(PATH3, 3))
+@settings(max_examples=60, deadline=None)
+def test_invariants_path3(run):
+    execution = execute(PROTOCOL, PATH3, run, {1: 1.0})
+    assert check_invariants(execution, PATH3, run) == []
+
+
+@given(runs_for(STAR4, 3))
+@settings(max_examples=40, deadline=None)
+def test_invariants_star4(run):
+    execution = execute(PROTOCOL, STAR4, run, {1: 1.0})
+    assert check_invariants(execution, STAR4, run) == []
+
+
+@given(runs_for(PATH3, 3))
+@settings(max_examples=60, deadline=None)
+def test_lemma_6_4_counts_equal_modified_level(run):
+    execution = execute(PROTOCOL, PATH3, run, {1: 1.0})
+    assert check_counts_equal_modified_level(execution, PATH3, run) == []
+
+
+@given(runs_for(STAR4, 3))
+@settings(max_examples=40, deadline=None)
+def test_w_counts_equal_plain_level(run):
+    execution = execute(ProtocolW(2), STAR4, run, {})
+    assert check_counts_equal_level(execution, STAR4, run) == []
+
+
+@given(runs_for(PAIR, 4), st.floats(0.05, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_closed_form_is_valid_distribution(run, epsilon):
+    protocol = ProtocolS(epsilon=epsilon)
+    result = protocol.closed_form_probabilities(PAIR, run)
+    assert isinstance(result, EventProbabilities)
+    assert result.pr_partial_attack <= epsilon + 1e-9
+
+
+@given(runs_for(PAIR, 4), st.floats(0.3, 9.9))
+@settings(max_examples=60, deadline=None)
+def test_decisions_monotone_in_rfire(run, rfire):
+    """A smaller rfire can only make more processes attack."""
+    from repro.core.execution import decide
+
+    protocol = ProtocolS(epsilon=0.1)
+    lower = decide(protocol, PAIR, run, {1: rfire * 0.5})
+    higher = decide(protocol, PAIR, run, {1: rfire})
+    for eager, cautious in zip(lower, higher):
+        assert eager or not cautious
+
+
+@given(runs_for(PAIR, 4))
+@settings(max_examples=60, deadline=None)
+def test_counts_do_not_depend_on_rfire_value(run):
+    """The closed form's core assumption, as a property."""
+    first = execute(PROTOCOL, PAIR, run, {1: 0.01})
+    second = execute(PROTOCOL, PAIR, run, {1: 3.99})
+    for process in (1, 2):
+        for r in range(run.num_rounds + 1):
+            assert (
+                first.local(process).states[r].count
+                == second.local(process).states[r].count
+            )
+
+
+def test_good_run_invariants_all_small_graphs():
+    """Deterministic sweep of named graphs on the good run."""
+    for topology in (PAIR, PATH3, STAR4, Topology.ring(4), Topology.complete(4)):
+        run = good_run(topology, 4)
+        execution = execute(PROTOCOL, topology, run, {1: 1.0})
+        assert check_invariants(execution, topology, run) == []
+        assert check_counts_equal_modified_level(execution, topology, run) == []
+
+
+PATH3_RUNS = runs_for(PATH3, 3)
+
+
+@given(PATH3_RUNS)
+@settings(max_examples=60, deadline=None)
+def test_unsafety_bounded_by_epsilon_multiprocess(run):
+    """Theorem 6.7 pointwise, property-based, on a three-process graph."""
+    protocol = ProtocolS(epsilon=0.25)
+    result = protocol.closed_form_probabilities(PATH3, run)
+    assert result.pr_partial_attack <= 0.25 + 1e-12
+
+
+@given(runs_for(STAR4, 3))
+@settings(max_examples=40, deadline=None)
+def test_unsafety_bounded_by_epsilon_star(run):
+    protocol = ProtocolS(epsilon=0.2)
+    result = protocol.closed_form_probabilities(STAR4, run)
+    assert result.pr_partial_attack <= 0.2 + 1e-12
+
+
+@given(PATH3_RUNS)
+@settings(max_examples=60, deadline=None)
+def test_liveness_formula_multiprocess(run):
+    """Theorem 6.8 pointwise on path-3 (equality, property-based)."""
+    from repro.core.measures import run_modified_level
+
+    protocol = ProtocolS(epsilon=0.25)
+    result = protocol.closed_form_probabilities(PATH3, run)
+    ml = run_modified_level(run, 3)
+    assert abs(result.pr_total_attack - min(1.0, 0.25 * ml)) < 1e-12
+
+
+@given(PATH3_RUNS)
+@settings(max_examples=50, deadline=None)
+def test_liveness_monotone_under_message_addition(run):
+    """Adding a delivery can only raise Protocol S's liveness (the
+    modified level is monotone in the run, Theorem 6.8 transfers it)."""
+    from repro.core.run import all_message_tuples
+
+    protocol = ProtocolS(epsilon=0.2)
+    base = protocol.closed_form_probabilities(PATH3, run).pr_total_attack
+    for extra in all_message_tuples(PATH3, run.num_rounds):
+        if extra not in run.messages:
+            richer = run.adding(tuple(extra))
+            richer_liveness = protocol.closed_form_probabilities(
+                PATH3, richer
+            ).pr_total_attack
+            assert richer_liveness >= base - 1e-12
+            break  # one flip per example keeps the sweep fast

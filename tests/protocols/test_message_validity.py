@@ -1,0 +1,98 @@
+"""Unit tests for the footnote-1 variant (MessageValidityS)."""
+
+import pytest
+
+from repro.core.execution import decide
+from repro.core.probability import evaluate, monte_carlo_probabilities
+from repro.core.run import Run, good_run, random_run, round_cut_run, silent_run
+from repro.protocols.message_validity import MessageValidityS
+from repro.protocols.protocol_s import ProtocolS
+
+
+class TestConstruction:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            MessageValidityS(epsilon=0.0)
+
+    def test_name_and_threshold(self):
+        protocol = MessageValidityS(epsilon=0.25)
+        assert "message-validity" in protocol.name
+        assert protocol.threshold == 4.0
+
+
+class TestAlternativeValidity:
+    def test_no_deliveries_means_no_attack(self, pair):
+        protocol = MessageValidityS(epsilon=0.9)
+        run = silent_run(pair, 4, [1, 2])
+        for rfire in (0.1, 0.5, 1.0, 1.1):
+            assert decide(protocol, pair, run, {1: rfire}) == (False, False)
+
+    def test_original_validity_still_holds(self, pair):
+        protocol = MessageValidityS(epsilon=0.9)
+        run = good_run(pair, 4, inputs=[])
+        for rfire in (0.1, 1.0):
+            assert decide(protocol, pair, run, {1: rfire}) == (False, False)
+
+    def test_multiprocess_silent(self, path3):
+        protocol = MessageValidityS(epsilon=0.5)
+        result = evaluate(protocol, path3, silent_run(path3, 3, [1, 2, 3]))
+        assert result.pr_no_attack == 1.0
+
+    def test_one_delivery_unlocks_the_coordinator(self, pair):
+        protocol = MessageValidityS(epsilon=0.9)
+        run = Run.build(4, [1, 2], [(2, 1, 1)])
+        outputs = decide(protocol, pair, run, {1: 0.5})
+        assert outputs == (True, False)
+
+
+class TestBehaviorVsOriginal:
+    def test_thresholds_lag_coordinator_by_one_on_good_run(self, pair):
+        original = ProtocolS(epsilon=0.125)
+        modified = MessageValidityS(epsilon=0.125)
+        run = good_run(pair, 8)
+        assert original.attack_thresholds(pair, run) == {1: 9, 2: 8}
+        assert modified.attack_thresholds(pair, run) == {1: 8, 2: 8}
+
+    def test_good_run_liveness_preserved(self, pair):
+        modified = MessageValidityS(epsilon=0.2)
+        result = evaluate(modified, pair, good_run(pair, 8))
+        assert result.pr_total_attack == pytest.approx(1.0)
+
+    def test_liveness_never_exceeds_original(self, pair, rng):
+        original = ProtocolS(epsilon=0.2)
+        modified = MessageValidityS(epsilon=0.2)
+        for _ in range(30):
+            run = random_run(pair, 5, rng)
+            assert (
+                evaluate(modified, pair, run).pr_total_attack
+                <= evaluate(original, pair, run).pr_total_attack + 1e-12
+            )
+
+    def test_liveness_loss_at_most_one_level(self, pair, rng):
+        epsilon = 0.125
+        original = ProtocolS(epsilon=epsilon)
+        modified = MessageValidityS(epsilon=epsilon)
+        for _ in range(30):
+            run = random_run(pair, 6, rng)
+            loss = (
+                evaluate(original, pair, run).pr_total_attack
+                - evaluate(modified, pair, run).pr_total_attack
+            )
+            assert loss <= epsilon + 1e-12
+
+    def test_unsafety_bounded_by_epsilon(self, pair, rng):
+        modified = MessageValidityS(epsilon=0.2)
+        for _ in range(40):
+            run = random_run(pair, 5, rng)
+            assert (
+                evaluate(modified, pair, run).pr_partial_attack <= 0.2 + 1e-12
+            )
+
+    def test_closed_form_matches_monte_carlo(self, pair, rng):
+        modified = MessageValidityS(epsilon=0.25)
+        for run in (good_run(pair, 5), round_cut_run(pair, 5, 3)):
+            closed = modified.closed_form_probabilities(pair, run)
+            sampled = monte_carlo_probabilities(
+                modified, pair, run, trials=5000, rng=rng
+            )
+            assert closed.agrees_with(sampled, tolerance=0.03)

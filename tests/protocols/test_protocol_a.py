@@ -1,0 +1,151 @@
+"""Unit tests for Protocol A (Section 3)."""
+
+import pytest
+
+from repro.core.execution import decide, execute
+from repro.core.probability import exact_probabilities
+from repro.core.run import Run, chain_run, good_run, silent_run
+from repro.core.topology import Topology
+from repro.protocols.protocol_a import ProtocolA, sender_for_round
+
+
+class TestStructure:
+    def test_parity(self):
+        assert sender_for_round(1) == 2
+        assert sender_for_round(2) == 1
+        assert sender_for_round(7) == 2
+
+    def test_needs_two_rounds(self):
+        with pytest.raises(ValueError, match="N >= 2"):
+            ProtocolA(1)
+
+    def test_two_generals_only(self):
+        protocol = ProtocolA(3)
+        assert protocol.supports_topology(Topology.pair())
+        assert not protocol.supports_topology(Topology.path(3))
+
+    def test_tape_is_uniform_over_2_to_n(self, pair):
+        space = ProtocolA(6).tape_space(pair)
+        atoms = space.distribution_for(1).atoms()
+        assert [value for value, _ in atoms] == [2, 3, 4, 5, 6]
+
+    def test_horizon_mismatch_rejected(self, pair):
+        with pytest.raises(ValueError, match="N=3"):
+            ProtocolA(4).closed_form_probabilities(pair, good_run(pair, 3))
+
+
+class TestPacketFlow:
+    def test_alternating_packets_on_good_run(self, pair):
+        execution = execute(ProtocolA(4), pair, good_run(pair, 4), {1: 2})
+        # Process 2 sends packets in rounds 1, 3; process 1 in 2, 4.
+        for round_number in (1, 3):
+            assert execution.local(2).sent[round_number - 1][0][1] is not None
+            assert execution.local(1).sent[round_number - 1][0][1] is None
+        for round_number in (2, 4):
+            assert execution.local(1).sent[round_number - 1][0][1] is not None
+            assert execution.local(2).sent[round_number - 1][0][1] is None
+
+    def test_chain_stops_after_loss(self, pair):
+        run = chain_run(4, 2)  # the round-2 packet is destroyed
+        execution = execute(ProtocolA(4), pair, run, {1: 2})
+        # Process 2 received nothing in round 2, so it stays silent in 3.
+        assert execution.local(2).sent[2][0][1] is None
+        assert execution.local(1).sent[3][0][1] is None
+
+    def test_validity_gate_stops_chain_without_input(self, pair):
+        run = good_run(pair, 4, inputs=[])
+        execution = execute(ProtocolA(4), pair, run, {1: 3})
+        # Round 1 opener is sent, but process 1 stays silent in round 2.
+        assert execution.local(2).sent[0][0][1] is not None
+        assert execution.local(1).sent[1][0][1] is None
+
+    def test_rfire_learned_from_first_packet_of_1(self, pair):
+        execution = execute(ProtocolA(4), pair, good_run(pair, 4), {1: 3})
+        assert execution.local(2).states[1].rfire is None
+        assert execution.local(2).states[2].rfire == 3
+
+
+class TestDecisions:
+    def test_good_run_every_rfire_attacks(self, pair):
+        protocol = ProtocolA(5)
+        run = good_run(pair, 5)
+        for rfire in range(2, 6):
+            assert decide(protocol, pair, run, {1: rfire}) == (True, True)
+
+    def test_break_before_rfire_means_no_attack(self, pair):
+        protocol = ProtocolA(5)
+        assert decide(protocol, pair, chain_run(5, 2), {1: 4}) == (
+            False,
+            False,
+        )
+
+    def test_break_at_rfire_means_partial_attack(self, pair):
+        protocol = ProtocolA(5)
+        outputs = decide(protocol, pair, chain_run(5, 3), {1: 3})
+        assert sorted(outputs) == [False, True]
+
+    def test_break_after_rfire_means_total_attack(self, pair):
+        protocol = ProtocolA(5)
+        assert decide(protocol, pair, chain_run(5, 4), {1: 3}) == (
+            True,
+            True,
+        )
+
+    def test_no_input_never_attacks(self, pair):
+        protocol = ProtocolA(4)
+        for rfire in (2, 3, 4):
+            outputs = decide(
+                protocol, pair, good_run(pair, 4, inputs=[]), {1: rfire}
+            )
+            assert outputs == (False, False)
+
+    def test_single_input_still_lives(self, pair):
+        protocol = ProtocolA(4)
+        for inputs in ([1], [2]):
+            run = good_run(pair, 4, inputs=inputs)
+            assert decide(protocol, pair, run, {1: 3}) == (True, True)
+
+
+class TestProbabilities:
+    def test_unsafety_one_over_n_minus_one(self, pair):
+        # Breaking at round b causes PA exactly when rfire = b.
+        for num_rounds in (3, 5, 8):
+            protocol = ProtocolA(num_rounds)
+            for break_round in range(2, num_rounds + 1):
+                result = protocol.closed_form_probabilities(
+                    pair, chain_run(num_rounds, break_round)
+                )
+                assert result.pr_partial_attack == pytest.approx(
+                    1.0 / (num_rounds - 1)
+                )
+
+    def test_break_at_one_is_silent(self, pair):
+        protocol = ProtocolA(5)
+        result = protocol.closed_form_probabilities(pair, chain_run(5, 1))
+        assert result.pr_no_attack == pytest.approx(1.0)
+
+    def test_good_run_liveness_one(self, pair):
+        result = ProtocolA(6).closed_form_probabilities(pair, good_run(pair, 6))
+        assert result.pr_total_attack == pytest.approx(1.0)
+
+    def test_closed_form_matches_enumeration_on_odd_runs(self, pair):
+        protocol = ProtocolA(4)
+        weird_runs = [
+            Run.build(4, [1], [(2, 1, 1), (2, 1, 3)]),
+            Run.build(4, [2], [(1, 2, 2), (2, 1, 1)]),
+            Run.build(4, [1, 2], [(1, 2, 1)]),  # wrong-parity delivery
+            silent_run(pair, 4, [1, 2]),
+        ]
+        for run in weird_runs:
+            closed = protocol.closed_form_probabilities(pair, run)
+            enumerated = exact_probabilities(protocol, pair, run)
+            assert closed.agrees_with(enumerated, tolerance=1e-9), run
+
+    def test_paper_example_round_2_loss_kills_liveness(self, pair):
+        # Section 3's motivating run: everything delivered except the
+        # message process 1 sends in round 2.
+        protocol = ProtocolA(6)
+        run = good_run(pair, 6).removing((1, 2, 2))
+        result = protocol.closed_form_probabilities(pair, run)
+        assert result.pr_total_attack == pytest.approx(0.0)
+        assert result.pr_partial_attack == pytest.approx(1.0 / 5)

@@ -1,0 +1,95 @@
+"""Property-based tests for Protocol A.
+
+Hypothesis-driven checks of the Section 3 analysis:
+
+* the decision probabilities are always a valid distribution with
+  ``Pr[PA | R] <= 1/(N-1)`` on *every* run (the worst case is the
+  max, but no single run can exceed it);
+* decisions depend only on the delivered chain prefix: deliveries on
+  wrong-parity links (where only null messages travel) never change
+  anything;
+* the chain property: once a packet is lost, later deliveries are
+  irrelevant;
+* exact backends agree on arbitrary runs (beyond the fixed battery of
+  the cross-backend suite).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probability import exact_probabilities
+from repro.core.run import Run
+from repro.core.topology import Topology
+from repro.protocols.protocol_a import ProtocolA, sender_for_round
+
+from ..conftest import runs_for
+
+PAIR = Topology.pair()
+NUM_ROUNDS = 5
+PROTOCOL = ProtocolA(NUM_ROUNDS)
+
+pair_runs = runs_for(PAIR, NUM_ROUNDS)
+
+
+@given(pair_runs)
+@settings(max_examples=80, deadline=None)
+def test_no_single_run_exceeds_the_worst_case(run):
+    result = PROTOCOL.closed_form_probabilities(PAIR, run)
+    assert result.pr_partial_attack <= 1.0 / (NUM_ROUNDS - 1) + 1e-12
+
+
+@given(pair_runs)
+@settings(max_examples=60, deadline=None)
+def test_wrong_parity_deliveries_are_irrelevant(run):
+    """Only the chain sender transmits a packet; delivering the other
+    direction in the same round moves nothing."""
+    stripped_messages = frozenset(
+        m
+        for m in run.messages
+        if m.source == sender_for_round(m.round)
+    )
+    stripped = Run(run.num_rounds, run.inputs, stripped_messages)
+    original = PROTOCOL.closed_form_probabilities(PAIR, run)
+    reduced = PROTOCOL.closed_form_probabilities(PAIR, stripped)
+    assert original.agrees_with(reduced, tolerance=1e-12)
+
+
+@given(pair_runs)
+@settings(max_examples=60, deadline=None)
+def test_post_break_deliveries_are_irrelevant(run):
+    """Find the first missing chain delivery; everything after it can
+    be destroyed without changing the outcome."""
+    break_round = None
+    for round_number in range(1, run.num_rounds + 1):
+        sender = sender_for_round(round_number)
+        receiver = 3 - sender
+        if not run.delivers(sender, receiver, round_number):
+            break_round = round_number
+            break
+    if break_round is None:
+        return
+    truncated = run.restricted_to_rounds(break_round - 1)
+    original = PROTOCOL.closed_form_probabilities(PAIR, run)
+    reduced = PROTOCOL.closed_form_probabilities(PAIR, truncated)
+    assert original.agrees_with(reduced, tolerance=1e-12)
+
+
+@given(pair_runs)
+@settings(max_examples=40, deadline=None)
+def test_backends_agree_on_arbitrary_runs(run):
+    closed = PROTOCOL.closed_form_probabilities(PAIR, run)
+    enumerated = exact_probabilities(PROTOCOL, PAIR, run)
+    assert closed.agrees_with(enumerated, tolerance=1e-12)
+
+
+@given(pair_runs, st.integers(2, NUM_ROUNDS))
+@settings(max_examples=60, deadline=None)
+def test_first_lower_bound_pointwise(run, _):
+    """L(A, R) <= U_s(A) * L(R) on every generated run (Theorem 5.4
+    specialized to A with its known worst case)."""
+    from repro.core.measures import run_level
+
+    result = PROTOCOL.closed_form_probabilities(PAIR, run)
+    level = run_level(run, 2)
+    ceiling = min(1.0, (1.0 / (NUM_ROUNDS - 1)) * level)
+    assert result.pr_total_attack <= ceiling + 1e-12

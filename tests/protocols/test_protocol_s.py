@@ -1,0 +1,176 @@
+"""Unit tests for Protocol S (Section 6)."""
+
+import random
+
+import pytest
+
+from repro.core.execution import decide
+from repro.core.measures import run_modified_level
+from repro.core.probability import monte_carlo_probabilities
+from repro.core.run import (
+    good_run,
+    partial_round_cut_run,
+    round_cut_run,
+    silent_run,
+    spanning_tree_run,
+)
+from repro.core.topology import Topology
+from repro.protocols.protocol_s import ProtocolS
+
+
+class TestConstruction:
+    def test_rejects_bad_epsilon(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="epsilon"):
+                ProtocolS(epsilon=bad)
+
+    def test_threshold_is_inverse_epsilon(self):
+        assert ProtocolS(epsilon=0.125).threshold == 8.0
+
+    def test_coordinator_must_be_vertex(self):
+        protocol = ProtocolS(epsilon=0.5, coordinator=5)
+        assert not protocol.supports_topology(Topology.pair())
+
+    def test_tape_space_randomizes_only_coordinator(self, pair):
+        space = ProtocolS(epsilon=0.25).tape_space(pair)
+        assert space.joint_support_size() is None
+        assert space.distribution_for(2).support_size() == 1
+
+
+class TestDecisions:
+    def test_good_run_small_rfire_everyone_attacks(self, pair):
+        protocol = ProtocolS(epsilon=0.25)
+        outputs = decide(protocol, pair, good_run(pair, 4), {1: 1.0})
+        assert outputs == (True, True)
+
+    def test_good_run_huge_rfire_nobody_attacks(self, pair):
+        protocol = ProtocolS(epsilon=0.1)
+        run = good_run(pair, 3)  # counts reach 3 and 4
+        outputs = decide(protocol, pair, run, {1: 9.5})
+        assert outputs == (False, False)
+
+    def test_straddling_rfire_causes_partial_attack(self, pair):
+        protocol = ProtocolS(epsilon=0.1)
+        run = good_run(pair, 3)  # final counts {1: 3, 2: 4}
+        outputs = decide(protocol, pair, run, {1: 3.5})
+        assert outputs == (False, True)
+
+    def test_no_input_never_attacks(self, pair):
+        protocol = ProtocolS(epsilon=0.9)
+        for rfire in (0.1, 0.5, 1.0):
+            outputs = decide(protocol, pair, good_run(pair, 3, inputs=[]), {1: rfire})
+            assert outputs == (False, False)
+
+    def test_unreached_process_never_attacks(self, pair):
+        protocol = ProtocolS(epsilon=0.9)
+        run = silent_run(pair, 3, [1, 2])
+        outputs = decide(protocol, pair, run, {1: 0.5})
+        assert outputs == (True, False)  # only the coordinator can fire
+
+
+class TestAttackThresholds:
+    def test_good_run_thresholds_equal_modified_levels(self, pair):
+        protocol = ProtocolS(epsilon=0.2)
+        run = good_run(pair, 6)
+        thresholds = protocol.attack_thresholds(pair, run)
+        assert thresholds == {1: 7, 2: 6}
+
+    def test_unheard_rfire_gives_zero_threshold(self, pair):
+        protocol = ProtocolS(epsilon=0.2)
+        thresholds = protocol.attack_thresholds(
+            pair, silent_run(pair, 4, [1, 2])
+        )
+        assert thresholds == {1: 1, 2: 0}
+
+    def test_thresholds_on_star(self):
+        topology = Topology.star(4)
+        protocol = ProtocolS(epsilon=0.1)
+        run = spanning_tree_run(topology, 4)
+        thresholds = protocol.attack_thresholds(topology, run)
+        assert thresholds[1] == 1
+        assert all(thresholds[i] >= 1 for i in (2, 3, 4))
+
+
+class TestClosedForm:
+    def test_good_run_probabilities(self, pair):
+        protocol = ProtocolS(epsilon=0.1)
+        result = protocol.closed_form_probabilities(pair, good_run(pair, 4))
+        # counts {5, 4}: TA = 0.4, PA = 0.1, NA = 0.5
+        assert result.pr_total_attack == pytest.approx(0.4)
+        assert result.pr_partial_attack == pytest.approx(0.1)
+        assert result.pr_no_attack == pytest.approx(0.5)
+
+    def test_liveness_equals_eps_times_ml(self, pair):
+        protocol = ProtocolS(epsilon=0.15)
+        for cut in range(1, 6):
+            run = round_cut_run(pair, 4, cut)
+            result = protocol.closed_form_probabilities(pair, run)
+            ml = run_modified_level(run, 2)
+            assert result.pr_total_attack == pytest.approx(
+                min(1.0, 0.15 * ml)
+            )
+
+    def test_unsafety_never_exceeds_epsilon(self, pair):
+        # On any run the counts differ by at most 1, so PA <= eps.
+        protocol = ProtocolS(epsilon=0.2)
+        rng = random.Random(5)
+        from repro.core.run import random_run
+
+        for _ in range(40):
+            run = random_run(pair, 4, rng)
+            result = protocol.closed_form_probabilities(pair, run)
+            assert result.pr_partial_attack <= 0.2 + 1e-12
+
+    def test_worst_case_run_attains_epsilon(self, pair):
+        protocol = ProtocolS(epsilon=0.125)
+        run = partial_round_cut_run(pair, 8, 4, blocked_targets=[2])
+        result = protocol.closed_form_probabilities(pair, run)
+        assert result.pr_partial_attack == pytest.approx(0.125)
+
+    def test_monte_carlo_agrees_with_closed_form(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.3)
+        for run in (
+            good_run(pair, 4),
+            round_cut_run(pair, 4, 2),
+            silent_run(pair, 4, [1]),
+        ):
+            closed = protocol.closed_form_probabilities(pair, run)
+            sampled = monte_carlo_probabilities(
+                protocol, pair, run, trials=6000, rng=rng
+            )
+            assert closed.agrees_with(sampled, tolerance=0.025)
+
+    def test_multiprocess_closed_form(self, ring4):
+        protocol = ProtocolS(epsilon=0.2)
+        result = protocol.closed_form_probabilities(
+            ring4, good_run(ring4, 5)
+        )
+        ml = run_modified_level(good_run(ring4, 5), 4)
+        assert result.pr_total_attack == pytest.approx(min(1.0, 0.2 * ml))
+
+
+class TestPaperExamples:
+    def test_theorem_6_5_validity(self, path3, rng):
+        # No input => nobody attacks, for any rfire.
+        protocol = ProtocolS(epsilon=0.5)
+        for _ in range(10):
+            tapes = protocol.tape_space(path3).sample(rng)
+            run = good_run(path3, 3, inputs=[])
+            assert decide(protocol, path3, run, tapes) == (False,) * 3
+
+    def test_lemma_6_6_total_and_no_attack_regimes(self, pair):
+        # Mincount >= rfire => TA; Mincount < rfire - 1 => NA.
+        protocol = ProtocolS(epsilon=0.1)
+        run = good_run(pair, 4)  # Mincount = 4
+        assert all(decide(protocol, pair, run, {1: 4.0}))
+        assert not any(decide(protocol, pair, run, {1: 5.5}))
+
+    def test_alternate_coordinator_symmetry(self, pair):
+        run = good_run(pair, 4)
+        default = ProtocolS(epsilon=0.2).closed_form_probabilities(pair, run)
+        swapped = ProtocolS(
+            epsilon=0.2, coordinator=2
+        ).closed_form_probabilities(pair, run)
+        assert default.pr_total_attack == pytest.approx(
+            swapped.pr_total_attack
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the repeated-A composite (Section 5's motivation)."""
+
+import pytest
+
+from repro.core.probability import exact_probabilities
+from repro.core.run import Run, chain_run, good_run, round_cut_run, silent_run
+from repro.core.topology import Topology
+from repro.protocols.repeated_a import RepeatedA, RfireVectorTape
+
+
+class TestConstruction:
+    def test_block_length(self):
+        assert RepeatedA(8, copies=2).block_length == 4
+        assert RepeatedA(9, copies=2).block_length == 4  # trailing idle round
+
+    def test_rejects_blocks_too_short(self):
+        with pytest.raises(ValueError, match="at least"):
+            RepeatedA(5, copies=3)
+
+    def test_rejects_unknown_combiner(self):
+        with pytest.raises(ValueError, match="combiner"):
+            RepeatedA(8, copies=2, combiner="xor")
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ValueError, match="copies"):
+            RepeatedA(8, copies=0)
+
+    def test_two_generals_only(self):
+        protocol = RepeatedA(8, copies=2)
+        assert not protocol.supports_topology(Topology.path(3))
+
+
+class TestTape:
+    def test_vector_tape_support(self):
+        tape = RfireVectorTape(copies=2, block_length=4)
+        assert tape.support_size() == 9
+        atoms = tape.atoms()
+        assert len(atoms) == 9
+        assert all(len(value) == 2 for value, _ in atoms)
+        assert sum(weight for _, weight in atoms) == pytest.approx(1.0)
+
+    def test_sample_shape(self, rng):
+        tape = RfireVectorTape(copies=3, block_length=5)
+        value = tape.sample(rng)
+        assert len(value) == 3
+        assert all(2 <= v <= 5 for v in value)
+
+
+class TestBehavior:
+    def test_single_copy_matches_protocol_a(self, pair):
+        from repro.protocols.protocol_a import ProtocolA
+
+        composite = RepeatedA(6, copies=1, combiner="any")
+        plain = ProtocolA(6)
+        for run in (good_run(pair, 6), chain_run(6, 3), silent_run(pair, 6, [1])):
+            a = exact_probabilities(composite, pair, run)
+            b = exact_probabilities(plain, pair, run)
+            assert a.agrees_with(b, tolerance=1e-9), run
+
+    def test_good_run_liveness_one_any_and_all(self, pair):
+        run = good_run(pair, 8)
+        for combiner in ("any", "all", "majority"):
+            protocol = RepeatedA(8, copies=2, combiner=combiner)
+            result = protocol.closed_form_probabilities(pair, run)
+            assert result.pr_total_attack == pytest.approx(1.0), combiner
+
+    def test_validity(self, pair):
+        protocol = RepeatedA(8, copies=2)
+        result = protocol.closed_form_probabilities(
+            pair, good_run(pair, 8, inputs=[])
+        )
+        assert result.pr_no_attack == pytest.approx(1.0)
+
+    def test_closed_form_matches_enumeration(self, pair):
+        protocol = RepeatedA(8, copies=2, combiner="any")
+        runs = [
+            good_run(pair, 8),
+            round_cut_run(pair, 8, 3),
+            round_cut_run(pair, 8, 6),
+            Run.build(8, [1], [(2, 1, 1), (1, 2, 2), (2, 1, 5)]),
+        ]
+        for run in runs:
+            closed = protocol.closed_form_probabilities(pair, run)
+            enumerated = exact_probabilities(protocol, pair, run)
+            assert closed.agrees_with(enumerated, tolerance=1e-9), run
+
+    def test_repeating_does_not_beat_plain_a(self, pair):
+        """The Section 5 motivation: k copies cannot improve U while
+        keeping good-run liveness 1.
+
+        Breaking the second block at its own rfire still causes partial
+        attack with probability 1/(block_length - 1) > 1/(N - 1).
+        """
+        num_rounds = 8
+        protocol = RepeatedA(num_rounds, copies=2, combiner="all")
+        block = protocol.block_length
+        worst = 0.0
+        for break_round in range(1, num_rounds + 1):
+            # Deliver block 1 fully, cut block 2 from break_round on.
+            messages = []
+            for r in range(1, num_rounds + 1):
+                if r < break_round or r <= block:
+                    messages.append((1, 2, r))
+                    messages.append((2, 1, r))
+            run = Run.build(num_rounds, [1, 2], messages)
+            result = protocol.closed_form_probabilities(pair, run)
+            worst = max(worst, result.pr_partial_attack)
+        plain_unsafety = 1.0 / (num_rounds - 1)
+        assert worst >= 1.0 / (block - 1) - 1e-9
+        assert worst > plain_unsafety

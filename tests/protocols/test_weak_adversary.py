@@ -1,0 +1,76 @@
+"""Unit tests for Protocol W (the §8 reconstruction)."""
+
+import pytest
+
+from repro.core.execution import decide
+from repro.core.run import good_run, round_cut_run, silent_run
+from repro.protocols.weak_adversary import ProtocolW
+
+
+class TestConstruction:
+    def test_rejects_threshold_below_one(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ProtocolW(0)
+
+    def test_deterministic_tape_space(self, pair):
+        assert ProtocolW(2).tape_space(pair).joint_support_size() == 1
+
+
+class TestDecisions:
+    def test_attacks_when_level_reaches_threshold(self, pair):
+        protocol = ProtocolW(3)
+        assert decide(protocol, pair, good_run(pair, 4), {}) == (True, True)
+
+    def test_holds_below_threshold(self, pair):
+        protocol = ProtocolW(5)
+        run = round_cut_run(pair, 4, 3)  # levels capped at 3
+        assert decide(protocol, pair, run, {}) == (False, False)
+
+    def test_validity(self, pair):
+        protocol = ProtocolW(1)
+        assert decide(protocol, pair, good_run(pair, 3, inputs=[]), {}) == (
+            False,
+            False,
+        )
+
+    def test_straddling_run_partial_attack(self, pair):
+        # Levels {K, K-1} disagree under threshold K — the run the
+        # strong adversary uses to defeat any deterministic protocol.
+        from repro.core.run import partial_round_cut_run
+
+        protocol = ProtocolW(2)
+        run = partial_round_cut_run(pair, 4, 1, blocked_targets=[2])
+        outputs = decide(protocol, pair, run, {})
+        assert outputs == (True, False)
+
+
+class TestFinalCounts:
+    def test_counts_equal_levels(self, path3):
+        protocol = ProtocolW(2)
+        run = good_run(path3, 3)
+        counts = protocol.final_counts(path3, run)
+        from repro.core.measures import level_profile
+
+        profile = level_profile(run, 3)
+        assert counts == profile.levels()
+
+    def test_closed_form_is_deterministic(self, pair):
+        result = ProtocolW(2).closed_form_probabilities(
+            pair, good_run(pair, 4)
+        )
+        assert result.pr_total_attack == 1.0
+        assert result.pr_partial_attack == 0.0
+
+    def test_closed_form_partial(self, pair):
+        from repro.core.run import partial_round_cut_run
+
+        result = ProtocolW(2).closed_form_probabilities(
+            pair, partial_round_cut_run(pair, 4, 1, blocked_targets=[2])
+        )
+        assert result.pr_partial_attack == 1.0
+
+    def test_closed_form_silent(self, pair):
+        result = ProtocolW(1).closed_form_probabilities(
+            pair, silent_run(pair, 3)
+        )
+        assert result.pr_no_attack == 1.0

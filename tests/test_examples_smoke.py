@@ -1,0 +1,57 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end to end (stdout captured); the slower studies
+are import-checked and their main entry points are verified to exist.
+The full studies run as part of documentation regeneration, not the
+unit suite.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "realtime_commit",
+    "multi_general_network",
+    "adversary_tournament",
+    "weak_adversary_study",
+    "async_latency_study",
+    "knowledge_and_levels",
+]
+
+FAST_EXAMPLES = ["quickstart"]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = _load(name)
+    assert callable(module.main)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out.strip(), "example produced no output"
+    assert "Traceback" not in captured.out
+
+
+def test_quickstart_reports_the_tradeoff(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "P[both attack]      = 1.000" in out
+    assert "Theorem 6.8" in out

@@ -1,0 +1,102 @@
+"""The tutorial's worked example, kept honest (mirrors docs/tutorial.md)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import Topology, evaluate, good_run
+from repro.adversary import standard_families, worst_case_unsafety
+from repro.analysis import satisfies_first_lower_bound
+from repro.core import (
+    LocalProtocol,
+    Protocol,
+    TapeSpace,
+    check_validity,
+    run_level,
+    validity_probe_runs,
+)
+
+
+class LockstepLocal(LocalProtocol):
+    def __init__(self, process, depth):
+        self._process = process
+        self._depth = depth
+
+    def initial_state(self, got_input, tape):
+        return (0, got_input)
+
+    def message(self, state, neighbor):
+        last_packet, valid = state
+        if self._process == 2 and last_packet == 0:
+            return ("syn", valid)
+        if last_packet == 0:
+            return None
+        return ("ack", valid)
+
+    def transition(self, state, round_number, received, tape):
+        last_packet, valid = state
+        for message in received:
+            _, peer_valid = message.payload
+            valid = valid or peer_valid
+            last_packet = round_number
+        return (last_packet, valid)
+
+    def output(self, state):
+        last_packet, valid = state
+        return valid and last_packet >= self._depth
+
+
+@dataclass(frozen=True)
+class Lockstep(Protocol):
+    depth: int
+
+    @property
+    def name(self):
+        return f"lockstep(K={self.depth})"
+
+    def supports_topology(self, topology):
+        return topology.num_processes == 2
+
+    def local_protocol(self, process, topology):
+        return LockstepLocal(process, self.depth)
+
+    def tape_space(self, topology):
+        return TapeSpace.deterministic(list(topology.processes))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    topology = Topology.pair()
+    protocol = Lockstep(depth=4)
+    return topology, protocol
+
+
+class TestTutorialExample:
+    def test_live_on_the_good_run(self, setup):
+        topology, protocol = setup
+        result = evaluate(protocol, topology, good_run(topology, 8))
+        assert result.pr_total_attack == 1.0
+        assert result.method == "closed-form" or result.is_exact()
+
+    def test_deterministic_hence_defeated(self, setup):
+        topology, protocol = setup
+        search = worst_case_unsafety(protocol, topology, 8)
+        assert search.value == pytest.approx(1.0)
+        assert search.run is not None
+
+    def test_theorem_5_4_holds_for_it(self, setup):
+        topology, protocol = setup
+        unsafety = worst_case_unsafety(protocol, topology, 8).value
+        for family in standard_families():
+            for run in family.runs(topology, 8):
+                liveness = evaluate(protocol, topology, run).pr_total_attack
+                assert satisfies_first_lower_bound(
+                    liveness, unsafety, run_level(run, 2)
+                )
+
+    def test_validity(self, setup):
+        topology, protocol = setup
+        ok, witness = check_validity(
+            protocol, topology, validity_probe_runs(topology, 8)
+        )
+        assert ok, witness

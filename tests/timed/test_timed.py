@@ -1,0 +1,320 @@
+"""Unit tests for the timed (asynchronous) extension."""
+
+
+import pytest
+
+from repro.core.execution import decide
+from repro.core.measures import (
+    level_profile,
+    modified_level_profile,
+)
+from repro.core.probability import evaluate
+from repro.core.run import good_run, random_run
+from repro.protocols.protocol_s import ProtocolS
+from repro.timed import (
+    TimedRun,
+    check_timed_counts_equal_modified_level,
+    delayed_good_run,
+    jittered_run,
+    random_timed_run,
+    timed_attack_thresholds,
+    timed_closed_form,
+    timed_decide,
+    timed_earliest_arrivals,
+    timed_earliest_input_arrivals,
+    timed_level_profile,
+    timed_modified_level_profile,
+    timed_monte_carlo,
+    timed_run_level,
+    timed_run_modified_level,
+)
+
+
+class TestTimedRunConstruction:
+    def test_build_and_views(self):
+        run = TimedRun.build(5, [1], [(1, 2, 1, 3), (2, 1, 2, 2)])
+        assert run.has_input(1)
+        assert run.delivery_count() == 2
+        assert run.max_delay() == 2
+        assert not run.is_synchronous()
+
+    def test_rejects_arrival_before_send(self):
+        with pytest.raises(ValueError, match="arrival"):
+            TimedRun.build(5, [], [(1, 2, 3, 2)])
+
+    def test_rejects_arrival_past_horizon(self):
+        with pytest.raises(ValueError, match="arrival"):
+            TimedRun.build(5, [], [(1, 2, 5, 6)])
+
+    def test_rejects_duplicate_sends(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TimedRun.build(5, [], [(1, 2, 1, 2), (1, 2, 1, 3)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            TimedRun.build(5, [], [(1, 1, 1, 1)])
+
+    def test_synchronous_round_trip(self, pair, rng):
+        for _ in range(10):
+            sync = random_run(pair, 4, rng)
+            timed = TimedRun.from_synchronous(sync)
+            assert timed.is_synchronous()
+            assert timed.to_synchronous() == sync
+
+    def test_to_synchronous_rejects_delays(self):
+        run = TimedRun.build(3, [], [(1, 2, 1, 2)])
+        with pytest.raises(ValueError, match="delayed"):
+            run.to_synchronous()
+
+    def test_arrivals_in_round_sorted(self):
+        run = TimedRun.build(4, [], [(2, 1, 1, 3), (2, 1, 2, 3), (1, 2, 3, 3)])
+        arrivals = run.arrivals_in_round(3)
+        assert [(d.target, d.sent) for d in arrivals] == [(1, 1), (1, 2), (2, 3)]
+
+    def test_validate_for_topology(self, path3):
+        run = TimedRun.build(3, [], [(1, 3, 1, 2)])
+        with pytest.raises(ValueError, match="does not follow an edge"):
+            run.validate_for(path3)
+
+
+class TestBuilders:
+    def test_delayed_good_run_zero_delay(self, pair):
+        timed = delayed_good_run(pair, 4, 0)
+        assert timed.to_synchronous() == good_run(pair, 4)
+
+    def test_delayed_good_run_trims_horizon(self, pair):
+        timed = delayed_good_run(pair, 4, 2)
+        # Messages sent in rounds 3, 4 would arrive past the horizon.
+        assert all(d.sent <= 2 for d in timed.deliveries)
+        assert all(d.arrival == d.sent + 2 for d in timed.deliveries)
+
+    def test_delayed_good_run_rejects_negative(self, pair):
+        with pytest.raises(ValueError):
+            delayed_good_run(pair, 4, -1)
+
+    def test_random_timed_run_valid(self, ring4, rng):
+        for _ in range(10):
+            run = random_timed_run(ring4, 5, rng)
+            run.validate_for(ring4)
+
+    def test_jittered_run_extremes(self, pair, rng):
+        lossless = jittered_run(pair, 5, rng, 0.0, 0)
+        assert lossless.to_synchronous() == good_run(pair, 5)
+        silent = jittered_run(pair, 5, rng, 1.0, 2)
+        assert silent.delivery_count() == 0
+
+
+class TestTimedMeasures:
+    def test_arrivals_respect_send_time(self):
+        # A message sent in round 1 carries state (i, 0) only.
+        run = TimedRun.build(5, [], [(1, 2, 1, 4)])
+        assert timed_earliest_arrivals(run, 1, 0) == {1: 0, 2: 4}
+        assert timed_earliest_arrivals(run, 1, 1) == {1: 1}
+
+    def test_input_arrivals_through_delay(self):
+        run = TimedRun.build(5, [1], [(1, 2, 2, 5)])
+        assert timed_earliest_input_arrivals(run) == {1: 0, 2: 5}
+
+    def test_profiles_match_synchronous_on_embedding(self, pair, rng):
+        for _ in range(15):
+            sync = random_run(pair, 4, rng)
+            timed = TimedRun.from_synchronous(sync)
+            assert (
+                timed_level_profile(timed, 2).levels()
+                == level_profile(sync, 2).levels()
+            )
+            assert (
+                timed_modified_level_profile(timed, 2).levels()
+                == modified_level_profile(sync, 2).levels()
+            )
+
+    def test_delay_halves_levels(self, pair):
+        # Each level needs a message exchange; doubling the per-hop
+        # time halves the levels certified before the deadline.
+        fast = timed_run_modified_level(delayed_good_run(pair, 8, 0), 2)
+        slow = timed_run_modified_level(delayed_good_run(pair, 8, 1), 2)
+        assert fast == 8
+        assert slow == 4
+
+    def test_run_level_wrapper(self, pair):
+        timed = delayed_good_run(pair, 6, 0)
+        assert timed_run_level(timed, 2) == 7  # N + 1, as synchronous
+
+
+class TestTimedExecution:
+    def test_embedding_is_bit_identical(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.2)
+        for _ in range(15):
+            sync = random_run(pair, 4, rng)
+            timed = TimedRun.from_synchronous(sync)
+            tapes = {1: rng.uniform(0.01, 4.9)}
+            assert timed_decide(protocol, pair, timed, tapes) == decide(
+                protocol, pair, sync, tapes
+            )
+
+    def test_delayed_message_arrives_late(self, pair):
+        protocol = ProtocolS(epsilon=0.5)
+        # The coordinator's round-1 state arrives only at round 3.
+        run = TimedRun.build(3, [1, 2], [(1, 2, 1, 3)])
+        outputs = timed_decide(protocol, pair, run, {1: 1.0})
+        assert outputs == (True, True)
+        early = TimedRun.build(3, [1, 2], [])
+        assert timed_decide(protocol, pair, early, {1: 1.0}) == (True, False)
+
+    def test_multiple_messages_same_round(self, pair):
+        # Two messages from the same sender landing together must both
+        # be processed (stale + fresh).
+        protocol = ProtocolS(epsilon=0.5)
+        run = TimedRun.build(3, [1, 2], [(1, 2, 1, 2), (1, 2, 2, 2)])
+        outputs = timed_decide(protocol, pair, run, {1: 1.0})
+        assert outputs == (True, True)
+
+
+class TestTimedAnalysis:
+    def test_thresholds_match_synchronous(self, pair):
+        protocol = ProtocolS(epsilon=0.2)
+        sync = good_run(pair, 6)
+        timed = TimedRun.from_synchronous(sync)
+        assert timed_attack_thresholds(
+            protocol, pair, timed
+        ) == protocol.attack_thresholds(pair, sync)
+
+    def test_closed_form_matches_synchronous(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.25)
+        for _ in range(10):
+            sync = random_run(pair, 4, rng)
+            timed = TimedRun.from_synchronous(sync)
+            assert timed_closed_form(protocol, pair, timed).agrees_with(
+                evaluate(protocol, pair, sync), tolerance=1e-12
+            )
+
+    def test_lemma_6_4_on_random_timed_runs(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.2)
+        for _ in range(25):
+            run = random_timed_run(pair, 6, rng)
+            assert (
+                check_timed_counts_equal_modified_level(protocol, pair, run)
+                == []
+            )
+
+    def test_lemma_6_4_on_multiprocess_timed_runs(self, path3, rng):
+        protocol = ProtocolS(epsilon=0.2)
+        for _ in range(15):
+            run = random_timed_run(path3, 5, rng)
+            assert (
+                check_timed_counts_equal_modified_level(protocol, path3, run)
+                == []
+            )
+
+    def test_theorem_6_8_timed(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.125)
+        for _ in range(25):
+            run = random_timed_run(pair, 8, rng)
+            result = timed_closed_form(protocol, pair, run)
+            ml = timed_run_modified_level(run, 2)
+            assert result.pr_total_attack == pytest.approx(
+                min(1.0, 0.125 * ml)
+            )
+
+    def test_theorem_6_7_timed(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.125)
+        for _ in range(25):
+            run = random_timed_run(pair, 8, rng)
+            result = timed_closed_form(protocol, pair, run)
+            assert result.pr_partial_attack <= 0.125 + 1e-12
+
+    def test_monte_carlo_agrees(self, pair, rng):
+        protocol = ProtocolS(epsilon=0.25)
+        run = delayed_good_run(pair, 6, 1)
+        exact = timed_closed_form(protocol, pair, run)
+        sampled = timed_monte_carlo(protocol, pair, run, trials=4000, rng=rng)
+        assert exact.agrees_with(sampled, tolerance=0.03)
+
+    def test_monte_carlo_rejects_zero_trials(self, pair):
+        with pytest.raises(ValueError):
+            timed_monte_carlo(
+                ProtocolS(epsilon=0.5), pair, delayed_good_run(pair, 3, 0),
+                trials=0,
+            )
+
+
+class TestTimedClipping:
+    def test_clip_is_subrun_and_idempotent(self, pair, rng):
+        from repro.timed import random_timed_run, timed_clip
+
+        for _ in range(25):
+            run = random_timed_run(pair, 5, rng)
+            for process in (1, 2):
+                clipped = timed_clip(run, process)
+                assert clipped.deliveries <= run.deliveries
+                assert clipped.inputs <= run.inputs
+                assert timed_clip(clipped, process) == clipped
+
+    def test_clip_preserves_own_level(self, path3, rng):
+        from repro.timed import (
+            random_timed_run,
+            timed_clip,
+            timed_level_profile,
+        )
+
+        for _ in range(20):
+            run = random_timed_run(path3, 4, rng)
+            profile = timed_level_profile(run, 3)
+            for process in (1, 2, 3):
+                clipped = timed_clip(run, process)
+                assert (
+                    timed_level_profile(clipped, 3).final_level(process)
+                    == profile.final_level(process)
+                )
+
+    def test_clip_preserves_execution_view(self, pair, rng):
+        # Lemma 4.2's indistinguishability half, timed: the clipped run
+        # yields the same decision for the clipping process.
+        from repro.protocols.protocol_s import ProtocolS
+        from repro.timed import random_timed_run, timed_clip, timed_decide
+
+        protocol = ProtocolS(epsilon=0.2)
+        for _ in range(20):
+            run = random_timed_run(pair, 4, rng)
+            tapes = {1: rng.uniform(0.01, 4.9)}
+            original = timed_decide(protocol, pair, run, tapes)
+            for process in (1, 2):
+                clipped = timed_decide(
+                    protocol, pair, timed_clip(run, process), tapes
+                )
+                assert clipped[process - 1] == original[process - 1]
+
+    def test_clip_drops_dead_deliveries(self, pair):
+        from repro.timed import TimedRun, timed_clip
+
+        # A delivery into process 2 at the final round can never reach
+        # process 1 again.
+        run = TimedRun.build(3, [1, 2], [(1, 2, 1, 3), (2, 1, 1, 1)])
+        clipped = timed_clip(run, 1)
+        assert all(d.target == 1 for d in clipped.deliveries)
+
+
+class TestTimedCausalIndependence:
+    def test_silent_is_independent(self, pair):
+        from repro.timed import TimedRun, timed_causally_independent
+
+        run = TimedRun.build(4, [1, 2], [])
+        assert timed_causally_independent(run, 1, 2)
+
+    def test_any_delivery_connects(self, pair):
+        from repro.timed import TimedRun, timed_causally_independent
+
+        run = TimedRun.build(4, [1, 2], [(1, 2, 2, 4)])
+        assert not timed_causally_independent(run, 1, 2)
+
+    def test_matches_synchronous_on_embedding(self, pair, rng):
+        from repro.core.measures import causally_independent
+        from repro.core.run import random_run
+        from repro.timed import TimedRun, timed_causally_independent
+
+        for _ in range(25):
+            sync = random_run(pair, 4, rng)
+            timed = TimedRun.from_synchronous(sync)
+            assert timed_causally_independent(timed, 1, 2) == (
+                causally_independent(sync, 1, 2)
+            )

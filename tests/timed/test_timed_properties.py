@@ -1,0 +1,113 @@
+"""Property-based tests for the timed (asynchronous) extension.
+
+Hypothesis generates arbitrary delayed runs and checks:
+
+* the synchronous embedding is exact (levels, decisions, closed form);
+* timed levels keep every structural property of the synchronous ones
+  (bounds, monotonicity in time, Lemmas 6.1/6.2);
+* stretching delays never *increases* information (levels are
+  antitone in delay);
+* Lemma 6.4 and Theorems 6.7/6.8 hold over arbitrary delayed runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology import Topology
+from repro.protocols.protocol_s import ProtocolS
+from repro.timed import (
+    Delivery,
+    TimedRun,
+    check_timed_counts_equal_modified_level,
+    timed_closed_form,
+    timed_level_profile,
+    timed_modified_level_profile,
+    timed_run_modified_level,
+)
+
+PAIR = Topology.pair()
+HORIZON = 5
+PROTOCOL = ProtocolS(epsilon=0.2)
+
+
+@st.composite
+def timed_runs(draw, topology=PAIR, horizon=HORIZON):
+    """Arbitrary timed runs on a fixed topology and horizon."""
+    links = list(topology.directed_links())
+    deliveries = set()
+    for sent in range(1, horizon + 1):
+        for source, target in links:
+            choice = draw(st.integers(0, horizon + 2))
+            # 0..horizon-sent encode delays; anything above = destroyed.
+            arrival = sent + choice
+            if arrival <= horizon:
+                deliveries.add(Delivery(source, target, sent, arrival))
+    inputs = draw(st.sets(st.sampled_from(list(topology.processes))))
+    return TimedRun(horizon, frozenset(inputs), frozenset(deliveries))
+
+
+@given(timed_runs())
+@settings(max_examples=80, deadline=None)
+def test_levels_bounded_and_monotone(run):
+    profile = timed_level_profile(run, 2)
+    for process in (1, 2):
+        previous = 0
+        for round_number in range(0, run.num_rounds + 1):
+            level = profile.level_at(process, round_number)
+            assert previous <= level <= run.num_rounds + 1
+            previous = level
+
+
+@given(timed_runs())
+@settings(max_examples=80, deadline=None)
+def test_lemmas_6_1_and_6_2_timed(run):
+    levels = timed_level_profile(run, 2)
+    mlevels = timed_modified_level_profile(run, 2)
+    finals = []
+    for process in (1, 2):
+        level = levels.final_level(process)
+        mlevel = mlevels.final_level(process)
+        assert level - 1 <= mlevel <= level
+        finals.append(mlevel)
+    assert max(finals) - min(finals) <= 1
+
+
+@given(timed_runs())
+@settings(max_examples=60, deadline=None)
+def test_lemma_6_4_timed(run):
+    assert check_timed_counts_equal_modified_level(PROTOCOL, PAIR, run) == []
+
+
+@given(timed_runs())
+@settings(max_examples=60, deadline=None)
+def test_theorems_6_7_and_6_8_timed(run):
+    result = timed_closed_form(PROTOCOL, PAIR, run)
+    ml = timed_run_modified_level(run, 2)
+    assert abs(result.pr_total_attack - min(1.0, 0.2 * ml)) < 1e-12
+    assert result.pr_partial_attack <= 0.2 + 1e-12
+
+
+@given(timed_runs())
+@settings(max_examples=60, deadline=None)
+def test_stretching_delays_never_adds_information(run):
+    """Adding one round of delay to every delivery (dropping those that
+    would miss the deadline) can only lower the levels."""
+    stretched_deliveries = frozenset(
+        Delivery(d.source, d.target, d.sent, d.arrival + 1)
+        for d in run.deliveries
+        if d.arrival + 1 <= run.num_rounds
+    )
+    stretched = TimedRun(run.num_rounds, run.inputs, stretched_deliveries)
+    original = timed_level_profile(run, 2)
+    slower = timed_level_profile(stretched, 2)
+    for process in (1, 2):
+        assert slower.final_level(process) <= original.final_level(process)
+
+
+@given(timed_runs())
+@settings(max_examples=60, deadline=None)
+def test_no_inputs_means_level_zero_timed(run):
+    if run.inputs:
+        return
+    profile = timed_level_profile(run, 2)
+    assert profile.levels() == {1: 0, 2: 0}

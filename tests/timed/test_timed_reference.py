@@ -1,0 +1,79 @@
+"""Literal-definition reference checks for the timed flow machinery.
+
+Mirrors tests/core/test_reference_equivalence.py for the asynchronous
+extension: the optimized backward closure (and hence timed clipping)
+is compared against a direct recursion on the timed flows-to
+definition.
+"""
+
+import random
+
+from repro.core.types import ProcessRound
+from repro.core.topology import Topology
+from repro.timed import (
+    TimedRun,
+    random_timed_run,
+    timed_backward_closure,
+    timed_earliest_arrivals,
+)
+
+PAIR = Topology.pair()
+PATH3 = Topology.path(3)
+
+
+def flows_reference(run: TimedRun, i, r, k, t) -> bool:
+    """Literal recursion: ``(i, r)`` flows to ``(k, t)`` iff equal-and-
+    waiting, or some delivery carrying a state at round >= r lands on a
+    pair that flows onward."""
+    if i == k and r <= t:
+        return True
+    if r >= t:
+        return False
+    for delivery in run.deliveries:
+        if (
+            delivery.source == i
+            and delivery.sent - 1 >= r
+            and delivery.arrival <= t
+            and flows_reference(run, delivery.target, delivery.arrival, k, t)
+        ):
+            return True
+    return False
+
+
+class TestBackwardClosureReference:
+    def test_matches_reference_on_random_runs(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            run = random_timed_run(PATH3, 4, rng)
+            for anchor in (1, 2, 3):
+                closure = timed_backward_closure(run, anchor, run.num_rounds)
+                for k in (1, 2, 3):
+                    for s in range(0, run.num_rounds + 1):
+                        expected = flows_reference(
+                            run, k, s, anchor, run.num_rounds
+                        )
+                        assert (
+                            ProcessRound(k, s) in closure
+                        ) == expected, (run.describe(), anchor, k, s)
+
+    def test_closure_consistent_with_forward_arrivals(self):
+        # (k, s) flows to (anchor, T)  <=>  anchor reachable from (k, s).
+        rng = random.Random(12)
+        for _ in range(25):
+            run = random_timed_run(PAIR, 5, rng)
+            for anchor in (1, 2):
+                closure = timed_backward_closure(run, anchor, run.num_rounds)
+                for k in (1, 2):
+                    for s in range(0, run.num_rounds + 1):
+                        arrivals = timed_earliest_arrivals(run, k, s)
+                        forward = (
+                            arrivals.get(anchor) is not None
+                            and arrivals[anchor] <= run.num_rounds
+                        )
+                        assert (ProcessRound(k, s) in closure) == forward
+
+    def test_anchor_round_contains_only_anchor(self):
+        run = TimedRun.build(3, [1, 2], [(1, 2, 1, 2), (2, 1, 2, 3)])
+        closure = timed_backward_closure(run, 1, 3)
+        at_horizon = {p for p in closure if p.round == 3}
+        assert at_horizon == {ProcessRound(1, 3)}
