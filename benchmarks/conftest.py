@@ -3,11 +3,15 @@
 Each ``bench_eX`` file regenerates one experiment's tables (the
 reproduction's analogue of the paper's reported results) under
 pytest-benchmark timing, asserts the experiment's own claim checks
-passed, and writes the rendered report to ``benchmarks/results/``.
+passed, and writes the rendered report to ``benchmarks/results/``
+alongside a machine-readable ``BENCH_<eX>.json`` artifact (wall time
+plus the evaluation engine's instrumentation) for tracking perf
+across commits.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -23,8 +27,11 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-@pytest.fixture(scope="session")
+@pytest.fixture
 def quick_config() -> Config:
+    # Function-scoped: each experiment gets a fresh Config (and thus a
+    # fresh engine), so the BENCH_<eX>.json instrumentation is
+    # per-experiment rather than cumulative across the session.
     return Config(scale="quick", seed=0)
 
 
@@ -41,5 +48,28 @@ def run_and_record(benchmark, experiment_id, config, results_dir):
     (results_dir / f"{experiment_id.lower()}_tables.md").write_text(
         "\n".join(table.to_markdown() for table in report.tables)
     )
+    _write_bench_json(benchmark, report, experiment_id, results_dir)
     assert report.passed, report.render()
     return report
+
+
+def _write_bench_json(benchmark, report, experiment_id, results_dir):
+    """Persist ``BENCH_<eX>.json``: timing + engine instrumentation."""
+    try:
+        wall_time = benchmark.stats.stats.mean
+    except AttributeError:  # benchmarking disabled or stats unavailable
+        wall_time = None
+    engine = report.metadata.get("engine", {})
+    payload = {
+        "experiment": experiment_id,
+        "passed": report.passed,
+        "wall_time_seconds": wall_time,
+        "backend": engine.get("backend"),
+        "runs_evaluated": engine.get("runs_evaluated"),
+        "vectorized_evaluations": engine.get("vectorized_evaluations"),
+        "reference_evaluations": engine.get("reference_evaluations"),
+        "cache_hit_rate": engine.get("cache_hit_rate"),
+        "engine_wall_time_seconds": engine.get("wall_time_seconds"),
+    }
+    json_path = results_dir / f"BENCH_{experiment_id.lower()}.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from ..core.probability import EventProbabilities, evaluate
+from ..core.probability import EventProbabilities
 from ..core.protocol import Protocol
 from ..core.run import (
     Run,
@@ -39,6 +39,21 @@ from .strong import StrongAdversary
 from .structured import RunFamily, standard_families
 
 Objective = Callable[[EventProbabilities], float]
+
+
+def _resolve_engine(engine):
+    """The engine to search with: the caller's, or the process default.
+
+    Routing every search through an :class:`repro.engine.Engine` is
+    what batches run evaluation (numpy backend where supported) and
+    memoizes exact results, so repeated certification passes stop
+    re-simulating the same runs.
+    """
+    if engine is None:
+        from ..engine import default_engine
+
+        return default_engine()
+    return engine
 
 
 def unsafety_objective(result: EventProbabilities) -> float:
@@ -79,20 +94,28 @@ def _search_over(
     strategy: str,
     trials: int = 2_000,
     rng: Optional[random.Random] = None,
+    engine=None,
 ) -> SearchResult:
+    engine = _resolve_engine(engine)
+    run_list = list(runs)
+    if not run_list:
+        raise ValueError(f"{strategy} search was given no runs")
+    results = engine.evaluate_many(
+        protocol, topology, run_list, trials=trials, rng=rng
+    )
+    # Scan in submission order with a strict ``>``, so the winner (the
+    # first run attaining the maximum) matches the historical serial
+    # loop exactly.
     best_value = float("-inf")
     best_run: Optional[Run] = None
-    examined = 0
-    for run in runs:
-        examined += 1
-        result = evaluate(protocol, topology, run, trials=trials, rng=rng)
+    for run, result in zip(run_list, results):
         value = objective(result)
         if value > best_value:
             best_value = value
             best_run = run
-    if examined == 0:
-        raise ValueError(f"{strategy} search was given no runs")
-    return SearchResult(best_value, best_run, examined, certification, strategy)
+    return SearchResult(
+        best_value, best_run, len(run_list), certification, strategy
+    )
 
 
 def exhaustive_search(
@@ -102,12 +125,14 @@ def exhaustive_search(
     objective: Objective = unsafety_objective,
     fixed_inputs: Optional[frozenset] = None,
     limit: int = 300_000,
+    engine=None,
 ) -> SearchResult:
     """Enumerate every run of the strong adversary (small instances)."""
     adversary = StrongAdversary(fixed_inputs=fixed_inputs)
     runs = adversary.enumerate(topology, num_rounds, limit=limit)
     return _search_over(
-        protocol, topology, runs, objective, "exact", "exhaustive"
+        protocol, topology, runs, objective, "exact", "exhaustive",
+        engine=engine,
     )
 
 
@@ -117,6 +142,7 @@ def family_search(
     num_rounds: Round,
     objective: Objective = unsafety_objective,
     families: Optional[Sequence[RunFamily]] = None,
+    engine=None,
 ) -> SearchResult:
     """Maximize over the structured families."""
     if families is None:
@@ -124,7 +150,9 @@ def family_search(
     runs: List[Run] = []
     for family in families:
         runs.extend(family.runs(topology, num_rounds))
-    return _search_over(protocol, topology, runs, objective, "family", "family")
+    return _search_over(
+        protocol, topology, runs, objective, "family", "family", engine=engine
+    )
 
 
 def random_search(
@@ -134,6 +162,7 @@ def random_search(
     samples: int = 200,
     objective: Objective = unsafety_objective,
     rng: Optional[random.Random] = None,
+    engine=None,
 ) -> SearchResult:
     """Probe uniformly random runs."""
     if rng is None:
@@ -142,7 +171,8 @@ def random_search(
         random_run(topology, num_rounds, rng) for _ in range(samples)
     )
     return _search_over(
-        protocol, topology, runs, objective, "heuristic", "random"
+        protocol, topology, runs, objective, "heuristic", "random",
+        engine=engine,
     )
 
 
@@ -153,17 +183,20 @@ def greedy_search(
     seed_run: Run,
     objective: Objective = unsafety_objective,
     max_passes: int = 3,
+    engine=None,
 ) -> SearchResult:
     """Hill-climb by flipping one delivery or input at a time.
 
     Starts from ``seed_run`` and repeatedly applies the single-tuple
     flip (add/remove a message delivery, toggle an input) that most
     improves the objective, until a pass yields no improvement or the
-    pass budget is exhausted.
+    pass budget is exhausted.  Each pass's neighborhood is evaluated as
+    one engine batch; revisited neighbors are cache hits.
     """
+    engine = _resolve_engine(engine)
     all_tuples = all_message_tuples(topology, num_rounds)
     current = seed_run
-    current_value = objective(evaluate(protocol, topology, current))
+    current_value = objective(engine.evaluate(protocol, topology, current))
     examined = 1
     for _ in range(max_passes):
         improved = False
@@ -184,9 +217,10 @@ def greedy_search(
                 neighbors.append(
                     current.with_inputs(current.inputs | {process})
                 )
-        for neighbor in neighbors:
-            examined += 1
-            value = objective(evaluate(protocol, topology, neighbor))
+        results = engine.evaluate_many(protocol, topology, neighbors)
+        examined += len(neighbors)
+        for neighbor, result in zip(neighbors, results):
+            value = objective(result)
             if value > best_neighbor_value:
                 best_neighbor = neighbor
                 best_neighbor_value = value
@@ -209,6 +243,7 @@ def worst_case_unsafety(
     exhaustive_limit: int = 70_000,
     random_samples: int = 100,
     rng: Optional[random.Random] = None,
+    engine=None,
 ) -> SearchResult:
     """The composite search used by the experiments.
 
@@ -217,22 +252,28 @@ def worst_case_unsafety(
     and random probing — certified ``family`` if the family winner
     stands, ``heuristic`` if a heuristic beat it.
     """
+    engine = _resolve_engine(engine)
     space = run_space_size(topology, num_rounds, fixed_inputs=False)
     if space <= exhaustive_limit:
         return exhaustive_search(
-            protocol, topology, num_rounds, objective, limit=exhaustive_limit
+            protocol, topology, num_rounds, objective,
+            limit=exhaustive_limit, engine=engine,
         )
-    family_result = family_search(protocol, topology, num_rounds, objective)
+    family_result = family_search(
+        protocol, topology, num_rounds, objective, engine=engine
+    )
     candidates = [family_result]
     if family_result.run is not None:
         candidates.append(
             greedy_search(
-                protocol, topology, num_rounds, family_result.run, objective
+                protocol, topology, num_rounds, family_result.run, objective,
+                engine=engine,
             )
         )
     candidates.append(
         random_search(
-            protocol, topology, num_rounds, random_samples, objective, rng
+            protocol, topology, num_rounds, random_samples, objective, rng,
+            engine=engine,
         )
     )
     best = max(candidates, key=lambda result: result.value)

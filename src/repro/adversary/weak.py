@@ -22,7 +22,6 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.probability import evaluate
 from ..core.protocol import Protocol
 from ..core.run import bernoulli_run
 from ..core.topology import Topology
@@ -87,23 +86,32 @@ def estimate_against_weak_adversary(
     adversary: WeakAdversary,
     samples: int = 1_000,
     rng: Optional[random.Random] = None,
+    engine=None,
 ) -> WeakAdversaryEstimate:
     """Estimate ``E_R[Pr[TA | R]]`` and ``E_R[Pr[PA | R]]`` by run sampling.
 
     Each sampled run is evaluated with the best exact backend available
     for the protocol, so the estimate's only randomness is in the run
-    draw itself.
+    draw itself.  All runs are drawn first (the draw order is the sole
+    consumer of ``rng``, so this matches the historical serial loop),
+    then evaluated as one engine batch.
     """
     if samples < 1:
         raise ValueError("samples must be positive")
     if rng is None:
         rng = random.Random(0)
+    if engine is None:
+        from ..engine import default_engine
+
+        engine = default_engine()
+    runs = [
+        adversary.sample(topology, num_rounds, rng) for _ in range(samples)
+    ]
+    results = engine.evaluate_many(protocol, topology, runs)
     liveness_total = 0.0
     unsafety_total = 0.0
     disagreement_runs = 0
-    for _ in range(samples):
-        run = adversary.sample(topology, num_rounds, rng)
-        result = evaluate(protocol, topology, run)
+    for result in results:
         liveness_total += result.pr_total_attack
         unsafety_total += result.pr_partial_attack
         if result.pr_partial_attack > 0.0:

@@ -1,75 +1,42 @@
-"""Vectorized weak-adversary estimation for two generals (numpy).
+"""Two-general weak-adversary estimation (compatibility surface).
 
-The weak-adversary sweeps (experiment E8, the §8 studies) evaluate
-Protocol S or W on many thousands of i.i.d.-loss runs.  On the pair
-topology the Figure 1 dynamics collapse to a two-variable recurrence —
-on receiving the peer's previous count ``c_j >= 1``, a counting
-process jumps to ``max(c_i, c_j + 1)`` (with ``m = 2`` the ``seen``
-set fills instantly) — which vectorizes across runs with numpy.
+The numpy kernels that used to live here are now the pair-topology
+fast paths of the evaluation engine — see
+:mod:`repro.engine.vectorized`, which also generalizes the counting
+recurrence to arbitrary topologies.  This module keeps the historical
+public API (used by E8, the benchmarks, and the §8 studies) as thin
+wrappers so existing callers and the equivalence tests in
+``tests/analysis/test_fast_mc.py`` are undisturbed.
 
-The reduction is validated against the generic simulator in
-``tests/analysis/test_fast_mc.py`` (exact agreement on random runs and
-on the estimates themselves); the generic path remains the reference
-implementation.
+The wrappers pin ``float64`` delivery sampling, which reproduces the
+historical estimates bit-for-bit; the engine's own sweeps default to
+``float32`` draws (a Bernoulli threshold does not need 53 bits).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..adversary.weak import WeakAdversaryEstimate
 from ..core.types import Round
+from ..engine.vectorized import (
+    PairCounts,
+    pair_protocol_s_weak_estimate,
+    pair_protocol_w_weak_estimate,
+    sample_pair_deliveries,
+    simulate_pair_counts,
+    simulate_pair_counts_valid_gated,
+)
 
+__all__ = [
+    "PairCounts",
+    "simulate_pair_counts",
+    "fast_protocol_s_weak_estimate",
+    "fast_protocol_w_weak_estimate",
+]
 
-@dataclass(frozen=True)
-class PairCounts:
-    """Vectorized final states for a batch of two-general runs."""
-
-    count_1: np.ndarray
-    count_2: np.ndarray
-    rfire_heard_2: np.ndarray  # process 1 always knows rfire
-
-
-def simulate_pair_counts(
-    delivered_1_to_2: np.ndarray,
-    delivered_2_to_1: np.ndarray,
-    input_1: bool = True,
-    input_2: bool = True,
-) -> PairCounts:
-    """Run the m = 2 counting recurrence over a batch of runs.
-
-    ``delivered_x_to_y`` are boolean arrays of shape
-    ``(num_runs, num_rounds)``: whether the round-``r`` message on that
-    directed link is delivered.  Returns the final counts (which equal
-    the modified levels, Lemma 6.4) and whether process 2 ever heard
-    ``rfire``.
-    """
-    if delivered_1_to_2.shape != delivered_2_to_1.shape:
-        raise ValueError("delivery matrices must have identical shape")
-    num_runs, num_rounds = delivered_1_to_2.shape
-    c1 = np.zeros(num_runs, dtype=np.int64)
-    c2 = np.zeros(num_runs, dtype=np.int64)
-    v1 = np.full(num_runs, bool(input_1))
-    v2 = np.full(num_runs, bool(input_2))
-    f2 = np.zeros(num_runs, dtype=bool)
-    c1[v1] = 1  # the coordinator holds rfire from the start
-    for round_number in range(num_rounds):
-        d12 = delivered_1_to_2[:, round_number]
-        d21 = delivered_2_to_1[:, round_number]
-        prev_c1 = c1.copy()
-        prev_c2 = c2.copy()
-        prev_v1 = v1.copy()
-        prev_v2 = v2.copy()
-        v1 = v1 | (d21 & prev_v2)
-        v2 = v2 | (d12 & prev_v1)
-        f2 = f2 | d12
-        c1 = np.where((c1 == 0) & v1, 1, c1)
-        c2 = np.where((c2 == 0) & v2 & f2, 1, c2)
-        c1 = np.where(d21 & (prev_c2 >= 1), np.maximum(c1, prev_c2 + 1), c1)
-        c2 = np.where(d12 & (prev_c1 >= 1), np.maximum(c2, prev_c1 + 1), c2)
-    return PairCounts(count_1=c1, count_2=c2, rfire_heard_2=f2)
+# Back-compat alias: the valid-gated kernel was private here.
+_simulate_pair_counts_valid_gated = simulate_pair_counts_valid_gated
 
 
 def _sample_deliveries(
@@ -78,10 +45,9 @@ def _sample_deliveries(
     loss_probability: float,
     rng: np.random.Generator,
 ):
-    keep = 1.0 - loss_probability
-    d12 = rng.random((num_runs, num_rounds)) < keep
-    d21 = rng.random((num_runs, num_rounds)) < keep
-    return d12, d21
+    return sample_pair_deliveries(
+        num_runs, num_rounds, loss_probability, rng, dtype=np.float64
+    )
 
 
 def fast_protocol_s_weak_estimate(
@@ -99,23 +65,13 @@ def fast_protocol_s_weak_estimate(
     :func:`repro.adversary.weak.estimate_against_weak_adversary` with
     ``ProtocolS``, at numpy speed.
     """
-    if not 0.0 < epsilon <= 1.0:
-        raise ValueError("epsilon must be in (0, 1]")
-    rng = np.random.default_rng(seed)
-    d12, d21 = _sample_deliveries(samples, num_rounds, loss_probability, rng)
-    counts = simulate_pair_counts(d12, d21)
-    t = 1.0 / epsilon
-    a1 = counts.count_1.astype(np.float64)
-    a2 = np.where(counts.rfire_heard_2, counts.count_2, 0).astype(np.float64)
-    pr1 = np.minimum(1.0, a1 / t)
-    pr2 = np.minimum(1.0, a2 / t)
-    pr_ta = np.minimum(pr1, pr2)
-    pr_pa = np.abs(pr1 - pr2)
-    return WeakAdversaryEstimate(
-        expected_liveness=float(pr_ta.mean()),
-        expected_unsafety=float(pr_pa.mean()),
-        disagreement_runs=int(np.count_nonzero(pr_pa > 0)),
-        samples=samples,
+    return pair_protocol_s_weak_estimate(
+        num_rounds,
+        epsilon,
+        loss_probability,
+        samples,
+        np.random.default_rng(seed),
+        dtype=np.float64,
     )
 
 
@@ -132,41 +88,11 @@ def fast_protocol_w_weak_estimate(
     topology is the same recurrence with process 2's rfire gate forced
     open.
     """
-    if threshold < 1:
-        raise ValueError("threshold must be >= 1")
-    rng = np.random.default_rng(seed)
-    d12, d21 = _sample_deliveries(samples, num_rounds, loss_probability, rng)
-    # Force the rfire gate open: reuse the recurrence with f2 = True by
-    # marking every round-1 link delivered for gating purposes only.
-    counts = _simulate_pair_counts_valid_gated(d12, d21)
-    attack_1 = counts.count_1 >= threshold
-    attack_2 = counts.count_2 >= threshold
-    pr_ta = (attack_1 & attack_2).astype(np.float64)
-    pr_pa = (attack_1 ^ attack_2).astype(np.float64)
-    return WeakAdversaryEstimate(
-        expected_liveness=float(pr_ta.mean()),
-        expected_unsafety=float(pr_pa.mean()),
-        disagreement_runs=int(np.count_nonzero(pr_pa > 0)),
-        samples=samples,
-    )
-
-
-def _simulate_pair_counts_valid_gated(
-    delivered_1_to_2: np.ndarray, delivered_2_to_1: np.ndarray
-) -> PairCounts:
-    """The valid-gated (Protocol W) recurrence: counts track L_i."""
-    num_runs, num_rounds = delivered_1_to_2.shape
-    c1 = np.ones(num_runs, dtype=np.int64)  # both inputs present
-    c2 = np.ones(num_runs, dtype=np.int64)
-    for round_number in range(num_rounds):
-        d12 = delivered_1_to_2[:, round_number]
-        d21 = delivered_2_to_1[:, round_number]
-        prev_c1 = c1.copy()
-        prev_c2 = c2.copy()
-        c1 = np.where(d21 & (prev_c2 >= 1), np.maximum(c1, prev_c2 + 1), c1)
-        c2 = np.where(d12 & (prev_c1 >= 1), np.maximum(c2, prev_c1 + 1), c2)
-    return PairCounts(
-        count_1=c1,
-        count_2=c2,
-        rfire_heard_2=np.ones(num_runs, dtype=bool),
+    return pair_protocol_w_weak_estimate(
+        num_rounds,
+        threshold,
+        loss_probability,
+        samples,
+        np.random.default_rng(seed),
+        dtype=np.float64,
     )

@@ -140,6 +140,9 @@ class ExperimentReport:
     tables: List[Table] = field(default_factory=list)
     passed: bool = True
     notes: List[str] = field(default_factory=list)
+    # Machine-readable extras (engine instrumentation, timings) for
+    # benchmark artifacts; not part of the rendered text.
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def add_table(self, table: Table) -> Table:
         """Attach a table to the report and return it for filling."""

@@ -38,7 +38,6 @@ from .adversary.search import worst_case_unsafety
 from .analysis.report import Table
 from .core.measures import level_profile, modified_level_profile
 from .core.metrics import check_validity, validity_probe_runs
-from .core.probability import evaluate
 from .core.run import (
     Run,
     bernoulli_run,
@@ -50,6 +49,7 @@ from .core.run import (
 )
 from .core.topology import Topology
 from .core.types import Round
+from .engine import BACKENDS, Engine
 from .protocols.deterministic import InputAttack, NeverAttack
 from .protocols.protocol_a import ProtocolA
 from .protocols.protocol_s import ProtocolS
@@ -163,11 +163,33 @@ def parse_protocol(spec: str, num_rounds: Round):
     )
 
 
+def _print_engine_stats(args, engine: Engine) -> None:
+    """Render the engine instrumentation table when requested."""
+    if not getattr(args, "engine_stats", False):
+        return
+    stats = engine.stats
+    table = Table(
+        title="Engine statistics",
+        columns=["quantity", "value"],
+        caption=f"backend: {engine.backend}",
+    )
+    table.add_row("runs evaluated", stats.runs_evaluated)
+    table.add_row("reference evaluations", stats.reference_evaluations)
+    table.add_row("vectorized evaluations", stats.vectorized_evaluations)
+    table.add_row("batch calls", stats.batch_calls)
+    table.add_row("cache hits", stats.cache_hits)
+    table.add_row("cache misses", stats.cache_misses)
+    table.add_row("cache hit rate", stats.cache_hit_rate)
+    table.add_row("wall time (s)", stats.wall_time_seconds)
+    print(table.render())
+
+
 def _cmd_simulate(args) -> int:
     topology = parse_topology(args.topology)
     protocol = parse_protocol(args.protocol, args.rounds)
     run = parse_run(args.run, topology, args.rounds)
-    result = evaluate(protocol, topology, run)
+    engine = Engine(backend=args.backend)
+    result = engine.evaluate(protocol, topology, run)
     table = Table(
         title=f"{protocol.name} on {run.describe()}",
         columns=["quantity", "value"],
@@ -179,13 +201,17 @@ def _cmd_simulate(args) -> int:
     for process in topology.processes:
         table.add_row(f"P[process {process} attacks]", result.pr_attack_by(process))
     print(table.render())
+    _print_engine_stats(args, engine)
     return 0
 
 
 def _cmd_search(args) -> int:
     topology = parse_topology(args.topology)
     protocol = parse_protocol(args.protocol, args.rounds)
-    result = worst_case_unsafety(protocol, topology, args.rounds)
+    engine = Engine(backend=args.backend)
+    result = worst_case_unsafety(
+        protocol, topology, args.rounds, engine=engine
+    )
     if args.save_witness and result.run is not None:
         from .core.serialization import run_to_json
 
@@ -202,6 +228,7 @@ def _cmd_search(args) -> int:
     if args.save_witness:
         table.add_row("witness saved to", args.save_witness)
     print(table.render())
+    _print_engine_stats(args, engine)
     return 0
 
 
@@ -245,6 +272,7 @@ def _cmd_experiments(args) -> int:
     if args.all:
         forwarded.append("--all")
     forwarded.extend(["--scale", args.scale, "--seed", str(args.seed)])
+    forwarded.extend(["--backend", args.backend])
     return experiments_main(forwarded)
 
 
@@ -271,10 +299,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "--protocol", default="S", help="protocol spec"
             )
 
+    def add_engine_flags(sub):
+        sub.add_argument(
+            "--backend",
+            choices=list(BACKENDS),
+            default="auto",
+            help="evaluation engine backend (default: auto)",
+        )
+        sub.add_argument(
+            "--engine-stats",
+            action="store_true",
+            help="print engine instrumentation after the results",
+        )
+
     simulate = subparsers.add_parser(
         "simulate", help="evaluate a protocol on a run"
     )
     add_common(simulate)
+    add_engine_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     search = subparsers.add_parser(
@@ -287,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the worst run found as JSON to PATH",
     )
+    add_engine_flags(search)
     search.set_defaults(handler=_cmd_search)
 
     level = subparsers.add_parser(
@@ -311,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["quick", "full"], default="quick"
     )
     experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--backend", choices=list(BACKENDS), default="auto"
+    )
     experiments.set_defaults(handler=_cmd_experiments)
 
     return parser

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from .execution import decide
-from .probability import evaluate
+from .probability import evaluate, evaluate_many
 from .protocol import Protocol
 from .run import Run, silent_run
 from .topology import Topology
@@ -79,20 +79,34 @@ def max_unsafety_over(
     trials: int = 4_000,
     rng: Optional[random.Random] = None,
     certification: str = "explicit-set",
+    engine=None,
 ) -> UnsafetyResult:
-    """``max_R Pr[PA | R]`` over an explicit iterable of runs."""
+    """``max_R Pr[PA | R]`` over an explicit iterable of runs.
+
+    The whole set is evaluated as one batch through the evaluation
+    engine (process default unless ``engine`` is given); the winner is
+    chosen by the same first-maximum rule as the historical loop.
+    """
+    run_list = list(runs)
+    if not run_list:
+        raise ValueError("no runs supplied to maximize over")
+    results = evaluate_many(
+        protocol,
+        topology,
+        run_list,
+        method=method,
+        trials=trials,
+        rng=rng,
+        engine=engine,
+    )
     best_value = 0.0
     best_run: Optional[Run] = None
-    examined = 0
-    for run in runs:
-        examined += 1
-        value = unsafety_on_run(protocol, topology, run, method, trials, rng)
+    for run, result in zip(run_list, results):
+        value = result.pr_partial_attack
         if value > best_value or best_run is None:
             best_value = value
             best_run = run
-    if examined == 0:
-        raise ValueError("no runs supplied to maximize over")
-    return UnsafetyResult(best_value, best_run, examined, certification)
+    return UnsafetyResult(best_value, best_run, len(run_list), certification)
 
 
 def check_validity(

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .events import OutcomeCounts, classify, Outcome
 from .execution import decide
@@ -213,3 +213,36 @@ def evaluate(
                 f"(support size {size})"
             )
     return monte_carlo_probabilities(protocol, topology, run, trials, rng)
+
+
+def evaluate_many(
+    protocol: Protocol,
+    topology: Topology,
+    runs: "Sequence[Run]",
+    method: str = "auto",
+    trials: int = DEFAULT_TRIALS,
+    rng: Optional[random.Random] = None,
+    enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    engine: Optional[object] = None,
+) -> "List[EventProbabilities]":
+    """Batched :func:`evaluate` over an ordered sequence of runs.
+
+    Delegates to an :class:`repro.engine.Engine` (the process-wide
+    default when ``engine`` is None), which routes supported batches to
+    the vectorized numpy backend and memoizes exact results.  The
+    returned list matches ``runs`` in order and is element-wise
+    identical to mapping :func:`evaluate`.
+    """
+    if engine is None:
+        from ..engine import default_engine
+
+        engine = default_engine()
+    return engine.evaluate_many(
+        protocol,
+        topology,
+        runs,
+        method=method,
+        trials=trials,
+        rng=rng,
+        enumeration_limit=enumeration_limit,
+    )

@@ -1,0 +1,378 @@
+"""The :class:`Engine` facade: batched, cached, instrumented evaluation.
+
+Every layer that needs ``Pr[X | R]`` — the probability module, the
+worst-run searches, the weak-adversary estimators, the experiment
+runners — goes through an :class:`Engine` rather than calling the
+simulator directly.  The engine picks a backend per call:
+
+* ``reference`` — the pure-python simulator via
+  :func:`repro.core.probability.evaluate`, unchanged semantics;
+* ``vectorized`` — the numpy batch kernel of
+  :mod:`repro.engine.vectorized` wherever it supports the
+  (protocol, topology) pair exactly, reference otherwise;
+* ``auto`` — vectorize exactly-supported batches once they are large
+  enough to amortize tensor packing, reference for everything else.
+
+Because the vectorized backend is bit-identical to the reference
+closed forms (enforced by the parity test suite), switching backends
+never changes a claim check — only wall time.
+
+Results whose method is exact (closed form or enumeration) are
+memoized in a bounded FIFO cache keyed on the hashable, immutable
+``(protocol, topology, run)`` triple, so greedy and random searches
+stop re-simulating duplicate neighbors and repeated certification
+passes (e.g. E16's family search after an exhaustive sweep) become
+cache hits.  Monte-Carlo results are never cached: caching them would
+silently freeze sampling noise and perturb downstream rng streams.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.probability import (
+    DEFAULT_ENUMERATION_LIMIT,
+    DEFAULT_TRIALS,
+    EventProbabilities,
+    evaluate,
+)
+from ..core.protocol import Protocol
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import Round
+
+BACKENDS = ("auto", "reference", "vectorized")
+
+# Under ``auto``, batches smaller than this stay on the reference path:
+# packing tensors for a handful of runs costs more than it saves.
+MIN_VECTORIZED_BATCH = 8
+
+# FIFO memo-cache bound — generous for the run counts the experiments
+# enumerate (tens of thousands) while keeping worst-case memory modest.
+DEFAULT_CACHE_SIZE = 200_000
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across an engine's lifetime.
+
+    ``runs_evaluated`` counts every run requested (cache hits
+    included); the per-backend counters count actual evaluations.
+    """
+
+    runs_evaluated: int = 0
+    reference_evaluations: int = 0
+    vectorized_evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batch_calls: int = 0
+    wall_time_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "runs_evaluated": self.runs_evaluated,
+            "reference_evaluations": self.reference_evaluations,
+            "vectorized_evaluations": self.vectorized_evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "batch_calls": self.batch_calls,
+            "wall_time_seconds": round(self.wall_time_seconds, 4),
+        }
+
+
+@dataclass
+class Engine:
+    """Facade over the reference and vectorized evaluation backends."""
+
+    backend: str = "auto"
+    cache_size: int = DEFAULT_CACHE_SIZE
+    min_vectorized_batch: int = MIN_VECTORIZED_BATCH
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        self._cache: "OrderedDict[tuple, EventProbabilities]" = OrderedDict()
+
+    # -- cache ---------------------------------------------------------
+
+    def _cache_key(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        run: Run,
+        method: str,
+        trials: int,
+    ) -> Optional[tuple]:
+        try:
+            return (hash(protocol), protocol, topology, run, method, trials)
+        except TypeError:
+            return None  # unhashable protocol: skip memoization
+
+    def _cache_get(self, key: Optional[tuple]) -> Optional[EventProbabilities]:
+        if key is None:
+            return None
+        result = self._cache.get(key)
+        if result is not None:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.cache_misses += 1
+        return result
+
+    def _cache_put(
+        self, key: Optional[tuple], result: EventProbabilities
+    ) -> None:
+        if key is None or not result.is_exact() or self.cache_size <= 0:
+            return
+        if key not in self._cache and len(self._cache) >= self.cache_size:
+            self._cache.popitem(last=False)
+        self._cache[key] = result
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def reset(self) -> None:
+        """Zero the instrumentation and drop the memo cache.
+
+        Called between experiment runs that share one
+        :class:`~repro.experiments.common.Config`, so each report's
+        engine note covers exactly one run (and repeated runs replay
+        identically — no stale cache hits).
+        """
+        self.stats = EngineStats()
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # -- backend selection --------------------------------------------
+
+    def supports_vectorized(
+        self, protocol: Protocol, topology: Topology
+    ) -> bool:
+        """Whether the numpy kernel evaluates this pair exactly."""
+        from . import vectorized
+
+        return vectorized.supports(protocol, topology)
+
+    def _wants_vectorized(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        method: str,
+        batch: int,
+    ) -> bool:
+        if self.backend == "reference":
+            return False
+        if method not in ("auto", "closed-form"):
+            return False  # caller demanded enumeration / Monte Carlo
+        if not self.supports_vectorized(protocol, topology):
+            return False
+        if self.backend == "vectorized":
+            return True
+        return batch >= self.min_vectorized_batch
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        run: Run,
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
+        rng: Optional[random.Random] = None,
+        enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    ) -> EventProbabilities:
+        """Cached scalar evaluation (reference semantics)."""
+        started = time.perf_counter()
+        try:
+            self.stats.runs_evaluated += 1
+            key = self._cache_key(protocol, topology, run, method, trials)
+            cached = self._cache_get(key)
+            if cached is not None:
+                return cached
+            if self._wants_vectorized(protocol, topology, method, batch=1):
+                from . import vectorized
+
+                result = vectorized.evaluate_batch(protocol, topology, [run])[0]
+                self.stats.vectorized_evaluations += 1
+            else:
+                result = evaluate(
+                    protocol,
+                    topology,
+                    run,
+                    method=method,
+                    trials=trials,
+                    rng=rng,
+                    enumeration_limit=enumeration_limit,
+                )
+                self.stats.reference_evaluations += 1
+            self._cache_put(key, result)
+            return result
+        finally:
+            self.stats.wall_time_seconds += time.perf_counter() - started
+
+    def evaluate_many(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        runs: Sequence[Run],
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
+        rng: Optional[random.Random] = None,
+        enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    ) -> List[EventProbabilities]:
+        """Evaluate a batch of runs, in order, against one protocol.
+
+        Semantically equivalent to mapping :meth:`evaluate` over
+        ``runs`` (same results, same rng consumption for Monte-Carlo
+        protocols); the vectorized backend and the memo cache only
+        change how fast the answers arrive.
+        """
+        runs = list(runs)
+        started = time.perf_counter()
+        try:
+            self.stats.batch_calls += 1
+            self.stats.runs_evaluated += len(runs)
+            results: List[Optional[EventProbabilities]] = [None] * len(runs)
+            keys: List[Optional[tuple]] = [None] * len(runs)
+            pending: List[int] = []
+            for index, run in enumerate(runs):
+                key = self._cache_key(protocol, topology, run, method, trials)
+                keys[index] = key
+                cached = self._cache_get(key)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    pending.append(index)
+            if not pending:
+                return [result for result in results if result is not None]
+            if self._wants_vectorized(
+                protocol, topology, method, batch=len(pending)
+            ):
+                self._evaluate_pending_vectorized(
+                    protocol, topology, runs, results, keys, pending
+                )
+            else:
+                for index in pending:
+                    # Re-consult the cache so duplicate runs inside one
+                    # batch are evaluated once (exact results only; the
+                    # cache never stores Monte-Carlo estimates).
+                    cached = self._cache.get(keys[index]) if keys[index] else None
+                    if cached is not None:
+                        results[index] = cached
+                        continue
+                    result = evaluate(
+                        protocol,
+                        topology,
+                        runs[index],
+                        method=method,
+                        trials=trials,
+                        rng=rng,
+                        enumeration_limit=enumeration_limit,
+                    )
+                    self.stats.reference_evaluations += 1
+                    self._cache_put(keys[index], result)
+                    results[index] = result
+            return [result for result in results if result is not None]
+        finally:
+            self.stats.wall_time_seconds += time.perf_counter() - started
+
+    def _evaluate_pending_vectorized(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        runs: Sequence[Run],
+        results: List[Optional[EventProbabilities]],
+        keys: List[Optional[tuple]],
+        pending: List[int],
+    ) -> None:
+        from . import vectorized
+
+        # Deduplicate within the batch (closed-form results are pure),
+        # and group by horizon: the kernel wants uniform num_rounds.
+        by_horizon: Dict[Round, Dict[Run, List[int]]] = {}
+        for index in pending:
+            run = runs[index]
+            by_horizon.setdefault(run.num_rounds, {}).setdefault(
+                run, []
+            ).append(index)
+        for unique in by_horizon.values():
+            unique_runs = list(unique.keys())
+            batch_results = vectorized.evaluate_batch(
+                protocol, topology, unique_runs
+            )
+            self.stats.vectorized_evaluations += len(unique_runs)
+            for run, result in zip(unique_runs, batch_results):
+                for index in unique[run]:
+                    results[index] = result
+                    self._cache_put(keys[index], result)
+
+    # -- weak-adversary fast paths ------------------------------------
+
+    def pair_weak_estimate_s(
+        self,
+        num_rounds: Round,
+        epsilon: float,
+        loss_probability: float,
+        samples: int,
+        rng,
+    ):
+        """Vectorized two-general ``E[L]``/``E[U]`` sweep for Protocol S."""
+        from . import vectorized
+
+        started = time.perf_counter()
+        try:
+            self.stats.runs_evaluated += samples
+            self.stats.vectorized_evaluations += samples
+            return vectorized.pair_protocol_s_weak_estimate(
+                num_rounds, epsilon, loss_probability, samples, rng
+            )
+        finally:
+            self.stats.wall_time_seconds += time.perf_counter() - started
+
+    def pair_weak_estimate_w(
+        self,
+        num_rounds: Round,
+        threshold: int,
+        loss_probability: float,
+        samples: int,
+        rng,
+    ):
+        """Vectorized two-general ``E[L]``/``E[U]`` sweep for Protocol W."""
+        from . import vectorized
+
+        started = time.perf_counter()
+        try:
+            self.stats.runs_evaluated += samples
+            self.stats.vectorized_evaluations += samples
+            return vectorized.pair_protocol_w_weak_estimate(
+                num_rounds, threshold, loss_probability, samples, rng
+            )
+        finally:
+            self.stats.wall_time_seconds += time.perf_counter() - started
+
+
+_default_engine: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine used when callers do not pass their own."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine()
+    return _default_engine

@@ -1,0 +1,492 @@
+"""The vectorized backend: numpy batch evaluation of counting protocols.
+
+This module generalizes the two-general recurrence that used to live
+in :mod:`repro.analysis.fast_mc` to *arbitrary* topologies and batches
+of runs.  The Figure 1 counting machine (shared by Protocols S and W,
+see :mod:`repro.protocols.counting`) has integer state — ``count``, a
+``seen`` set, and the ``valid`` / ``rfire``-heard flags — all of which
+vectorize across a batch of runs:
+
+* ``seen`` sets become per-process bitmasks (one ``int64`` lane per
+  run), so the Figure 1 ``highseen`` union is a bitwise OR;
+* deliveries become a boolean tensor ``(batch, round, directed link)``;
+* one python-level loop remains over rounds × processes × in-neighbors
+  (all tiny), with every operation applying to the whole batch.
+
+Because the counting state is integral, the batch kernel reproduces
+the reference simulator *exactly* — not approximately — and the
+closed-form probability formulas applied on top are transcribed
+operation-for-operation from ``ProtocolS.closed_form_probabilities`` /
+``ProtocolW.closed_form_probabilities`` so the floats are bit-identical
+too.  The property tests in ``tests/engine/test_parity.py`` enforce
+this on random connected topologies, runs, and tapes.
+
+The specialized two-general kernels (``simulate_pair_counts`` and the
+valid-gated variant) remain as fast paths for the huge weak-adversary
+sample sweeps; :mod:`repro.analysis.fast_mc` now delegates to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import Protocol
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+
+# ``seen`` bitmasks live in int64 lanes; one bit per process.
+MAX_VECTORIZED_PROCESSES = 62
+
+
+# ----------------------------------------------------------------------
+# Topology plans: per-process in-link gather indices, cached.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TopologyPlan:
+    """Link ordering and per-process gather indices for one topology."""
+
+    num_processes: int
+    links: Tuple[Tuple[ProcessId, ProcessId], ...]
+    link_index: Dict[Tuple[ProcessId, ProcessId], int]
+    # For each 0-indexed process: (link column indices, sender 0-indices).
+    in_links: Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...]
+
+
+@lru_cache(maxsize=128)
+def _plan(topology: Topology) -> _TopologyPlan:
+    links = tuple(topology.directed_links())
+    link_index = {link: k for k, link in enumerate(links)}
+    in_links = []
+    for process in topology.processes:
+        columns = []
+        senders = []
+        for k, (source, target) in enumerate(links):
+            if target == process:
+                columns.append(k)
+                senders.append(source - 1)
+        in_links.append((tuple(columns), tuple(senders)))
+    return _TopologyPlan(
+        num_processes=topology.num_processes,
+        links=links,
+        link_index=link_index,
+        in_links=tuple(in_links),
+    )
+
+
+def runs_to_tensors(
+    topology: Topology, num_rounds: Round, runs: Sequence[Run]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack runs into ``(delivered, inputs)`` boolean tensors.
+
+    ``delivered`` has shape ``(batch, num_rounds, num_directed_links)``
+    with the link order of :meth:`Topology.directed_links`; ``inputs``
+    has shape ``(batch, num_processes)``.  Raises ``ValueError`` for a
+    run that does not fit the topology or horizon (the same conditions
+    the reference simulator rejects).
+    """
+    plan = _plan(topology)
+    batch = len(runs)
+    delivered = np.zeros((batch, num_rounds, len(plan.links)), dtype=bool)
+    inputs = np.zeros((batch, plan.num_processes), dtype=bool)
+    link_index = plan.link_index
+    for b, run in enumerate(runs):
+        if run.num_rounds != num_rounds:
+            raise ValueError(
+                f"run horizon {run.num_rounds} != batch horizon {num_rounds}"
+            )
+        for process in run.inputs:
+            if process > plan.num_processes:
+                raise ValueError(f"input process {process} is not a vertex")
+            inputs[b, process - 1] = True
+        for message in run.messages:
+            try:
+                k = link_index[(message.source, message.target)]
+            except KeyError:
+                raise ValueError(
+                    f"message {message} does not follow an edge"
+                ) from None
+            delivered[b, message.round - 1, k] = True
+    return delivered, inputs
+
+
+# ----------------------------------------------------------------------
+# The generalized counting kernel.
+# ----------------------------------------------------------------------
+
+
+def simulate_counting_batch(
+    topology: Topology,
+    delivered: np.ndarray,
+    inputs: np.ndarray,
+    rfire_gated: bool,
+    coordinator: ProcessId = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the Figure 1 counting machine over a batch of runs.
+
+    Returns ``(counts, rfire_known)`` of shape ``(batch, m)``: the
+    final ``count_i`` values and whether each process ever heard the
+    coordinator's ``rfire`` draw.  With ``rfire_gated`` the start rule
+    is Protocol S's (valid *and* rfire known); otherwise counting is
+    valid-gated (Protocol W, plain level tracking).
+
+    The transition is a line-for-line vectorization of
+    ``CountingLocal.transition``; ``seen`` sets are bitmasks.
+    """
+    plan = _plan(topology)
+    m = plan.num_processes
+    if m > MAX_VECTORIZED_PROCESSES:
+        raise ValueError(
+            f"vectorized kernel supports at most {MAX_VECTORIZED_PROCESSES} "
+            f"processes, got {m}"
+        )
+    batch, num_rounds, num_links = delivered.shape
+    if num_links != len(plan.links):
+        raise ValueError("delivery tensor does not match the topology")
+    own = np.array([np.int64(1) << i for i in range(m)], dtype=np.int64)
+    full_mask = np.int64((1 << m) - 1)
+
+    valid = inputs.copy()
+    rknown = np.zeros((batch, m), dtype=bool)
+    if rfire_gated:
+        # Only the coordinator holds a defined rfire at the start (the
+        # other processes' tapes are constant None).
+        rknown[:, coordinator - 1] = True
+        counting0 = valid & rknown
+    else:
+        counting0 = valid
+    count = np.where(counting0, np.int64(1), np.int64(0))
+    seen = np.where(counting0, own[None, :], np.int64(0))
+
+    for round_number in range(num_rounds):
+        d = delivered[:, round_number, :]
+        prev_count = count
+        prev_seen = seen
+        prev_valid = valid
+        prev_rknown = rknown
+        count = prev_count.copy()
+        seen = prev_seen.copy()
+        valid = prev_valid.copy()
+        rknown = prev_rknown.copy()
+        for i in range(m):
+            columns, senders = plan.in_links[i]
+            if not columns:
+                continue
+            dcols = d[:, columns]
+            any_msg = dcols.any(axis=1)
+            # Figure 1 lines 1-2: adopt rfire and validity.
+            rknown_i = prev_rknown[:, i] | (
+                dcols & prev_rknown[:, senders]
+            ).any(axis=1)
+            valid_i = prev_valid[:, i] | (
+                dcols & prev_valid[:, senders]
+            ).any(axis=1)
+            # Line 3: start counting.
+            can_start = (prev_count[:, i] == 0) & valid_i
+            if rfire_gated:
+                can_start &= rknown_i
+            ci = np.where(can_start, np.int64(1), prev_count[:, i])
+            si = np.where(can_start, own[i], prev_seen[:, i])
+            # Counting block: merge the highest delivered count.
+            active = (ci >= 1) & any_msg
+            sender_counts = np.where(
+                dcols, prev_count[:, senders], np.int64(-1)
+            )
+            high = sender_counts.max(axis=1)
+            is_high = dcols & (sender_counts == high[:, None])
+            highseen = np.bitwise_or.reduce(
+                np.where(is_high, prev_seen[:, senders], np.int64(0)), axis=1
+            )
+            equal = active & (high == ci)
+            greater = active & (high > ci)
+            si = np.where(equal, si | highseen | own[i], si)
+            si = np.where(greater, highseen | own[i], si)
+            ci = np.where(greater, high, ci)
+            wrap = active & (si == full_mask)
+            ci = np.where(wrap, ci + 1, ci)
+            si = np.where(wrap, own[i], si)
+            count[:, i] = ci
+            seen[:, i] = si
+            valid[:, i] = valid_i
+            rknown[:, i] = rknown_i
+    return count, rknown
+
+
+# ----------------------------------------------------------------------
+# Per-protocol closed-form fast paths.
+# ----------------------------------------------------------------------
+
+
+def _protocol_s_results(
+    counts: np.ndarray, rknown: np.ndarray, epsilon: float
+) -> List[EventProbabilities]:
+    """Protocol S probabilities from batch counts — transcribed
+    operation-for-operation from ``ProtocolS.closed_form_probabilities``
+    so the floats match the reference bit-for-bit."""
+    t = 1.0 / epsilon
+    thresholds = np.where(rknown, counts, np.int64(0))
+    results: List[EventProbabilities] = []
+    for row in thresholds:
+        ordered = [int(a) for a in row]
+        low = min(ordered)
+        high = max(ordered)
+        pr_ta = min(1.0, low / t)
+        pr_na = max(0.0, 1.0 - high / t)
+        pr_pa = max(0.0, 1.0 - pr_ta - pr_na)
+        results.append(
+            EventProbabilities(
+                pr_total_attack=pr_ta,
+                pr_no_attack=pr_na,
+                pr_partial_attack=pr_pa,
+                pr_attack=tuple(min(1.0, a / t) for a in ordered),
+                method="closed-form",
+            )
+        )
+    return results
+
+
+def _protocol_w_results(
+    counts: np.ndarray, threshold: int
+) -> List[EventProbabilities]:
+    """Protocol W probabilities (deterministic 0/1) from batch counts."""
+    attacks = counts >= threshold
+    results: List[EventProbabilities] = []
+    for row in attacks:
+        outputs = [bool(decided) for decided in row]
+        all_attack = all(outputs)
+        none_attack = not any(outputs)
+        results.append(
+            EventProbabilities(
+                pr_total_attack=1.0 if all_attack else 0.0,
+                pr_no_attack=1.0 if none_attack else 0.0,
+                pr_partial_attack=(
+                    1.0 if not (all_attack or none_attack) else 0.0
+                ),
+                pr_attack=tuple(1.0 if decided else 0.0 for decided in outputs),
+                method="closed-form",
+            )
+        )
+    return results
+
+
+def supports(protocol: Protocol, topology: Topology) -> bool:
+    """Whether the vectorized backend can evaluate this pair exactly.
+
+    Only the *exact* protocol classes are accepted (``type`` match, not
+    ``isinstance``): the ablated and variant subclasses change the
+    counting semantics, so they must take the reference path.
+    """
+    from ..protocols.protocol_s import ProtocolS
+    from ..protocols.weak_adversary import ProtocolW
+
+    if topology.num_processes > MAX_VECTORIZED_PROCESSES:
+        return False
+    if type(protocol) is ProtocolS:
+        return protocol.supports_topology(topology)
+    if type(protocol) is ProtocolW:
+        return True
+    return False
+
+
+def evaluate_batch(
+    protocol: Protocol, topology: Topology, runs: Sequence[Run]
+) -> List[EventProbabilities]:
+    """Evaluate a uniform-horizon batch of runs on a supported protocol."""
+    from ..protocols.protocol_s import ProtocolS
+    from ..protocols.weak_adversary import ProtocolW
+
+    if not runs:
+        return []
+    num_rounds = runs[0].num_rounds
+    delivered, inputs = runs_to_tensors(topology, num_rounds, runs)
+    if type(protocol) is ProtocolS:
+        counts, rknown = simulate_counting_batch(
+            topology,
+            delivered,
+            inputs,
+            rfire_gated=True,
+            coordinator=protocol.coordinator,
+        )
+        return _protocol_s_results(counts, rknown, protocol.epsilon)
+    if type(protocol) is ProtocolW:
+        counts, _ = simulate_counting_batch(
+            topology, delivered, inputs, rfire_gated=False
+        )
+        return _protocol_w_results(counts, protocol.threshold)
+    raise ValueError(
+        f"protocol {protocol.name!r} is not supported by the vectorized "
+        "backend"
+    )
+
+
+# ----------------------------------------------------------------------
+# Two-general fast paths (the former analysis.fast_mc kernels).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PairCounts:
+    """Vectorized final states for a batch of two-general runs."""
+
+    count_1: np.ndarray
+    count_2: np.ndarray
+    rfire_heard_2: np.ndarray  # process 1 always knows rfire
+
+
+def simulate_pair_counts(
+    delivered_1_to_2: np.ndarray,
+    delivered_2_to_1: np.ndarray,
+    input_1: bool = True,
+    input_2: bool = True,
+) -> PairCounts:
+    """Run the ``m = 2`` rfire-gated counting recurrence over a batch.
+
+    ``delivered_x_to_y`` are boolean arrays of shape
+    ``(num_runs, num_rounds)``: whether the round-``r`` message on that
+    directed link is delivered.  Returns the final counts (which equal
+    the modified levels, Lemma 6.4) and whether process 2 ever heard
+    ``rfire``.  On the pair topology the ``seen`` set fills instantly,
+    so the Figure 1 machine collapses to this two-variable recurrence.
+    """
+    if delivered_1_to_2.shape != delivered_2_to_1.shape:
+        raise ValueError("delivery matrices must have identical shape")
+    num_runs, num_rounds = delivered_1_to_2.shape
+    c1 = np.zeros(num_runs, dtype=np.int64)
+    c2 = np.zeros(num_runs, dtype=np.int64)
+    v1 = np.full(num_runs, bool(input_1))
+    v2 = np.full(num_runs, bool(input_2))
+    f2 = np.zeros(num_runs, dtype=bool)
+    c1[v1] = 1  # the coordinator holds rfire from the start
+    for round_number in range(num_rounds):
+        d12 = delivered_1_to_2[:, round_number]
+        d21 = delivered_2_to_1[:, round_number]
+        prev_c1 = c1
+        prev_c2 = c2
+        prev_v1 = v1
+        prev_v2 = v2
+        v1 = v1 | (d21 & prev_v2)
+        v2 = v2 | (d12 & prev_v1)
+        f2 = f2 | d12
+        c1 = np.where((prev_c1 == 0) & v1, np.int64(1), prev_c1)
+        c2 = np.where((prev_c2 == 0) & v2 & f2, np.int64(1), prev_c2)
+        c1 = np.where(d21 & (prev_c2 >= 1), np.maximum(c1, prev_c2 + 1), c1)
+        c2 = np.where(d12 & (prev_c1 >= 1), np.maximum(c2, prev_c1 + 1), c2)
+    return PairCounts(count_1=c1, count_2=c2, rfire_heard_2=f2)
+
+
+def simulate_pair_counts_valid_gated(
+    delivered_1_to_2: np.ndarray, delivered_2_to_1: np.ndarray
+) -> PairCounts:
+    """The valid-gated (Protocol W) pair recurrence: counts track L_i.
+
+    Both inputs are assumed present, so every count is >= 1 from the
+    start and the `count >= 1` gates of the general recurrence are
+    always open — which leaves two fused max/where updates per round.
+    """
+    num_runs, num_rounds = delivered_1_to_2.shape
+    c1 = np.ones(num_runs, dtype=np.int64)  # both inputs present
+    c2 = np.ones(num_runs, dtype=np.int64)
+    for round_number in range(num_rounds):
+        d12 = delivered_1_to_2[:, round_number]
+        d21 = delivered_2_to_1[:, round_number]
+        new_c1 = np.where(d21, np.maximum(c1, c2 + 1), c1)
+        c2 = np.where(d12, np.maximum(c2, c1 + 1), c2)
+        c1 = new_c1
+    return PairCounts(
+        count_1=c1,
+        count_2=c2,
+        rfire_heard_2=np.ones(num_runs, dtype=bool),
+    )
+
+
+def sample_pair_deliveries(
+    num_runs: int,
+    num_rounds: Round,
+    loss_probability: float,
+    rng: np.random.Generator,
+    dtype=np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw i.i.d.-loss delivery matrices for a batch of pair runs.
+
+    ``dtype`` selects the uniform-draw precision: ``float64`` matches
+    the historical ``analysis.fast_mc`` sampling bit-for-bit, while
+    ``float32`` halves the sampling cost (the engine's default for its
+    own sweeps — a Bernoulli threshold does not need 53 bits).
+    """
+    keep = dtype(1.0 - loss_probability)
+    d12 = rng.random((num_runs, num_rounds), dtype=dtype) < keep
+    d21 = rng.random((num_runs, num_rounds), dtype=dtype) < keep
+    return d12, d21
+
+
+def pair_protocol_s_weak_estimate(
+    num_rounds: Round,
+    epsilon: float,
+    loss_probability: float,
+    samples: int,
+    rng: np.random.Generator,
+    dtype=np.float32,
+):
+    """Vectorized ``E[L]`` / ``E[U]`` for Protocol S under i.i.d. loss.
+
+    Per sampled run the probabilities are exact (the closed form in
+    threshold space); only the run draw is sampled.  Returns a
+    :class:`repro.adversary.weak.WeakAdversaryEstimate`.
+    """
+    from ..adversary.weak import WeakAdversaryEstimate
+
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError("epsilon must be in (0, 1]")
+    d12, d21 = sample_pair_deliveries(
+        samples, num_rounds, loss_probability, rng, dtype
+    )
+    counts = simulate_pair_counts(d12, d21)
+    t = 1.0 / epsilon
+    a1 = counts.count_1.astype(np.float64)
+    a2 = np.where(counts.rfire_heard_2, counts.count_2, 0).astype(np.float64)
+    pr1 = np.minimum(1.0, a1 / t)
+    pr2 = np.minimum(1.0, a2 / t)
+    pr_ta = np.minimum(pr1, pr2)
+    pr_pa = np.abs(pr1 - pr2)
+    return WeakAdversaryEstimate(
+        expected_liveness=float(pr_ta.mean()),
+        expected_unsafety=float(pr_pa.mean()),
+        disagreement_runs=int(np.count_nonzero(pr_pa > 0)),
+        samples=samples,
+    )
+
+
+def pair_protocol_w_weak_estimate(
+    num_rounds: Round,
+    threshold: int,
+    loss_probability: float,
+    samples: int,
+    rng: np.random.Generator,
+    dtype=np.float32,
+):
+    """Vectorized ``E[L]`` / ``E[U]`` for Protocol W under i.i.d. loss."""
+    from ..adversary.weak import WeakAdversaryEstimate
+
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    d12, d21 = sample_pair_deliveries(
+        samples, num_rounds, loss_probability, rng, dtype
+    )
+    counts = simulate_pair_counts_valid_gated(d12, d21)
+    attack_1 = counts.count_1 >= threshold
+    attack_2 = counts.count_2 >= threshold
+    pr_ta = (attack_1 & attack_2).astype(np.float64)
+    pr_pa = (attack_1 ^ attack_2).astype(np.float64)
+    return WeakAdversaryEstimate(
+        expected_liveness=float(pr_ta.mean()),
+        expected_unsafety=float(pr_pa.mean()),
+        disagreement_runs=int(np.count_nonzero(pr_pa > 0)),
+        samples=samples,
+    )

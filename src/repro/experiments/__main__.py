@@ -34,11 +34,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="random seed (default: 0)"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "reference", "vectorized"],
+        default="auto",
+        help="evaluation engine backend (default: auto)",
+    )
     args = parser.parse_args(argv)
     ids = experiment_ids() if args.all else [e.upper() for e in args.experiments]
     if not ids:
         parser.error("name at least one experiment or pass --all")
-    config = Config(scale=args.scale, seed=args.seed)
+    config = Config(scale=args.scale, seed=args.seed, backend=args.backend)
     all_passed = True
     for experiment_id in ids:
         report = run_experiment(experiment_id, config)

@@ -3,7 +3,10 @@
 Every experiment is a function ``run(config) -> ExperimentReport``.  A
 :class:`Config` carries the sweep sizes so benchmarks can run a quick
 but representative configuration while examples and EXPERIMENTS.md use
-the full one.
+the full one.  It also owns the per-experiment evaluation
+:class:`~repro.engine.Engine` (backend choice, memo cache,
+instrumentation) and the labeled child rng streams every stochastic
+sweep draws from.
 """
 
 from __future__ import annotations
@@ -13,7 +16,9 @@ from dataclasses import dataclass
 from typing import List
 
 from ..analysis.report import ExperimentReport
+from ..core.seeding import spawn_generator, spawn_random
 from ..core.topology import Topology
+from ..engine import Engine
 
 
 @dataclass(frozen=True)
@@ -22,12 +27,16 @@ class Config:
 
     ``scale`` selects preset sweep sizes: ``"quick"`` keeps every
     experiment under a few seconds (benchmark default), ``"full"`` is
-    the configuration EXPERIMENTS.md reports.
+    the configuration EXPERIMENTS.md reports.  ``backend`` selects the
+    evaluation engine backend (``auto`` / ``reference`` /
+    ``vectorized``); backends are bit-identical on supported
+    protocols, so claim checks do not depend on the choice.
     """
 
     scale: str = "quick"
     seed: int = 0
     monte_carlo_trials: int = 4_000
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.scale not in ("quick", "full"):
@@ -38,9 +47,32 @@ class Config:
         """True for the fast benchmark-sized sweeps."""
         return self.scale == "quick"
 
-    def rng(self) -> random.Random:
-        """A fresh deterministic generator per call site."""
-        return random.Random(self.seed)
+    def rng(self, label: object = "root") -> random.Random:
+        """A deterministic generator on the child stream for ``label``.
+
+        Distinct labels yield independent streams derived from
+        ``self.seed`` (see :mod:`repro.core.seeding`); the same label
+        always replays the same stream.  Call sites that used to share
+        the root seed — and therefore replayed identical randomness —
+        now pass their own label.
+        """
+        return spawn_random(self.seed, label)
+
+    def generator(self, label: object = "root"):
+        """The numpy counterpart of :meth:`rng` (same child streams)."""
+        return spawn_generator(self.seed, label)
+
+    def engine(self) -> Engine:
+        """This config's evaluation engine (one per Config instance).
+
+        Cached so every call site within an experiment shares the memo
+        cache and the instrumentation counters.
+        """
+        cached = getattr(self, "_engine", None)
+        if cached is None:
+            cached = Engine(backend=self.backend)
+            object.__setattr__(self, "_engine", cached)
+        return cached
 
     def pick(self, quick_value, full_value):
         """Scale-dependent parameter selection."""
@@ -77,3 +109,24 @@ def assert_in_report(
     if not condition:
         report.fail(message)
     return condition
+
+
+def attach_engine_stats(report: ExperimentReport, config: Config) -> None:
+    """Record the experiment's engine instrumentation on its report.
+
+    Written into ``report.metadata`` (machine-readable, picked up by
+    the benchmark JSON artifacts) and summarized as a note in the
+    rendered text.
+    """
+    engine = config.engine()
+    stats = engine.stats.as_dict()
+    report.metadata["engine"] = {"backend": engine.backend, **stats}
+    report.add_note(
+        "engine: backend={backend}, runs evaluated={runs}, "
+        "vectorized={vec}, cache hit rate={rate:.1%}".format(
+            backend=engine.backend,
+            runs=stats["runs_evaluated"],
+            vec=stats["vectorized_evaluations"],
+            rate=engine.stats.cache_hit_rate,
+        )
+    )

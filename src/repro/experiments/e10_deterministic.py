@@ -18,11 +18,10 @@ from __future__ import annotations
 from ..adversary.search import worst_case_unsafety
 from ..analysis.report import ExperimentReport, Table
 from ..core.metrics import check_validity, validity_probe_runs
-from ..core.probability import evaluate
 from ..core.run import good_run
 from ..core.topology import Topology
 from ..protocols.deterministic import impossibility_suite
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E10"
 TITLE = "Deterministic impossibility: validity/agreement/nontriviality trilemma"
@@ -34,7 +33,8 @@ def run(config: Config = Config()) -> ExperimentReport:
     report = new_report(EXPERIMENT_ID, TITLE)
     topology = Topology.pair()
     num_rounds = config.pick(4, 6)
-    rng = config.rng()
+    engine = config.engine()
+    rng = config.rng("e10.validity")
 
     table = Table(
         title=f"The trilemma, measured (two generals, N={num_rounds})",
@@ -57,10 +57,12 @@ def run(config: Config = Config()) -> ExperimentReport:
             validity_probe_runs(topology, num_rounds, rng),
             rng=rng,
         )
-        liveness = evaluate(
+        liveness = engine.evaluate(
             protocol, topology, good_run(topology, num_rounds)
         ).pr_total_attack
-        search = worst_case_unsafety(protocol, topology, num_rounds)
+        search = worst_case_unsafety(
+            protocol, topology, num_rounds, engine=engine
+        )
         nontrivial = liveness > 1e-9
         safe = search.value < 1.0 - 1e-9
         failures = []
@@ -98,4 +100,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "randomization: every deterministic baseline loses a leg, and the "
         "valid+nontrivial ones disagree with certainty on a witness run."
     )
+    attach_engine_stats(report, config)
     return report

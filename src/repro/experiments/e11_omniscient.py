@@ -45,7 +45,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     topology = Topology.pair()
     inputs = frozenset([1, 2])
     trials = config.pick(1_500, 6_000)
-    rng = config.rng()
+    rng = config.rng("e11.online-play")
     horizons = config.pick([8], [8, 16, 32])
 
     table = Table(

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from ..analysis.bounds import s_liveness
 from ..analysis.report import ExperimentReport, Series, Table
-from ..core.probability import evaluate
 from ..core.run import random_run
 from ..core.topology import Topology
 from ..protocols.protocol_s import ProtocolS
@@ -35,7 +34,7 @@ from ..timed.analysis import (
 )
 from ..timed.measures import timed_run_modified_level
 from ..timed.run import TimedRun, delayed_good_run, random_timed_run
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E12"
 TITLE = "Asynchronous extension: Theorems 6.7/6.8 over delayed-message runs"
@@ -49,7 +48,8 @@ def run(config: Config = Config()) -> ExperimentReport:
     num_rounds = config.pick(8, 12)
     epsilon = 1.0 / num_rounds
     protocol = ProtocolS(epsilon=epsilon)
-    rng = config.rng()
+    engine = config.engine()
+    rng = config.rng("e12.timed-runs")
 
     # Part 1: synchronous embedding.
     embed_checks = 0
@@ -57,7 +57,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     for _ in range(config.pick(10, 40)):
         sync = random_run(topology, num_rounds, rng)
         timed = TimedRun.from_synchronous(sync)
-        sync_result = evaluate(protocol, topology, sync)
+        sync_result = engine.evaluate(protocol, topology, sync)
         timed_result = timed_closed_form(protocol, topology, timed)
         embed_checks += 1
         if not sync_result.agrees_with(timed_result, tolerance=1e-12):
@@ -172,4 +172,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "verbatim, and latency degrades liveness exactly through the "
         "certified level."
     )
+    attach_engine_stats(report, config)
     return report

@@ -25,12 +25,11 @@ from __future__ import annotations
 from ..adversary.search import worst_case_unsafety
 from ..adversary.structured import standard_families
 from ..analysis.report import ExperimentReport, Table
-from ..core.probability import evaluate
 from ..core.run import good_run, silent_run
 from ..core.topology import Topology
 from ..protocols.message_validity import MessageValidityS
 from ..protocols.protocol_s import ProtocolS
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E13"
 TITLE = "Footnote 1: the message-delivery validity condition, by modification"
@@ -40,6 +39,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     topology = Topology.pair()
     num_rounds = config.pick(6, 8)
     epsilon = 1.0 / num_rounds
@@ -59,7 +59,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     report.add_table(validity_table)
     silent = silent_run(topology, num_rounds, list(topology.processes))
     for protocol, expect_valid in ((original, False), (modified, True)):
-        result = evaluate(protocol, topology, silent)
+        result = engine.evaluate(protocol, topology, silent)
         pr_any = 1.0 - result.pr_no_attack
         satisfied = pr_any < 1e-12
         validity_table.add_row(protocol.name, pr_any, satisfied)
@@ -71,7 +71,9 @@ def run(config: Config = Config()) -> ExperimentReport:
         )
 
     # Part 2: unsafety of the modification.
-    search = worst_case_unsafety(modified, topology, num_rounds)
+    search = worst_case_unsafety(
+        modified, topology, num_rounds, engine=engine
+    )
     unsafety_table = Table(
         title="Worst-run search against the modified protocol",
         columns=["protocol", "U found", "eps", "certification"],
@@ -102,8 +104,12 @@ def run(config: Config = Config()) -> ExperimentReport:
     compared = 0
     for family in standard_families():
         for run_ in family.runs(topology, num_rounds):
-            original_l = evaluate(original, topology, run_).pr_total_attack
-            modified_l = evaluate(modified, topology, run_).pr_total_attack
+            original_l = engine.evaluate(
+                original, topology, run_
+            ).pr_total_attack
+            modified_l = engine.evaluate(
+                modified, topology, run_
+            ).pr_total_attack
             max_loss = max(max_loss, original_l - modified_l)
             compared += 1
             assert_in_report(
@@ -111,7 +117,7 @@ def run(config: Config = Config()) -> ExperimentReport:
                 modified_l <= original_l + 1e-9,
                 f"modification gained liveness on {run_.describe()}",
             )
-    good_liveness = evaluate(
+    good_liveness = engine.evaluate(
         modified, topology, good_run(topology, num_rounds)
     ).pr_total_attack
     lag_table.add_row(compared, max_loss, epsilon, good_liveness)
@@ -131,8 +137,10 @@ def run(config: Config = Config()) -> ExperimentReport:
     multi_rounds = config.pick(4, 6)
     multi_modified = MessageValidityS(epsilon=0.2)
     multi_silent = silent_run(multi, multi_rounds, list(multi.processes))
-    multi_result = evaluate(multi_modified, multi, multi_silent)
-    multi_search = worst_case_unsafety(multi_modified, multi, multi_rounds)
+    multi_result = engine.evaluate(multi_modified, multi, multi_silent)
+    multi_search = worst_case_unsafety(
+        multi_modified, multi, multi_rounds, engine=engine
+    )
     multi_table = Table(
         title="Star-4 spot check",
         columns=["Pr[some attack] silent", "U found", "eps"],
@@ -158,4 +166,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "most one level of liveness, with the eps-unsafety guarantee "
         "intact."
     )
+    attach_engine_stats(report, config)
     return report

@@ -26,13 +26,12 @@ from __future__ import annotations
 from ..adversary.search import worst_case_unsafety
 from ..analysis.report import ExperimentReport, Table
 from ..core.measures import modified_level_profile
-from ..core.probability import evaluate
 from ..core.run import good_run
 from ..core.topology import Topology
 from ..protocols.ablations import NaiveCountingS, SkewedS
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.variants import EagerS
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E15"
 TITLE = "Ablations: seen-set, m-level gating, and uniform rfire all matter"
@@ -42,6 +41,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
 
     # Part 1: the naive count races past the modified level (m >= 3).
     topology = Topology.star(4)
@@ -96,10 +96,12 @@ def run(config: Config = Config()) -> ExperimentReport:
         (SkewedS(epsilon=epsilon), "uniform rfire", None),
     ]
     for protocol, ablated, expected_ratio in candidates:
-        liveness = evaluate(
+        liveness = engine.evaluate(
             protocol, pair, good_run(pair, pair_rounds)
         ).pr_total_attack
-        search = worst_case_unsafety(protocol, pair, pair_rounds)
+        search = worst_case_unsafety(
+            protocol, pair, pair_rounds, engine=engine
+        )
         ratio = search.value / epsilon
         ablation_table.add_row(
             protocol.name,
@@ -136,7 +138,9 @@ def run(config: Config = Config()) -> ExperimentReport:
 
     # SkewedS's analytic worst window is sqrt(eps).
     skewed = SkewedS(epsilon=epsilon)
-    skewed_search = worst_case_unsafety(skewed, pair, pair_rounds)
+    skewed_search = worst_case_unsafety(
+        skewed, pair, pair_rounds, engine=engine
+    )
     expected = epsilon ** 0.5
     assert_in_report(
         report,
@@ -149,9 +153,11 @@ def run(config: Config = Config()) -> ExperimentReport:
     multi_rounds = config.pick(4, 5)
     multi_eps = 0.1
     naive_multi = NaiveCountingS(epsilon=multi_eps)
-    search = worst_case_unsafety(naive_multi, topology, multi_rounds)
+    search = worst_case_unsafety(
+        naive_multi, topology, multi_rounds, engine=engine
+    )
     s_search = worst_case_unsafety(
-        ProtocolS(epsilon=multi_eps), topology, multi_rounds
+        ProtocolS(epsilon=multi_eps), topology, multi_rounds, engine=engine
     )
     seen_table = Table(
         title=f"Seen-set ablation under search (star-4, N={multi_rounds})",
@@ -185,4 +191,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "the uniform draw, and the seen set is what keeps multi-process "
         "counts honest."
     )
+    attach_engine_stats(report, config)
     return report

@@ -26,7 +26,7 @@ from ..protocols.protocol_s import ProtocolS
 from ..protocols.repeated_a import RepeatedA
 from ..protocols.variants import EagerS, GreedyS
 from ..protocols.weak_adversary import ProtocolW
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E16"
 TITLE = "Search certification: family search == exhaustive max (all protocols)"
@@ -50,6 +50,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
 
     instances = [(Topology.pair(), 3), (Topology.pair(), 4)]
     if not config.quick:
@@ -86,9 +87,11 @@ def run(config: Config = Config()) -> ExperimentReport:
                 continue
             total += 1
             exact = exhaustive_search(
-                protocol, topology, num_rounds, limit=600_000
+                protocol, topology, num_rounds, limit=600_000, engine=engine
             )
-            family = family_search(protocol, topology, num_rounds)
+            family = family_search(
+                protocol, topology, num_rounds, engine=engine
+            )
             gap = exact.value - family.value
             max_gap = max(max_gap, gap)
             if abs(gap) < 1e-9:
@@ -124,4 +127,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "E13/E15 rests on this agreement; it holds exactly on every "
         "enumerable instance for every protocol in the repository."
     )
+    attach_engine_stats(report, config)
     return report

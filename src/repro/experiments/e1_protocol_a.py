@@ -17,11 +17,10 @@ from ..adversary.search import exhaustive_search, family_search
 from ..adversary.structured import CHAIN_CUTS
 from ..analysis.bounds import protocol_a_unsafety
 from ..analysis.report import ExperimentReport, Table
-from ..core.probability import evaluate
 from ..core.run import good_run
 from ..core.topology import Topology
 from ..protocols.protocol_a import ProtocolA
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E1"
 TITLE = "Protocol A: U ~ 1/N, all-or-nothing liveness (Section 3)"
@@ -35,6 +34,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     topology = Topology.pair()
     horizons = config.pick([4, 8, 16], [4, 8, 16, 32, 64])
 
@@ -59,15 +59,20 @@ def run(config: Config = Config()) -> ExperimentReport:
     for num_rounds in horizons:
         protocol = ProtocolA(num_rounds)
         if num_rounds <= _EXHAUSTIVE_MAX_N:
-            search = exhaustive_search(protocol, topology, num_rounds)
+            search = exhaustive_search(
+                protocol, topology, num_rounds, engine=engine
+            )
         else:
             search = family_search(
-                protocol, topology, num_rounds, families=[CHAIN_CUTS]
+                protocol, topology, num_rounds, families=[CHAIN_CUTS],
+                engine=engine,
             )
         analytic = protocol_a_unsafety(num_rounds)
-        good = evaluate(protocol, topology, good_run(topology, num_rounds))
+        good = engine.evaluate(
+            protocol, topology, good_run(topology, num_rounds)
+        )
         lossy_run = good_run(topology, num_rounds).removing((1, 2, 2))
-        lossy = evaluate(protocol, topology, lossy_run)
+        lossy = engine.evaluate(protocol, topology, lossy_run)
         table.add_row(
             num_rounds,
             search.value,
@@ -97,4 +102,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "Reproduces Section 3: U_s(A) ~ 1/N with liveness 1 on the good "
         "run, and liveness 0 as soon as the round-2 packet is lost."
     )
+    attach_engine_stats(report, config)
     return report

@@ -21,13 +21,12 @@ from ..adversary.structured import standard_families
 from ..analysis.bounds import satisfies_first_lower_bound
 from ..analysis.report import ExperimentReport, Table
 from ..core.measures import run_level
-from ..core.probability import evaluate
 from ..core.topology import Topology
 from ..protocols.deterministic import InputAttack, NeverAttack
 from ..protocols.protocol_a import ProtocolA
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.repeated_a import RepeatedA
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E2"
 TITLE = "First lower bound: L(F,R) <= U_s(F) * L(R) (Theorem 5.4)"
@@ -53,6 +52,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     num_rounds = config.pick(5, 8)
     topology = Topology.pair()
 
@@ -78,11 +78,13 @@ def run(config: Config = Config()) -> ExperimentReport:
         runs.extend(family.runs(topology, num_rounds))
 
     for protocol in _two_general_protocols(num_rounds, config):
-        unsafety = worst_case_unsafety(protocol, topology, num_rounds)
+        unsafety = worst_case_unsafety(
+            protocol, topology, num_rounds, engine=engine
+        )
         violations = 0
         min_slack = float("inf")
-        for run_ in runs:
-            result = evaluate(protocol, topology, run_)
+        results = engine.evaluate_many(protocol, topology, runs)
+        for run_, result in zip(runs, results):
             level = run_level(run_, topology.num_processes)
             ceiling = min(1.0, unsafety.value * level)
             slack = ceiling - result.pr_total_attack
@@ -109,13 +111,15 @@ def run(config: Config = Config()) -> ExperimentReport:
     multi_topology = Topology.path(3)
     multi_rounds = config.pick(4, 6)
     protocol = ProtocolS(epsilon=0.25)
-    unsafety = worst_case_unsafety(protocol, multi_topology, multi_rounds)
+    unsafety = worst_case_unsafety(
+        protocol, multi_topology, multi_rounds, engine=engine
+    )
     multi_runs = []
     for family in standard_families():
         multi_runs.extend(family.runs(multi_topology, multi_rounds))
     multi_violations = 0
-    for run_ in multi_runs:
-        result = evaluate(protocol, multi_topology, run_)
+    multi_results = engine.evaluate_many(protocol, multi_topology, multi_runs)
+    for run_, result in zip(multi_runs, multi_results):
         level = run_level(run_, multi_topology.num_processes)
         if not satisfies_first_lower_bound(
             result.pr_total_attack, unsafety.value, level
@@ -138,4 +142,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "Theorem 5.4 verified on every (protocol, run) pair swept; the "
         "zero-slack rows show the bound is attained (Protocol S)."
     )
+    attach_engine_stats(report, config)
     return report

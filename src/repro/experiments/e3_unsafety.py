@@ -12,7 +12,13 @@ from __future__ import annotations
 from ..adversary.search import worst_case_unsafety
 from ..analysis.report import ExperimentReport, Table
 from ..protocols.protocol_s import ProtocolS
-from .common import Config, assert_in_report, new_report, small_topologies
+from .common import (
+    Config,
+    assert_in_report,
+    attach_engine_stats,
+    new_report,
+    small_topologies,
+)
 
 EXPERIMENT_ID = "E3"
 TITLE = "Protocol S unsafety: U_s(S) <= eps, tightly (Theorem 6.7)"
@@ -40,13 +46,16 @@ def run(config: Config = Config()) -> ExperimentReport:
     )
     report.add_table(table)
 
+    engine = config.engine()
     epsilons = config.pick([0.25, 0.125], [0.5, 0.25, 0.125, 0.05])
     for name, topology in small_topologies(config):
         horizons = config.pick([3, 5], [3, 5, 8])
         for num_rounds in horizons:
             for epsilon in epsilons:
                 protocol = ProtocolS(epsilon=epsilon)
-                search = worst_case_unsafety(protocol, topology, num_rounds)
+                search = worst_case_unsafety(
+                    protocol, topology, num_rounds, engine=engine
+                )
                 table.add_row(
                     name,
                     num_rounds,
@@ -74,4 +83,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "witness run attaining eps exactly, matching Theorem 6.7's "
         "analysis (Mincount < rfire <= Mincount + 1)."
     )
+    attach_engine_stats(report, config)
     return report

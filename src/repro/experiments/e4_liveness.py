@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..analysis.bounds import s_liveness
 from ..analysis.report import ExperimentReport, Series, Table
 from ..core.measures import run_modified_level
-from ..core.probability import evaluate, monte_carlo_probabilities
+from ..core.probability import monte_carlo_probabilities
 from ..core.run import (
     good_run,
     partial_round_cut_run,
@@ -23,7 +23,13 @@ from ..core.run import (
     spanning_tree_run,
 )
 from ..protocols.protocol_s import ProtocolS
-from .common import Config, assert_in_report, new_report, small_topologies
+from .common import (
+    Config,
+    assert_in_report,
+    attach_engine_stats,
+    new_report,
+    small_topologies,
+)
 
 EXPERIMENT_ID = "E4"
 TITLE = "Protocol S liveness: L(S,R) = min(1, eps*ML(R)) (Theorem 6.8)"
@@ -59,7 +65,8 @@ def run(config: Config = Config()) -> ExperimentReport:
     report = new_report(EXPERIMENT_ID, TITLE)
     epsilon = 0.2
     protocol = ProtocolS(epsilon=epsilon)
-    rng = config.rng()
+    engine = config.engine()
+    rng = config.rng("e4.monte-carlo")
 
     summary = Table(
         title=f"Liveness formula check (eps={epsilon})",
@@ -85,8 +92,8 @@ def run(config: Config = Config()) -> ExperimentReport:
             runs = _run_battery(topology, num_rounds)
             ml_values = set()
             max_gap = 0.0
-            for run_ in runs:
-                result = evaluate(protocol, topology, run_)
+            results = engine.evaluate_many(protocol, topology, runs)
+            for run_, result in zip(runs, results):
                 ml = run_modified_level(run_, topology.num_processes)
                 ml_values.add(ml)
                 expected = s_liveness(epsilon, ml)
@@ -122,7 +129,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     report.add_table(mc_table)
     for cut in (2, 4, num_rounds + 1):
         run_ = round_cut_run(topology, num_rounds, cut)
-        exact = evaluate(protocol, topology, run_)
+        exact = engine.evaluate(protocol, topology, run_)
         sampled = monte_carlo_probabilities(
             protocol, topology, run_, trials=trials, rng=rng
         )
@@ -145,4 +152,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "liveness of Protocol S grows linearly with the modified level "
         "until it saturates at 1."
     )
+    attach_engine_stats(report, config)
     return report

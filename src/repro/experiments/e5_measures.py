@@ -39,7 +39,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
-    rng = config.rng()
+    rng = config.rng("e5.instances")
     protocol = ProtocolS(epsilon=0.25)
 
     table = Table(

@@ -26,12 +26,11 @@ from ..analysis.bounds import (
 )
 from ..analysis.report import ExperimentReport, Table
 from ..core.measures import run_modified_level
-from ..core.probability import evaluate
 from ..core.run import good_run, round_cut_run, spanning_tree_run, Run
 from ..core.topology import Topology
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.variants import EagerS, GreedyS
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E6"
 TITLE = "Second lower bound: no protocol dominates eps*ML(R) (Theorem A.1)"
@@ -41,6 +40,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     num_rounds = config.pick(6, 8)
     epsilon = 1.0 / (2 * num_rounds)  # well below 1/2 and non-saturating
     topology = Topology.pair()
@@ -66,7 +66,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     for run_ in sweep:
         ml = run_modified_level(run_, topology.num_processes)
         ceiling = second_lower_bound_ceiling(epsilon, ml)
-        liveness = evaluate(protocol_s, topology, run_).pr_total_attack
+        liveness = engine.evaluate(protocol_s, topology, run_).pr_total_attack
         ceiling_table.add_row(run_.describe(), ml, ceiling, liveness)
         assert_in_report(
             report,
@@ -78,7 +78,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     # Part 2: the Lemma A.6 run pins Pr[D_1 | R1] to eps.
     tree_run = spanning_tree_run(topology, num_rounds)
     ml_tree = run_modified_level(tree_run, topology.num_processes)
-    tree_result = evaluate(protocol_s, topology, tree_run)
+    tree_result = engine.evaluate(protocol_s, topology, tree_run)
     lemma_table = Table(
         title="Lemma A.6 run R1 (spanning tree, input only at the root)",
         columns=["ML(R1)", "Pr[D_1|R1]", "eps", "L(S,R1)"],
@@ -124,12 +124,14 @@ def run(config: Config = Config()) -> ExperimentReport:
         for run_ in witness_runs + sweep:
             ml = run_modified_level(run_, topology.num_processes)
             ceiling = second_lower_bound_ceiling(epsilon, ml)
-            liveness = evaluate(variant, topology, run_).pr_total_attack
+            liveness = engine.evaluate(variant, topology, run_).pr_total_attack
             gain = liveness - ceiling
             if gain > best_gain:
                 best_gain = gain
                 best_run = run_
-        unsafety = worst_case_unsafety(variant, topology, num_rounds)
+        unsafety = worst_case_unsafety(
+            variant, topology, num_rounds, engine=engine
+        )
         within = unsafety.value <= epsilon + 1e-9
         variants_table.add_row(
             variant.name,
@@ -155,4 +157,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "that exceeds the ceiling somewhere was found to violate the "
         "agreement precondition, as Theorem A.1 demands."
     )
+    attach_engine_stats(report, config)
     return report

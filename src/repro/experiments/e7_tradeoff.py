@@ -22,12 +22,11 @@ from ..analysis.bounds import (
 )
 from ..analysis.report import ExperimentReport, Series, Table
 from ..analysis.tradeoff import section_8_requirements_table
-from ..core.probability import evaluate
 from ..core.run import good_run
 from ..core.topology import Topology
 from ..protocols.protocol_a import ProtocolA
 from ..protocols.protocol_s import ProtocolS
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E7"
 TITLE = "Tradeoff frontier: L/U <= N+1, achieved by A and S (Section 8)"
@@ -41,6 +40,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     topology = Topology.pair()
     horizons = config.pick(
         [4, 8, 16, 64], [4, 8, 16, 64, 256, 1000, 2000]
@@ -64,11 +64,13 @@ def run(config: Config = Config()) -> ExperimentReport:
     for num_rounds in horizons:
         # Protocol A point.
         protocol_a = ProtocolA(num_rounds)
-        liveness_a = evaluate(
+        liveness_a = engine.evaluate(
             protocol_a, topology, good_run(topology, num_rounds)
         ).pr_total_attack
         if num_rounds <= _SEARCH_MAX_N:
-            search = worst_case_unsafety(protocol_a, topology, num_rounds)
+            search = worst_case_unsafety(
+                protocol_a, topology, num_rounds, engine=engine
+            )
             unsafety_a = search.value
             certification = search.certification
             assert_in_report(
@@ -83,12 +85,12 @@ def run(config: Config = Config()) -> ExperimentReport:
 
         # Protocol S point at eps = 1/N.
         protocol_s = ProtocolS(epsilon=1.0 / num_rounds)
-        liveness_s = evaluate(
+        liveness_s = engine.evaluate(
             protocol_s, topology, good_run(topology, num_rounds)
         ).pr_total_attack
         if num_rounds <= _SEARCH_MAX_N:
             unsafety_s = worst_case_unsafety(
-                protocol_s, topology, num_rounds
+                protocol_s, topology, num_rounds, engine=engine
             ).value
         else:
             unsafety_s = 1.0 / num_rounds  # Theorem 6.7, tight (E3)
@@ -142,4 +144,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "The measured frontier is linear in N with slope 1: randomization "
         "buys nothing better than L/U ~ N against the strong adversary."
     )
+    attach_engine_stats(report, config)
     return report

@@ -27,7 +27,7 @@ from ..analysis.stats import rule_of_three_upper
 from ..core.topology import Topology
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.weak_adversary import ProtocolW
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E8"
 TITLE = "Weak adversary: L/U far beyond the strong-adversary ceiling (Section 8)"
@@ -37,8 +37,9 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     topology = Topology.pair()
-    rng = config.rng()
+    rng = config.rng("e8.weak-estimates")
     samples = config.pick(400, 3_000)
     horizons = config.pick([12], [12, 24, 40])
     loss_probabilities = config.pick([0.1, 0.3], [0.05, 0.1, 0.2, 0.3, 0.4])
@@ -72,7 +73,13 @@ def run(config: Config = Config()) -> ExperimentReport:
                 ProtocolS(epsilon=1.0 / num_rounds),
             ):
                 estimate = estimate_against_weak_adversary(
-                    protocol, topology, num_rounds, adversary, samples, rng
+                    protocol,
+                    topology,
+                    num_rounds,
+                    adversary,
+                    samples,
+                    rng,
+                    engine=engine,
                 )
                 if estimate.expected_unsafety > 0:
                     upper = estimate.expected_unsafety
@@ -104,7 +111,9 @@ def run(config: Config = Config()) -> ExperimentReport:
     # The contrast: W against the strong adversary is defenseless.
     num_rounds = horizons[0]
     protocol_w = ProtocolW(max(1, num_rounds // 3))
-    strong = worst_case_unsafety(protocol_w, topology, num_rounds)
+    strong = worst_case_unsafety(
+        protocol_w, topology, num_rounds, engine=engine
+    )
     contrast = Table(
         title="The same Protocol W against the strong adversary",
         columns=["protocol", "N", "U_s found", "certification"],
@@ -122,10 +131,9 @@ def run(config: Config = Config()) -> ExperimentReport:
 
     # The concentration claim at scale: disagreement decays rapidly in N
     # at a fixed K/N ratio. Needs large N and sample counts, so it uses
-    # the numpy-vectorized pair recurrence (equivalence-tested against
-    # the generic simulator in tests/analysis/test_fast_mc.py).
-    from ..analysis.fast_mc import fast_protocol_w_weak_estimate
-
+    # the engine's vectorized pair recurrence regardless of the backend
+    # setting (equivalence-tested against the generic simulator in
+    # tests/analysis/test_fast_mc.py and tests/engine/).
     loss = 0.4
     fast_samples = config.pick(100_000, 400_000)
     decay = Table(
@@ -143,12 +151,12 @@ def run(config: Config = Config()) -> ExperimentReport:
     report.add_table(decay)
     decay_values = []
     for num_rounds in (12, 24, 48, 96):
-        estimate = fast_protocol_w_weak_estimate(
+        estimate = engine.pair_weak_estimate_w(
             num_rounds,
             max(1, num_rounds // 3),
             loss,
             samples=fast_samples,
-            seed=config.seed,
+            rng=config.generator(("e8.decay", num_rounds)),
         )
         decay.add_row(
             num_rounds,
@@ -168,4 +176,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "admits L/U far beyond the linear strong-adversary ceiling. "
         "Numbers are ours, not the paper's (it reports none)."
     )
+    attach_engine_stats(report, config)
     return report

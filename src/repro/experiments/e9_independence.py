@@ -21,12 +21,11 @@ from __future__ import annotations
 from ..analysis.independence import joint_decision_distribution
 from ..analysis.report import ExperimentReport, Table
 from ..core.measures import causally_independent
-from ..core.probability import evaluate
 from ..core.run import Run, good_run, silent_run
 from ..core.topology import Topology
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.variants import XorCoin
-from .common import Config, assert_in_report, new_report
+from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E9"
 TITLE = "Causal independence => probabilistic independence (Lemmas A.2, A.3)"
@@ -36,6 +35,7 @@ def run(config: Config = Config()) -> ExperimentReport:
     """Run this experiment at the configured scale; see the module
     docstring for the claims under test."""
     report = new_report(EXPERIMENT_ID, TITLE)
+    engine = config.engine()
     topology = Topology.pair()
     num_rounds = 5
 
@@ -117,7 +117,7 @@ def run(config: Config = Config()) -> ExperimentReport:
         ("silent, both inputs", silent_run(topology, num_rounds, [1, 2])),
     ]
     for label, run_ in independent_runs:
-        result = evaluate(protocol, topology, run_)
+        result = engine.evaluate(protocol, topology, run_)
         independent = causally_independent(run_, 1, 2)
         lemma_a3.add_row(
             label,
@@ -145,4 +145,5 @@ def run(config: Config = Config()) -> ExperimentReport:
         "Lemma A.2's structural independence and Lemma A.3's forced-zero "
         "conclusion both verified exactly."
     )
+    attach_engine_stats(report, config)
     return report

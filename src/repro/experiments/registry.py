@@ -85,9 +85,13 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: "
             f"{', '.join(experiment_ids())}"
         )
+    # Fresh engine state per run: the attached engine note then covers
+    # exactly this experiment, and re-running with the same Config is
+    # deterministic (no cache hits left over from a previous run).
+    config.engine().reset()
     return REGISTRY[key].runner(config)
 
 
 def run_all(config: Config = Config()) -> List[ExperimentReport]:
     """Run every experiment in order."""
-    return [REGISTRY[eid].runner(config) for eid in experiment_ids()]
+    return [run_experiment(eid, config) for eid in experiment_ids()]

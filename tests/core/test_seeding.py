@@ -1,0 +1,48 @@
+"""Unit tests for deterministic seed spawning (repro.core.seeding)."""
+
+from __future__ import annotations
+
+from repro.core.seeding import spawn_generator, spawn_random, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(0, "a", 1) == spawn_seed(0, "a", 1)
+
+    def test_distinct_paths_distinct_seeds(self):
+        seeds = {
+            spawn_seed(0),
+            spawn_seed(0, "a"),
+            spawn_seed(0, "b"),
+            spawn_seed(0, "a", 1),
+            spawn_seed(0, "a", 2),
+            spawn_seed(1, "a"),
+        }
+        assert len(seeds) == 6
+
+    def test_path_components_not_concatenated(self):
+        # ("ab",) and ("a", "b") must not collide: components are
+        # separator-joined, not concatenated.
+        assert spawn_seed(0, "ab") != spawn_seed(0, "a", "b")
+
+    def test_fits_64_bits(self):
+        for label in ("x", "y", ("tuple", 3)):
+            assert 0 <= spawn_seed(123, label) < 2**64
+
+
+class TestSpawnGenerators:
+    def test_spawn_random_replays(self):
+        assert (
+            spawn_random(7, "lbl").random() == spawn_random(7, "lbl").random()
+        )
+
+    def test_spawn_random_streams_differ(self):
+        assert (
+            spawn_random(7, "lbl").random() != spawn_random(7, "other").random()
+        )
+
+    def test_spawn_generator_matches_seed(self):
+        import numpy as np
+
+        expected = np.random.default_rng(spawn_seed(7, "lbl")).random()
+        assert spawn_generator(7, "lbl").random() == expected

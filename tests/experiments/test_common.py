@@ -26,12 +26,38 @@ class TestConfig:
         with pytest.raises(ValueError, match="unknown scale"):
             Config(scale="medium")
 
-    def test_rng_independent_instances(self):
+    def test_rng_same_label_replays(self):
         config = Config(seed=11)
-        first = config.rng()
-        second = config.rng()
+        first = config.rng("sweep")
+        second = config.rng("sweep")
         assert first is not second
         assert first.random() == second.random()
+
+    def test_rng_distinct_labels_independent(self):
+        config = Config(seed=11)
+        assert config.rng("sweep-a").random() != config.rng("sweep-b").random()
+
+    def test_rng_depends_on_seed(self):
+        draw_a = Config(seed=11).rng("sweep").random()
+        draw_b = Config(seed=12).rng("sweep").random()
+        assert draw_a != draw_b
+
+    def test_generator_matches_rng_streams(self):
+        config = Config(seed=11)
+        first = config.generator("sweep").random()
+        second = config.generator("sweep").random()
+        assert first == second
+        assert first != config.generator("other").random()
+
+    def test_engine_is_cached_per_config(self):
+        config = Config(backend="vectorized")
+        engine = config.engine()
+        assert engine is config.engine()
+        assert engine.backend == "vectorized"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Config(backend="gpu").engine()
 
 
 class TestSmallTopologies:
