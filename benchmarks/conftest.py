@@ -11,14 +11,39 @@ across commits.
 
 from __future__ import annotations
 
+import datetime
 import json
 import pathlib
+import subprocess
 
 import pytest
 
 from repro.experiments import Config, run_experiment
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Bumped whenever the BENCH_<eX>.json layout changes.  Version 2 added
+#: the self-description block (timestamp, git sha) and the ``metrics``
+#: registry snapshot.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_sha() -> "str | None":
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=pathlib.Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            )
+            .stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
 
 
 @pytest.fixture(scope="session")
@@ -61,6 +86,11 @@ def _write_bench_json(benchmark, report, experiment_id, results_dir):
         wall_time = None
     engine = report.metadata.get("engine", {})
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at_utc": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "git_sha": _git_sha(),
         "experiment": experiment_id,
         "passed": report.passed,
         "wall_time_seconds": wall_time,
@@ -70,6 +100,7 @@ def _write_bench_json(benchmark, report, experiment_id, results_dir):
         "reference_evaluations": engine.get("reference_evaluations"),
         "cache_hit_rate": engine.get("cache_hit_rate"),
         "engine_wall_time_seconds": engine.get("wall_time_seconds"),
+        "metrics": report.metadata.get("metrics"),
     }
     json_path = results_dir / f"BENCH_{experiment_id.lower()}.json"
     json_path.write_text(json.dumps(payload, indent=2) + "\n")

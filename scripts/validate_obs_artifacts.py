@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Validate observability artifacts against their documented schemas.
+
+Usage::
+
+    python scripts/validate_obs_artifacts.py --trace trace.jsonl \
+        --metrics metrics.json
+
+Checks the ``--trace`` JSONL export (meta line, span records,
+parent/child consistency) and the ``--metrics`` JSON export
+(schema_version, per-metric shape, histogram bucket invariants) as
+documented in DESIGN.md §8.  Exits non-zero with a message per
+violation — CI runs this against the artifacts it uploads so schema
+drift fails the build instead of silently shipping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 1
+
+
+def _fail(errors, message):
+    errors.append(message)
+
+
+def validate_trace(path: str, errors: list) -> int:
+    """Validate a span-trace JSONL file; returns the span count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        _fail(errors, f"{path}: empty trace file")
+        return 0
+    meta = json.loads(lines[0])
+    if meta.get("kind") != "meta":
+        _fail(errors, f"{path}: first line must be the meta record")
+    if meta.get("schema_version") != TRACE_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"{path}: schema_version {meta.get('schema_version')!r}, "
+            f"expected {TRACE_SCHEMA_VERSION}",
+        )
+    if meta.get("clock") != "perf_counter" or meta.get("unit") != "seconds":
+        _fail(errors, f"{path}: unexpected clock/unit in meta: {meta}")
+    span_ids = set()
+    spans = 0
+    records = [json.loads(line) for line in lines[1:]]
+    for record in records:
+        kind = record.get("kind")
+        if kind not in ("span", "event"):
+            _fail(errors, f"{path}: unknown record kind {kind!r}")
+            continue
+        if kind == "event":
+            if "name" not in record or "time" not in record:
+                _fail(errors, f"{path}: malformed event: {record}")
+            continue
+        spans += 1
+        for field in ("span_id", "name", "start", "end", "duration", "depth"):
+            if field not in record:
+                _fail(
+                    errors,
+                    f"{path}: span missing {field!r}: {record.get('name')}",
+                )
+        span_ids.add(record.get("span_id"))
+        if record.get("end") is not None and record.get("start") is not None:
+            if record["end"] < record["start"]:
+                _fail(
+                    errors,
+                    f"{path}: span {record.get('name')!r} ends before it "
+                    "starts",
+                )
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is not None and parent not in span_ids:
+            _fail(
+                errors,
+                f"{path}: record {record.get('name')!r} references "
+                f"unknown parent {parent}",
+            )
+    if spans == 0:
+        _fail(errors, f"{path}: no span records")
+    return spans
+
+
+def validate_metrics(path: str, errors: list) -> int:
+    """Validate a metrics JSON snapshot; returns the metric count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema_version") != METRICS_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"{path}: schema_version {payload.get('schema_version')!r}, "
+            f"expected {METRICS_SCHEMA_VERSION}",
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        _fail(errors, f"{path}: missing or empty 'metrics' mapping")
+        return 0
+    for name, snap in sorted(metrics.items()):
+        kind = snap.get("type")
+        if kind in ("counter", "gauge"):
+            if not isinstance(snap.get("value"), (int, float)):
+                _fail(errors, f"{path}: {name}: non-numeric value")
+            if kind == "counter" and snap.get("value", 0) < 0:
+                _fail(errors, f"{path}: {name}: negative counter")
+        elif kind == "histogram":
+            buckets = snap.get("buckets")
+            if not buckets:
+                _fail(errors, f"{path}: {name}: histogram without buckets")
+                continue
+            if buckets[-1].get("le") != "+Inf":
+                _fail(
+                    errors,
+                    f"{path}: {name}: last bucket must be le='+Inf'",
+                )
+            bounds = [b["le"] for b in buckets[:-1]]
+            if bounds != sorted(bounds):
+                _fail(errors, f"{path}: {name}: bucket bounds not sorted")
+            total = sum(b.get("count", 0) for b in buckets)
+            if total != snap.get("count"):
+                _fail(
+                    errors,
+                    f"{path}: {name}: bucket counts sum to {total}, "
+                    f"count says {snap.get('count')}",
+                )
+        else:
+            _fail(errors, f"{path}: {name}: unknown metric type {kind!r}")
+    return len(metrics)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, help="trace JSONL to check")
+    parser.add_argument(
+        "--metrics", default=None, help="metrics JSON to check"
+    )
+    parser.add_argument(
+        "--expect-metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require this metric name to be present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass --trace and/or --metrics")
+    errors: list = []
+    if args.trace:
+        spans = validate_trace(args.trace, errors)
+        print(f"{args.trace}: {spans} spans")
+    if args.metrics:
+        count = validate_metrics(args.metrics, errors)
+        print(f"{args.metrics}: {count} metrics")
+        if args.expect_metric:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                present = set(json.load(handle).get("metrics", {}))
+            for name in args.expect_metric:
+                if name not in present:
+                    _fail(errors, f"{args.metrics}: missing metric {name!r}")
+    for message in errors:
+        print(f"ERROR: {message}", file=sys.stderr)
+    if errors:
+        return 1
+    print("observability artifacts OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

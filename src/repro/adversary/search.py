@@ -21,6 +21,7 @@ liveness (via a negated objective) for adversary-tournament studies.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
@@ -37,6 +38,8 @@ from ..core.topology import Topology
 from ..core.types import Round
 from .strong import StrongAdversary
 from .structured import RunFamily, standard_families
+
+logger = logging.getLogger(__name__)
 
 Objective = Callable[[EventProbabilities], float]
 
@@ -100,19 +103,34 @@ def _search_over(
     run_list = list(runs)
     if not run_list:
         raise ValueError(f"{strategy} search was given no runs")
-    results = engine.evaluate_many(
-        protocol, topology, run_list, trials=trials, rng=rng
+    with engine.obs.tracer.span(
+        f"search.{strategy}",
+        protocol=protocol.name,
+        topology=topology.describe(),
+        runs=len(run_list),
+        certification=certification,
+    ):
+        results = engine.evaluate_many(
+            protocol, topology, run_list, trials=trials, rng=rng
+        )
+        # Scan in submission order with a strict ``>``, so the winner
+        # (the first run attaining the maximum) matches the historical
+        # serial loop exactly.
+        best_value = float("-inf")
+        best_run: Optional[Run] = None
+        for run, result in zip(run_list, results):
+            value = objective(result)
+            if value > best_value:
+                best_value = value
+                best_run = run
+    engine.obs.metrics.counter("search.runs_examined").inc(len(run_list))
+    logger.debug(
+        "%s search on %s: value=%.6f over %d runs",
+        strategy,
+        topology.describe(),
+        best_value,
+        len(run_list),
     )
-    # Scan in submission order with a strict ``>``, so the winner (the
-    # first run attaining the maximum) matches the historical serial
-    # loop exactly.
-    best_value = float("-inf")
-    best_run: Optional[Run] = None
-    for run, result in zip(run_list, results):
-        value = objective(result)
-        if value > best_value:
-            best_value = value
-            best_run = run
     return SearchResult(
         best_value, best_run, len(run_list), certification, strategy
     )
@@ -196,40 +214,53 @@ def greedy_search(
     engine = _resolve_engine(engine)
     all_tuples = all_message_tuples(topology, num_rounds)
     current = seed_run
-    current_value = objective(engine.evaluate(protocol, topology, current))
-    examined = 1
-    for _ in range(max_passes):
-        improved = False
-        best_neighbor = None
-        best_neighbor_value = current_value
-        neighbors: List[Run] = []
-        for message in all_tuples:
-            if message in current.messages:
-                neighbors.append(current.removing(message))
-            else:
-                neighbors.append(current.adding(message))
-        for process in topology.processes:
-            if process in current.inputs:
-                neighbors.append(
-                    current.with_inputs(current.inputs - {process})
-                )
-            else:
-                neighbors.append(
-                    current.with_inputs(current.inputs | {process})
-                )
-        results = engine.evaluate_many(protocol, topology, neighbors)
-        examined += len(neighbors)
-        for neighbor, result in zip(neighbors, results):
-            value = objective(result)
-            if value > best_neighbor_value:
-                best_neighbor = neighbor
-                best_neighbor_value = value
-        if best_neighbor is not None:
-            current = best_neighbor
-            current_value = best_neighbor_value
-            improved = True
-        if not improved:
-            break
+    with engine.obs.tracer.span(
+        "search.greedy",
+        protocol=protocol.name,
+        topology=topology.describe(),
+        max_passes=max_passes,
+    ):
+        current_value = objective(engine.evaluate(protocol, topology, current))
+        examined = 1
+        for _ in range(max_passes):
+            improved = False
+            best_neighbor = None
+            best_neighbor_value = current_value
+            neighbors: List[Run] = []
+            for message in all_tuples:
+                if message in current.messages:
+                    neighbors.append(current.removing(message))
+                else:
+                    neighbors.append(current.adding(message))
+            for process in topology.processes:
+                if process in current.inputs:
+                    neighbors.append(
+                        current.with_inputs(current.inputs - {process})
+                    )
+                else:
+                    neighbors.append(
+                        current.with_inputs(current.inputs | {process})
+                    )
+            results = engine.evaluate_many(protocol, topology, neighbors)
+            examined += len(neighbors)
+            for neighbor, result in zip(neighbors, results):
+                value = objective(result)
+                if value > best_neighbor_value:
+                    best_neighbor = neighbor
+                    best_neighbor_value = value
+            if best_neighbor is not None:
+                current = best_neighbor
+                current_value = best_neighbor_value
+                improved = True
+            if not improved:
+                break
+    engine.obs.metrics.counter("search.runs_examined").inc(examined)
+    logger.debug(
+        "greedy search on %s: value=%.6f over %d runs",
+        topology.describe(),
+        current_value,
+        examined,
+    )
     return SearchResult(
         current_value, current, examined, "heuristic", "greedy"
     )
@@ -254,33 +285,48 @@ def worst_case_unsafety(
     """
     engine = _resolve_engine(engine)
     space = run_space_size(topology, num_rounds, fixed_inputs=False)
-    if space <= exhaustive_limit:
-        return exhaustive_search(
-            protocol, topology, num_rounds, objective,
-            limit=exhaustive_limit, engine=engine,
+    with engine.obs.tracer.span(
+        "search.composite",
+        protocol=protocol.name,
+        topology=topology.describe(),
+        num_rounds=num_rounds,
+        run_space=space,
+    ):
+        if space <= exhaustive_limit:
+            return exhaustive_search(
+                protocol, topology, num_rounds, objective,
+                limit=exhaustive_limit, engine=engine,
+            )
+        family_result = family_search(
+            protocol, topology, num_rounds, objective, engine=engine
         )
-    family_result = family_search(
-        protocol, topology, num_rounds, objective, engine=engine
-    )
-    candidates = [family_result]
-    if family_result.run is not None:
+        candidates = [family_result]
+        if family_result.run is not None:
+            candidates.append(
+                greedy_search(
+                    protocol, topology, num_rounds, family_result.run,
+                    objective, engine=engine,
+                )
+            )
         candidates.append(
-            greedy_search(
-                protocol, topology, num_rounds, family_result.run, objective,
-                engine=engine,
+            random_search(
+                protocol, topology, num_rounds, random_samples, objective,
+                rng, engine=engine,
             )
         )
-    candidates.append(
-        random_search(
-            protocol, topology, num_rounds, random_samples, objective, rng,
-            engine=engine,
+        best = max(candidates, key=lambda result: result.value)
+        examined = sum(result.runs_examined for result in candidates)
+        certification = (
+            "family" if best.value <= family_result.value else "heuristic"
         )
-    )
-    best = max(candidates, key=lambda result: result.value)
-    examined = sum(result.runs_examined for result in candidates)
-    certification = (
-        "family" if best.value <= family_result.value else "heuristic"
-    )
-    return SearchResult(
-        best.value, best.run, examined, certification, "composite"
-    )
+        logger.debug(
+            "composite search on %s N=%d: value=%.6f over %d runs [%s]",
+            topology.describe(),
+            num_rounds,
+            best.value,
+            examined,
+            certification,
+        )
+        return SearchResult(
+            best.value, best.run, examined, certification, "composite"
+        )

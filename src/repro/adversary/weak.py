@@ -104,10 +104,18 @@ def estimate_against_weak_adversary(
         from ..engine import default_engine
 
         engine = default_engine()
-    runs = [
-        adversary.sample(topology, num_rounds, rng) for _ in range(samples)
-    ]
-    results = engine.evaluate_many(protocol, topology, runs)
+    with engine.obs.tracer.span(
+        "mc.weak_estimate",
+        protocol=protocol.name,
+        adversary=adversary.name,
+        samples=samples,
+    ):
+        runs = [
+            adversary.sample(topology, num_rounds, rng)
+            for _ in range(samples)
+        ]
+        results = engine.evaluate_many(protocol, topology, runs)
+    engine.obs.metrics.counter("mc.trials").inc(samples)
     liveness_total = 0.0
     unsafety_total = 0.0
     disagreement_runs = 0

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..adversary.weak import WeakAdversaryEstimate
 from ..core.types import Round
+from ..obs import get_obs
 from ..engine.vectorized import (
     PairCounts,
     pair_protocol_s_weak_estimate,
@@ -65,14 +66,19 @@ def fast_protocol_s_weak_estimate(
     :func:`repro.adversary.weak.estimate_against_weak_adversary` with
     ``ProtocolS``, at numpy speed.
     """
-    return pair_protocol_s_weak_estimate(
-        num_rounds,
-        epsilon,
-        loss_probability,
-        samples,
-        np.random.default_rng(seed),
-        dtype=np.float64,
-    )
+    obs = get_obs()
+    with obs.tracer.span(
+        "mc.pair_fast_estimate", protocol="S", samples=samples
+    ):
+        obs.metrics.counter("mc.trials").inc(samples)
+        return pair_protocol_s_weak_estimate(
+            num_rounds,
+            epsilon,
+            loss_probability,
+            samples,
+            np.random.default_rng(seed),
+            dtype=np.float64,
+        )
 
 
 def fast_protocol_w_weak_estimate(
@@ -88,11 +94,16 @@ def fast_protocol_w_weak_estimate(
     topology is the same recurrence with process 2's rfire gate forced
     open.
     """
-    return pair_protocol_w_weak_estimate(
-        num_rounds,
-        threshold,
-        loss_probability,
-        samples,
-        np.random.default_rng(seed),
-        dtype=np.float64,
-    )
+    obs = get_obs()
+    with obs.tracer.span(
+        "mc.pair_fast_estimate", protocol="W", samples=samples
+    ):
+        obs.metrics.counter("mc.trials").inc(samples)
+        return pair_protocol_w_weak_estimate(
+            num_rounds,
+            threshold,
+            loss_probability,
+            samples,
+            np.random.default_rng(seed),
+            dtype=np.float64,
+        )

@@ -7,7 +7,15 @@ Subcommands:
 * ``level``    — level / modified-level tables for a run;
 * ``validity`` — check the validity condition on input-free probes;
 * ``experiments`` — delegate to the experiment runner (same as
-  ``python -m repro.experiments``).
+  ``python -m repro.experiments``);
+* ``profile`` — run one experiment with tracing and metrics enabled
+  and print the span tree plus a metrics snapshot.
+
+Observability flags (see DESIGN.md section 8): every evaluating
+subcommand takes ``--backend`` / ``--engine-stats`` plus ``--trace
+FILE.jsonl`` (span export), ``--metrics FILE.json`` (metrics
+snapshot), and ``--log-level LEVEL`` (stdlib logging under the
+``repro.*`` hierarchy, to stderr).
 
 Specification mini-language (shared by the flags):
 
@@ -32,6 +40,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 from typing import List, Optional
 
 from .adversary.search import worst_case_unsafety
@@ -50,6 +59,15 @@ from .core.run import (
 from .core.topology import Topology
 from .core.types import Round
 from .engine import BACKENDS, Engine
+from .obs import (
+    LOG_LEVELS,
+    MetricsRegistry,
+    Obs,
+    Tracer,
+    render_span_tree,
+    set_obs,
+    setup_logging,
+)
 from .protocols.deterministic import InputAttack, NeverAttack
 from .protocols.protocol_a import ProtocolA
 from .protocols.protocol_s import ProtocolS
@@ -163,10 +181,8 @@ def parse_protocol(spec: str, num_rounds: Round):
     )
 
 
-def _print_engine_stats(args, engine: Engine) -> None:
-    """Render the engine instrumentation table when requested."""
-    if not getattr(args, "engine_stats", False):
-        return
+def print_engine_stats(engine: Engine) -> None:
+    """Render the engine instrumentation table."""
     stats = engine.stats
     table = Table(
         title="Engine statistics",
@@ -184,11 +200,74 @@ def _print_engine_stats(args, engine: Engine) -> None:
     print(table.render())
 
 
+def _print_engine_stats(args, engine: Engine) -> None:
+    """Render the engine instrumentation table when requested."""
+    if getattr(args, "engine_stats", False):
+        print_engine_stats(engine)
+
+
+def _setup_obs(args, exec_trace: bool = False) -> Obs:
+    """A fresh per-invocation observability bundle from the flags.
+
+    Installed process-wide so module-level consumers (the fast
+    estimators, the default engine) report into the same registry the
+    exports drain.
+    """
+    if getattr(args, "log_level", None):
+        setup_logging(args.log_level)
+    obs = Obs(
+        metrics=MetricsRegistry(),
+        tracer=Tracer(enabled=getattr(args, "trace", None) is not None),
+        exec_trace=exec_trace and getattr(args, "trace", None) is not None,
+    )
+    set_obs(obs)
+    return obs
+
+
+def _finish_obs(args, obs: Obs) -> None:
+    """Write the --trace / --metrics exports, if requested."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.tracer.export_jsonl(trace_path)
+        print(f"trace written to {trace_path}")
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        obs.metrics.export_json(metrics_path)
+        print(f"metrics written to {metrics_path}")
+
+
+def _metrics_table(registry: MetricsRegistry) -> Table:
+    """A compact rendering of a metrics snapshot."""
+    table = Table(title="Metrics snapshot", columns=["metric", "value"])
+    for name, payload in registry.snapshot().items():
+        if payload["type"] == "histogram":
+            table.add_row(
+                name,
+                "count={count} sum={sum:.4f}s min={min} max={max}".format(
+                    count=payload["count"],
+                    sum=payload["sum"],
+                    min=_format_seconds(payload["min"]),
+                    max=_format_seconds(payload["max"]),
+                ),
+            )
+        else:
+            table.add_row(name, payload["value"])
+    return table
+
+
+def _format_seconds(value) -> str:
+    return "-" if value is None else f"{value:.2e}s"
+
+
 def _cmd_simulate(args) -> int:
     topology = parse_topology(args.topology)
     protocol = parse_protocol(args.protocol, args.rounds)
     run = parse_run(args.run, topology, args.rounds)
-    engine = Engine(backend=args.backend)
+    # For a single run the interesting trace is the per-round protocol
+    # events (levels, deliveries, fire decisions), so --trace implies
+    # the execution trace here.
+    obs = _setup_obs(args, exec_trace=True)
+    engine = Engine(backend=args.backend, obs=obs)
     result = engine.evaluate(protocol, topology, run)
     table = Table(
         title=f"{protocol.name} on {run.describe()}",
@@ -202,13 +281,15 @@ def _cmd_simulate(args) -> int:
         table.add_row(f"P[process {process} attacks]", result.pr_attack_by(process))
     print(table.render())
     _print_engine_stats(args, engine)
+    _finish_obs(args, obs)
     return 0
 
 
 def _cmd_search(args) -> int:
     topology = parse_topology(args.topology)
     protocol = parse_protocol(args.protocol, args.rounds)
-    engine = Engine(backend=args.backend)
+    obs = _setup_obs(args)
+    engine = Engine(backend=args.backend, obs=obs)
     result = worst_case_unsafety(
         protocol, topology, args.rounds, engine=engine
     )
@@ -229,6 +310,7 @@ def _cmd_search(args) -> int:
         table.add_row("witness saved to", args.save_witness)
     print(table.render())
     _print_engine_stats(args, engine)
+    _finish_obs(args, obs)
     return 0
 
 
@@ -255,13 +337,28 @@ def _cmd_level(args) -> int:
 def _cmd_validity(args) -> int:
     topology = parse_topology(args.topology)
     protocol = parse_protocol(args.protocol, args.rounds)
+    obs = _setup_obs(args)
     rng = random.Random(args.seed)
     probes = validity_probe_runs(topology, args.rounds, rng)
-    ok, witness = check_validity(protocol, topology, probes, rng=rng)
+    with obs.tracer.span(
+        "cli.validity", protocol=protocol.name, probes=len(probes)
+    ):
+        ok, witness = check_validity(protocol, topology, probes, rng=rng)
+        # Complementary probabilistic check through the engine: on an
+        # input-free run validity is exactly Pr[no attack] = 1, so the
+        # worst probe's Pr[any attack] should be 0.
+        engine = Engine(backend=args.backend, obs=obs)
+        results = engine.evaluate_many(protocol, topology, probes)
+    worst_attack = max(1.0 - result.pr_no_attack for result in results)
     if ok:
         print(f"{protocol.name}: validity holds on {len(probes)} probe runs")
+        print(f"max P[any attack] over probes: {worst_attack:g} (exact)")
+        _print_engine_stats(args, engine)
+        _finish_obs(args, obs)
         return 0
     print(f"{protocol.name}: VALIDITY VIOLATED on {witness.describe()}")
+    _print_engine_stats(args, engine)
+    _finish_obs(args, obs)
     return 1
 
 
@@ -273,7 +370,52 @@ def _cmd_experiments(args) -> int:
         forwarded.append("--all")
     forwarded.extend(["--scale", args.scale, "--seed", str(args.seed)])
     forwarded.extend(["--backend", args.backend])
+    if args.engine_stats:
+        forwarded.append("--engine-stats")
+    if args.trace:
+        forwarded.extend(["--trace", args.trace])
+    if args.metrics:
+        forwarded.extend(["--metrics", args.metrics])
+    if args.log_level:
+        forwarded.extend(["--log-level", args.log_level])
     return experiments_main(forwarded)
+
+
+def _cmd_profile(args) -> int:
+    from .experiments import run_experiment
+    from .experiments.common import Config
+
+    if args.log_level:
+        setup_logging(args.log_level)
+    config = Config(
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        tracing=True,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+        exec_trace=args.exec_trace,
+    )
+    obs = config.obs()
+    set_obs(obs)
+    started = time.perf_counter()
+    try:
+        report = run_experiment(args.experiment, config)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    status = "PASS" if report.passed else "FAIL"
+    print(
+        f"== Profile: [{report.experiment_id}] {report.title} — {status} "
+        f"in {elapsed:.2f}s ==\n"
+    )
+    print(render_span_tree(obs.tracer))
+    print()
+    print(_metrics_table(obs.metrics).render())
+    _print_engine_stats(args, config.engine())
+    _finish_obs(args, obs)
+    return 0 if report.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,11 +454,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="print engine instrumentation after the results",
         )
 
+    def add_obs_flags(sub):
+        sub.add_argument(
+            "--trace",
+            metavar="FILE.jsonl",
+            default=None,
+            help="record spans and export them as JSONL to FILE",
+        )
+        sub.add_argument(
+            "--metrics",
+            metavar="FILE.json",
+            default=None,
+            help="export the metrics snapshot as JSON to FILE",
+        )
+        sub.add_argument(
+            "--log-level",
+            choices=list(LOG_LEVELS),
+            default=None,
+            help="enable repro.* logging at this level (stderr)",
+        )
+
     simulate = subparsers.add_parser(
         "simulate", help="evaluate a protocol on a run"
     )
     add_common(simulate)
     add_engine_flags(simulate)
+    add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     search = subparsers.add_parser(
@@ -330,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the worst run found as JSON to PATH",
     )
     add_engine_flags(search)
+    add_obs_flags(search)
     search.set_defaults(handler=_cmd_search)
 
     level = subparsers.add_parser(
@@ -343,10 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(validity, run_flag=False)
     validity.add_argument("--seed", type=int, default=0)
+    add_engine_flags(validity)
+    add_obs_flags(validity)
     validity.set_defaults(handler=_cmd_validity)
 
     experiments = subparsers.add_parser(
-        "experiments", help="run reproduction experiments (E1..E15)"
+        "experiments", help="run reproduction experiments (E1..E16)"
     )
     experiments.add_argument("ids", nargs="*", help="experiment ids")
     experiments.add_argument("--all", action="store_true")
@@ -357,7 +523,48 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--backend", choices=list(BACKENDS), default="auto"
     )
+    experiments.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="print engine instrumentation after each report",
+    )
+    add_obs_flags(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help=(
+            "run one experiment with tracing + metrics and print the "
+            "span tree"
+        ),
+    )
+    profile.add_argument("experiment", help="experiment id (e.g. e3)")
+    profile.add_argument(
+        "--scale", choices=["quick", "full"], default="quick"
+    )
+    profile.add_argument(
+        "--quick",
+        dest="scale",
+        action="store_const",
+        const="quick",
+        help="shorthand for --scale quick (the default)",
+    )
+    profile.add_argument(
+        "--full",
+        dest="scale",
+        action="store_const",
+        const="full",
+        help="shorthand for --scale full",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--exec-trace",
+        action="store_true",
+        help="also record per-round protocol events (expensive)",
+    )
+    add_engine_flags(profile)
+    add_obs_flags(profile)
+    profile.set_defaults(handler=_cmd_profile)
 
     return parser
 

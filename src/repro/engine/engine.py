@@ -24,10 +24,22 @@ stop re-simulating duplicate neighbors and repeated certification
 passes (e.g. E16's family search after an exhaustive sweep) become
 cache hits.  Monte-Carlo results are never cached: caching them would
 silently freeze sampling noise and perturb downstream rng streams.
+
+Instrumentation lives in :mod:`repro.obs`: each engine owns a
+:class:`~repro.obs.MetricsRegistry` (``engine.*`` counters, the
+``engine.evaluate.latency`` histogram, ``mc.trials``) and shares the
+process tracer, so ``--trace`` captures engine spans without the
+engine knowing who is listening.  :class:`EngineStats` survives as a
+thin read view over that registry — same attribute and ``as_dict``
+schema as the original counter dataclass.  Wall time counts **backend
+work only**: cache hits cost a dict lookup and are excluded (they are
+counted separately), so ``wall_time_seconds`` no longer inflates with
+the hit rate.
 """
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 from collections import OrderedDict
@@ -44,6 +56,9 @@ from ..core.protocol import Protocol
 from ..core.run import Run
 from ..core.topology import Topology
 from ..core.types import Round
+from ..obs import MetricsRegistry, Obs, get_obs
+
+logger = logging.getLogger(__name__)
 
 BACKENDS = ("auto", "reference", "vectorized")
 
@@ -56,21 +71,50 @@ MIN_VECTORIZED_BATCH = 8
 DEFAULT_CACHE_SIZE = 200_000
 
 
-@dataclass
 class EngineStats:
-    """Counters accumulated across an engine's lifetime.
+    """Read view over an engine's metrics registry.
 
-    ``runs_evaluated`` counts every run requested (cache hits
-    included); the per-backend counters count actual evaluations.
+    Keeps the attribute surface and ``as_dict`` schema of the original
+    counter dataclass (``runs_evaluated`` counts every run requested,
+    cache hits included; the per-backend counters count actual
+    evaluations; ``wall_time_seconds`` is backend work only), while
+    the registry remains the single source of truth — snapshots,
+    merges, and JSON export come for free.
     """
 
-    runs_evaluated: int = 0
-    reference_evaluations: int = 0
-    vectorized_evaluations: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    batch_calls: int = 0
-    wall_time_seconds: float = 0.0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def _value(self, name: str):
+        return self.registry.counter(name).value
+
+    @property
+    def runs_evaluated(self) -> int:
+        return self._value("engine.runs_evaluated")
+
+    @property
+    def reference_evaluations(self) -> int:
+        return self._value("engine.reference_evaluations")
+
+    @property
+    def vectorized_evaluations(self) -> int:
+        return self._value("engine.vectorized_evaluations")
+
+    @property
+    def cache_hits(self) -> int:
+        return self._value("engine.cache.hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return self._value("engine.cache.miss")
+
+    @property
+    def batch_calls(self) -> int:
+        return self._value("engine.batch_calls")
+
+    @property
+    def wall_time_seconds(self) -> float:
+        return float(self._value("engine.wall_time_seconds"))
 
     @property
     def cache_hit_rate(self) -> float:
@@ -97,14 +141,36 @@ class Engine:
     backend: str = "auto"
     cache_size: int = DEFAULT_CACHE_SIZE
     min_vectorized_batch: int = MIN_VECTORIZED_BATCH
-    stats: EngineStats = field(default_factory=EngineStats)
+    obs: Optional[Obs] = None
+    stats: Optional[EngineStats] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        if self.obs is None:
+            # Own registry (per-engine stats isolation), shared process
+            # tracer (one ``--trace`` captures every engine's spans).
+            root = get_obs()
+            self.obs = Obs(
+                metrics=MetricsRegistry(),
+                tracer=root.tracer,
+                exec_trace=root.exec_trace,
+            )
+        metrics = self.obs.metrics
+        self.stats = EngineStats(metrics)
         self._cache: "OrderedDict[tuple, EventProbabilities]" = OrderedDict()
+        # Resolve hot-path metrics once; updates are attribute bumps.
+        self._runs_counter = metrics.counter("engine.runs_evaluated")
+        self._reference_counter = metrics.counter("engine.reference_evaluations")
+        self._vectorized_counter = metrics.counter("engine.vectorized_evaluations")
+        self._hit_counter = metrics.counter("engine.cache.hit")
+        self._miss_counter = metrics.counter("engine.cache.miss")
+        self._batch_counter = metrics.counter("engine.batch_calls")
+        self._wall_counter = metrics.counter("engine.wall_time_seconds")
+        self._latency_histogram = metrics.histogram("engine.evaluate.latency")
+        self._mc_trials_counter = metrics.counter("mc.trials")
 
     # -- cache ---------------------------------------------------------
 
@@ -126,9 +192,9 @@ class Engine:
             return None
         result = self._cache.get(key)
         if result is not None:
-            self.stats.cache_hits += 1
+            self._hit_counter.value += 1
         else:
-            self.stats.cache_misses += 1
+            self._miss_counter.value += 1
         return result
 
     def _cache_put(
@@ -149,10 +215,18 @@ class Engine:
         Called between experiment runs that share one
         :class:`~repro.experiments.common.Config`, so each report's
         engine note covers exactly one run (and repeated runs replay
-        identically — no stale cache hits).
+        identically — no stale cache hits).  Metrics are zeroed in
+        place, so resolved counter references — including this
+        engine's :class:`EngineStats` view — stay valid; recorded
+        trace spans are left alone (they belong to the session, not
+        the engine).
         """
-        self.stats = EngineStats()
+        self.obs.metrics.reset()
         self._cache.clear()
+        logger.debug(
+            "engine reset: memo cache dropped, metrics zeroed (backend=%s)",
+            self.backend,
+        )
 
     @property
     def cache_len(self) -> int:
@@ -198,18 +272,25 @@ class Engine:
         enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
     ) -> EventProbabilities:
         """Cached scalar evaluation (reference semantics)."""
-        started = time.perf_counter()
-        try:
-            self.stats.runs_evaluated += 1
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "engine.evaluate", protocol=protocol.name, method=method
+            )
+        else:
+            span = tracer.span("engine.evaluate")
+        with span:
+            self._runs_counter.value += 1
             key = self._cache_key(protocol, topology, run, method, trials)
             cached = self._cache_get(key)
             if cached is not None:
                 return cached
+            started = time.perf_counter()
             if self._wants_vectorized(protocol, topology, method, batch=1):
                 from . import vectorized
 
                 result = vectorized.evaluate_batch(protocol, topology, [run])[0]
-                self.stats.vectorized_evaluations += 1
+                self._vectorized_counter.value += 1
             else:
                 result = evaluate(
                     protocol,
@@ -220,11 +301,18 @@ class Engine:
                     rng=rng,
                     enumeration_limit=enumeration_limit,
                 )
-                self.stats.reference_evaluations += 1
+                self._reference_counter.value += 1
+            elapsed = time.perf_counter() - started
+            self._wall_counter.value += elapsed
+            self._latency_histogram.observe(elapsed)
+            if result.method == "monte-carlo" and result.trials:
+                self._mc_trials_counter.inc(result.trials)
             self._cache_put(key, result)
+            if self.obs.exec_trace and tracer.enabled:
+                from ..obs.exec_trace import trace_execution
+
+                trace_execution(protocol, topology, run, tracer)
             return result
-        finally:
-            self.stats.wall_time_seconds += time.perf_counter() - started
 
     def evaluate_many(
         self,
@@ -244,10 +332,19 @@ class Engine:
         change how fast the answers arrive.
         """
         runs = list(runs)
-        started = time.perf_counter()
-        try:
-            self.stats.batch_calls += 1
-            self.stats.runs_evaluated += len(runs)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "engine.evaluate_many",
+                protocol=protocol.name,
+                method=method,
+                runs=len(runs),
+            )
+        else:
+            span = tracer.span("engine.evaluate_many")
+        with span:
+            self._batch_counter.value += 1
+            self._runs_counter.value += len(runs)
             results: List[Optional[EventProbabilities]] = [None] * len(runs)
             keys: List[Optional[tuple]] = [None] * len(runs)
             pending: List[int] = []
@@ -261,6 +358,7 @@ class Engine:
                     pending.append(index)
             if not pending:
                 return [result for result in results if result is not None]
+            started = time.perf_counter()
             if self._wants_vectorized(
                 protocol, topology, method, batch=len(pending)
             ):
@@ -285,12 +383,15 @@ class Engine:
                         rng=rng,
                         enumeration_limit=enumeration_limit,
                     )
-                    self.stats.reference_evaluations += 1
+                    self._reference_counter.value += 1
+                    if result.method == "monte-carlo" and result.trials:
+                        self._mc_trials_counter.inc(result.trials)
                     self._cache_put(keys[index], result)
                     results[index] = result
+            elapsed = time.perf_counter() - started
+            self._wall_counter.value += elapsed
+            self._latency_histogram.observe(elapsed)
             return [result for result in results if result is not None]
-        finally:
-            self.stats.wall_time_seconds += time.perf_counter() - started
 
     def _evaluate_pending_vectorized(
         self,
@@ -316,7 +417,7 @@ class Engine:
             batch_results = vectorized.evaluate_batch(
                 protocol, topology, unique_runs
             )
-            self.stats.vectorized_evaluations += len(unique_runs)
+            self._vectorized_counter.value += len(unique_runs)
             for run, result in zip(unique_runs, batch_results):
                 for index in unique[run]:
                     results[index] = result
@@ -335,15 +436,24 @@ class Engine:
         """Vectorized two-general ``E[L]``/``E[U]`` sweep for Protocol S."""
         from . import vectorized
 
-        started = time.perf_counter()
-        try:
-            self.stats.runs_evaluated += samples
-            self.stats.vectorized_evaluations += samples
-            return vectorized.pair_protocol_s_weak_estimate(
-                num_rounds, epsilon, loss_probability, samples, rng
-            )
-        finally:
-            self.stats.wall_time_seconds += time.perf_counter() - started
+        with self.obs.tracer.span(
+            "engine.pair_weak_estimate",
+            protocol="S",
+            samples=samples,
+            num_rounds=num_rounds,
+        ):
+            started = time.perf_counter()
+            try:
+                self._runs_counter.inc(samples)
+                self._vectorized_counter.inc(samples)
+                self._mc_trials_counter.inc(samples)
+                return vectorized.pair_protocol_s_weak_estimate(
+                    num_rounds, epsilon, loss_probability, samples, rng
+                )
+            finally:
+                elapsed = time.perf_counter() - started
+                self._wall_counter.value += elapsed
+                self._latency_histogram.observe(elapsed)
 
     def pair_weak_estimate_w(
         self,
@@ -356,15 +466,24 @@ class Engine:
         """Vectorized two-general ``E[L]``/``E[U]`` sweep for Protocol W."""
         from . import vectorized
 
-        started = time.perf_counter()
-        try:
-            self.stats.runs_evaluated += samples
-            self.stats.vectorized_evaluations += samples
-            return vectorized.pair_protocol_w_weak_estimate(
-                num_rounds, threshold, loss_probability, samples, rng
-            )
-        finally:
-            self.stats.wall_time_seconds += time.perf_counter() - started
+        with self.obs.tracer.span(
+            "engine.pair_weak_estimate",
+            protocol="W",
+            samples=samples,
+            num_rounds=num_rounds,
+        ):
+            started = time.perf_counter()
+            try:
+                self._runs_counter.inc(samples)
+                self._vectorized_counter.inc(samples)
+                self._mc_trials_counter.inc(samples)
+                return vectorized.pair_protocol_w_weak_estimate(
+                    num_rounds, threshold, loss_probability, samples, rng
+                )
+            finally:
+                elapsed = time.perf_counter() - started
+                self._wall_counter.value += elapsed
+                self._latency_histogram.observe(elapsed)
 
 
 _default_engine: Optional[Engine] = None

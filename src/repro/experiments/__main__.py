@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs import LOG_LEVELS, MetricsRegistry, set_obs, setup_logging
 from .common import Config
 from .registry import experiment_ids, run_experiment
 
@@ -40,16 +41,64 @@ def main(argv=None) -> int:
         default="auto",
         help="evaluation engine backend (default: auto)",
     )
+    parser.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="print engine instrumentation after each report",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="record spans and export them as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE.json",
+        default=None,
+        help="export the session metrics snapshot as JSON to FILE",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default=None,
+        help="enable repro.* logging at this level (stderr)",
+    )
     args = parser.parse_args(argv)
     ids = experiment_ids() if args.all else [e.upper() for e in args.experiments]
     if not ids:
         parser.error("name at least one experiment or pass --all")
-    config = Config(scale=args.scale, seed=args.seed, backend=args.backend)
+    if args.log_level:
+        setup_logging(args.log_level)
+    config = Config(
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+    )
+    # Module-level consumers (the fast estimators, the default engine)
+    # report into the same bundle the config's engine uses, so the
+    # exports below cover the whole invocation.
+    set_obs(config.obs())
+    # ``run_experiment`` zeroes the engine registry before each
+    # experiment; fold every per-experiment snapshot into a session
+    # total so ``--metrics`` covers the full sweep.
+    session_metrics = MetricsRegistry()
     all_passed = True
     for experiment_id in ids:
         report = run_experiment(experiment_id, config)
         print(report.render())
+        if args.engine_stats:
+            from ..cli import print_engine_stats
+
+            print_engine_stats(config.engine())
+        session_metrics.merge(config.obs().metrics)
         all_passed = all_passed and report.passed
+    if args.metrics:
+        session_metrics.export_json(args.metrics)
+    if args.trace:
+        config.obs().tracer.export_jsonl(args.trace)
     return 0 if all_passed else 1
 
 

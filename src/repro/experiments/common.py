@@ -13,12 +13,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..analysis.report import ExperimentReport
 from ..core.seeding import spawn_generator, spawn_random
 from ..core.topology import Topology
 from ..engine import Engine
+from ..obs import MetricsRegistry, Obs, Tracer
 
 
 @dataclass(frozen=True)
@@ -31,12 +32,23 @@ class Config:
     evaluation engine backend (``auto`` / ``reference`` /
     ``vectorized``); backends are bit-identical on supported
     protocols, so claim checks do not depend on the choice.
+
+    The observability knobs never change what an experiment computes —
+    only what gets recorded while it runs: ``tracing`` records spans
+    (implied by a non-``None`` ``trace_path``), ``exec_trace``
+    additionally records per-round protocol events for every scalar
+    evaluation, and the two paths are where ``--trace`` / ``--metrics``
+    exports land.
     """
 
     scale: str = "quick"
     seed: int = 0
     monte_carlo_trials: int = 4_000
     backend: str = "auto"
+    tracing: bool = False
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    exec_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.scale not in ("quick", "full"):
@@ -62,6 +74,26 @@ class Config:
         """The numpy counterpart of :meth:`rng` (same child streams)."""
         return spawn_generator(self.seed, label)
 
+    def obs(self) -> Obs:
+        """This config's observability bundle (one per Config instance).
+
+        Owns the metrics registry the engine and searches write into
+        and the tracer the ``--trace`` export drains; sharing one
+        bundle across every call site within an experiment is what
+        makes the exported span tree and metrics snapshot coherent.
+        """
+        cached = getattr(self, "_obs", None)
+        if cached is None:
+            cached = Obs(
+                metrics=MetricsRegistry(),
+                tracer=Tracer(
+                    enabled=self.tracing or self.trace_path is not None
+                ),
+                exec_trace=self.exec_trace,
+            )
+            object.__setattr__(self, "_obs", cached)
+        return cached
+
     def engine(self) -> Engine:
         """This config's evaluation engine (one per Config instance).
 
@@ -70,7 +102,7 @@ class Config:
         """
         cached = getattr(self, "_engine", None)
         if cached is None:
-            cached = Engine(backend=self.backend)
+            cached = Engine(backend=self.backend, obs=self.obs())
             object.__setattr__(self, "_engine", cached)
         return cached
 
@@ -121,6 +153,13 @@ def attach_engine_stats(report: ExperimentReport, config: Config) -> None:
     engine = config.engine()
     stats = engine.stats.as_dict()
     report.metadata["engine"] = {"backend": engine.backend, **stats}
+    # Derived rate as a gauge so the raw metrics export is
+    # self-contained, then the full registry snapshot (engine.*,
+    # search.*, mc.* and the latency histogram) for BENCH_*.json.
+    engine.obs.metrics.gauge("engine.cache.hit_rate").set(
+        engine.stats.cache_hit_rate
+    )
+    report.metadata["metrics"] = engine.obs.metrics.snapshot()
     report.add_note(
         "engine: backend={backend}, runs evaluated={runs}, "
         "vectorized={vec}, cache hit rate={rate:.1%}".format(

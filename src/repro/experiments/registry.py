@@ -7,6 +7,8 @@ them and returns the reports in order.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
@@ -30,6 +32,8 @@ from . import (
     e16_search_certification,
 )
 from .common import Config
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -89,7 +93,22 @@ def run_experiment(
     # exactly this experiment, and re-running with the same Config is
     # deterministic (no cache hits left over from a previous run).
     config.engine().reset()
-    return REGISTRY[key].runner(config)
+    logger.info(
+        "running %s (scale=%s, backend=%s, seed=%d)",
+        key, config.scale, config.backend, config.seed,
+    )
+    started = time.perf_counter()
+    with config.obs().tracer.span(
+        f"experiment.{key}", scale=config.scale, backend=config.backend
+    ):
+        report = REGISTRY[key].runner(config)
+    logger.info(
+        "%s finished in %.2fs: %s",
+        key,
+        time.perf_counter() - started,
+        "PASS" if report.passed else "FAIL",
+    )
+    return report
 
 
 def run_all(config: Config = Config()) -> List[ExperimentReport]:

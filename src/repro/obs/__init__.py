@@ -1,0 +1,68 @@
+"""Observability: metrics, tracing, execution traces, and logging.
+
+One zero-dependency subsystem behind every "where did the time go"
+question in the reproduction:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket
+  histograms in a :class:`MetricsRegistry` with snapshot / merge /
+  JSON export.  Always on: the evaluation engine's ``EngineStats``
+  is a thin view over one of these.
+* :mod:`repro.obs.tracing` — a span :class:`Tracer` (context-manager
+  API, monotonic clocks, parent/child nesting, JSONL export).  Off by
+  default; disabled call sites hit a shared no-op singleton.
+* :mod:`repro.obs.exec_trace` — opt-in per-round protocol events:
+  messages delivered/cut, ``L_i^r`` / ``ML_i^r`` progression, fire
+  decisions vs ``rfire``.
+* :mod:`repro.obs.runtime` — the process-wide :class:`Obs` bundle and
+  the ``repro.*`` logging hierarchy.
+
+Surfaced via ``--trace FILE.jsonl`` / ``--metrics FILE.json`` /
+``--log-level`` on the CLI and the ``repro profile`` subcommand; see
+DESIGN.md section 8 for the architecture and schemas.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import (
+    NULL_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Event,
+    Span,
+    Tracer,
+    render_span_tree,
+)
+from .exec_trace import trace_execution
+from .runtime import (
+    LOG_LEVELS,
+    Obs,
+    get_obs,
+    set_obs,
+    setup_logging,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Obs",
+    "SCHEMA_VERSION",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "get_obs",
+    "render_span_tree",
+    "set_obs",
+    "setup_logging",
+    "trace_execution",
+]

@@ -1,0 +1,111 @@
+"""Run-level execution tracing: per-round protocol events.
+
+The paper's central quantity is the round-by-round progression of the
+information levels ``L_i^r(R)`` / ``ML_i^r(R)`` and the fire decision
+``count_i >= rfire`` it drives (Lemma 6.4, Theorem 6.8).  This module
+replays one run through the recording simulator and emits that
+progression as tracer events, so a ``--trace`` file shows *why* a run
+ended in partial attack, not just that it did.
+
+Per traced run, nested under one ``exec.trace`` span:
+
+* ``exec.round`` — one per round: messages delivered vs cut and every
+  process's ``L_i^r`` / ``ML_i^r``;
+* ``exec.decision`` — one per process: whether it fired, its final
+  level and modified level, and (for counting protocols) ``count_i``
+  and the ``rfire`` it compared against.
+
+This is strictly opt-in (``Obs.exec_trace``): tracing a run costs a
+full recording execution plus two level profiles, so the evaluation
+hot path never calls in here unless the flag is set *and* the tracer
+is enabled.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.execution import Execution, execute
+from ..core.measures import level_profile, modified_level_profile
+from ..core.protocol import Protocol
+from ..core.randomness import Tapes
+from ..core.run import Run
+from ..core.topology import Topology
+from .tracing import Tracer
+
+
+def trace_execution(
+    protocol: Protocol,
+    topology: Topology,
+    run: Run,
+    tracer: Tracer,
+    tapes: Optional[Tapes] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[Execution]:
+    """Replay ``run`` and emit per-round events to ``tracer``.
+
+    When ``tapes`` is omitted one tape vector is sampled from the
+    protocol's tape space with ``rng`` (default: a fresh seed-0
+    generator, so traces are reproducible and no caller rng stream is
+    perturbed).  Returns the recorded execution, or ``None`` when the
+    tracer is disabled.
+    """
+    if tracer is None or not tracer.enabled:
+        return None
+    if tapes is None:
+        tapes = protocol.tape_space(topology).sample(rng or random.Random(0))
+    execution = execute(protocol, topology, run, tapes)
+    num_processes = topology.num_processes
+    levels = level_profile(run, num_processes)
+    mlevels = modified_level_profile(run, num_processes)
+    processes = list(topology.processes)
+    with tracer.span(
+        "exec.trace",
+        protocol=protocol.name,
+        topology=topology.describe(),
+        run=run.describe(),
+    ):
+        for round_number in range(1, run.num_rounds + 1):
+            delivered = 0
+            cut = 0
+            for process in processes:
+                sent = execution.local(process).sent[round_number - 1]
+                for neighbor, payload in sent:
+                    if payload is None:
+                        continue
+                    if run.delivers(process, neighbor, round_number):
+                        delivered += 1
+                    else:
+                        cut += 1
+            tracer.event(
+                "exec.round",
+                round=round_number,
+                delivered=delivered,
+                cut=cut,
+                levels={
+                    str(j): levels.level_at(j, round_number)
+                    for j in processes
+                },
+                modified_levels={
+                    str(j): mlevels.level_at(j, round_number)
+                    for j in processes
+                },
+            )
+        for process in processes:
+            local = execution.local(process)
+            state = local.states[-1]
+            attributes = {
+                "process": process,
+                "fired": local.output,
+                "level": levels.final_level(process),
+                "modified_level": mlevels.final_level(process),
+            }
+            count = getattr(state, "count", None)
+            if count is not None:
+                attributes["count"] = count
+            rfire = getattr(state, "rfire", None)
+            if rfire is not None:
+                attributes["rfire"] = rfire
+            tracer.event("exec.decision", **attributes)
+    return execution

@@ -1,0 +1,87 @@
+"""Process-wide observability state and the ``repro.*`` log hierarchy.
+
+An :class:`Obs` bundles the three observability facilities — a
+:class:`~repro.obs.metrics.MetricsRegistry` (always on, cheap), a
+:class:`~repro.obs.tracing.Tracer` (off unless opted in), and the
+execution-trace flag.  Call sites that cannot be handed one
+explicitly (the module-level fast estimators, the process default
+engine) read the process-wide instance via :func:`get_obs`; the CLI
+swaps in a fresh one per invocation with :func:`set_obs` so its
+``--trace`` / ``--metrics`` exports cover exactly one command.
+
+:func:`setup_logging` configures the stdlib ``repro`` logger that
+every module in the package parents under (``repro.engine.engine``,
+``repro.adversary.search``, ...), routing ``--log-level`` without
+touching the root logger or third-party handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+
+@dataclass
+class Obs:
+    """One bundle of observability state: metrics + tracer + flags."""
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+    exec_trace: bool = False
+
+
+_global_obs: Optional[Obs] = None
+
+
+def get_obs() -> Obs:
+    """The process-wide observability bundle (created on first use)."""
+    global _global_obs
+    if _global_obs is None:
+        _global_obs = Obs()
+    return _global_obs
+
+
+def set_obs(obs: Obs) -> Obs:
+    """Replace the process-wide bundle; returns the previous one."""
+    global _global_obs
+    previous = get_obs()
+    _global_obs = obs
+    return previous
+
+
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def setup_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy at ``level``.
+
+    Idempotent: repeated calls adjust the level of the single handler
+    this function owns instead of stacking handlers.  Logs go to
+    ``stream`` (default ``sys.stderr``) so they never pollute the
+    CLI's stdout tables.
+    """
+    name = str(level).lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    numeric = getattr(logging, name.upper())
+    logger = logging.getLogger("repro")
+    logger.setLevel(numeric)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_obs", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        logger.addHandler(handler)
+    handler.setLevel(numeric)
+    logger.propagate = False
+    return logger

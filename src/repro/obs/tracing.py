@@ -1,0 +1,303 @@
+"""Span-based tracing with monotonic clocks and JSONL export.
+
+A :class:`Tracer` records a tree of timed spans (``with
+tracer.span("engine.evaluate", ...):``) plus point-in-time events
+attached to the enclosing span.  Timestamps come from
+``time.perf_counter`` relative to the tracer's creation, so durations
+are monotonic and immune to wall-clock adjustments.
+
+Overhead policy: tracers are **disabled by default**.  A disabled
+tracer's :meth:`~Tracer.span` returns a process-wide no-op singleton
+and :meth:`~Tracer.event` returns immediately — no span objects, no
+attribute dicts, no list appends — so instrumented hot paths stay
+allocation-free until someone opts in (``--trace`` / ``repro
+profile``).
+
+JSONL export schema (``schema_version`` 1), one JSON object per line:
+
+* ``{"kind": "meta", "schema_version": 1, "clock": "perf_counter",
+  "unit": "seconds"}`` — always the first line;
+* ``{"kind": "span", "span_id": int, "parent_id": int|null,
+  "name": str, "start": float, "end": float, "duration": float,
+  "depth": int, "attributes": {...}}``;
+* ``{"kind": "event", "span_id": int|null, "name": str,
+  "time": float, "attributes": {...}}``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes to the span; returns the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "kind": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "attributes": self.attributes,
+        }
+
+
+@dataclass
+class Event:
+    """A point-in-time annotation under the enclosing span."""
+
+    name: str
+    span_id: Optional[int]
+    time: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "kind": "event",
+            "span_id": self.span_id,
+            "name": self.name,
+            "time": self.time,
+            "attributes": self.attributes,
+        }
+
+
+class _NullSpan:
+    """The shared no-op span: context manager and attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a span on entry, closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, attributes: Dict[str, object]
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = tracer._stack[-1] if tracer._stack else None
+        span = Span(
+            name=self._name,
+            span_id=tracer._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            start=tracer._now(),
+            attributes=self._attributes,
+        )
+        tracer._next_id += 1
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, *exc_info: object) -> bool:
+        span = self._span
+        tracer = self._tracer
+        span.end = tracer._now()
+        if tracer._stack and tracer._stack[-1] is span:
+            tracer._stack.pop()
+        else:  # tolerate out-of-order exits rather than corrupt the stack
+            try:
+                tracer._stack.remove(span)
+            except ValueError:
+                pass
+        tracer.records.append(span)
+        return False
+
+
+class Tracer:
+    """Records nested spans and events; exports JSONL.
+
+    ``records`` holds finished spans (appended at close) and events
+    (appended at emit), so an open span only becomes visible once its
+    ``with`` block exits.
+    """
+
+    __slots__ = ("enabled", "records", "_stack", "_next_id", "_t0")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.records: List[Union[Span, Event]] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._t0 = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def span(self, name: str, **attributes: object):
+        """A context manager timing ``name`` (no-op singleton when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, name, attributes)
+
+    def event(self, name: str, **attributes: object) -> Optional[Event]:
+        """Record a point-in-time event under the current span."""
+        if not self.enabled:
+            return None
+        parent = self._stack[-1] if self._stack else None
+        event = Event(
+            name=name,
+            span_id=parent.span_id if parent is not None else None,
+            time=self._now(),
+            attributes=attributes,
+        )
+        self.records.append(event)
+        return event
+
+    @property
+    def spans(self) -> List[Span]:
+        """All finished spans, in close order."""
+        return [record for record in self.records if isinstance(record, Span)]
+
+    @property
+    def events(self) -> List[Event]:
+        """All events, in emit order."""
+        return [record for record in self.records if isinstance(record, Event)]
+
+    def clear(self) -> None:
+        """Drop recorded spans/events (ids restart, clock keeps running)."""
+        self.records.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    def to_jsonl(self) -> str:
+        """The JSONL export (meta line + one line per record)."""
+        out = io.StringIO()
+        out.write(
+            json.dumps(
+                {
+                    "kind": "meta",
+                    "schema_version": TRACE_SCHEMA_VERSION,
+                    "clock": "perf_counter",
+                    "unit": "seconds",
+                }
+            )
+        )
+        out.write("\n")
+        for record in sorted(
+            self.records, key=lambda r: (r.start if isinstance(r, Span) else r.time)
+        ):
+            out.write(json.dumps(record.to_record(), default=str))
+            out.write("\n")
+        return out.getvalue()
+
+    def export_jsonl(self, path: str) -> None:
+        """Write :meth:`to_jsonl` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """An indented text rendering of the span tree, with durations.
+
+    Sibling spans sharing a name are collapsed into one aggregated
+    line (``name xN total=... avg=...``) and their subtrees are
+    aggregated together, so wide fan-outs (one span per search
+    strategy call) stay readable.  Events are summarized per group.
+    """
+    spans = sorted(tracer.spans, key=lambda span: (span.start, span.span_id))
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    events_by_span: Dict[Optional[int], List[Event]] = {}
+    for event in tracer.events:
+        events_by_span.setdefault(event.span_id, []).append(event)
+    lines: List[str] = []
+
+    def emit(group: List[Span], indent: int) -> None:
+        pad = "  " * indent
+        total = sum(span.duration for span in group)
+        name = group[0].name
+        if len(group) == 1:
+            lines.append(f"{pad}{name}  {_format_duration(total)}")
+        else:
+            lines.append(
+                f"{pad}{name}  x{len(group)}  total={_format_duration(total)}"
+                f"  avg={_format_duration(total / len(group))}"
+            )
+        event_counts: Dict[str, int] = {}
+        for span in group:
+            for event in events_by_span.get(span.span_id, ()):
+                event_counts[event.name] = event_counts.get(event.name, 0) + 1
+        for event_name, count in sorted(event_counts.items()):
+            lines.append(f"{pad}  * {event_name} x{count}")
+        grouped: Dict[str, List[Span]] = {}
+        order: List[str] = []
+        for span in group:
+            for child in children.get(span.span_id, ()):
+                if child.name not in grouped:
+                    grouped[child.name] = []
+                    order.append(child.name)
+                grouped[child.name].append(child)
+        for child_name in order:
+            emit(grouped[child_name], indent + 1)
+
+    roots = children.get(None, [])
+    grouped_roots: Dict[str, List[Span]] = {}
+    root_order: List[str] = []
+    for span in roots:
+        if span.name not in grouped_roots:
+            grouped_roots[span.name] = []
+            root_order.append(span.name)
+        grouped_roots[span.name].append(span)
+    for name in root_order:
+        emit(grouped_roots[name], 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)

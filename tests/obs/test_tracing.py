@@ -1,0 +1,124 @@
+"""Unit tests for span tracing (repro.obs.tracing)."""
+
+import json
+
+from repro.obs import (
+    NULL_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    render_span_tree,
+)
+
+
+class TestDisabledTracer:
+    def test_span_returns_shared_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        # Same object for every name: the disabled hot path allocates
+        # nothing per call.
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.span("b", key="value") is tracer.span("c")
+        with tracer.span("a") as span:
+            assert span.set(x=1) is NULL_SPAN
+        assert tracer.event("e") is None
+        assert tracer.records == []
+
+
+class TestEnabledTracer:
+    def test_nesting_parent_child_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None and outer.depth == 0
+        assert inner.parent_id == outer.span_id and inner.depth == 1
+        assert sibling.parent_id == outer.span_id
+        # Spans close inner-first.
+        assert [span.name for span in tracer.spans] == [
+            "inner", "sibling", "outer",
+        ]
+        assert outer.end >= inner.end >= inner.start >= outer.start
+
+    def test_attributes_and_events(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", protocol="S") as span:
+            span.set(runs=3)
+            tracer.event("hit", round=2)
+        assert span.attributes == {"protocol": "S", "runs": 3}
+        (event,) = tracer.events
+        assert event.name == "hit"
+        assert event.span_id == span.span_id
+        assert span.start <= event.time <= span.end
+
+    def test_durations_are_monotonic(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.spans
+        assert span.end >= span.start
+        assert span.duration == span.end - span.start
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert tracer.records == []
+        with tracer.span("t") as span:
+            pass
+        assert span.span_id == 1
+
+
+class TestJsonlExport:
+    def test_meta_first_then_sorted_records(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            tracer.event("marker")
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert lines[0] == {
+            "kind": "meta",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "clock": "perf_counter",
+            "unit": "seconds",
+        }
+        records = lines[1:]
+        # Sorted by start time: outer first even though it closed last.
+        assert [r["kind"] for r in records] == ["span", "event", "span"]
+        assert records[0]["name"] == "outer"
+        assert records[2]["name"] == "inner"
+        assert records[2]["parent_id"] == records[0]["span_id"]
+        times = [r.get("start", r.get("time")) for r in records]
+        assert times == sorted(times)
+
+    def test_non_json_attributes_stringified(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", topology=object()):
+            pass
+        # default=str keeps the export valid JSON for arbitrary attrs.
+        for line in tracer.to_jsonl().splitlines():
+            json.loads(line)
+
+
+class TestRenderSpanTree:
+    def test_empty(self):
+        assert render_span_tree(Tracer(enabled=True)) == "(no spans recorded)"
+
+    def test_siblings_aggregate_by_name(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("leaf"):
+                    tracer.event("tick")
+        text = render_span_tree(tracer)
+        assert "root" in text
+        assert "leaf  x3" in text
+        assert "* tick x3" in text
