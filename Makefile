@@ -1,12 +1,23 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench experiments experiments-full artifacts examples clean
+.PHONY: install test lint bench experiments experiments-full artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# The repo-aware analyzer needs only the package itself; mypy and ruff
+# run when installed (pip install -e .[lint]) and are skipped otherwise
+# so the target works in minimal environments.  CI always runs all
+# three.
+lint:
+	python -m repro lint src/ tests/
+	@if command -v mypy >/dev/null 2>&1; then mypy --strict src/repro/; \
+	    else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
+	@if command -v ruff >/dev/null 2>&1; then ruff check; \
+	    else echo "ruff not installed; skipping (pip install -e .[lint])"; fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

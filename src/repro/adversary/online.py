@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from ..core.events import OutcomeCounts
+from ..core.seeding import spawn_random
 from ..core.probability import EventProbabilities
 from ..core.protocol import Protocol, ReceivedMessage
 from ..core.randomness import Tapes
@@ -295,7 +296,7 @@ def online_event_probabilities(
     if trials < 1:
         raise ValueError("trials must be positive")
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "adversary", "online-estimate")
     space = protocol.tape_space(topology)
     counts = OutcomeCounts(topology.num_processes)
     for _ in range(trials):

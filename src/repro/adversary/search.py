@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..core.probability import EventProbabilities
+from ..core.seeding import spawn_random
 from ..core.protocol import Protocol
 from ..core.run import (
     Run,
@@ -184,7 +185,7 @@ def random_search(
 ) -> SearchResult:
     """Probe uniformly random runs."""
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "adversary", "random-search")
     runs = (
         random_run(topology, num_rounds, rng) for _ in range(samples)
     )

@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..core.protocol import Protocol
 from ..core.run import bernoulli_run
+from ..core.seeding import spawn_random
 from ..core.topology import Topology
 from ..core.types import Round
 from .base import RunDistribution
@@ -99,7 +100,7 @@ def estimate_against_weak_adversary(
     if samples < 1:
         raise ValueError("samples must be positive")
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "adversary", "weak-estimate")
     if engine is None:
         from ..engine import default_engine
 

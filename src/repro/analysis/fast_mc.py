@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..adversary.weak import WeakAdversaryEstimate
+from ..core.seeding import spawn_generator
 from ..core.types import Round
 from ..obs import get_obs
 from ..engine.vectorized import (
@@ -76,7 +77,7 @@ def fast_protocol_s_weak_estimate(
             epsilon,
             loss_probability,
             samples,
-            np.random.default_rng(seed),
+            spawn_generator(seed, "fast-mc", "protocol-s"),
             dtype=np.float64,
         )
 
@@ -104,6 +105,6 @@ def fast_protocol_w_weak_estimate(
             threshold,
             loss_probability,
             samples,
-            np.random.default_rng(seed),
+            spawn_generator(seed, "fast-mc", "protocol-w"),
             dtype=np.float64,
         )

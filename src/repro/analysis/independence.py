@@ -27,6 +27,7 @@ from ..core.execution import decide
 from ..core.measures import causally_independent
 from ..core.protocol import Protocol
 from ..core.run import Run
+from ..core.seeding import spawn_random
 from ..core.topology import Topology
 from ..core.types import ProcessId
 
@@ -89,7 +90,7 @@ def joint_decision_distribution(
             pr_first, pr_second, pr_both, causal, method="enumeration"
         )
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "analysis", "independence")
     count_first = count_second = count_both = 0
     for _ in range(trials):
         tapes = space.sample(rng)

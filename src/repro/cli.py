@@ -38,7 +38,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 import time
 from typing import List, Optional
@@ -47,6 +46,7 @@ from .adversary.search import worst_case_unsafety
 from .analysis.report import Table
 from .core.measures import level_profile, modified_level_profile
 from .core.metrics import check_validity, validity_probe_runs
+from .core.seeding import spawn_random
 from .core.run import (
     Run,
     bernoulli_run,
@@ -73,6 +73,7 @@ from .protocols.protocol_a import ProtocolA
 from .protocols.protocol_s import ProtocolS
 from .protocols.repeated_a import RepeatedA
 from .protocols.weak_adversary import ProtocolW
+from .staticcheck.cli import add_lint_arguments, run_lint
 
 
 class SpecError(ValueError):
@@ -123,7 +124,9 @@ def parse_run(spec: str, topology: Topology, num_rounds: Round) -> Run:
             return spanning_tree_run(topology, num_rounds)
         if name == "loss":
             probability_text, _, seed_text = argument.partition(":")
-            rng = random.Random(int(seed_text) if seed_text else 0)
+            rng = spawn_random(
+                int(seed_text) if seed_text else 0, "cli", "loss-run"
+            )
             return bernoulli_run(
                 topology, num_rounds, float(probability_text), rng
             )
@@ -338,7 +341,7 @@ def _cmd_validity(args) -> int:
     topology = parse_topology(args.topology)
     protocol = parse_protocol(args.protocol, args.rounds)
     obs = _setup_obs(args)
-    rng = random.Random(args.seed)
+    rng = spawn_random(args.seed, "cli", "validity")
     probes = validity_probe_runs(topology, args.rounds, rng)
     with obs.tracer.span(
         "cli.validity", protocol=protocol.name, probes=len(probes)
@@ -565,6 +568,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flags(profile)
     add_obs_flags(profile)
     profile.set_defaults(handler=_cmd_profile)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo-aware static analyzer (rules RC001-RC005)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=run_lint)
 
     return parser
 

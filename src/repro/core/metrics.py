@@ -24,6 +24,7 @@ from .execution import decide
 from .probability import evaluate, evaluate_many
 from .protocol import Protocol
 from .run import Run, silent_run
+from .seeding import spawn_random
 from .topology import Topology
 
 
@@ -125,7 +126,7 @@ def check_validity(
     sampling.
     """
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "metrics", "validity-check")
     for run in runs:
         if run.inputs:
             raise ValueError(
@@ -155,7 +156,7 @@ def validity_probe_runs(
     from .run import good_run, random_run
 
     if rng is None:
-        rng = random.Random(7)
+        rng = spawn_random(7, "metrics", "validity-probes")
     probes = [
         silent_run(topology, num_rounds),
         good_run(topology, num_rounds, inputs=[]),

@@ -29,6 +29,7 @@ from .events import OutcomeCounts, classify, Outcome
 from .execution import decide
 from .protocol import ClosedFormProtocol, Protocol
 from .run import Run
+from .seeding import spawn_random
 from .topology import Topology
 from .types import ProcessId
 
@@ -158,7 +159,7 @@ def monte_carlo_probabilities(
     if trials < 1:
         raise ValueError("trials must be positive")
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "probability", "monte-carlo")
     space = protocol.tape_space(topology)
     counts = OutcomeCounts(topology.num_processes)
     for _ in range(trials):

@@ -41,10 +41,9 @@ from __future__ import annotations
 
 import logging
 import random
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.probability import (
     DEFAULT_ENUMERATION_LIMIT,
@@ -57,10 +56,34 @@ from ..core.run import Run
 from ..core.topology import Topology
 from ..core.types import Round
 from ..obs import MetricsRegistry, Obs, get_obs
+from ..obs.runtime import monotonic
 
 logger = logging.getLogger(__name__)
 
 BACKENDS = ("auto", "reference", "vectorized")
+
+#: Functions whose results the memo cache may store, by dotted
+#: qualname.  Registration is a purity contract: these must be
+#: deterministic, side-effect-free functions of their (immutable)
+#: arguments — no globals, no argument mutation, no RNG or clock —
+#: because a cache hit replays the stored value without re-running
+#: them.  Rule RC005 of :mod:`repro.staticcheck` verifies the contract
+#: statically; the Monte-Carlo paths are deliberately absent (their
+#: results are never cached, see :meth:`Engine._cache_put`).
+CACHEABLE_QUALNAMES: Tuple[str, ...] = (
+    "repro.core.probability.exact_probabilities",
+    "repro.engine.vectorized.evaluate_batch",
+    "repro.protocols.ablations.NaiveCountingS.closed_form_probabilities",
+    "repro.protocols.ablations.SkewedS.closed_form_probabilities",
+    "repro.protocols.deterministic.DeterministicProtocol.closed_form_probabilities",
+    "repro.protocols.message_validity.MessageValidityS.closed_form_probabilities",
+    "repro.protocols.protocol_a.ProtocolA.closed_form_probabilities",
+    "repro.protocols.protocol_s.ProtocolS.closed_form_probabilities",
+    "repro.protocols.repeated_a.RepeatedA.closed_form_probabilities",
+    "repro.protocols.variants.EagerS.closed_form_probabilities",
+    "repro.protocols.variants.GreedyS.closed_form_probabilities",
+    "repro.protocols.weak_adversary.ProtocolW.closed_form_probabilities",
+)
 
 # Under ``auto``, batches smaller than this stay on the reference path:
 # packing tensors for a handful of runs costs more than it saves.
@@ -285,7 +308,7 @@ class Engine:
             cached = self._cache_get(key)
             if cached is not None:
                 return cached
-            started = time.perf_counter()
+            started = monotonic()
             if self._wants_vectorized(protocol, topology, method, batch=1):
                 from . import vectorized
 
@@ -302,7 +325,7 @@ class Engine:
                     enumeration_limit=enumeration_limit,
                 )
                 self._reference_counter.value += 1
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic() - started
             self._wall_counter.value += elapsed
             self._latency_histogram.observe(elapsed)
             if result.method == "monte-carlo" and result.trials:
@@ -358,7 +381,7 @@ class Engine:
                     pending.append(index)
             if not pending:
                 return [result for result in results if result is not None]
-            started = time.perf_counter()
+            started = monotonic()
             if self._wants_vectorized(
                 protocol, topology, method, batch=len(pending)
             ):
@@ -388,7 +411,7 @@ class Engine:
                         self._mc_trials_counter.inc(result.trials)
                     self._cache_put(keys[index], result)
                     results[index] = result
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic() - started
             self._wall_counter.value += elapsed
             self._latency_histogram.observe(elapsed)
             return [result for result in results if result is not None]
@@ -442,7 +465,7 @@ class Engine:
             samples=samples,
             num_rounds=num_rounds,
         ):
-            started = time.perf_counter()
+            started = monotonic()
             try:
                 self._runs_counter.inc(samples)
                 self._vectorized_counter.inc(samples)
@@ -451,7 +474,7 @@ class Engine:
                     num_rounds, epsilon, loss_probability, samples, rng
                 )
             finally:
-                elapsed = time.perf_counter() - started
+                elapsed = monotonic() - started
                 self._wall_counter.value += elapsed
                 self._latency_histogram.observe(elapsed)
 
@@ -472,7 +495,7 @@ class Engine:
             samples=samples,
             num_rounds=num_rounds,
         ):
-            started = time.perf_counter()
+            started = monotonic()
             try:
                 self._runs_counter.inc(samples)
                 self._vectorized_counter.inc(samples)
@@ -481,7 +504,7 @@ class Engine:
                     num_rounds, threshold, loss_probability, samples, rng
                 )
             finally:
-                elapsed = time.perf_counter() - started
+                elapsed = monotonic() - started
                 self._wall_counter.value += elapsed
                 self._latency_histogram.observe(elapsed)
 

@@ -25,6 +25,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E10"
 TITLE = "Deterministic impossibility: validity/agreement/nontriviality trilemma"
+CLAIMS = ("Impossibility [G]",)
 
 
 def run(config: Config = Config()) -> ExperimentReport:

@@ -36,6 +36,7 @@ from .common import Config, assert_in_report, new_report
 
 EXPERIMENT_ID = "E11"
 TITLE = "Model boundary: blind adaptivity is harmless, payload reading is fatal"
+CLAIMS = ("Footnote 3",)
 
 
 def run(config: Config = Config()) -> ExperimentReport:

@@ -38,6 +38,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E12"
 TITLE = "Asynchronous extension: Theorems 6.7/6.8 over delayed-message runs"
+CLAIMS = ("Lemma 6.4", "Theorem 6.7", "Theorem 6.8", "Section 8")
 
 
 def run(config: Config = Config()) -> ExperimentReport:

@@ -27,6 +27,7 @@ from .common import Config, assert_in_report, new_report
 
 EXPERIMENT_ID = "E14"
 TITLE = "Knowledge reading: E^h(input) <=> L(R) >= h; no common knowledge ([HM])"
+CLAIMS = ("Lemma 4.2", "Theorem 5.4", "Knowledge [HM]")
 
 
 def run(config: Config = Config()) -> ExperimentReport:

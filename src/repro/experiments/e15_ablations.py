@@ -35,6 +35,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E15"
 TITLE = "Ablations: seen-set, m-level gating, and uniform rfire all matter"
+CLAIMS = ("Theorem 6.7", "Theorem 6.8")
 
 
 def run(config: Config = Config()) -> ExperimentReport:

@@ -30,6 +30,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E16"
 TITLE = "Search certification: family search == exhaustive max (all protocols)"
+CLAIMS = ("Substitution: worst-run search",)
 
 
 def _protocols(num_rounds: int):

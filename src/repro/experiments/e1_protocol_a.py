@@ -24,6 +24,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E1"
 TITLE = "Protocol A: U ~ 1/N, all-or-nothing liveness (Section 3)"
+CLAIMS = ("Section 3",)
 
 # Run spaces up to 2^(2N) runs are enumerated exhaustively (inputs held
 # at {1, 2}); beyond that the chain-cut family certifies the max.

@@ -30,6 +30,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E2"
 TITLE = "First lower bound: L(F,R) <= U_s(F) * L(R) (Theorem 5.4)"
+CLAIMS = ("Theorem 5.4",)
 
 
 def _two_general_protocols(num_rounds: int, config: Config) -> List:

@@ -22,6 +22,7 @@ from .common import (
 
 EXPERIMENT_ID = "E3"
 TITLE = "Protocol S unsafety: U_s(S) <= eps, tightly (Theorem 6.7)"
+CLAIMS = ("Theorem 6.7",)
 
 
 def run(config: Config = Config()) -> ExperimentReport:

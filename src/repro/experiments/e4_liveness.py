@@ -33,6 +33,7 @@ from .common import (
 
 EXPERIMENT_ID = "E4"
 TITLE = "Protocol S liveness: L(S,R) = min(1, eps*ML(R)) (Theorem 6.8)"
+CLAIMS = ("Lemma 6.4", "Theorem 6.8")
 
 
 def _run_battery(topology, num_rounds):

@@ -33,6 +33,7 @@ from .common import Config, assert_in_report, new_report
 
 EXPERIMENT_ID = "E5"
 TITLE = "Level measures: Lemmas 4.2, 6.1, 6.2, 6.3, 6.4 on random runs"
+CLAIMS = ("Lemma 4.2", "Lemma 6.1", "Lemma 6.2", "Lemma 6.3", "Lemma 6.4")
 
 
 def run(config: Config = Config()) -> ExperimentReport:

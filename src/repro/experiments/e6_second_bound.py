@@ -34,6 +34,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E6"
 TITLE = "Second lower bound: no protocol dominates eps*ML(R) (Theorem A.1)"
+CLAIMS = ("Theorem A.1", "Lemma A.6")
 
 
 def run(config: Config = Config()) -> ExperimentReport:

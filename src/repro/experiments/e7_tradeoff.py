@@ -15,6 +15,8 @@ most 0.001 needs on the order of 1000 rounds.  The experiment:
 
 from __future__ import annotations
 
+import math
+
 from ..adversary.search import worst_case_unsafety
 from ..analysis.bounds import (
     max_level_on_good_run,
@@ -30,6 +32,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E7"
 TITLE = "Tradeoff frontier: L/U <= N+1, achieved by A and S (Section 8)"
+CLAIMS = ("Theorem 6.7", "Theorem 6.8", "Section 8")
 
 # Below this horizon, unsafety is certified by run search; above it the
 # analytic worst case (validated at small N) is used.
@@ -132,7 +135,8 @@ def run(config: Config = Config()) -> ExperimentReport:
     paper_example = [
         row
         for row in section_8_requirements_table()
-        if row["max unsafety"] == 0.001 and row["target liveness"] == 1.0
+        if math.isclose(row["max unsafety"], 0.001)
+        and math.isclose(row["target liveness"], 1.0)
     ][0]
     assert_in_report(
         report,

@@ -31,6 +31,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E8"
 TITLE = "Weak adversary: L/U far beyond the strong-adversary ceiling (Section 8)"
+CLAIMS = ("Section 8",)
 
 
 def run(config: Config = Config()) -> ExperimentReport:

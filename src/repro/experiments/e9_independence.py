@@ -29,6 +29,7 @@ from .common import Config, assert_in_report, attach_engine_stats, new_report
 
 EXPERIMENT_ID = "E9"
 TITLE = "Causal independence => probabilistic independence (Lemmas A.2, A.3)"
+CLAIMS = ("Lemma A.2", "Lemma A.3")
 
 
 def run(config: Config = Config()) -> ExperimentReport:

@@ -8,11 +8,11 @@ them and returns the reports in order.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from ..analysis.report import ExperimentReport
+from ..obs.runtime import monotonic
 from . import (
     e1_protocol_a,
     e2_lower_bound,
@@ -38,11 +38,18 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class ExperimentEntry:
-    """A registered experiment: id, title, and runner."""
+    """A registered experiment: id, title, claims checked, and runner.
+
+    ``claims`` mirrors the module's ``CLAIMS`` declaration — the
+    registry tags (see :mod:`repro.staticcheck.claims`) this experiment
+    checks; rule RC004 and ``tests/staticcheck/test_claims.py`` keep
+    the declaration honest.
+    """
 
     experiment_id: str
     title: str
     runner: Callable[[Config], ExperimentReport]
+    claims: Tuple[str, ...] = ()
 
 
 _MODULES = (
@@ -69,6 +76,7 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         experiment_id=module.EXPERIMENT_ID,
         title=module.TITLE,
         runner=module.run,
+        claims=tuple(getattr(module, "CLAIMS", ())),
     )
     for module in _MODULES
 }
@@ -97,15 +105,18 @@ def run_experiment(
         "running %s (scale=%s, backend=%s, seed=%d)",
         key, config.scale, config.backend, config.seed,
     )
-    started = time.perf_counter()
+    entry = REGISTRY[key]
+    started = monotonic()
     with config.obs().tracer.span(
         f"experiment.{key}", scale=config.scale, backend=config.backend
     ):
-        report = REGISTRY[key].runner(config)
+        report = entry.runner(config)
+    if entry.claims:
+        report.metadata.setdefault("claims", list(entry.claims))
     logger.info(
         "%s finished in %.2fs: %s",
         key,
-        time.perf_counter() - started,
+        monotonic() - started,
         "PASS" if report.passed else "FAIL",
     )
     return report

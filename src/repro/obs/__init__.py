@@ -42,6 +42,7 @@ from .runtime import (
     LOG_LEVELS,
     Obs,
     get_obs,
+    monotonic,
     set_obs,
     setup_logging,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "Tracer",
     "get_obs",
+    "monotonic",
     "render_span_tree",
     "set_obs",
     "setup_logging",

@@ -31,6 +31,7 @@ from ..core.measures import level_profile, modified_level_profile
 from ..core.protocol import Protocol
 from ..core.randomness import Tapes
 from ..core.run import Run
+from ..core.seeding import spawn_random
 from ..core.topology import Topology
 from .tracing import Tracer
 
@@ -54,7 +55,7 @@ def trace_execution(
     if tracer is None or not tracer.enabled:
         return None
     if tapes is None:
-        tapes = protocol.tape_space(topology).sample(rng or random.Random(0))
+        tapes = protocol.tape_space(topology).sample(rng or spawn_random(0, "obs", "exec-trace"))
     execution = execute(protocol, topology, run, tapes)
     num_processes = topology.num_processes
     levels = level_profile(run, num_processes)

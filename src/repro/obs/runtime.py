@@ -19,11 +19,25 @@ from __future__ import annotations
 
 import logging
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .metrics import MetricsRegistry
 from .tracing import Tracer
+
+
+def monotonic() -> float:
+    """The repo-wide monotonic clock (seconds, arbitrary epoch).
+
+    Every duration measured outside :mod:`repro.obs` — engine wall
+    time, search timing, experiment latencies — goes through this one
+    function, so measurements are immune to wall-clock adjustments and
+    there is exactly one place to stub in tests.  The static analyzer
+    (rule RC002, see DESIGN.md section 9) bans direct ``time.*`` /
+    ``datetime.*`` calls in the evaluation layers to keep it that way.
+    """
+    return time.perf_counter()
 
 
 @dataclass

@@ -1,0 +1,66 @@
+"""repro.staticcheck — the repo-aware AST linter and correctness gate.
+
+The two bugs this repository has actually shipped and fixed —
+correlated RNG streams before :mod:`repro.core.seeding` labeled child
+seeds, and cache hits inflating wall-time metrics — are both
+*statically detectable* classes of error.  This package turns those
+lessons (and the discipline the paper's theorems demand) into
+machine-checked invariants over the source itself:
+
+* ``RC001 rng-discipline`` — all randomness flows through
+  :func:`repro.core.seeding.spawn_random` / ``spawn_generator``
+  labeled child streams; no bare ``random.Random(...)``, no
+  module-level ``random.*`` state, no ``numpy.random.default_rng``
+  outside ``core/seeding.py``;
+* ``RC002 clock-discipline`` — no wall-clock or ad-hoc timer calls in
+  ``engine/``, ``protocols/``, ``adversary/``; monotonic time comes
+  from :func:`repro.obs.runtime.monotonic` only;
+* ``RC003 float-equality`` — no ``==`` / ``!=`` against float
+  literals in ``core/``, ``analysis/``, ``experiments/``; use
+  ``math.isclose``, ``fractions.Fraction``, or an explicit tolerance;
+* ``RC004 claim-traceability`` — every ``Theorem``/``Lemma`` tag in a
+  docstring resolves against the machine-readable claims registry in
+  :mod:`repro.staticcheck.claims`, and every experiment module
+  declares which claim(s) it checks via a module-level ``CLAIMS``
+  tuple;
+* ``RC005 cache-purity`` — functions registered as engine-cacheable
+  (:data:`repro.engine.engine.CACHEABLE_QUALNAMES`) must not write
+  globals, mutate their arguments, or call RNG/clock APIs.
+
+Violations can be suppressed per line with
+``# repro: noqa[RC001] justification`` — the justification is
+mandatory, and unused suppressions are themselves reported (``RC000``).
+
+Run it as ``python -m repro lint src/ tests/`` (text or ``--format
+json``); the same gate runs in CI.  See DESIGN.md section 9.
+"""
+
+from __future__ import annotations
+
+from .base import RULES, FileContext, Rule, Violation, all_rule_ids
+from .checker import check_file, check_paths, check_source, iter_python_files
+from .claims import CLAIMS, Claim, claims_for_experiment, normalize_tag, resolve
+
+# Importing the rule modules registers them in RULES.
+from . import rc001_rng as _rc001  # noqa: F401  (registration import)
+from . import rc002_clock as _rc002  # noqa: F401
+from . import rc003_float_eq as _rc003  # noqa: F401
+from . import rc004_claims as _rc004  # noqa: F401
+from . import rc005_cache_purity as _rc005  # noqa: F401
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "FileContext",
+    "RULES",
+    "Rule",
+    "Violation",
+    "all_rule_ids",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "claims_for_experiment",
+    "iter_python_files",
+    "normalize_tag",
+    "resolve",
+]

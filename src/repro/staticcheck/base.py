@@ -1,0 +1,256 @@
+"""Shared analyzer infrastructure: violations, file contexts, rules.
+
+Everything here is stdlib-only and purely syntactic — the analyzer
+parses files with :mod:`ast` and never imports the code under check
+(the one exception is rule RC005 reading the cacheable-function
+registry out of :mod:`repro.engine.engine`, which is part of this
+package's own distribution).
+
+A :class:`FileContext` carries the *logical* path of a file — its
+repo-relative position such as ``src/repro/engine/engine.py`` — which
+is what the rules scope on.  Fixture files (which live under
+``tests/staticcheck/fixtures/`` but must exercise rules scoped to real
+packages) override their logical path with a leading
+``# repro: path=src/repro/...`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "FileContext",
+    "ImportMap",
+    "RULES",
+    "Rule",
+    "Violation",
+    "all_rule_ids",
+    "register",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class ImportMap:
+    """Resolves local names to the dotted paths they were imported from.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    Random as R`` maps ``R -> random.Random``.  Relative imports are
+    resolved against the context's own module when known, so ``from
+    ..core.seeding import spawn_random`` inside ``repro.engine.engine``
+    maps ``spawn_random -> repro.core.seeding.spawn_random``.
+    """
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        module: Optional[str] = None,
+        is_package: bool = False,
+    ) -> None:
+        self.aliases: Dict[str, str] = {}
+        base_parts: List[str] = []
+        if module is not None:
+            parts = module.split(".")
+            # The package a relative import is resolved against: the
+            # module itself for ``__init__`` files, its parent otherwise.
+            base_parts = parts if is_package else parts[:-1]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[name] = target
+            elif isinstance(node, ast.ImportFrom):
+                prefix = self._from_prefix(node, base_parts)
+                if prefix is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.aliases[name] = f"{prefix}.{alias.name}"
+
+    @staticmethod
+    def _from_prefix(
+        node: ast.ImportFrom, base_parts: List[str]
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        if not base_parts or node.level - 1 > len(base_parts):
+            return None  # relative import without a known anchor
+        anchor = base_parts[: len(base_parts) - (node.level - 1)]
+        parts = list(anchor)
+        if node.module:
+            parts.extend(node.module.split("."))
+        return ".".join(parts) if parts else None
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The dotted import path a ``Name``/``Attribute`` chain denotes.
+
+        Returns ``None`` when the chain is not rooted in an imported
+        name (e.g. a local variable's method).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: str  # path as reported in violations (what the user passed)
+    logical: str  # repo-logical posix path, e.g. "src/repro/engine/engine.py"
+    source: str
+    tree: ast.Module
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree, self.module, self.is_package)
+
+    @property
+    def in_repro(self) -> bool:
+        return self.logical.startswith("src/repro/")
+
+    @property
+    def is_package(self) -> bool:
+        return self.logical.endswith("/__init__.py")
+
+    @property
+    def module(self) -> Optional[str]:
+        """Dotted module path for files under ``src/repro``, else None."""
+        if not self.in_repro or not self.logical.endswith(".py"):
+            return None
+        rel = self.logical[len("src/") : -len(".py")]
+        parts = rel.split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    @property
+    def subpackage(self) -> Optional[str]:
+        """First package under ``repro`` ("engine", "core", ...).
+
+        The empty string for root modules like ``src/repro/cli.py``;
+        ``None`` outside the package entirely.
+        """
+        if not self.in_repro:
+            return None
+        parts = self.logical.split("/")
+        # parts = ["src", "repro", ...]; a subpackage needs a directory
+        # between "repro" and the file name.
+        return parts[2] if len(parts) >= 4 else ""
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies` implements the path scoping so ``check`` can assume
+    it only sees in-scope files.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+#: All registered rules, keyed by rule id.  RC000 (suppression hygiene)
+#: and RC999 (parse errors) are emitted by the checker itself but are
+#: listed here so ``--select`` / ``--ignore`` and ``--list-rules`` see
+#: them.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate the rule and add it to ``RULES``."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if instance.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    RULES[instance.rule_id] = instance
+    return cls
+
+
+class _SuppressionHygiene(Rule):
+    """RC000 — emitted by the checker for noqa comments that are bare,
+    unknown, unjustified, or unused.  Registered so it can be selected
+    and documented like any other rule."""
+
+    rule_id = "RC000"
+    name = "suppression-hygiene"
+    summary = (
+        "`# repro: noqa[RULE]` comments must name known rules, carry a "
+        "justification, and actually suppress something"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())  # the checker emits RC000 directly
+
+
+class _ParseError(Rule):
+    """RC999 — the file failed to parse; nothing else was checked."""
+
+    rule_id = "RC999"
+    name = "parse-error"
+    summary = "the file is not valid Python; no other rule ran"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+
+register(_SuppressionHygiene)
+register(_ParseError)
+
+
+def all_rule_ids() -> Tuple[str, ...]:
+    return tuple(sorted(RULES))

@@ -1,0 +1,269 @@
+"""Orchestration: walk files, run rules, apply per-line suppressions.
+
+Suppression syntax (per physical line)::
+
+    risky_call()  # repro: noqa[RC001] seed comes from the CLI flag
+
+* the bracket names one or more rule ids (``noqa[RC001,RC003]``);
+* the trailing text is the *justification* and is mandatory — a
+  suppression without one is itself a violation (RC000);
+* a suppression that suppresses nothing is reported as unused (RC000),
+  so stale noqa comments cannot accumulate.
+
+Fixture files override their logical path (which rules scope on) with
+a ``# repro: path=src/repro/...`` comment; the directory walker skips
+directories named ``fixtures`` precisely so those deliberately-bad
+files only get checked when named explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .base import RULES, FileContext, Violation
+
+__all__ = [
+    "check_file",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+]
+
+#: Directory names the recursive walk never descends into.  ``fixtures``
+#: holds deliberately-violating lint-test inputs; explicit file
+#: arguments bypass this list.
+SKIP_DIR_NAMES = frozenset(
+    {"__pycache__", "fixtures", ".git", ".hypothesis", "build", "dist"}
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?:\[(?P<rules>[^\]]*)\])?(?P<reason>.*)$"
+)
+_PATH_RE = re.compile(r"#\s*repro:\s*path=(?P<path>\S+)")
+
+
+@dataclass
+class _Noqa:
+    """One ``# repro: noqa[...]`` comment."""
+
+    line: int
+    column: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: Set[str] = field(default_factory=set)
+
+
+def _scan_comments(source: str) -> Tuple[Optional[str], List[_Noqa]]:
+    """Extract the path directive and noqa comments via tokenize."""
+    path_directive: Optional[str] = None
+    noqas: List[_Noqa] = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            path_match = _PATH_RE.search(token.string)
+            if path_match and path_directive is None:
+                path_directive = path_match.group("path")
+                continue
+            noqa_match = _NOQA_RE.search(token.string)
+            if noqa_match:
+                rules_text = noqa_match.group("rules")
+                rules: Tuple[str, ...] = ()
+                if rules_text is not None:
+                    rules = tuple(
+                        part.strip()
+                        for part in rules_text.split(",")
+                        if part.strip()
+                    )
+                reason = noqa_match.group("reason").strip()
+                reason = reason.lstrip("-—:– ").strip()
+                noqas.append(
+                    _Noqa(
+                        line=token.start[0],
+                        column=token.start[1] + 1,
+                        rules=rules,
+                        reason=reason,
+                    )
+                )
+    except tokenize.TokenError:
+        pass  # unterminated constructs; ast.parse already succeeded/failed
+    return path_directive, noqas
+
+
+def _logical_path(path: str) -> str:
+    """Best-effort repo-logical posix path for a real filesystem path."""
+    resolved = Path(path).resolve().as_posix()
+    parts = resolved.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "src" and index + 1 < len(parts) and parts[
+            index + 1
+        ] == "repro":
+            return "/".join(parts[index:])
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro" and parts[-1].endswith(".py"):
+            return "src/" + "/".join(parts[index:])
+        if parts[index] == "tests":
+            return "/".join(parts[index:])
+    return parts[-1]
+
+
+def _suppression_violations(
+    path: str, noqas: List[_Noqa]
+) -> Iterator[Violation]:
+    """RC000: bare / unknown / unjustified / unused suppressions."""
+    for noqa in noqas:
+        if not noqa.rules:
+            yield Violation(
+                path=path,
+                line=noqa.line,
+                column=noqa.column,
+                rule="RC000",
+                message=(
+                    "bare suppression: name the rule(s), e.g. "
+                    "`# repro: noqa[RC001] reason`"
+                ),
+            )
+            continue
+        unknown = [rule for rule in noqa.rules if rule not in RULES]
+        for rule in unknown:
+            yield Violation(
+                path=path,
+                line=noqa.line,
+                column=noqa.column,
+                rule="RC000",
+                message=f"suppression names unknown rule {rule!r}",
+            )
+        if not noqa.reason:
+            yield Violation(
+                path=path,
+                line=noqa.line,
+                column=noqa.column,
+                rule="RC000",
+                message=(
+                    "suppression missing justification: follow the "
+                    "bracket with a reason, e.g. "
+                    "`# repro: noqa[RC001] seed is user-supplied`"
+                ),
+            )
+        for rule in noqa.rules:
+            if rule in RULES and rule not in noqa.used:
+                yield Violation(
+                    path=path,
+                    line=noqa.line,
+                    column=noqa.column,
+                    rule="RC000",
+                    message=(
+                        f"unused suppression: no {rule} violation on "
+                        "this line"
+                    ),
+                )
+
+
+def check_source(
+    source: str,
+    path: str,
+    logical: Optional[str] = None,
+) -> List[Violation]:
+    """Lint one source string; returns unfiltered, sorted violations."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1),
+                rule="RC999",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    directive, noqas = _scan_comments(source)
+    ctx = FileContext(
+        path=path,
+        logical=directive or logical or _logical_path(path),
+        source=source,
+        tree=tree,
+    )
+    raw: List[Violation] = []
+    for rule in RULES.values():
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+
+    by_line: Dict[int, List[_Noqa]] = {}
+    for noqa in noqas:
+        by_line.setdefault(noqa.line, []).append(noqa)
+    kept: List[Violation] = []
+    for violation in raw:
+        suppressed = False
+        for noqa in by_line.get(violation.line, ()):
+            if violation.rule in noqa.rules:
+                noqa.used.add(violation.rule)
+                suppressed = True
+        if not suppressed:
+            kept.append(violation)
+    kept.extend(_suppression_violations(path, noqas))
+    return sorted(kept)
+
+
+def check_file(path: str) -> List[Violation]:
+    """Lint one file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return check_source(source, path)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files and directories into the .py files to check.
+
+    Directories are walked recursively, skipping :data:`SKIP_DIR_NAMES`
+    and hidden directories; explicitly named files are always included.
+    """
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if d not in SKIP_DIR_NAMES and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def check_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[List[Violation], int]:
+    """Lint files/directories; returns (violations, files_checked).
+
+    ``select`` keeps only the named rule ids; ``ignore`` drops them.
+    Raises ``FileNotFoundError`` for a path that does not exist.
+    """
+    for path in paths:
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+    selected = set(select) if select else None
+    ignored = set(ignore) if ignore else set()
+    violations: List[Violation] = []
+    files_checked = 0
+    for file_path in iter_python_files(paths):
+        files_checked += 1
+        for violation in check_file(file_path):
+            if selected is not None and violation.rule not in selected:
+                continue
+            if violation.rule in ignored:
+                continue
+            violations.append(violation)
+    return sorted(violations), files_checked

@@ -1,0 +1,278 @@
+"""The machine-readable registry of the paper's claims.
+
+Every numbered statement of Varghese & Lynch (PODC 1992) that this
+reproduction touches — plus the section-level and footnote claims the
+unnumbered experiments check — lives here as a :class:`Claim`.  Rule
+RC004 resolves the tags that appear in docstrings against this
+registry, and every experiment module declares which claims it checks
+with a module-level ``CLAIMS`` tuple of these tags; the test suite
+asserts the two directions agree (``tests/staticcheck/test_claims.py``).
+
+Tags are canonical strings such as ``"Theorem 6.7"``; shorthand forms
+found in prose (``"Thm 6.8"``, ``"Theorems 6.7/6.8"``) normalize onto
+them via :func:`normalize_tag`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "claims_for_experiment",
+    "normalize_tag",
+    "resolve",
+]
+
+#: ``kind`` values a claim may carry.
+CLAIM_KINDS = (
+    "theorem",
+    "lemma",
+    "section",
+    "footnote",
+    "background",
+    "substitution",
+)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable claim of (or about) the source paper.
+
+    ``tag`` is the canonical registry key; ``source`` locates the claim
+    in the paper (or in DESIGN.md for substitutions); ``experiments``
+    names every experiment module that declares it in ``CLAIMS``.
+    """
+
+    tag: str
+    kind: str
+    statement: str
+    source: str
+    experiments: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLAIM_KINDS:
+            raise ValueError(f"unknown claim kind {self.kind!r}")
+
+
+def _claim(
+    tag: str,
+    kind: str,
+    statement: str,
+    source: str,
+    experiments: Tuple[str, ...],
+) -> Tuple[str, Claim]:
+    return tag, Claim(tag, kind, statement, source, experiments)
+
+
+CLAIMS: Dict[str, Claim] = dict(
+    [
+        _claim(
+            "Lemma 4.2",
+            "lemma",
+            "A process's view of a run is exactly its clipped run: "
+            "Clip_i(R) determines everything process i can know.",
+            "Section 4",
+            ("E5", "E14"),
+        ),
+        _claim(
+            "Lemma 6.1",
+            "lemma",
+            "The Figure 1 count is monotone: count_i never decreases "
+            "from round to round.",
+            "Section 6",
+            ("E5",),
+        ),
+        _claim(
+            "Lemma 6.2",
+            "lemma",
+            "Counts advance at most one per round, so count spreads "
+            "grow by at most one message loss.",
+            "Section 6",
+            ("E5",),
+        ),
+        _claim(
+            "Lemma 6.3",
+            "lemma",
+            "Level and modified level differ by at most one: "
+            "ML_i(R) <= L_i(R) <= ML_i(R) + 1.",
+            "Section 6",
+            ("E5",),
+        ),
+        _claim(
+            "Lemma 6.4",
+            "lemma",
+            "Protocol S's count equals the modified level: "
+            "count_i^r = ML_i^r(R) in every run and round.",
+            "Section 6",
+            ("E4", "E5", "E12"),
+        ),
+        _claim(
+            "Theorem 5.4",
+            "theorem",
+            "First lower bound: for every validity-satisfying protocol "
+            "F and run R, L(F, R) <= U_s(F) * L(R).",
+            "Section 5",
+            ("E2", "E14"),
+        ),
+        _claim(
+            "Theorem 6.5",
+            "theorem",
+            "Protocol S satisfies validity: on input-free runs no "
+            "process attacks.",
+            "Section 6",
+            ("E13",),
+        ),
+        _claim(
+            "Theorem 6.7",
+            "theorem",
+            "Protocol S satisfies agreement with U_s(S) <= epsilon on "
+            "every graph and run.",
+            "Section 6",
+            ("E3", "E7", "E12", "E13", "E15"),
+        ),
+        _claim(
+            "Theorem 6.8",
+            "theorem",
+            "Protocol S's liveness is L(S, R) >= min(1, epsilon * "
+            "ML(R)) (equality, by uniformity of rfire).",
+            "Section 6",
+            ("E4", "E7", "E12", "E15"),
+        ),
+        _claim(
+            "Theorem A.1",
+            "theorem",
+            "Second lower bound: under the usual-case assumption no "
+            "protocol beats epsilon * ML(R) on all runs; Protocol S "
+            "is optimal.",
+            "Appendix",
+            ("E6",),
+        ),
+        _claim(
+            "Lemma A.2",
+            "lemma",
+            "Causally independent process sets decide independently: "
+            "the joint attack probability factors.",
+            "Appendix",
+            ("E9",),
+        ),
+        _claim(
+            "Lemma A.3",
+            "lemma",
+            "Independence propagates along the flows-to relation: "
+            "decisions correlate only through information flow.",
+            "Appendix",
+            ("E9",),
+        ),
+        _claim(
+            "Lemma A.6",
+            "lemma",
+            "The spanning-tree run realizes the level ceiling used by "
+            "the second lower bound.",
+            "Appendix",
+            ("E6",),
+        ),
+        _claim(
+            "Section 3",
+            "section",
+            "Protocol A: U_s(A) = 1/(N-1) with L = 1 on the good run "
+            "and L = 0 once a single packet is lost.",
+            "Section 3",
+            ("E1",),
+        ),
+        _claim(
+            "Section 8",
+            "section",
+            "Consequences: liveness 1 with error <= 0.001 needs ~1000 "
+            "rounds; the results extend to asynchronous models and "
+            "much better tradeoffs exist against weak adversaries.",
+            "Section 8",
+            ("E7", "E8", "E12"),
+        ),
+        _claim(
+            "Footnote 1",
+            "footnote",
+            "The results can be modified to fit the message-delivery "
+            "validity condition (no messages delivered => no attack).",
+            "Footnote 1",
+            ("E13",),
+        ),
+        _claim(
+            "Footnote 3",
+            "footnote",
+            "The strong adversary destroys messages but cannot read "
+            "message bits; randomization only helps against coin-blind "
+            "adversaries.",
+            "Footnote 3",
+            ("E11",),
+        ),
+        _claim(
+            "Impossibility [G]",
+            "background",
+            "No deterministic protocol satisfies validity, agreement, "
+            "and nontriviality against the strong adversary ([G], "
+            "[HM]).",
+            "Section 1 (citations [G], [HM])",
+            ("E10",),
+        ),
+        _claim(
+            "Knowledge [HM]",
+            "background",
+            "The level measure is iterated everyone-knowledge of the "
+            "input fact; common knowledge is unattainable ([HM]).",
+            "Section 4 (citation [HM])",
+            ("E14",),
+        ),
+        _claim(
+            "Substitution: worst-run search",
+            "substitution",
+            "The reproduction's structured-family worst-run search "
+            "finds the exact analytic maximum wherever exhaustive "
+            "enumeration is feasible.",
+            "DESIGN.md section 3",
+            ("E16",),
+        ),
+    ]
+)
+
+#: Shorthand keyword forms that normalize onto canonical kinds.
+_KIND_ALIASES = {
+    "thm": "Theorem",
+    "thms": "Theorem",
+    "theorem": "Theorem",
+    "theorems": "Theorem",
+    "lemma": "Lemma",
+    "lemmas": "Lemma",
+    "corollary": "Corollary",
+    "corollaries": "Corollary",
+    "proposition": "Proposition",
+    "propositions": "Proposition",
+    "claim": "Claim",
+    "claims": "Claim",
+}
+
+
+def normalize_tag(tag: str) -> str:
+    """Canonicalize a textual tag: ``"Thm 6.8"`` -> ``"Theorem 6.8"``."""
+    parts = tag.split()
+    if len(parts) != 2:
+        return tag.strip()
+    keyword = _KIND_ALIASES.get(parts[0].rstrip(".").lower())
+    if keyword is None:
+        return tag.strip()
+    return f"{keyword} {parts[1]}"
+
+
+def resolve(tag: str) -> Optional[Claim]:
+    """Look a (possibly shorthand) tag up in the registry."""
+    return CLAIMS.get(normalize_tag(tag))
+
+
+def claims_for_experiment(experiment_id: str) -> List[Claim]:
+    """Every registered claim that names this experiment id."""
+    key = experiment_id.upper()
+    return [
+        claim for claim in CLAIMS.values() if key in claim.experiments
+    ]

@@ -1,0 +1,155 @@
+"""The ``repro lint`` subcommand: text and JSON frontends.
+
+Examples::
+
+    python -m repro lint src/ tests/
+    python -m repro lint src/repro/engine/ --select RC002,RC005
+    python -m repro lint tests/staticcheck/fixtures/rc001_bad.py \
+        --format json
+    python -m repro lint --list-rules
+
+Exit codes: 0 — clean; 1 — violations found; 2 — usage error
+(unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .base import RULES, Violation, all_rule_ids
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+#: Schema version of the ``--format json`` payload.
+JSON_SCHEMA_VERSION = 1
+
+
+def _parse_rule_list(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    rules = [part.strip() for part in text.split(",") if part.strip()]
+    unknown = [rule for rule in rules if rule not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(unknown)}; known: "
+            f"{', '.join(all_rule_ids())}"
+        )
+    return rules
+
+
+def _render_text(
+    violations: Sequence[Violation], files_checked: int
+) -> str:
+    lines = [violation.render() for violation in violations]
+    summary = (
+        f"{len(violations)} violation(s) in {files_checked} file(s) checked"
+        if violations
+        else f"ok: {files_checked} file(s) checked, 0 violations"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(
+    violations: Sequence[Violation], files_checked: int
+) -> str:
+    counts: dict = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "violations": [violation.as_dict() for violation in violations],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _render_rules() -> str:
+    width = max(len(rule_id) for rule_id in RULES)
+    lines = ["Registered rules:"]
+    for rule_id in all_rule_ids():
+        rule = RULES[rule_id]
+        lines.append(f"  {rule_id:<{width}}  {rule.name}: {rule.summary}")
+    lines.append(
+        "\nSuppress per line with `# repro: noqa[RULE] justification`."
+    )
+    return "\n".join(lines)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to a parser (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint with parsed arguments; returns the exit code."""
+    from .checker import check_paths
+
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    try:
+        select = _parse_rule_list(args.select)
+        ignore = _parse_rule_list(args.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        violations, files_checked = check_paths(
+            args.paths, select=select, ignore=ignore
+        )
+    except FileNotFoundError as error:
+        print(f"error: no such path: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(_render_json(violations, files_checked))
+    else:
+        print(_render_text(violations, files_checked))
+    return 1 if violations else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

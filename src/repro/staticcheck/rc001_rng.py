@@ -1,0 +1,110 @@
+"""RC001 rng-discipline: all randomness flows through labeled streams.
+
+The repository's first shipped bug was correlated RNG streams: every
+call site seeded its own generator with the same root seed, so sweep
+points that were supposed to be independent replayed identical
+randomness.  :mod:`repro.core.seeding` fixed it with labeled child
+seeds; this rule keeps it fixed by banning, everywhere under
+``src/repro/`` except ``core/seeding.py`` itself:
+
+* bare RNG construction — ``random.Random(...)``,
+  ``random.SystemRandom(...)``, ``numpy.random.default_rng(...)``,
+  ``numpy.random.RandomState(...)``;
+* module-level RNG state — ``random.random()``, ``random.seed()``,
+  ``random.choice()`` and friends, and any ``numpy.random.*`` call
+  (the legacy global-state API).
+
+``random.Random`` remains fine as a *type annotation*; only calls are
+flagged.  Sanctioned entry points: ``spawn_seed`` / ``spawn_random`` /
+``spawn_generator`` from :mod:`repro.core.seeding`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, register
+
+#: Functions on the ``random`` module that read or seed the hidden
+#: process-global Mersenne Twister.
+_MODULE_STATE_FUNCS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+_CONSTRUCTORS = frozenset({"random.Random", "random.SystemRandom"})
+
+_ADVICE = (
+    "derive a labeled child stream via repro.core.seeding "
+    "(spawn_random / spawn_generator) instead"
+)
+
+
+@register
+class RngDiscipline(Rule):
+    rule_id = "RC001"
+    name = "rng-discipline"
+    summary = (
+        "no bare random.Random / numpy.random.default_rng or "
+        "module-level random.* state outside core/seeding.py; use "
+        "spawn_random / spawn_generator labeled streams"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_repro and ctx.logical != "src/repro/core/seeding.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.imports.resolve(node.func)
+            if name is None:
+                continue
+            if name in _CONSTRUCTORS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"bare RNG construction `{name}(...)`: {_ADVICE}",
+                )
+            elif (
+                name.startswith("random.")
+                and name.split(".", 1)[1] in _MODULE_STATE_FUNCS
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"module-level RNG state `{name}(...)` draws from "
+                    f"the hidden process-global stream: {_ADVICE}",
+                )
+            elif name.startswith("numpy.random."):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{name}(...)` bypasses the labeled seeding "
+                    f"discipline: {_ADVICE}",
+                )

@@ -1,0 +1,51 @@
+"""RC002 clock-discipline: evaluation layers use one monotonic clock.
+
+The repository's second shipped bug was cache hits inflating
+wall-time metrics — timing code sprinkled through the evaluation path
+measured the wrong thing.  The fix centralized duration measurement on
+the monotonic clock the observability layer owns; this rule keeps
+``engine/``, ``protocols/``, and ``adversary/`` free of direct
+``time.*`` / ``datetime.*`` calls so every duration and timestamp
+flows through :func:`repro.obs.runtime.monotonic` (and stays immune
+to wall-clock adjustments, cache hits, and replay).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, register
+
+#: Subpackages of ``repro`` the rule scopes to.
+SCOPED_SUBPACKAGES = frozenset({"engine", "protocols", "adversary"})
+
+
+@register
+class ClockDiscipline(Rule):
+    rule_id = "RC002"
+    name = "clock-discipline"
+    summary = (
+        "no time.*/datetime.* calls in engine/, protocols/, "
+        "adversary/; use repro.obs.runtime.monotonic()"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.subpackage in SCOPED_SUBPACKAGES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.imports.resolve(node.func)
+            if name is None:
+                continue
+            if name.startswith("time.") or name.startswith("datetime."):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct clock call `{name}(...)` in an evaluation "
+                    "layer: route timing through "
+                    "repro.obs.runtime.monotonic() so durations stay "
+                    "monotonic and cache-hit-free",
+                )

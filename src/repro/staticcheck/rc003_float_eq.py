@@ -1,0 +1,65 @@
+"""RC003 float-equality: probabilities never compare with ``==``.
+
+The quantities ``core/``, ``analysis/``, and ``experiments/`` pass
+around are probabilities and expectations — floats produced by sums
+and products whose exact bit patterns are representation accidents.
+``x == 1.0`` silently couples a claim check to those accidents; the
+paper-faithful comparisons are ``math.isclose`` with an explicit
+tolerance, or exact ``fractions.Fraction`` arithmetic.
+
+Detection is syntactic and conservative: an ``==`` / ``!=``
+comparison is flagged when either operand is a float *literal* (the
+pattern both shipped instances had).  Comparisons against integers or
+strings are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, register
+
+#: Subpackages of ``repro`` the rule scopes to.
+SCOPED_SUBPACKAGES = frozenset({"core", "analysis", "experiments"})
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEquality(Rule):
+    rule_id = "RC003"
+    name = "float-equality"
+    summary = (
+        "no ==/!= against float literals in core/, analysis/, "
+        "experiments/; use math.isclose, Fraction, or an explicit "
+        "tolerance"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.subpackage in SCOPED_SUBPACKAGES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "exact float comparison against a literal: use "
+                        "math.isclose(..., rel_tol=..., abs_tol=...), "
+                        "fractions.Fraction, or an explicit tolerance",
+                    )
+                    break  # one violation per comparison expression

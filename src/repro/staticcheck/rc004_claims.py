@@ -1,0 +1,177 @@
+"""RC004 claim-traceability: theorem tags resolve, experiments declare.
+
+A reproduction is only as credible as the mapping between its code and
+the paper's claims.  This rule enforces that mapping in both
+directions:
+
+* every ``Theorem`` / ``Thm`` / ``Lemma`` / ``Corollary`` /
+  ``Proposition`` tag appearing in a docstring under ``src/repro/``
+  must resolve against the registry in
+  :mod:`repro.staticcheck.claims` — a tag that resolves nowhere is
+  either a typo or an unregistered claim, and both are traceability
+  bugs;
+* every experiment module (``experiments/e<N>_*.py``) must declare the
+  claim(s) it checks with a module-level literal
+  ``CLAIMS = ("Theorem 6.7", ...)`` whose entries all resolve.
+
+The registry side of the link (each claim lists the experiments that
+declare it) is enforced by ``tests/staticcheck/test_claims.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from .base import FileContext, Rule, Violation, register
+from .claims import normalize_tag, resolve
+
+_NUMBER = r"[0-9A-Z]+(?:\.[0-9]+)+"
+_TAG_RE = re.compile(
+    r"\b(?P<kind>Theorems?|Thms?\.?|Lemmas?|Corollar(?:y|ies)|"
+    r"Propositions?)\s+"
+    rf"(?P<numbers>{_NUMBER}(?:\s*(?:,|/|and|&)\s*{_NUMBER})*)"
+)
+_NUMBER_RE = re.compile(_NUMBER)
+_EXPERIMENT_FILE_RE = re.compile(r"e\d+_\w+\.py$")
+
+
+def _docstring_nodes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, ast.Constant]]:
+    """(owner, docstring-constant) pairs for module/class/function docs."""
+    for node in ast.walk(tree):
+        if not isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            yield node, body[0].value
+
+
+def _find_claims_assignment(
+    tree: ast.Module,
+) -> Tuple[Optional[ast.stmt], Optional[List[object]]]:
+    """The module-level ``CLAIMS = (...)`` statement and its values.
+
+    Returns ``(None, None)`` when absent and ``(stmt, None)`` when
+    present but not a literal tuple/list of strings.
+    """
+    for stmt in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == "CLAIMS"):
+            continue
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return stmt, None
+        tags: List[object] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                tags.append(element.value)
+            else:
+                return stmt, None
+        return stmt, tags
+    return None, None
+
+
+@register
+class ClaimTraceability(Rule):
+    rule_id = "RC004"
+    name = "claim-traceability"
+    summary = (
+        "docstring Theorem/Lemma tags must resolve against the claims "
+        "registry; experiment modules must declare CLAIMS = (...)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_repro
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_docstring_tags(ctx)
+        basename = ctx.logical.rsplit("/", 1)[-1]
+        if ctx.logical.startswith(
+            "src/repro/experiments/"
+        ) and _EXPERIMENT_FILE_RE.fullmatch(basename):
+            yield from self._check_experiment_declaration(ctx)
+
+    def _check_docstring_tags(
+        self, ctx: FileContext
+    ) -> Iterator[Violation]:
+        for _, doc in _docstring_nodes(ctx.tree):
+            text = doc.value
+            assert isinstance(text, str)
+            for match in _TAG_RE.finditer(text):
+                kind_keyword = match.group("kind")
+                line = doc.lineno + text[: match.start()].count("\n")
+                for number in _NUMBER_RE.findall(match.group("numbers")):
+                    tag = normalize_tag(f"{kind_keyword} {number}")
+                    if resolve(tag) is None:
+                        yield Violation(
+                            path=ctx.path,
+                            line=line,
+                            column=1,
+                            rule=self.rule_id,
+                            message=(
+                                f"docstring tag {tag!r} does not resolve "
+                                "against the claims registry "
+                                "(repro.staticcheck.claims); register "
+                                "the claim or fix the tag"
+                            ),
+                        )
+
+    def _check_experiment_declaration(
+        self, ctx: FileContext
+    ) -> Iterator[Violation]:
+        stmt, tags = _find_claims_assignment(ctx.tree)
+        if stmt is None:
+            yield Violation(
+                path=ctx.path,
+                line=1,
+                column=1,
+                rule=self.rule_id,
+                message=(
+                    "experiment module does not declare the claim(s) it "
+                    "checks: add a module-level "
+                    'CLAIMS = ("Theorem 6.7", ...) naming registry tags'
+                ),
+            )
+            return
+        if tags is None:
+            yield self.violation(
+                ctx,
+                stmt,
+                "CLAIMS must be a literal tuple/list of claim-tag "
+                "strings (RC004 reads it statically)",
+            )
+            return
+        if not tags:
+            yield self.violation(
+                ctx,
+                stmt,
+                "CLAIMS is empty: an experiment must check at least "
+                "one registered claim",
+            )
+            return
+        for tag in tags:
+            assert isinstance(tag, str)
+            if resolve(tag) is None:
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"CLAIMS entry {tag!r} does not resolve against "
+                    "the claims registry (repro.staticcheck.claims)",
+                )

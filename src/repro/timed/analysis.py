@@ -23,6 +23,7 @@ import random
 from typing import Dict, Optional
 
 from ..core.events import OutcomeCounts
+from ..core.seeding import spawn_random
 from ..core.probability import EventProbabilities
 from ..core.topology import Topology
 from ..core.types import ProcessId
@@ -67,7 +68,7 @@ def timed_monte_carlo(
     if trials < 1:
         raise ValueError("trials must be positive")
     if rng is None:
-        rng = random.Random(0)
+        rng = spawn_random(0, "timed", "monte-carlo")
     space = protocol.tape_space(topology)
     counts = OutcomeCounts(topology.num_processes)
     for _ in range(trials):

@@ -1,0 +1,6 @@
+# repro: path=src/repro/analysis/fixture_hygiene.py
+"""Fixture: suppressions that suppress nothing are themselves flagged."""
+
+
+def clean():
+    return 1 + 1  # repro: noqa[RC001] nothing here actually violates

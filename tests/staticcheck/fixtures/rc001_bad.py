@@ -1,0 +1,14 @@
+# repro: path=src/repro/analysis/fixture_rng.py
+"""Fixture: every banned way of obtaining randomness."""
+
+import random
+
+import numpy
+
+
+def sample():
+    a = random.random()
+    rng = random.Random(0)
+    gen = numpy.random.default_rng(1)
+    random.seed(42)
+    return a, rng, gen

@@ -1,0 +1,10 @@
+# repro: path=src/repro/analysis/fixture_rng.py
+"""Fixture: labeled child streams are the sanctioned source."""
+
+from repro.core.seeding import spawn_generator, spawn_random
+
+
+def sample(seed):
+    rng = spawn_random(seed, "fixture", "sample")
+    gen = spawn_generator(seed, "fixture", "sample")
+    return rng.random(), gen

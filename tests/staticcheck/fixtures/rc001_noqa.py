@@ -1,0 +1,8 @@
+# repro: path=src/repro/analysis/fixture_rng.py
+"""Fixture: a justified suppression silences RC001."""
+
+import random
+
+
+def legacy_stream():
+    return random.Random(0)  # repro: noqa[RC001] fixture exercises noqa

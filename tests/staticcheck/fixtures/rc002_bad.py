@@ -1,0 +1,11 @@
+# repro: path=src/repro/engine/fixture_clock.py
+"""Fixture: wall clocks in the evaluation layers."""
+
+import datetime
+import time
+
+
+def stamp():
+    started = time.time()
+    now = datetime.datetime.now()
+    return started, now

@@ -1,0 +1,10 @@
+# repro: path=src/repro/engine/fixture_clock.py
+"""Fixture: durations via the repo-wide monotonic clock."""
+
+from repro.obs.runtime import monotonic
+
+
+def timed(work):
+    started = monotonic()
+    result = work()
+    return result, monotonic() - started

@@ -1,0 +1,10 @@
+# repro: path=src/repro/core/fixture_float.py
+"""Fixture: exact comparisons against float literals."""
+
+
+def classify(probability):
+    if probability == 1.0:
+        return "certain"
+    if probability != 0.5:
+        return "biased"
+    return "fair"

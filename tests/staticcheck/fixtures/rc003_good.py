@@ -1,0 +1,12 @@
+# repro: path=src/repro/core/fixture_float.py
+"""Fixture: tolerant comparisons pass."""
+
+import math
+
+
+def classify(probability):
+    if math.isclose(probability, 1.0, rel_tol=0, abs_tol=1e-12):
+        return "certain"
+    if abs(probability - 0.5) > 1e-9:
+        return "biased"
+    return "fair"

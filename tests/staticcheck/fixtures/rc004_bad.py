@@ -1,0 +1,9 @@
+# repro: path=src/repro/experiments/e99_fixture.py
+"""Fixture experiment citing Theorem 9.9, which the registry lacks."""
+
+EXPERIMENT_ID = "E99"
+TITLE = "Fixture experiment with an unresolvable tag and no CLAIMS"
+
+
+def run():
+    return None

@@ -1,0 +1,10 @@
+# repro: path=src/repro/experiments/e98_fixture.py
+"""Fixture experiment checking Theorem 6.7 with a proper declaration."""
+
+EXPERIMENT_ID = "E98"
+TITLE = "Fixture experiment with a resolving declaration"
+CLAIMS = ("Theorem 6.7",)
+
+
+def run():
+    return None

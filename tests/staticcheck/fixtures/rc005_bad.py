@@ -1,0 +1,14 @@
+# repro: path=src/repro/core/probability.py
+"""Fixture impersonating the cacheable module with an impure body."""
+
+import random
+
+_CALLS = 0
+
+
+def exact_probabilities(protocol, topology, run, counts):
+    global _CALLS
+    _CALLS += 1
+    counts.append(random.random())
+    counts["last"] = _CALLS
+    return counts

@@ -1,0 +1,8 @@
+# repro: path=src/repro/core/probability.py
+"""Fixture impersonating the cacheable module with a pure body."""
+
+
+def exact_probabilities(protocol, topology, run, counts):
+    total = sum(counts)
+    scaled = [value / total for value in counts]
+    return tuple(scaled)

@@ -1,0 +1,78 @@
+"""The claims registry and the experiment modules must agree.
+
+RC004 only checks that declared tags resolve; the bidirectional link —
+every ``CLAIMS`` entry is listed back by the registry, and every
+experiment a claim names declares that claim — lives here, where both
+sides can be imported.
+"""
+
+import re
+
+from repro.experiments.registry import REGISTRY, experiment_ids
+from repro.staticcheck.claims import (
+    CLAIM_KINDS,
+    CLAIMS,
+    claims_for_experiment,
+    normalize_tag,
+    resolve,
+)
+
+EXPERIMENT_ID_RE = re.compile(r"^E\d+$")
+
+
+def test_registry_is_well_formed():
+    for tag, claim in CLAIMS.items():
+        assert claim.tag == tag
+        assert claim.kind in CLAIM_KINDS
+        assert claim.statement and claim.source
+        assert normalize_tag(tag) == tag, f"{tag!r} is not canonical"
+        for experiment_id in claim.experiments:
+            assert EXPERIMENT_ID_RE.fullmatch(experiment_id), (
+                f"{tag!r} names malformed experiment {experiment_id!r}"
+            )
+
+
+def test_every_claim_names_registered_experiments():
+    known = set(experiment_ids())
+    for claim in CLAIMS.values():
+        assert claim.experiments, f"{claim.tag!r} is checked by nothing"
+        missing = set(claim.experiments) - known
+        assert not missing, f"{claim.tag!r} names unknown experiments {missing}"
+
+
+def test_every_experiment_declares_resolving_claims():
+    for experiment_id, entry in REGISTRY.items():
+        assert entry.claims, f"{experiment_id} declares no claims"
+        for tag in entry.claims:
+            claim = resolve(tag)
+            assert claim is not None, (
+                f"{experiment_id} declares unresolvable claim {tag!r}"
+            )
+            assert experiment_id in claim.experiments, (
+                f"{experiment_id} declares {tag!r}, but the registry does "
+                f"not list {experiment_id} back"
+            )
+
+
+def test_registry_experiments_declare_their_claims():
+    for claim in CLAIMS.values():
+        for experiment_id in claim.experiments:
+            declared = REGISTRY[experiment_id].claims
+            assert claim.tag in declared, (
+                f"{claim.tag!r} lists {experiment_id}, but that module's "
+                f"CLAIMS is {declared}"
+            )
+
+
+def test_claims_for_experiment_inverts_the_mapping():
+    for experiment_id, entry in REGISTRY.items():
+        tags = sorted(c.tag for c in claims_for_experiment(experiment_id))
+        assert tags == sorted(entry.claims)
+
+
+def test_shorthand_tags_normalize():
+    assert normalize_tag("Thm 6.8") == "Theorem 6.8"
+    assert normalize_tag("Thms. 6.7") == "Theorem 6.7"
+    assert normalize_tag("lemmas 6.4") == "Lemma 6.4"
+    assert resolve("Thm 6.7") is CLAIMS["Theorem 6.7"]
+    assert resolve("Theorem 9.9") is None

@@ -1,0 +1,79 @@
+"""End-to-end checks of ``python -m repro lint`` as a subprocess."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_lint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+
+
+def test_clean_tree_exits_zero():
+    result = run_lint("src", "tests", "--format", "json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["schema_version"] == 1
+    assert payload["violations"] == []
+    assert payload["files_checked"] > 80
+
+
+def test_bad_fixture_exits_one_with_json_diagnostics():
+    fixture = FIXTURES / "rc003_bad.py"
+    result = run_lint(str(fixture), "--format", "json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["counts"] == {"RC003": 2}
+    lines = [v["line"] for v in payload["violations"]]
+    assert lines == [6, 8]
+    for violation in payload["violations"]:
+        assert violation["rule"] == "RC003"
+        assert violation["path"].endswith("rc003_bad.py")
+
+
+def test_text_output_renders_summary_line():
+    result = run_lint(str(FIXTURES / "rc002_bad.py"))
+    assert result.returncode == 1
+    assert "RC002" in result.stdout
+    assert "2 violation(s) in 1 file(s) checked" in result.stdout
+
+
+def test_select_limits_to_named_rules():
+    result = run_lint(
+        str(FIXTURES / "rc005_bad.py"), "--select", "RC001", "--format", "json"
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert set(payload["counts"]) == {"RC001"}
+
+
+def test_unknown_rule_is_a_usage_error():
+    result = run_lint("src", "--select", "RC777")
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr
+
+
+def test_missing_path_is_a_usage_error():
+    result = run_lint("no/such/dir")
+    assert result.returncode == 2
+    assert "no such path" in result.stderr
+
+
+def test_list_rules_mentions_every_rule():
+    result = run_lint("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("RC000", "RC001", "RC002", "RC003", "RC004", "RC005"):
+        assert rule_id in result.stdout

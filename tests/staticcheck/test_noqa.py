@@ -1,0 +1,62 @@
+"""Suppression semantics: justified noqa silences, sloppy noqa trips."""
+
+from pathlib import Path
+
+from repro.staticcheck import check_file, check_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+PATH_DIRECTIVE = "# repro: path=src/repro/analysis/fixture_noqa.py\n"
+
+
+def check(source):
+    return check_source(PATH_DIRECTIVE + source, "fixture_noqa.py")
+
+
+def test_justified_noqa_suppresses():
+    assert check_file(str(FIXTURES / "rc001_noqa.py")) == []
+
+
+def test_unused_noqa_is_flagged():
+    violations = check_file(str(FIXTURES / "rc000_unused_noqa.py"))
+    assert [v.rule for v in violations] == ["RC000"]
+    assert "unused suppression" in violations[0].message
+
+
+def test_bare_noqa_requires_rule_list():
+    violations = check(
+        "import random\nrng = random.Random(0)  # repro: noqa reasons\n"
+    )
+    rules = [v.rule for v in violations]
+    assert "RC000" in rules
+    assert "RC001" in rules, "a bare noqa must not suppress anything"
+
+
+def test_noqa_requires_justification():
+    violations = check(
+        "import random\nrng = random.Random(0)  # repro: noqa[RC001]\n"
+    )
+    rules = [v.rule for v in violations]
+    assert "RC000" in rules, "missing justification must be flagged"
+    assert "RC001" not in rules, "the suppression itself still applies"
+
+
+def test_unknown_rule_in_noqa_is_flagged():
+    violations = check("x = 1  # repro: noqa[RC777] not a rule\n")
+    assert [v.rule for v in violations] == ["RC000"]
+    assert "RC777" in violations[0].message
+
+
+def test_noqa_only_covers_its_own_line():
+    violations = check(
+        "import random\n"
+        "a = random.Random(0)  # repro: noqa[RC001] this line only\n"
+        "b = random.Random(1)\n"
+    )
+    assert [v.rule for v in violations] == ["RC001"]
+    assert violations[0].line == 4
+
+
+def test_parse_error_reports_rc999():
+    violations = check_source("def broken(:\n", "broken.py")
+    assert [v.rule for v in violations] == ["RC999"]

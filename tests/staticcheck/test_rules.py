@@ -1,0 +1,86 @@
+"""Per-rule fixture checks: each bad fixture trips exactly its rule.
+
+Fixtures live under ``fixtures/`` (a directory the walker skips, so
+``repro lint tests/`` stays clean) and pin their logical location with
+a ``# repro: path=...`` directive, which is how they enter the rules'
+path scopes from outside ``src/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import check_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lines_for(rule_id, violations):
+    return [v.line for v in violations if v.rule == rule_id]
+
+
+def check_fixture(name):
+    return check_file(str(FIXTURES / name))
+
+
+@pytest.mark.parametrize(
+    "name, rule_id, lines",
+    [
+        ("rc001_bad.py", "RC001", [10, 11, 12, 13]),
+        ("rc002_bad.py", "RC002", [9, 10]),
+        ("rc003_bad.py", "RC003", [6, 8]),
+        ("rc004_bad.py", "RC004", [1, 2]),
+        ("rc005_bad.py", "RC005", [10, 12, 12, 13]),
+    ],
+)
+def test_bad_fixture_trips_rule(name, rule_id, lines):
+    violations = check_fixture(name)
+    assert lines_for(rule_id, violations) == lines
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "rc001_good.py",
+        "rc002_good.py",
+        "rc003_good.py",
+        "rc004_good.py",
+        "rc005_good.py",
+    ],
+)
+def test_good_fixture_is_clean(name):
+    assert check_fixture(name) == []
+
+
+def test_violations_carry_positions_and_messages():
+    violations = check_fixture("rc001_bad.py")
+    assert violations, "expected RC001 violations"
+    for violation in violations:
+        assert violation.rule == "RC001"
+        assert violation.line > 0 and violation.column > 0
+        assert "spawn_random" in violation.message
+        rendered = violation.render()
+        assert rendered.startswith(
+            f"{violation.path}:{violation.line}:{violation.column}: RC001"
+        )
+
+
+def test_rc005_flags_global_rng_and_mutation():
+    messages = [
+        v.message for v in check_fixture("rc005_bad.py") if v.rule == "RC005"
+    ]
+    assert any("global _CALLS" in m for m in messages)
+    assert any("random.random" in m for m in messages)
+    assert any(".append" in m for m in messages)
+    assert any("writes through parameter" in m for m in messages)
+
+
+def test_select_and_ignore_filter_rules():
+    from repro.staticcheck import check_paths
+
+    path = str(FIXTURES / "rc005_bad.py")
+    only_rc005, _ = check_paths([path], select=["RC005"])
+    assert {v.rule for v in only_rc005} == {"RC005"}
+    without_rc005, _ = check_paths([path], ignore=["RC005"])
+    assert "RC005" not in {v.rule for v in without_rc005}
+    assert "RC001" in {v.rule for v in without_rc005}
