@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint bench experiments experiments-full artifacts examples clean
+.PHONY: install test lint bench serve bench-serve experiments experiments-full artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -21,6 +21,14 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+serve:
+	python -m repro serve
+
+bench-serve:
+	python -m repro bench-serve
+	python scripts/validate_obs_artifacts.py \
+	    --bench-serve benchmarks/results/BENCH_serve.json
 
 experiments:
 	python -m repro experiments --all --scale quick

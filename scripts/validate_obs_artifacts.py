@@ -7,11 +7,13 @@ Usage::
         --metrics metrics.json
 
 Checks the ``--trace`` JSONL export (meta line, span records,
-parent/child consistency) and the ``--metrics`` JSON export
+parent/child consistency), the ``--metrics`` JSON export
 (schema_version, per-metric shape, histogram bucket invariants) as
-documented in DESIGN.md §8.  Exits non-zero with a message per
-violation — CI runs this against the artifacts it uploads so schema
-drift fails the build instead of silently shipping.
+documented in DESIGN.md §8, and the ``--bench-serve`` artifact
+(schema_version 2, provenance stamps, latency percentiles, embedded
+metrics snapshot) from DESIGN.md §10.  Exits non-zero with a message
+per violation — CI runs this against the artifacts it uploads so
+schema drift fails the build instead of silently shipping.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import sys
 
 TRACE_SCHEMA_VERSION = 1
 METRICS_SCHEMA_VERSION = 1
+BENCH_SERVE_SCHEMA_VERSION = 2
 
 
 def _fail(errors, message):
@@ -100,6 +103,11 @@ def validate_metrics(path: str, errors: list) -> int:
     if not isinstance(metrics, dict) or not metrics:
         _fail(errors, f"{path}: missing or empty 'metrics' mapping")
         return 0
+    return _validate_metric_entries(path, metrics, errors)
+
+
+def _validate_metric_entries(path: str, metrics: dict, errors: list) -> int:
+    """Per-metric shape checks shared by --metrics and --bench-serve."""
     for name, snap in sorted(metrics.items()):
         kind = snap.get("type")
         if kind in ("counter", "gauge"):
@@ -132,11 +140,87 @@ def validate_metrics(path: str, errors: list) -> int:
     return len(metrics)
 
 
+def validate_bench_serve(path: str, errors: list) -> int:
+    """Validate a BENCH_serve.json artifact; returns the request count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema_version") != BENCH_SERVE_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"{path}: schema_version {payload.get('schema_version')!r}, "
+            f"expected {BENCH_SERVE_SCHEMA_VERSION}",
+        )
+    if payload.get("benchmark") != "serve":
+        _fail(errors, f"{path}: benchmark {payload.get('benchmark')!r}")
+    stamp = payload.get("generated_at_utc")
+    if not isinstance(stamp, str) or "T" not in stamp:
+        _fail(errors, f"{path}: missing/malformed generated_at_utc")
+    sha = payload.get("git_sha")
+    if sha is not None and not (
+        isinstance(sha, str) and len(sha) == 40
+    ):
+        _fail(errors, f"{path}: malformed git_sha {sha!r}")
+    counts = {}
+    for field in (
+        "requests_total",
+        "requests_ok",
+        "requests_rejected",
+        "requests_failed",
+    ):
+        value = payload.get(field)
+        if not isinstance(value, int) or value < 0:
+            _fail(errors, f"{path}: {field} must be a non-negative integer")
+            value = 0
+        counts[field] = value
+    if counts["requests_total"] != (
+        counts["requests_ok"]
+        + counts["requests_rejected"]
+        + counts["requests_failed"]
+    ):
+        _fail(errors, f"{path}: request counts do not sum to requests_total")
+    for field in ("duration_seconds", "throughput_rps"):
+        if not isinstance(payload.get(field), (int, float)):
+            _fail(errors, f"{path}: missing numeric {field}")
+    latency = payload.get("latency_seconds")
+    if not isinstance(latency, dict):
+        _fail(errors, f"{path}: missing 'latency_seconds' mapping")
+    else:
+        for key in ("min", "max", "mean", "p50", "p95", "p99"):
+            if not isinstance(latency.get(key), (int, float)):
+                _fail(errors, f"{path}: latency_seconds missing {key!r}")
+        quantiles = [latency.get(k) for k in ("p50", "p95", "p99", "max")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if sorted(quantiles) != quantiles:
+                _fail(
+                    errors,
+                    f"{path}: latency percentiles are not monotone",
+                )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        _fail(errors, f"{path}: missing or empty embedded 'metrics'")
+    else:
+        _validate_metric_entries(path, metrics, errors)
+        batch = metrics.get("service.batch.size", {})
+        if not isinstance(batch.get("max"), (int, float)):
+            _fail(
+                errors,
+                f"{path}: metrics missing service.batch.size (the "
+                "coalescing evidence)",
+            )
+    return counts["requests_total"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default=None, help="trace JSONL to check")
     parser.add_argument(
         "--metrics", default=None, help="metrics JSON to check"
+    )
+    parser.add_argument(
+        "--bench-serve",
+        default=None,
+        metavar="PATH",
+        help="BENCH_serve.json artifact to check",
     )
     parser.add_argument(
         "--expect-metric",
@@ -146,8 +230,11 @@ def main(argv=None) -> int:
         help="require this metric name to be present (repeatable)",
     )
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("nothing to validate: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.bench_serve:
+        parser.error(
+            "nothing to validate: pass --trace, --metrics, and/or "
+            "--bench-serve"
+        )
     errors: list = []
     if args.trace:
         spans = validate_trace(args.trace, errors)
@@ -161,6 +248,9 @@ def main(argv=None) -> int:
             for name in args.expect_metric:
                 if name not in present:
                     _fail(errors, f"{args.metrics}: missing metric {name!r}")
+    if args.bench_serve:
+        requests = validate_bench_serve(args.bench_serve, errors)
+        print(f"{args.bench_serve}: {requests} requests")
     for message in errors:
         print(f"ERROR: {message}", file=sys.stderr)
     if errors:

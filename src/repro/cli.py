@@ -9,7 +9,11 @@ Subcommands:
 * ``experiments`` — delegate to the experiment runner (same as
   ``python -m repro.experiments``);
 * ``profile`` — run one experiment with tracing and metrics enabled
-  and print the span tree plus a metrics snapshot.
+  and print the span tree plus a metrics snapshot;
+* ``serve`` — run the asyncio evaluation server (JSON endpoints,
+  micro-batching, bounded admission queue; see DESIGN.md section 10);
+* ``bench-serve`` — drive a server with the load generator and write
+  the ``BENCH_serve.json`` latency/throughput artifact.
 
 Observability flags (see DESIGN.md section 8): every evaluating
 subcommand takes ``--backend`` / ``--engine-stats`` plus ``--trace
@@ -421,6 +425,96 @@ def _cmd_profile(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceConfig
+    from .service.server import serve as serve_async
+
+    if args.log_level:
+        setup_logging(args.log_level)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+        debug=args.debug_endpoints,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+    )
+    obs = Obs(
+        metrics=MetricsRegistry(),
+        tracer=Tracer(enabled=args.trace is not None),
+    )
+    set_obs(obs)
+    try:
+        asyncio.run(serve_async(config, obs=obs))
+    except KeyboardInterrupt:
+        pass  # SIGINT before the loop installed its handler
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from .service import LoadgenOptions, ServiceConfig
+    from .service.loadgen import run_bench
+
+    options = LoadgenOptions(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rounds=args.rounds,
+        protocol=args.protocol,
+        spread=args.spread,
+        seed=args.seed,
+    )
+    server_config = None
+    if args.host is None or args.port is None:
+        server_config = ServiceConfig(
+            port=0,
+            backend=args.backend,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_limit=args.queue_limit,
+            seed=args.seed,
+        )
+    payload = run_bench(
+        options,
+        host=args.host,
+        port=args.port,
+        output=args.output,
+        server_config=server_config,
+    )
+    latency = payload["latency_seconds"]
+    table = Table(
+        title="Serving benchmark",
+        columns=["quantity", "value"],
+        caption=f"target: {payload['target']}",
+    )
+    table.add_row("requests (ok/rejected/failed)", "{}/{}/{}".format(
+        payload["requests_ok"],
+        payload["requests_rejected"],
+        payload["requests_failed"],
+    ))
+    table.add_row("duration (s)", payload["duration_seconds"])
+    table.add_row("throughput (req/s)", payload["throughput_rps"])
+    for name in ("p50", "p95", "p99", "mean", "max"):
+        if name in latency:
+            table.add_row(f"latency {name} (s)", latency[name])
+    batch = payload["metrics"].get("service.batch.size", {})
+    if batch:
+        table.add_row("max coalesced batch", batch.get("max"))
+    print(table.render())
+    if args.output:
+        print(f"artifact written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -568,6 +662,101 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flags(profile)
     add_obs_flags(profile)
     profile.set_defaults(handler=_cmd_profile)
+
+    def add_service_knobs(sub):
+        sub.add_argument(
+            "--backend", choices=list(BACKENDS), default="auto"
+        )
+        sub.add_argument(
+            "--max-batch",
+            type=int,
+            default=32,
+            help="micro-batcher: flush once this many requests coalesce",
+        )
+        sub.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=2.0,
+            help="micro-batcher: batch-collection window in milliseconds",
+        )
+        sub.add_argument(
+            "--queue-limit",
+            type=int,
+            default=64,
+            help="admission queue bound (overflow answers 429)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help=(
+                "process-pool workers for Monte-Carlo/experiment "
+                "requests (0 = inline thread)"
+            ),
+        )
+        sub.add_argument("--seed", type=int, default=0)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio evaluation server (see DESIGN.md section 10)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port (0 picks a free one and prints it)",
+    )
+    add_service_knobs(serve_parser)
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        help="per-request deadline (expiry answers 504)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve_parser.add_argument(
+        "--debug-endpoints",
+        action="store_true",
+        help="enable the /v1/_sleep test hook (never in production)",
+    )
+    add_obs_flags(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help=(
+            "load-test a server and write the BENCH_serve.json artifact "
+            "(self-contained unless --host/--port target a live one)"
+        ),
+    )
+    bench_serve.add_argument(
+        "--host", default=None, help="target a running server"
+    )
+    bench_serve.add_argument("--port", type=int, default=None)
+    bench_serve.add_argument("--requests", type=int, default=200)
+    bench_serve.add_argument("--concurrency", type=int, default=16)
+    bench_serve.add_argument("--rounds", type=int, default=8)
+    bench_serve.add_argument(
+        "--protocol", default="S:0.25", help="evaluated protocol spec"
+    )
+    bench_serve.add_argument(
+        "--spread",
+        action="store_true",
+        help="vary the protocol per request (defeats coalescing)",
+    )
+    add_service_knobs(bench_serve)
+    bench_serve.add_argument(
+        "--output",
+        default="benchmarks/results/BENCH_serve.json",
+        help="artifact path (empty string skips writing)",
+    )
+    bench_serve.set_defaults(handler=_cmd_bench_serve)
 
     lint = subparsers.add_parser(
         "lint",

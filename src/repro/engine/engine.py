@@ -197,18 +197,45 @@ class Engine:
 
     # -- cache ---------------------------------------------------------
 
-    def _cache_key(
+    def cache_key(
         self,
         protocol: Protocol,
         topology: Topology,
         run: Run,
-        method: str,
-        trials: int,
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
     ) -> Optional[tuple]:
+        """The memo-cache key for one evaluation, or None if unhashable.
+
+        Public because callers that sit *in front of* the engine — the
+        service tier's micro-batcher, most notably — need to know
+        whether two requests would land on the same cache line (and
+        therefore dedupe/coalesce) without evaluating anything.
+        """
         try:
             return (hash(protocol), protocol, topology, run, method, trials)
         except TypeError:
             return None  # unhashable protocol: skip memoization
+
+    def batch_key(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
+    ) -> Optional[tuple]:
+        """The batch-submission key: the run-independent cache-key prefix.
+
+        Two scalar evaluations whose batch keys are equal (and not
+        None) may be coalesced into a single :meth:`evaluate_many`
+        call without changing any result — they share the protocol,
+        topology, method, and trial count, so only their runs differ.
+        This is the grouping hook the service micro-batcher uses.
+        """
+        try:
+            return (hash(protocol), protocol, topology, method, trials)
+        except TypeError:
+            return None  # unhashable protocol: never coalesce
 
     def _cache_get(self, key: Optional[tuple]) -> Optional[EventProbabilities]:
         if key is None:
@@ -304,7 +331,7 @@ class Engine:
             span = tracer.span("engine.evaluate")
         with span:
             self._runs_counter.value += 1
-            key = self._cache_key(protocol, topology, run, method, trials)
+            key = self.cache_key(protocol, topology, run, method, trials)
             cached = self._cache_get(key)
             if cached is not None:
                 return cached
@@ -372,7 +399,7 @@ class Engine:
             keys: List[Optional[tuple]] = [None] * len(runs)
             pending: List[int] = []
             for index, run in enumerate(runs):
-                key = self._cache_key(protocol, topology, run, method, trials)
+                key = self.cache_key(protocol, topology, run, method, trials)
                 keys[index] = key
                 cached = self._cache_get(key)
                 if cached is not None:

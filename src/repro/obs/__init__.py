@@ -45,6 +45,7 @@ from .runtime import (
     monotonic,
     set_obs,
     setup_logging,
+    utc_now_isoformat,
 )
 
 __all__ = [
@@ -67,4 +68,5 @@ __all__ = [
     "set_obs",
     "setup_logging",
     "trace_execution",
+    "utc_now_isoformat",
 ]

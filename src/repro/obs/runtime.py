@@ -40,6 +40,21 @@ def monotonic() -> float:
     return time.perf_counter()
 
 
+def utc_now_isoformat() -> str:
+    """The current wall-clock instant as an ISO-8601 UTC timestamp.
+
+    The one sanctioned wall-clock read for the evaluation and serving
+    layers: artifact stamping (``BENCH_*.json``'s ``generated_at_utc``)
+    needs a real timestamp, but rule RC002 bans direct ``datetime.*``
+    calls there, so call sites route through this helper instead.
+    Never use it to measure durations — that is what
+    :func:`monotonic` is for.
+    """
+    import datetime
+
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
 @dataclass
 class Obs:
     """One bundle of observability state: metrics + tracer + flags."""

@@ -1,0 +1,170 @@
+"""The micro-batcher: coalesce concurrent requests into engine batches.
+
+Requests that share an :meth:`Engine.batch_key
+<repro.engine.Engine.batch_key>` — same protocol, topology, method,
+and trial count, only the run differs — are collected for up to
+``max_wait_s`` (or until ``max_batch`` of them pile up) and submitted
+as **one** :meth:`Engine.evaluate_many
+<repro.engine.Engine.evaluate_many>` call.  Under concurrent load
+this turns N scalar evaluations into one vectorized batch plus one
+memo-cache sweep, which is where the serving path's throughput comes
+from; an idle service degrades to scalar calls delayed by at most the
+batch window.
+
+Engine work runs on a dedicated single-thread executor: the engine's
+memo cache is not thread-safe, and one worker thread both serializes
+it and keeps the event loop free to accept requests while a batch
+computes.  Only exact (cacheable) requests belong here — Monte Carlo
+estimates would consume one shared rng stream in coalescing order,
+making results depend on who else was in flight; those go to the
+worker tier instead (see :mod:`repro.service.workers`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from ..core.probability import EventProbabilities
+from ..engine import Engine
+from ..obs import MetricsRegistry
+from .specs import EvaluateRequest
+
+#: Batch-size histogram buckets: powers of two up to a generous cap.
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class _PendingBatch:
+    """One forming batch: requests plus the futures awaiting them."""
+
+    __slots__ = ("requests", "futures", "timer")
+
+    def __init__(self) -> None:
+        self.requests: List[EvaluateRequest] = []
+        self.futures: List["asyncio.Future[EventProbabilities]"] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent scalar evaluations into engine batch calls."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        metrics: MetricsRegistry,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._engine = engine
+        self._max_batch = max_batch
+        self._max_wait_s = max_wait_s
+        self._pending: Dict[tuple, _PendingBatch] = {}
+        self._tasks: "set[asyncio.Task[None]]" = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine"
+        )
+        self._size_histogram = metrics.histogram(
+            "service.batch.size", BATCH_SIZE_BUCKETS
+        )
+        self._flush_counter = metrics.counter("service.batch.flushes")
+        self._request_counter = metrics.counter("service.batch.requests")
+        self._coalesced_counter = metrics.counter("service.batch.coalesced")
+
+    async def submit(self, request: EvaluateRequest) -> EventProbabilities:
+        """Evaluate one request, possibly riding a coalesced batch."""
+        loop = asyncio.get_running_loop()
+        self._request_counter.inc()
+        key = self._engine.batch_key(
+            request.protocol,
+            request.topology,
+            request.method,
+            request.trials,
+        )
+        if key is None:
+            # Unhashable spec: no coalescing, straight to the engine
+            # thread as a batch of one.
+            return await loop.run_in_executor(
+                self._executor,
+                partial(
+                    self._engine.evaluate,
+                    request.protocol,
+                    request.topology,
+                    request.run,
+                    method=request.method,
+                    trials=request.trials,
+                ),
+            )
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _PendingBatch()
+            self._pending[key] = batch
+            if self._max_wait_s > 0:
+                batch.timer = loop.call_later(
+                    self._max_wait_s, self._flush, key
+                )
+        future: "asyncio.Future[EventProbabilities]" = loop.create_future()
+        batch.requests.append(request)
+        batch.futures.append(future)
+        if len(batch.requests) >= self._max_batch or self._max_wait_s == 0:
+            self._flush(key)
+        return await future
+
+    def _flush(self, key: tuple) -> None:
+        """Detach the forming batch for ``key`` and start evaluating it."""
+        batch = self._pending.pop(key, None)
+        if batch is None:
+            return  # already flushed (size trigger beat the timer)
+        if batch.timer is not None:
+            batch.timer.cancel()
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, batch: _PendingBatch) -> None:
+        loop = asyncio.get_running_loop()
+        size = len(batch.requests)
+        self._flush_counter.inc()
+        self._size_histogram.observe(size)
+        if size > 1:
+            self._coalesced_counter.inc(size)
+        template = batch.requests[0]
+        runs = [request.run for request in batch.requests]
+        try:
+            results = await loop.run_in_executor(
+                self._executor,
+                partial(
+                    self._engine.evaluate_many,
+                    template.protocol,
+                    template.topology,
+                    runs,
+                    method=template.method,
+                    trials=template.trials,
+                ),
+            )
+        except Exception as error:  # surface to every coalesced waiter
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(batch.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    @property
+    def pending_requests(self) -> int:
+        return sum(len(batch.requests) for batch in self._pending.values())
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight batches."""
+        for key in list(self._pending):
+            self._flush(key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def shutdown(self) -> None:
+        """Stop the engine thread (call after :meth:`drain`)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,87 @@
+"""Service configuration: one frozen dataclass of serving knobs.
+
+Defaults are tuned for a laptop-scale deployment: a couple of
+milliseconds of batch-collection latency buys order-of-magnitude
+coalescing under concurrent load, and a bounded admission queue keeps
+tail latency flat by shedding load (429) instead of queueing without
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine import BACKENDS
+
+DEFAULT_PORT = 8642
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of the evaluation server in one place.
+
+    ``workers`` selects the worker tier for CPU-bound work (Monte
+    Carlo estimates, experiment launches): ``0`` evaluates inline on
+    the server's executor thread (tests, tiny deployments), ``> 0``
+    runs a process pool of that size so the GIL stops being the
+    ceiling.  ``queue_limit`` bounds concurrently admitted requests —
+    the (queue_limit+1)-th concurrent evaluation is rejected with
+    ``429`` and a ``Retry-After`` hint rather than queued forever.
+
+    ``max_batch`` / ``max_wait_ms`` shape the micro-batcher: a request
+    waits at most ``max_wait_ms`` for companions that share its batch
+    key, and a group is flushed early once ``max_batch`` requests have
+    coalesced.
+
+    ``debug`` enables the ``POST /v1/_sleep`` test hook (an admitted,
+    deadline-checked request that just sleeps), which the backpressure
+    and drain tests use to hold the admission queue open
+    deterministically.  Never enable it on a real deployment.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    backend: str = "auto"
+    seed: int = 0
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_limit: int = 64
+    workers: int = 0
+    deadline_ms: float = 30_000.0
+    drain_timeout_s: float = 10.0
+    max_body_bytes: int = 1 << 20
+    enumeration_limit: Optional[int] = None
+    debug: bool = False
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port {self.port} out of range")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1000.0
+
+    @property
+    def deadline_s(self) -> float:
+        return self.deadline_ms / 1000.0

@@ -1,0 +1,255 @@
+"""Load generator: drive a running server, record latency percentiles.
+
+``repro bench-serve`` front-ends :func:`run_bench`: open ``concurrency``
+keep-alive connections, push ``requests`` evaluation requests through
+them as fast as the server answers, then write a self-describing
+``BENCH_serve.json`` artifact (``schema_version`` 2 style: UTC
+timestamp, git SHA, latency percentiles, throughput, and the server's
+own ``/metrics`` snapshot — including ``service.batch.size``, whose
+``max`` is the proof the micro-batcher actually coalesced).
+
+The default workload is deliberately coalescable: every request
+evaluates the same Protocol S / topology / trials spec on a rotating
+run (``cut:K``), so concurrent requests share a batch key and differ
+only in the run — the exact shape the batcher exists for.  ``--spread``
+widens the mix across distinct protocols to measure the uncoalesced
+path instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..obs.runtime import monotonic, utc_now_isoformat
+from .http import ClientConnection
+from .testing import BackgroundServer
+
+BENCH_SCHEMA_VERSION = 2
+
+#: Percentiles reported in the artifact.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LoadgenOptions:
+    """Workload shape for one bench run."""
+
+    requests: int = 200
+    concurrency: int = 16
+    rounds: int = 8
+    protocol: str = "S:0.25"
+    topology: str = "pair"
+    spread: bool = False  # vary the protocol too (defeats coalescing)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    requests_total: int = 0
+    requests_ok: int = 0
+    requests_rejected: int = 0
+    requests_failed: int = 0
+    duration_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    server_metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests_total / self.duration_seconds
+
+    def latency_summary(self) -> Dict[str, float]:
+        samples = sorted(self.latencies)
+        if not samples:
+            return {}
+        summary = {
+            "min": samples[0],
+            "max": samples[-1],
+            "mean": sum(samples) / len(samples),
+        }
+        for q in PERCENTILES:
+            summary[f"p{q:g}"] = percentile(samples, q)
+        return summary
+
+
+def percentile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sample list."""
+    if not sorted_samples:
+        raise ValueError("no samples")
+    rank = math.ceil(q / 100.0 * len(sorted_samples))
+    index = min(len(sorted_samples) - 1, max(0, rank - 1))
+    return sorted_samples[index]
+
+
+def _request_payload(options: LoadgenOptions, index: int) -> Dict[str, Any]:
+    protocol = options.protocol
+    if options.spread:
+        # Rotate epsilon so every request is a distinct batch key.
+        protocol = f"S:{0.05 + 0.9 * ((index % 17) / 17.0):.4f}"
+    return {
+        "protocol": protocol,
+        "topology": options.topology,
+        "rounds": options.rounds,
+        "run": f"cut:{1 + index % options.rounds}",
+        "seed": options.seed,
+    }
+
+
+async def run_load(
+    host: str, port: int, options: LoadgenOptions
+) -> LoadReport:
+    """Drive a live server; returns the measured :class:`LoadReport`."""
+    import asyncio
+
+    report = LoadReport()
+    next_index = 0
+
+    async def worker() -> None:
+        nonlocal next_index
+        connection = await ClientConnection.open(host, port)
+        try:
+            while True:
+                if next_index >= options.requests:
+                    return
+                index = next_index
+                next_index += 1
+                payload = _request_payload(options, index)
+                started = monotonic()
+                try:
+                    status, _, _ = await connection.request(
+                        "POST", "/v1/evaluate", payload
+                    )
+                except (ConnectionError, OSError):
+                    report.requests_failed += 1
+                    connection_retry = await ClientConnection.open(host, port)
+                    await connection.close()
+                    connection = connection_retry
+                    continue
+                report.latencies.append(monotonic() - started)
+                if status == 200:
+                    report.requests_ok += 1
+                elif status == 429:
+                    report.requests_rejected += 1
+                else:
+                    report.requests_failed += 1
+        finally:
+            await connection.close()
+
+    started = monotonic()
+    await asyncio.gather(
+        *(worker() for _ in range(options.concurrency))
+    )
+    report.duration_seconds = monotonic() - started
+    report.requests_total = (
+        report.requests_ok + report.requests_rejected + report.requests_failed
+    )
+    # One last request for the server's own accounting of the run.
+    connection = await ClientConnection.open(host, port)
+    try:
+        status, _, payload = await connection.request("GET", "/metrics")
+        if status == 200:
+            report.server_metrics = dict(payload.get("metrics", {}))
+    finally:
+        await connection.close()
+    return report
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return completed.stdout.strip() or None
+
+
+def bench_payload(
+    report: LoadReport, options: LoadgenOptions, target: str
+) -> Dict[str, Any]:
+    """The ``BENCH_serve.json`` artifact body for one load run."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at_utc": utc_now_isoformat(),
+        "git_sha": _git_sha(),
+        "benchmark": "serve",
+        "target": target,
+        "workload": {
+            "requests": options.requests,
+            "concurrency": options.concurrency,
+            "rounds": options.rounds,
+            "protocol": options.protocol,
+            "topology": options.topology,
+            "spread": options.spread,
+            "seed": options.seed,
+        },
+        "requests_total": report.requests_total,
+        "requests_ok": report.requests_ok,
+        "requests_rejected": report.requests_rejected,
+        "requests_failed": report.requests_failed,
+        "duration_seconds": report.duration_seconds,
+        "throughput_rps": report.throughput_rps,
+        "latency_seconds": report.latency_summary(),
+        "metrics": report.server_metrics,
+    }
+
+
+def write_bench_artifact(path: str, payload: Dict[str, Any]) -> None:
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def run_bench(
+    options: LoadgenOptions,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    output: Optional[str] = None,
+    server_config: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """One full bench: external server if addressed, else self-contained.
+
+    With ``host``/``port`` the load targets an already-running server;
+    otherwise a :class:`BackgroundServer` (configured by
+    ``server_config``) is stood up on an ephemeral port for the run
+    and drained afterwards.  Returns the artifact payload; also writes
+    it to ``output`` when given.
+    """
+    import asyncio
+
+    if host is not None and port is not None:
+        target = f"http://{host}:{port}"
+        report = asyncio.run(run_load(host, port, options))
+    else:
+        with BackgroundServer(server_config) as background:
+            target = f"http://{background.host}:{background.port} (in-process)"
+            report = asyncio.run(
+                run_load(background.host, background.port, options)
+            )
+    payload = bench_payload(report, options, target)
+    if output:
+        write_bench_artifact(output, payload)
+    return payload

@@ -1,0 +1,445 @@
+"""The evaluation server: admission control, routing, graceful drain.
+
+Request lifecycle::
+
+    accept -> parse HTTP -> admit (bounded queue, 429 on overflow)
+           -> route:
+                exact evaluation  -> micro-batcher -> engine thread
+                Monte Carlo / experiment -> worker tier (process pool)
+           -> respond (JSON), keep-alive
+
+Backpressure is admission-based rather than socket-based: at most
+``queue_limit`` evaluations are in flight at once, and the next one is
+answered ``429 Too Many Requests`` with a ``Retry-After`` hint
+immediately — a cheap rejection the client can act on beats an
+unbounded queue that turns overload into timeouts for everyone.
+
+Shutdown (SIGTERM/SIGINT under ``repro serve``, or
+:meth:`EvaluationServer.request_shutdown`) drains gracefully: stop
+accepting connections, answer ``503`` to anything new on live
+keep-alive connections, wait up to ``drain_timeout_s`` for in-flight
+requests to finish (no admitted request loses its response), then
+close idle connections, flush the batcher, stop the worker tier, and
+export the ``--trace`` / ``--metrics`` artifacts if configured.
+
+Ops endpoints: ``GET /healthz`` (liveness + queue state) and ``GET
+/metrics`` (the :class:`~repro.obs.MetricsRegistry` JSON export,
+schema documented in DESIGN.md §8 — the same payload ``--metrics``
+writes, so one validator covers both).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine import Engine
+from ..obs import MetricsRegistry, Obs, Tracer
+from ..obs.runtime import monotonic
+from .batcher import MicroBatcher
+from .config import ServiceConfig
+from .http import HttpError, HttpRequest, read_request, render_response
+from .specs import RequestError, parse_evaluate_payload
+from .specs import evaluate_response as build_evaluate_response
+from .workers import (
+    DeadlineExceeded,
+    WorkerPool,
+    evaluate_in_worker,
+    run_experiment_in_worker,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Seconds a 429/503 response suggests the client wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+Route = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+class EvaluationServer:
+    """One asyncio HTTP server wired to an engine, batcher, and pool."""
+
+    def __init__(
+        self, config: ServiceConfig, obs: Optional[Obs] = None
+    ) -> None:
+        self.config = config
+        if obs is None:
+            obs = Obs(
+                metrics=MetricsRegistry(),
+                tracer=Tracer(enabled=config.trace_path is not None),
+            )
+        self.obs = obs
+        self.metrics = obs.metrics
+        self.engine = Engine(backend=config.backend, obs=obs)
+        self.batcher = MicroBatcher(
+            self.engine,
+            self.metrics,
+            max_batch=config.max_batch,
+            max_wait_s=config.max_wait_s,
+        )
+        self.pool = WorkerPool(config.workers, self.metrics)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.Task[None]]" = set()
+        self._inflight = 0
+        self._draining = False
+        self._idle: Optional[asyncio.Event] = None
+        self._shutdown_requested: Optional[asyncio.Event] = None
+        self._requests_counter = self.metrics.counter("service.requests_total")
+        self._rejected_counter = self.metrics.counter("service.rejected_total")
+        self._responses: Dict[str, Any] = {
+            klass: self.metrics.counter(f"service.responses.{klass}")
+            for klass in ("2xx", "4xx", "5xx")
+        }
+        self._latency_histogram = self.metrics.histogram(
+            "service.request.latency"
+        )
+        self._inflight_gauge = self.metrics.gauge("service.inflight")
+        self._inflight_gauge.set(0)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        port: int = self._server.sockets[0].getsockname()[1]
+        return port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutdown_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        logger.info(
+            "serving on http://%s:%d (backend=%s, workers=%d, "
+            "max_batch=%d, max_wait=%.1fms, queue_limit=%d)",
+            self.config.host,
+            self.port,
+            self.config.backend,
+            self.config.workers,
+            self.config.max_batch,
+            self.config.max_wait_ms,
+            self.config.queue_limit,
+        )
+
+    def request_shutdown(self) -> None:
+        """Signal-safe: ask the serve loop to drain and exit."""
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                # Non-main thread or unsupported platform: the caller
+                # falls back to request_shutdown() directly.
+                return
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`request_shutdown`, then drain and stop."""
+        if self._server is None:
+            await self.start()
+        assert self._shutdown_requested is not None
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, release resources."""
+        if self._server is None:
+            return
+        logger.info("shutdown: draining %d in-flight requests", self._inflight)
+        started = monotonic()
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        assert self._idle is not None
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            logger.warning(
+                "drain timeout after %.1fs with %d requests in flight",
+                self.config.drain_timeout_s,
+                self._inflight,
+            )
+        # In-flight requests have answered (or timed out); now close
+        # idle keep-alive connections still parked in read_request.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.batcher.drain()
+        self.batcher.shutdown()
+        self.pool.shutdown()
+        self._server = None
+        self.metrics.gauge("service.drain.seconds").set(monotonic() - started)
+        self._export_artifacts()
+        logger.info("shutdown complete")
+
+    def _export_artifacts(self) -> None:
+        if self.config.trace_path:
+            self.obs.tracer.export_jsonl(self.config.trace_path)
+            logger.info("trace written to %s", self.config.trace_path)
+        if self.config.metrics_path:
+            self.metrics.export_json(self.config.metrics_path)
+            logger.info("metrics written to %s", self.config.metrics_path)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # drain closing an idle connection
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await read_request(
+                    reader, self.config.max_body_bytes
+                )
+            except HttpError as error:
+                writer.write(
+                    render_response(
+                        error.status,
+                        {"error": error.message},
+                        keep_alive=False,
+                        extra_headers=error.headers,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            started = monotonic()
+            status, payload, headers = await self._route_safely(request)
+            self._latency_histogram.observe(monotonic() - started)
+            keep_alive = (
+                request.keep_alive and not self._draining and status < 500
+            )
+            writer.write(
+                render_response(
+                    status, payload, keep_alive=keep_alive, extra_headers=headers
+                )
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _route_safely(self, request: HttpRequest) -> Route:
+        self._requests_counter.inc()
+        tracer = self.obs.tracer
+        with tracer.span(
+            "service.request", method=request.method, path=request.path
+        ) as span:
+            try:
+                status, payload, headers = await self._route(request)
+            except HttpError as error:
+                status, payload, headers = (
+                    error.status,
+                    {"error": error.message},
+                    error.headers,
+                )
+            except RequestError as error:
+                status, payload, headers = 400, {"error": str(error)}, {}
+            except DeadlineExceeded as error:
+                status, payload, headers = 504, {"error": str(error)}, {}
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # never leak a traceback to the wire
+                logger.exception("unhandled error serving %s", request.path)
+                status, payload, headers = (
+                    500,
+                    {"error": f"internal error: {type(error).__name__}"},
+                    {},
+                )
+            span.set(status=status)
+        bucket = f"{status // 100}xx"
+        if bucket in self._responses:
+            self._responses[bucket].inc()
+        return status, payload, headers
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(self, request: HttpRequest) -> Route:
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._expect_method(request, "GET")
+            return 200, self._health_payload(), {}
+        if path == "/metrics":
+            self._expect_method(request, "GET")
+            return (
+                200,
+                {
+                    "schema_version": 1,
+                    "metrics": self.metrics.snapshot(),
+                },
+                {},
+            )
+        if path == "/v1/evaluate":
+            self._expect_method(request, "POST")
+            return await self._admitted(self._handle_evaluate, request)
+        if path.startswith("/v1/experiments/"):
+            self._expect_method(request, "POST")
+            return await self._admitted(self._handle_experiment, request)
+        if path == "/v1/_sleep" and self.config.debug:
+            self._expect_method(request, "POST")
+            return await self._admitted(self._handle_sleep, request)
+        raise HttpError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _expect_method(request: HttpRequest, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405,
+                f"{request.path} expects {method}, got {request.method}",
+                headers={"Allow": method},
+            )
+
+    def _health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+            "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+            "backend": self.config.backend,
+        }
+
+    async def _admitted(self, handler: Any, request: HttpRequest) -> Route:
+        """Run ``handler`` under admission control and the deadline."""
+        if self._draining:
+            raise HttpError(
+                503,
+                "server is draining",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        if self._inflight >= self.config.queue_limit:
+            self._rejected_counter.inc()
+            raise HttpError(
+                429,
+                f"admission queue full ({self.config.queue_limit} in "
+                "flight); retry shortly",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        self._inflight += 1
+        self._inflight_gauge.set(self._inflight)
+        assert self._idle is not None
+        self._idle.clear()
+        try:
+            result: Route = await asyncio.wait_for(
+                handler(request), timeout=self.config.deadline_s
+            )
+            return result
+        except asyncio.TimeoutError as error:
+            raise DeadlineExceeded(
+                f"request exceeded its {self.config.deadline_s:.3f}s deadline"
+            ) from error
+        finally:
+            self._inflight -= 1
+            self._inflight_gauge.set(self._inflight)
+            if self._inflight == 0:
+                self._idle.set()
+
+    # -- endpoint handlers ---------------------------------------------
+
+    async def _handle_evaluate(self, request: HttpRequest) -> Route:
+        spec = parse_evaluate_payload(request.json())
+        enumeration_limit = self.config.enumeration_limit
+        exact = (
+            spec.resolves_exact(enumeration_limit)
+            if enumeration_limit is not None
+            else spec.resolves_exact()
+        )
+        if exact:
+            result = await self.batcher.submit(spec)
+            return 200, build_evaluate_response(spec, result), {}
+        payload = dict(spec.payload)
+        payload["_backend"] = self.config.backend
+        outcome = await self.pool.run(
+            evaluate_in_worker, payload, self.config.deadline_s
+        )
+        self.metrics.merge(outcome["metrics"])
+        return 200, dict(outcome["response"]), {}
+
+    async def _handle_experiment(self, request: HttpRequest) -> Route:
+        experiment_id = request.path.rsplit("/", 1)[1]
+        body = request.json()
+        scale = body.get("scale", "quick")
+        if scale not in ("quick", "full"):
+            raise RequestError(f"unknown scale {scale!r}")
+        seed = body.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise RequestError("seed must be an integer")
+        from ..experiments import experiment_ids
+
+        if experiment_id.upper() not in experiment_ids():
+            raise HttpError(
+                404,
+                f"unknown experiment {experiment_id!r}; known: "
+                f"{', '.join(experiment_ids())}",
+            )
+        payload = {
+            "experiment": experiment_id,
+            "scale": scale,
+            "seed": seed,
+            "_backend": self.config.backend,
+        }
+        outcome = await self.pool.run(
+            run_experiment_in_worker, payload, self.config.deadline_s
+        )
+        self.metrics.merge(outcome["metrics"])
+        return 200, dict(outcome["response"]), {}
+
+    async def _handle_sleep(self, request: HttpRequest) -> Route:
+        # Debug-only: a deterministic slow request for backpressure and
+        # drain tests.  Admission, deadline, and response accounting all
+        # apply, which is the point.
+        body = request.json()
+        seconds = body.get("seconds", 0.05)
+        if not isinstance(seconds, (int, float)) or not 0 <= seconds <= 30:
+            raise RequestError("seconds must be a number in [0, 30]")
+        await asyncio.sleep(float(seconds))
+        return 200, {"slept": float(seconds)}, {}
+
+
+async def serve(config: ServiceConfig, obs: Optional[Obs] = None) -> None:
+    """Run a server until SIGTERM/SIGINT (the ``repro serve`` body)."""
+    server = EvaluationServer(config, obs=obs)
+    await server.start()
+    server.install_signal_handlers()
+    # An unbuffered, parseable readiness line: scripts wait for it.
+    print(f"serving on http://{config.host}:{server.port}", flush=True)
+    await server.serve_until_shutdown()

@@ -1,0 +1,188 @@
+"""Request/response schemas for the evaluation endpoints.
+
+``POST /v1/evaluate`` accepts the same specification mini-language the
+CLI uses (``--protocol`` / ``--topology`` / ``--run``), by calling the
+CLI's own parsers — so a served evaluation and a ``repro simulate``
+invocation are the same computation by construction, and the parity
+test only has to pin that they stay that way.
+
+The response reports the paper's two measures for the run — unsafety
+``Pr[PA | R]`` and liveness ``L(F, R) = Pr[TA | R]`` — alongside the
+information levels ``L(R)`` / ``ML(R)`` of the run, and, for
+Protocol S, the Theorem 6.8 liveness floor ``min(1, eps * ML(R))``
+those theorems relate the measures to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.measures import level_profile, modified_level_profile
+from ..core.probability import (
+    DEFAULT_ENUMERATION_LIMIT,
+    DEFAULT_TRIALS,
+    EventProbabilities,
+)
+from ..core.protocol import ClosedFormProtocol, Protocol
+from ..core.run import Run
+from ..core.topology import Topology
+from ..protocols.protocol_s import ProtocolS
+
+METHODS = ("auto", "closed-form", "enumeration", "monte-carlo")
+
+
+class RequestError(ValueError):
+    """A malformed evaluation request (answered with HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """One validated evaluation request, parsed objects included.
+
+    ``payload`` keeps the normalized wire form so the request can be
+    shipped to a worker process (plain dict, picklable) and re-parsed
+    there; the parsed objects serve the in-process paths.
+    """
+
+    protocol_spec: str
+    topology_spec: str
+    run_spec: str
+    rounds: int
+    method: str
+    trials: int
+    seed: int
+    protocol: Protocol
+    topology: Topology
+    run: Run
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol_spec,
+            "topology": self.topology_spec,
+            "run": self.run_spec,
+            "rounds": self.rounds,
+            "method": self.method,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+    def resolves_exact(
+        self, enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT
+    ) -> bool:
+        """Whether evaluation lands on an exact (cacheable) backend.
+
+        Mirrors :func:`repro.core.probability.evaluate`'s method
+        resolution: exact results may be coalesced and cached, Monte
+        Carlo estimates must go to the worker tier with their own
+        labeled rng stream.
+        """
+        if self.method == "monte-carlo":
+            return False
+        if self.method in ("closed-form", "enumeration"):
+            return True
+        if isinstance(self.protocol, ClosedFormProtocol):
+            return True
+        size = self.protocol.tape_space(self.topology).joint_support_size()
+        return size is not None and size <= enumeration_limit
+
+
+def _field(payload: Dict[str, Any], name: str, kind: type, default: Any) -> Any:
+    value = payload.get(name, default)
+    if kind is int and isinstance(value, bool):
+        raise RequestError(f"field {name!r} must be an integer")
+    if not isinstance(value, kind):
+        raise RequestError(
+            f"field {name!r} must be a {kind.__name__}, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def parse_evaluate_payload(payload: Dict[str, Any]) -> EvaluateRequest:
+    """Validate and parse one ``/v1/evaluate`` body.
+
+    Raises :class:`RequestError` with a client-actionable message for
+    anything malformed: unknown fields, bad types, or specs the CLI
+    mini-language rejects.
+    """
+    known = {"protocol", "topology", "run", "rounds", "method", "trials", "seed"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise RequestError(
+            f"unknown fields {unknown}; expected a subset of {sorted(known)}"
+        )
+    protocol_spec = _field(payload, "protocol", str, "S")
+    topology_spec = _field(payload, "topology", str, "pair")
+    run_spec = _field(payload, "run", str, "good")
+    rounds = _field(payload, "rounds", int, 8)
+    method = _field(payload, "method", str, "auto")
+    trials = _field(payload, "trials", int, DEFAULT_TRIALS)
+    seed = _field(payload, "seed", int, 0)
+    if rounds < 1:
+        raise RequestError(f"rounds must be >= 1, got {rounds}")
+    if trials < 1:
+        raise RequestError(f"trials must be >= 1, got {trials}")
+    if method not in METHODS:
+        raise RequestError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
+    # The CLI's parsers are the single source of truth for the
+    # mini-language; SpecError subclasses ValueError, so both spec and
+    # structural failures surface as RequestError to the HTTP layer.
+    from ..cli import parse_protocol, parse_run, parse_topology
+
+    try:
+        topology = parse_topology(topology_spec)
+        protocol = parse_protocol(protocol_spec, rounds)
+        run = parse_run(run_spec, topology, rounds)
+    except ValueError as error:
+        raise RequestError(str(error)) from error
+    return EvaluateRequest(
+        protocol_spec=protocol_spec,
+        topology_spec=topology_spec,
+        run_spec=run_spec,
+        rounds=rounds,
+        method=method,
+        trials=trials,
+        seed=seed,
+        protocol=protocol,
+        topology=topology,
+        run=run,
+    )
+
+
+def evaluate_response(
+    request: EvaluateRequest, result: EventProbabilities
+) -> Dict[str, Any]:
+    """The JSON body served for one evaluated request."""
+    levels = level_profile(request.run, request.topology.num_processes)
+    mlevels = modified_level_profile(
+        request.run, request.topology.num_processes
+    )
+    level = levels.run_level()
+    modified_level = mlevels.run_level()
+    response: Dict[str, Any] = {
+        "protocol": request.protocol.name,
+        "topology": request.topology.describe(),
+        "run": request.run.describe(),
+        "rounds": request.rounds,
+        "method": result.method,
+        "unsafety": result.pr_partial_attack,
+        "liveness": result.pr_total_attack,
+        "pr_no_attack": result.pr_no_attack,
+        "pr_attack": list(result.pr_attack),
+        "level": level,
+        "modified_level": modified_level,
+    }
+    if result.trials is not None:
+        response["trials"] = result.trials
+    if isinstance(request.protocol, ProtocolS):
+        # Theorem 6.8's floor on served liveness, reported next to the
+        # measured value so clients can check the tradeoff per query.
+        response["epsilon"] = request.protocol.epsilon
+        response["liveness_lower_bound"] = min(
+            1.0, request.protocol.epsilon * modified_level
+        )
+    return response

@@ -1,0 +1,160 @@
+"""The worker tier: CPU-bound evaluations off the event loop.
+
+Monte-Carlo estimates and experiment launches are seconds of pure
+Python compute — run inline they would freeze the accept loop, and run
+on server threads they would fight the GIL.  A
+:class:`concurrent.futures.ProcessPoolExecutor` (``spawn`` start
+method, safe under the threaded test harness) gives them real
+parallelism; with ``workers=0`` the pool degrades to the default
+thread executor so tests and tiny deployments stay single-process.
+
+Work ships as plain JSON-able dicts in both directions: the child
+process re-parses the spec, evaluates with its **own** engine and
+metrics registry, and returns ``{"response", "metrics"}`` — the
+server folds the returned snapshot into its registry
+(:meth:`MetricsRegistry.merge
+<repro.obs.MetricsRegistry.merge>`), so ``GET /metrics`` covers worker
+compute without any shared memory.
+
+Randomness stays deterministic per request, not per schedule: each
+Monte-Carlo evaluation draws from the labeled stream
+``spawn_random(seed, "service", "evaluate", protocol, run, trials)``,
+so identical requests replay identical estimates no matter which
+worker runs them or who else is in flight.
+
+Deadlines: the server wraps every worker dispatch in
+``asyncio.wait_for``.  On expiry the dispatch is cancelled — queued
+work is dropped; work already executing runs to completion in the
+child but its result is discarded (process pools cannot preempt), and
+the client gets a 504 either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any, Dict, Optional
+
+from ..core.seeding import spawn_random
+from ..engine import Engine
+from ..obs import MetricsRegistry, Obs, Tracer
+from .specs import evaluate_response, parse_evaluate_payload
+
+
+class DeadlineExceeded(Exception):
+    """The per-request deadline expired before the worker finished."""
+
+
+def evaluate_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: evaluate one request payload.
+
+    Top-level (picklable) on purpose.  Runs with a private engine and
+    registry; the caller merges the returned metrics snapshot.
+    """
+    payload = dict(payload)
+    backend = str(payload.pop("_backend", "auto"))
+    request = parse_evaluate_payload(payload)
+    metrics = MetricsRegistry()
+    engine = Engine(
+        backend=backend,
+        obs=Obs(metrics=metrics, tracer=Tracer(enabled=False)),
+    )
+    rng = spawn_random(
+        request.seed,
+        "service",
+        "evaluate",
+        request.protocol_spec,
+        request.run_spec,
+        request.trials,
+    )
+    result = engine.evaluate(
+        request.protocol,
+        request.topology,
+        request.run,
+        method=request.method,
+        trials=request.trials,
+        rng=rng,
+    )
+    return {
+        "response": evaluate_response(request, result),
+        "metrics": metrics.snapshot(),
+    }
+
+
+def run_experiment_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: run one experiment end to end."""
+    from ..experiments import run_experiment
+    from ..experiments.common import Config
+
+    config = Config(
+        scale=str(payload.get("scale", "quick")),
+        seed=int(payload.get("seed", 0)),
+        backend=str(payload.get("_backend", "auto")),
+    )
+    report = run_experiment(str(payload["experiment"]), config)
+    return {
+        "response": {
+            "experiment": report.experiment_id,
+            "title": report.title,
+            "passed": report.passed,
+            "scale": config.scale,
+            "seed": config.seed,
+            "notes": list(report.notes),
+            "tables": [table.title for table in report.tables],
+            "engine": report.metadata.get("engine", {}),
+        },
+        "metrics": config.obs().metrics.snapshot(),
+    }
+
+
+class WorkerPool:
+    """Dispatches payloads to the worker tier with deadlines."""
+
+    def __init__(
+        self, workers: int, metrics: MetricsRegistry
+    ) -> None:
+        self.workers = workers
+        self._executor: Optional[Executor] = None
+        if workers > 0:
+            # ``spawn`` keeps child startup independent of the server's
+            # threads (fork in a threaded process is a deadlock lottery).
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        self._dispatch_counter = metrics.counter("service.worker.dispatches")
+        self._deadline_counter = metrics.counter(
+            "service.worker.deadline_exceeded"
+        )
+        self._failure_counter = metrics.counter("service.worker.failures")
+
+    async def run(
+        self,
+        fn: Any,
+        payload: Dict[str, Any],
+        deadline_s: float,
+    ) -> Dict[str, Any]:
+        """Run ``fn(payload)`` on the tier; raises on deadline expiry."""
+        loop = asyncio.get_running_loop()
+        self._dispatch_counter.inc()
+        future = loop.run_in_executor(self._executor, fn, payload)
+        try:
+            result: Dict[str, Any] = await asyncio.wait_for(
+                future, timeout=deadline_s
+            )
+        except asyncio.TimeoutError as error:
+            # wait_for already cancelled the dispatch: queued work is
+            # dropped; running work finishes in the child unobserved.
+            self._deadline_counter.inc()
+            raise DeadlineExceeded(
+                f"evaluation exceeded its {deadline_s:.3f}s deadline"
+            ) from error
+        except Exception:
+            self._failure_counter.inc()
+            raise
+        return result
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)

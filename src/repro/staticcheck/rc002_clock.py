@@ -4,10 +4,15 @@ The repository's second shipped bug was cache hits inflating
 wall-time metrics — timing code sprinkled through the evaluation path
 measured the wrong thing.  The fix centralized duration measurement on
 the monotonic clock the observability layer owns; this rule keeps
-``engine/``, ``protocols/``, and ``adversary/`` free of direct
-``time.*`` / ``datetime.*`` calls so every duration and timestamp
-flows through :func:`repro.obs.runtime.monotonic` (and stays immune
-to wall-clock adjustments, cache hits, and replay).
+``engine/``, ``protocols/``, ``adversary/``, and ``service/`` free of
+direct ``time.*`` / ``datetime.*`` calls so every duration and
+timestamp flows through :func:`repro.obs.runtime.monotonic` (and stays
+immune to wall-clock adjustments, cache hits, and replay).  The
+serving tier is in scope because request latencies, batch-wait
+deadlines, and drain timeouts are exactly the durations that go wrong
+on a wall clock; its one legitimate wall-clock need — stamping
+``BENCH_serve.json`` — routes through
+:func:`repro.obs.runtime.utc_now_isoformat`.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from typing import Iterator
 from .base import FileContext, Rule, Violation, register
 
 #: Subpackages of ``repro`` the rule scopes to.
-SCOPED_SUBPACKAGES = frozenset({"engine", "protocols", "adversary"})
+SCOPED_SUBPACKAGES = frozenset({"engine", "protocols", "adversary", "service"})
 
 
 @register
@@ -27,7 +32,7 @@ class ClockDiscipline(Rule):
     name = "clock-discipline"
     summary = (
         "no time.*/datetime.* calls in engine/, protocols/, "
-        "adversary/; use repro.obs.runtime.monotonic()"
+        "adversary/, service/; use repro.obs.runtime.monotonic()"
     )
 
     def applies(self, ctx: FileContext) -> bool:

@@ -1,0 +1,94 @@
+"""Admission control and graceful drain, measured over real sockets.
+
+The debug ``/v1/_sleep`` endpoint holds admission slots for a known
+duration, which makes queue overflow and drain timing deterministic.
+"""
+
+import asyncio
+
+from repro.service import BackgroundServer, ServiceConfig
+from repro.service.http import ClientConnection, request_once
+
+CONFIG = ServiceConfig(
+    port=0, queue_limit=2, debug=True, drain_timeout_s=10.0
+)
+
+
+def test_queue_overflow_answers_429_with_retry_after():
+    async def go(port):
+        # Two sleepers fill the admission queue...
+        sleepers = [
+            asyncio.create_task(
+                request_once(
+                    "127.0.0.1", port, "POST", "/v1/_sleep", {"seconds": 0.6}
+                )
+            )
+            for _ in range(2)
+        ]
+        await asyncio.sleep(0.2)  # both admitted and sleeping
+        # ...so the third evaluation is rejected immediately.
+        status, headers, payload = await request_once(
+            "127.0.0.1", port, "POST", "/v1/evaluate", {"protocol": "S"}
+        )
+        assert status == 429
+        assert headers["retry-after"] == "1"
+        assert "queue full" in payload["error"]
+        # The sleepers were not disturbed by the rejection.
+        results = await asyncio.gather(*sleepers)
+        assert [status for status, _, _ in results] == [200, 200]
+        # With the queue drained, the same request is admitted.
+        status, _, _ = await request_once(
+            "127.0.0.1", port, "POST", "/v1/evaluate", {"protocol": "S"}
+        )
+        assert status == 200
+
+    with BackgroundServer(CONFIG) as background:
+        asyncio.run(go(background.port))
+        snapshot = background.server.metrics.snapshot()
+    assert snapshot["service.rejected_total"]["value"] == 1
+
+
+def test_graceful_drain_answers_inflight_and_rejects_new():
+    background = BackgroundServer(CONFIG).start()
+    port = background.port
+
+    async def go():
+        # A keep-alive connection from before the drain started.
+        survivor = await ClientConnection.open("127.0.0.1", port)
+        sleepers = [
+            asyncio.create_task(
+                request_once(
+                    "127.0.0.1", port, "POST", "/v1/_sleep", {"seconds": 0.6}
+                )
+            )
+            for _ in range(2)
+        ]
+        await asyncio.sleep(0.2)  # both admitted and sleeping
+        # Trigger the drain from outside while work is in flight; the
+        # blocking join runs in a thread so this loop can keep serving
+        # the client side of the story.
+        stop = asyncio.get_running_loop().run_in_executor(
+            None, background.stop
+        )
+        await asyncio.sleep(0.1)
+        # New work on a live connection is refused while draining.
+        status, headers, _ = await survivor.request(
+            "POST", "/v1/evaluate", {"protocol": "S"}
+        )
+        assert status == 503
+        assert "retry-after" in headers
+        await survivor.close()
+        # Every admitted request still gets its answer.
+        results = await asyncio.gather(*sleepers)
+        assert [status for status, _, _ in results] == [200, 200]
+        assert [payload["slept"] for _, _, payload in results] == [0.6, 0.6]
+        await stop
+        # Fully stopped: the listening socket is gone.
+        try:
+            await request_once("127.0.0.1", port, "GET", "/healthz")
+        except (ConnectionError, OSError):
+            pass
+        else:
+            raise AssertionError("server still accepting after drain")
+
+    asyncio.run(go())

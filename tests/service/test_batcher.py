@@ -1,0 +1,124 @@
+"""Coalescing behavior of the micro-batcher."""
+
+import asyncio
+
+from repro.core.probability import evaluate
+from repro.engine import Engine
+from repro.obs import MetricsRegistry
+from repro.service.batcher import MicroBatcher
+from repro.service.specs import parse_evaluate_payload
+
+
+def requests_for(runs):
+    return [
+        parse_evaluate_payload(
+            {"protocol": "S:0.25", "rounds": 8, "run": run}
+        )
+        for run in runs
+    ]
+
+
+def counting_engine():
+    """An Engine whose evaluate_many calls are tallied."""
+    engine = Engine()
+    calls = []
+    original = engine.evaluate_many
+
+    def spy(protocol, topology, runs, **kwargs):
+        calls.append(len(runs))
+        return original(protocol, topology, runs, **kwargs)
+
+    engine.evaluate_many = spy
+    return engine, calls
+
+
+def test_concurrent_submits_coalesce_into_one_batch():
+    engine, calls = counting_engine()
+    metrics = MetricsRegistry()
+    batcher = MicroBatcher(engine, metrics, max_batch=32, max_wait_s=0.05)
+    requests = requests_for([f"cut:{k}" for k in range(1, 7)])
+
+    async def go():
+        try:
+            return await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+        finally:
+            await batcher.drain()
+            batcher.shutdown()
+
+    results = asyncio.run(go())
+    assert calls == [6], "six concurrent submits should make one batch call"
+    snapshot = metrics.snapshot()
+    assert snapshot["service.batch.size"]["max"] == 6
+    assert snapshot["service.batch.flushes"]["value"] == 1
+    assert snapshot["service.batch.coalesced"]["value"] == 6
+    # Each waiter got the answer for its own run.
+    for request, result in zip(requests, results):
+        expected = evaluate(request.protocol, request.topology, request.run)
+        assert result.pr_partial_attack == expected.pr_partial_attack
+        assert result.pr_total_attack == expected.pr_total_attack
+
+
+def test_max_batch_flushes_before_the_timer():
+    engine, calls = counting_engine()
+    batcher = MicroBatcher(
+        engine, MetricsRegistry(), max_batch=2, max_wait_s=30.0
+    )
+    requests = requests_for(["cut:1", "cut:2", "cut:3", "cut:4"])
+
+    async def go():
+        try:
+            await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+        finally:
+            await batcher.drain()
+            batcher.shutdown()
+
+    asyncio.run(go())
+    # A 30s window never fires under pytest; only the size trigger can
+    # have flushed, in pairs.
+    assert sorted(calls) == [2, 2]
+
+
+def test_zero_wait_degrades_to_scalar_batches():
+    engine, calls = counting_engine()
+    batcher = MicroBatcher(engine, MetricsRegistry(), max_batch=32, max_wait_s=0.0)
+    requests = requests_for(["cut:1", "cut:2"])
+
+    async def go():
+        try:
+            for request in requests:
+                await batcher.submit(request)
+        finally:
+            await batcher.drain()
+            batcher.shutdown()
+
+    asyncio.run(go())
+    assert calls == [1, 1]
+
+
+def test_batch_errors_reach_every_waiter():
+    engine, _ = counting_engine()
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("backend fell over")
+
+    engine.evaluate_many = explode
+    batcher = MicroBatcher(engine, MetricsRegistry(), max_batch=32, max_wait_s=0.01)
+    requests = requests_for(["cut:1", "cut:2"])
+
+    async def go():
+        try:
+            return await asyncio.gather(
+                *(batcher.submit(request) for request in requests),
+                return_exceptions=True,
+            )
+        finally:
+            await batcher.drain()
+            batcher.shutdown()
+
+    results = asyncio.run(go())
+    assert len(results) == 2
+    assert all(isinstance(result, RuntimeError) for result in results)

@@ -1,0 +1,110 @@
+"""Wire-level tests for the hand-rolled HTTP/1.1 layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+
+MAX_BODY = 1 << 20
+
+
+def parse(raw: bytes, max_body_bytes: int = MAX_BODY):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes)
+
+    return asyncio.run(go())
+
+
+def test_parses_request_with_body():
+    body = b'{"protocol": "S"}'
+    raw = (
+        b"POST /v1/evaluate HTTP/1.1\r\n"
+        b"Host: x\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"\r\n" + body
+    )
+    request = parse(raw)
+    assert request.method == "POST"
+    assert request.path == "/v1/evaluate"
+    assert request.version == "HTTP/1.1"
+    assert request.headers["host"] == "x"
+    assert request.json() == {"protocol": "S"}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_malformed_request_line_is_400():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"GETONLY\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_unsupported_version_is_400():
+    with pytest.raises(HttpError) as excinfo:
+        parse(b"GET / HTTP/2\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_oversized_body_is_413():
+    raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw, max_body_bytes=10)
+    assert excinfo.value.status == 413
+
+
+def test_chunked_encoding_is_rejected():
+    raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw)
+    assert excinfo.value.status == 400
+
+
+def test_keep_alive_defaults_by_version():
+    assert HttpRequest("GET", "/", "HTTP/1.1").keep_alive
+    assert not HttpRequest(
+        "GET", "/", "HTTP/1.1", headers={"connection": "close"}
+    ).keep_alive
+    assert not HttpRequest("GET", "/", "HTTP/1.0").keep_alive
+    assert HttpRequest(
+        "GET", "/", "HTTP/1.0", headers={"connection": "keep-alive"}
+    ).keep_alive
+
+
+def test_json_body_validation():
+    bad = HttpRequest("POST", "/", "HTTP/1.1", body=b"{nope")
+    with pytest.raises(HttpError) as excinfo:
+        bad.json()
+    assert excinfo.value.status == 400
+    non_object = HttpRequest("POST", "/", "HTTP/1.1", body=b"[1, 2]")
+    with pytest.raises(HttpError) as excinfo:
+        non_object.json()
+    assert excinfo.value.status == 400
+    assert HttpRequest("POST", "/", "HTTP/1.1", body=b"").json() == {}
+
+
+def test_render_response_round_trips():
+    raw = render_response(
+        429,
+        {"error": "full"},
+        keep_alive=False,
+        extra_headers={"Retry-After": "1"},
+    )
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    assert lines[0] == "HTTP/1.1 429 Too Many Requests"
+    assert "Retry-After: 1" in lines
+    assert "Connection: close" in lines
+    assert json.loads(body) == {"error": "full"}
+    assert f"Content-Length: {len(body)}" in lines

@@ -1,0 +1,71 @@
+"""The load generator and its BENCH_serve.json artifact."""
+
+import json
+
+import pytest
+
+from repro.service import LoadgenOptions, ServiceConfig, percentile, run_bench
+from repro.service.loadgen import BENCH_SCHEMA_VERSION, bench_payload
+
+
+def test_percentile_nearest_rank():
+    samples = [float(value) for value in range(1, 101)]
+    assert percentile(samples, 50.0) == 50.0
+    assert percentile(samples, 95.0) == 95.0
+    assert percentile(samples, 99.0) == 99.0
+    assert percentile(samples, 100.0) == 100.0
+    assert percentile([3.5], 50.0) == 3.5
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+def test_loadgen_options_validate():
+    with pytest.raises(ValueError):
+        LoadgenOptions(requests=0)
+    with pytest.raises(ValueError):
+        LoadgenOptions(concurrency=0)
+
+
+def test_self_contained_bench_writes_schema_v2_artifact(tmp_path):
+    output = tmp_path / "BENCH_serve.json"
+    options = LoadgenOptions(requests=48, concurrency=8, rounds=6)
+    payload = run_bench(
+        options,
+        output=str(output),
+        server_config=ServiceConfig(port=0),
+    )
+    on_disk = json.loads(output.read_text())
+    assert on_disk == payload
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    assert payload["benchmark"] == "serve"
+    assert payload["requests_total"] == 48
+    assert payload["requests_ok"] == 48
+    assert payload["requests_rejected"] == 0
+    assert payload["requests_failed"] == 0
+    assert payload["throughput_rps"] > 0
+    assert payload["generated_at_utc"].endswith("+00:00")
+    assert payload["git_sha"], "expected a git SHA inside the repo"
+    latency = payload["latency_seconds"]
+    for key in ("min", "max", "mean", "p50", "p95", "p99"):
+        assert key in latency
+    assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+    # The acceptance smoke: concurrent identical specs demonstrably
+    # coalesced into multi-request engine batches.
+    assert payload["metrics"]["service.batch.size"]["max"] > 1
+    assert payload["metrics"]["service.responses.2xx"]["value"] >= 48
+
+
+def test_bench_payload_shape_from_synthetic_report():
+    from repro.service.loadgen import LoadReport
+
+    report = LoadReport(
+        requests_total=3,
+        requests_ok=2,
+        requests_rejected=1,
+        duration_seconds=0.5,
+        latencies=[0.01, 0.02, 0.03],
+    )
+    payload = bench_payload(report, LoadgenOptions(), "http://host:1")
+    assert payload["throughput_rps"] == pytest.approx(6.0)
+    assert payload["workload"]["protocol"] == "S:0.25"
+    assert payload["latency_seconds"]["p50"] == 0.02

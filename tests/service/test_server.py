@@ -1,0 +1,131 @@
+"""End-to-end server tests over real sockets.
+
+Every test stands up a :class:`BackgroundServer` on an ephemeral port
+and talks HTTP to it — the same code paths ``repro serve`` runs.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cli import parse_protocol, parse_run, parse_topology
+from repro.engine import Engine
+from repro.service import BackgroundServer, ServiceConfig
+from repro.service.http import request_once
+
+
+def call(port, method, path, payload=None):
+    return asyncio.run(request_once("127.0.0.1", port, method, path, payload))
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServiceConfig(port=0)) as background:
+        yield background
+
+
+def test_healthz_reports_queue_state(server):
+    status, _, payload = call(server.port, "GET", "/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["inflight"] == 0
+    assert payload["queue_limit"] == server.config.queue_limit
+    assert payload["workers"] == server.config.workers
+    assert payload["backend"] == server.config.backend
+
+
+def test_metrics_exports_registry_snapshot(server):
+    call(server.port, "GET", "/healthz")
+    status, _, payload = call(server.port, "GET", "/metrics")
+    assert status == 200
+    assert payload["schema_version"] == 1
+    metrics = payload["metrics"]
+    assert metrics["service.requests_total"]["value"] >= 1
+    assert "service.request.latency" in metrics
+
+
+def test_evaluate_matches_direct_engine_evaluation(server):
+    """Parity: a served evaluation equals the ``repro simulate`` path."""
+    spec = {"protocol": "S:0.25", "topology": "pair", "rounds": 6, "run": "cut:3"}
+    status, _, served = call(server.port, "POST", "/v1/evaluate", spec)
+    assert status == 200
+    topology = parse_topology(spec["topology"])
+    protocol = parse_protocol(spec["protocol"], spec["rounds"])
+    run = parse_run(spec["run"], topology, spec["rounds"])
+    direct = Engine().evaluate(protocol, topology, run)
+    assert served["method"] == direct.method
+    assert served["unsafety"] == direct.pr_partial_attack
+    assert served["liveness"] == direct.pr_total_attack
+    assert served["pr_no_attack"] == direct.pr_no_attack
+    assert served["pr_attack"] == list(direct.pr_attack)
+    assert served["epsilon"] == 0.25
+    assert served["liveness_lower_bound"] == pytest.approx(
+        min(1.0, 0.25 * served["modified_level"])
+    )
+
+
+def test_evaluate_rejects_bad_specs(server):
+    status, _, payload = call(
+        server.port, "POST", "/v1/evaluate", {"protocol": "nope"}
+    )
+    assert status == 400
+    assert "unknown protocol" in payload["error"]
+    status, _, payload = call(
+        server.port, "POST", "/v1/evaluate", {"bogus": 1}
+    )
+    assert status == 400
+    assert "unknown fields" in payload["error"]
+
+
+def test_unknown_route_and_wrong_method(server):
+    status, _, _ = call(server.port, "GET", "/v1/nope")
+    assert status == 404
+    status, headers, _ = call(server.port, "GET", "/v1/evaluate")
+    assert status == 405
+    assert headers["allow"] == "POST"
+    # The debug endpoint is absent unless explicitly enabled.
+    status, _, _ = call(server.port, "POST", "/v1/_sleep", {"seconds": 0})
+    assert status == 404
+
+
+def test_experiment_endpoint_validates_and_runs(server):
+    status, _, payload = call(
+        server.port, "POST", "/v1/experiments/e99", {}
+    )
+    assert status == 404
+    status, _, payload = call(
+        server.port, "POST", "/v1/experiments/e1", {"scale": "huge"}
+    )
+    assert status == 400
+    status, _, payload = call(
+        server.port, "POST", "/v1/experiments/e1", {"scale": "quick"}
+    )
+    assert status == 200
+    assert payload["experiment"] == "E1"
+    assert payload["passed"] is True
+
+
+def test_monte_carlo_runs_in_the_process_pool():
+    config = ServiceConfig(port=0, workers=1)
+    spec = {
+        "protocol": "S:0.25",
+        "rounds": 6,
+        "run": "cut:3",
+        "method": "monte-carlo",
+        "trials": 300,
+        "seed": 11,
+    }
+    with BackgroundServer(config) as background:
+        status, _, first = call(background.port, "POST", "/v1/evaluate", spec)
+        assert status == 200
+        assert first["method"] == "monte-carlo"
+        assert first["trials"] == 300
+        # Same labeled stream, same estimate: scheduling-independent.
+        status, _, second = call(background.port, "POST", "/v1/evaluate", spec)
+        assert status == 200
+        assert second["unsafety"] == first["unsafety"]
+        assert second["liveness"] == first["liveness"]
+        # The worker's own metrics folded into the server registry.
+        status, _, metrics = call(background.port, "GET", "/metrics")
+        snapshot = metrics["metrics"]
+        assert snapshot["service.worker.dispatches"]["value"] == 2

@@ -1,0 +1,74 @@
+"""Request parsing and response shaping for ``/v1/evaluate``."""
+
+import pytest
+
+from repro.core.probability import DEFAULT_TRIALS, evaluate
+from repro.service.specs import (
+    RequestError,
+    evaluate_response,
+    parse_evaluate_payload,
+)
+
+
+def test_defaults_fill_in():
+    request = parse_evaluate_payload({})
+    assert request.protocol_spec == "S"
+    assert request.topology_spec == "pair"
+    assert request.run_spec == "good"
+    assert request.rounds == 8
+    assert request.method == "auto"
+    assert request.trials == DEFAULT_TRIALS
+    assert request.seed == 0
+
+
+def test_payload_round_trips_through_parse():
+    request = parse_evaluate_payload(
+        {"protocol": "S:0.25", "run": "cut:3", "rounds": 6, "seed": 7}
+    )
+    assert parse_evaluate_payload(request.payload) == request
+
+
+@pytest.mark.parametrize(
+    "payload, fragment",
+    [
+        ({"bogus": 1}, "unknown fields"),
+        ({"protocol": 42}, "must be a str"),
+        ({"seed": True}, "must be an integer"),
+        ({"rounds": 0}, "rounds must be >= 1"),
+        ({"trials": 0}, "trials must be >= 1"),
+        ({"method": "psychic"}, "unknown method"),
+        ({"protocol": "nope"}, "unknown protocol"),
+        ({"run": "cut:99", "rounds": 4}, "cut_round"),
+    ],
+)
+def test_malformed_payloads_raise_request_error(payload, fragment):
+    with pytest.raises(RequestError, match=fragment):
+        parse_evaluate_payload(payload)
+
+
+def test_resolves_exact_by_method_and_protocol():
+    exact = parse_evaluate_payload({"protocol": "S:0.25"})
+    assert exact.resolves_exact()  # ProtocolS has a closed form
+    mc = parse_evaluate_payload({"protocol": "S:0.25", "method": "monte-carlo"})
+    assert not mc.resolves_exact()
+    forced = parse_evaluate_payload({"protocol": "A", "method": "enumeration"})
+    assert forced.resolves_exact()
+
+
+def test_evaluate_response_reports_the_tradeoff():
+    request = parse_evaluate_payload(
+        {"protocol": "S:0.25", "run": "cut:3", "rounds": 6}
+    )
+    result = evaluate(request.protocol, request.topology, request.run)
+    response = evaluate_response(request, result)
+    assert response["protocol"] == request.protocol.name
+    assert response["method"] == result.method
+    assert response["unsafety"] == result.pr_partial_attack
+    assert response["liveness"] == result.pr_total_attack
+    assert response["pr_no_attack"] == result.pr_no_attack
+    assert response["epsilon"] == 0.25
+    # Theorem 6.8's floor, reported per query for Protocol S.
+    assert response["liveness_lower_bound"] == min(
+        1.0, 0.25 * response["modified_level"]
+    )
+    assert response["liveness"] >= response["liveness_lower_bound"] - 1e-12

@@ -1,0 +1,10 @@
+# repro: path=src/repro/service/fixture_rng.py
+"""Fixture: ad-hoc randomness in the serving tier."""
+
+import random
+
+
+def jitter_seed(request_id):
+    backoff = random.uniform(0.0, 0.1)
+    rng = random.Random(request_id)
+    return backoff, rng.random()

@@ -1,0 +1,10 @@
+# repro: path=src/repro/service/fixture_rng.py
+"""Fixture: request randomness via labeled child streams."""
+
+from repro.core.seeding import spawn_random
+
+
+def request_rng(seed, protocol_spec, run_spec, trials):
+    return spawn_random(
+        seed, "service", "evaluate", protocol_spec, run_spec, trials
+    )

@@ -1,0 +1,12 @@
+# repro: path=src/repro/service/fixture_latency.py
+"""Fixture: wall clocks in the serving tier."""
+
+import datetime
+import time
+
+
+def measure(handler):
+    started = time.time()
+    response = handler()
+    stamp = datetime.datetime.utcnow()
+    return response, time.time() - started, stamp

@@ -1,0 +1,10 @@
+# repro: path=src/repro/service/fixture_latency.py
+"""Fixture: service latencies on monotonic, stamps via the escape hatch."""
+
+from repro.obs.runtime import monotonic, utc_now_isoformat
+
+
+def measure(handler):
+    started = monotonic()
+    response = handler()
+    return response, monotonic() - started, utc_now_isoformat()

@@ -27,7 +27,9 @@ def check_fixture(name):
     "name, rule_id, lines",
     [
         ("rc001_bad.py", "RC001", [10, 11, 12, 13]),
+        ("rc001_service_bad.py", "RC001", [8, 9]),
         ("rc002_bad.py", "RC002", [9, 10]),
+        ("rc002_service_bad.py", "RC002", [9, 11, 12]),
         ("rc003_bad.py", "RC003", [6, 8]),
         ("rc004_bad.py", "RC004", [1, 2]),
         ("rc005_bad.py", "RC005", [10, 12, 12, 13]),
@@ -42,7 +44,9 @@ def test_bad_fixture_trips_rule(name, rule_id, lines):
     "name",
     [
         "rc001_good.py",
+        "rc001_service_good.py",
         "rc002_good.py",
+        "rc002_service_good.py",
         "rc003_good.py",
         "rc004_good.py",
         "rc005_good.py",

@@ -21,9 +21,10 @@ ALL_EXAMPLES = [
     "weak_adversary_study",
     "async_latency_study",
     "knowledge_and_levels",
+    "serve_and_query",
 ]
 
-FAST_EXAMPLES = ["quickstart"]
+FAST_EXAMPLES = ["quickstart", "serve_and_query"]
 
 
 def _load(name: str):
