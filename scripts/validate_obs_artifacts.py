@@ -10,10 +10,12 @@ Checks the ``--trace`` JSONL export (meta line, span records,
 parent/child consistency), the ``--metrics`` JSON export
 (schema_version, per-metric shape, histogram bucket invariants) as
 documented in DESIGN.md §8, and the ``--bench-serve`` artifact
-(schema_version 2, provenance stamps, latency percentiles, embedded
-metrics snapshot) from DESIGN.md §10.  Exits non-zero with a message
-per violation — CI runs this against the artifacts it uploads so
-schema drift fails the build instead of silently shipping.
+(schema_version 3: provenance stamps, CPU count, the scaling curve
+with per-entry SLO blocks and served-only latency percentiles,
+shed-rate arithmetic, per-shard count consistency, embedded metrics
+snapshot) from DESIGN.md §10-§11.  Exits non-zero with a message per
+violation — CI runs this against the artifacts it uploads so schema
+drift fails the build instead of silently shipping.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ import sys
 
 TRACE_SCHEMA_VERSION = 1
 METRICS_SCHEMA_VERSION = 1
-BENCH_SERVE_SCHEMA_VERSION = 2
+BENCH_SERVE_SCHEMA_VERSION = 3
 
 
 def _fail(errors, message):
@@ -140,6 +142,117 @@ def _validate_metric_entries(path: str, metrics: dict, errors: list) -> int:
     return len(metrics)
 
 
+def _validate_latency_block(
+    path: str, label: str, latency, required: bool, errors: list
+) -> None:
+    if not isinstance(latency, dict):
+        _fail(errors, f"{path}: {label}: missing latency mapping")
+        return
+    if not latency:
+        if required:
+            _fail(errors, f"{path}: {label}: empty latency_seconds")
+        return
+    for key in ("min", "max", "mean", "p50", "p95", "p99"):
+        if not isinstance(latency.get(key), (int, float)):
+            _fail(errors, f"{path}: {label}: latency missing {key!r}")
+    quantiles = [latency.get(k) for k in ("p50", "p95", "p99", "max")]
+    if all(isinstance(q, (int, float)) for q in quantiles):
+        if sorted(quantiles) != quantiles:
+            _fail(errors, f"{path}: {label}: percentiles are not monotone")
+
+
+def _validate_scaling_entry(path: str, entry, position: int, errors: list):
+    """One point of the scaling curve; returns (shards, requests_total)."""
+    label = f"scaling[{position}]"
+    if not isinstance(entry, dict):
+        _fail(errors, f"{path}: {label} must be an object")
+        return None, 0
+    shards = entry.get("shards")
+    if not isinstance(shards, int) or shards < 1:
+        _fail(errors, f"{path}: {label}: shards must be a positive integer")
+    counts = {}
+    for field in (
+        "requests_total",
+        "requests_ok",
+        "requests_rejected",
+        "requests_rejected_with_retry_after",
+        "requests_failed",
+    ):
+        value = entry.get(field)
+        if not isinstance(value, int) or value < 0:
+            _fail(
+                errors,
+                f"{path}: {label}: {field} must be a non-negative integer",
+            )
+            value = 0
+        counts[field] = value
+    if counts["requests_total"] != (
+        counts["requests_ok"]
+        + counts["requests_rejected"]
+        + counts["requests_failed"]
+    ):
+        _fail(errors, f"{path}: {label}: counts do not sum to requests_total")
+    if (
+        counts["requests_rejected_with_retry_after"]
+        > counts["requests_rejected"]
+    ):
+        _fail(
+            errors,
+            f"{path}: {label}: more Retry-After rejections than rejections",
+        )
+    for field in ("duration_seconds", "throughput_rps", "shed_rate"):
+        if not isinstance(entry.get(field), (int, float)):
+            _fail(errors, f"{path}: {label}: missing numeric {field}")
+    shed = entry.get("shed_rate")
+    if isinstance(shed, (int, float)) and counts["requests_total"]:
+        expected = counts["requests_rejected"] / counts["requests_total"]
+        if abs(shed - expected) > 1e-9:
+            _fail(
+                errors,
+                f"{path}: {label}: shed_rate {shed} does not match "
+                f"rejected/total = {expected}",
+            )
+    # Served-only percentiles: required whenever anything was served.
+    _validate_latency_block(
+        path,
+        label,
+        entry.get("latency_seconds"),
+        required=counts["requests_ok"] > 0,
+        errors=errors,
+    )
+    per_shard = entry.get("per_shard")
+    if not isinstance(per_shard, dict):
+        _fail(errors, f"{path}: {label}: missing 'per_shard' mapping")
+    else:
+        attributed = 0
+        for shard_id, block in sorted(per_shard.items()):
+            shard_label = f"{label}.per_shard[{shard_id}]"
+            if not isinstance(block, dict):
+                _fail(errors, f"{path}: {shard_label} must be an object")
+                continue
+            for field in ("requests", "ok", "rejected", "failed"):
+                if not isinstance(block.get(field), int):
+                    _fail(
+                        errors,
+                        f"{path}: {shard_label}: missing integer {field}",
+                    )
+            attributed += block.get("requests", 0) or 0
+            _validate_latency_block(
+                path,
+                shard_label,
+                block.get("latency_seconds"),
+                required=bool(block.get("ok")),
+                errors=errors,
+            )
+        if attributed != counts["requests_total"]:
+            _fail(
+                errors,
+                f"{path}: {label}: per-shard requests sum to {attributed}, "
+                f"requests_total says {counts['requests_total']}",
+            )
+    return shards, counts["requests_total"]
+
+
 def validate_bench_serve(path: str, errors: list) -> int:
     """Validate a BENCH_serve.json artifact; returns the request count."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -160,40 +273,48 @@ def validate_bench_serve(path: str, errors: list) -> int:
         isinstance(sha, str) and len(sha) == 40
     ):
         _fail(errors, f"{path}: malformed git_sha {sha!r}")
-    counts = {}
-    for field in (
-        "requests_total",
-        "requests_ok",
-        "requests_rejected",
-        "requests_failed",
-    ):
-        value = payload.get(field)
-        if not isinstance(value, int) or value < 0:
-            _fail(errors, f"{path}: {field} must be a non-negative integer")
-            value = 0
-        counts[field] = value
-    if counts["requests_total"] != (
-        counts["requests_ok"]
-        + counts["requests_rejected"]
-        + counts["requests_failed"]
-    ):
-        _fail(errors, f"{path}: request counts do not sum to requests_total")
-    for field in ("duration_seconds", "throughput_rps"):
-        if not isinstance(payload.get(field), (int, float)):
-            _fail(errors, f"{path}: missing numeric {field}")
-    latency = payload.get("latency_seconds")
-    if not isinstance(latency, dict):
-        _fail(errors, f"{path}: missing 'latency_seconds' mapping")
-    else:
-        for key in ("min", "max", "mean", "p50", "p95", "p99"):
-            if not isinstance(latency.get(key), (int, float)):
-                _fail(errors, f"{path}: latency_seconds missing {key!r}")
-        quantiles = [latency.get(k) for k in ("p50", "p95", "p99", "max")]
-        if all(isinstance(q, (int, float)) for q in quantiles):
-            if sorted(quantiles) != quantiles:
+    cpus = payload.get("cpu_count")
+    if not isinstance(cpus, int) or cpus < 1:
+        _fail(
+            errors,
+            f"{path}: cpu_count must be a positive integer (scaling "
+            "claims are meaningless without the hardware they ran on)",
+        )
+    if not isinstance(payload.get("workload"), dict):
+        _fail(errors, f"{path}: missing 'workload' mapping")
+    scaling = payload.get("scaling")
+    total = 0
+    by_shards = {}
+    if not isinstance(scaling, list) or not scaling:
+        _fail(errors, f"{path}: missing or empty 'scaling' curve")
+        scaling = []
+    for position, entry in enumerate(scaling):
+        shards, requests = _validate_scaling_entry(
+            path, entry, position, errors
+        )
+        total += requests
+        if shards is not None:
+            by_shards[shards] = entry
+    headline = payload.get("headline")
+    if scaling and headline != scaling[-1]:
+        _fail(errors, f"{path}: headline must equal the last scaling entry")
+    speedup = payload.get("speedup_vs_single_shard")
+    if speedup is not None:
+        if not isinstance(speedup, (int, float)):
+            _fail(errors, f"{path}: non-numeric speedup_vs_single_shard")
+        elif 1 in by_shards and scaling:
+            single = by_shards[1].get("throughput_rps")
+            peak = scaling[-1].get("throughput_rps")
+            if (
+                isinstance(single, (int, float))
+                and isinstance(peak, (int, float))
+                and single > 0
+                and abs(speedup - peak / single) > 1e-6
+            ):
                 _fail(
                     errors,
-                    f"{path}: latency percentiles are not monotone",
+                    f"{path}: speedup_vs_single_shard {speedup} does not "
+                    "match the recorded curve",
                 )
     metrics = payload.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
@@ -207,7 +328,7 @@ def validate_bench_serve(path: str, errors: list) -> int:
                 f"{path}: metrics missing service.batch.size (the "
                 "coalescing evidence)",
             )
-    return counts["requests_total"]
+    return total
 
 
 def main(argv=None) -> int:

@@ -444,6 +444,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         deadline_ms=args.deadline_ms,
         drain_timeout_s=args.drain_timeout,
+        shards=args.shards,
+        cache_snapshot_dir=args.cache_snapshot_dir,
         debug=args.debug_endpoints,
         trace_path=args.trace,
         metrics_path=args.metrics,
@@ -460,6 +462,17 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_shard_counts(text: str) -> List[int]:
+    """``"1,4"`` → ``[1, 4]`` (the bench-serve sweep specification)."""
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SpecError(f"--shards expects a comma list of ints, got {text!r}")
+    if not counts or any(count < 1 for count in counts):
+        raise SpecError(f"--shards entries must be >= 1, got {text!r}")
+    return counts
+
+
 def _cmd_bench_serve(args) -> int:
     from .service import LoadgenOptions, ServiceConfig
     from .service.loadgen import run_bench
@@ -467,13 +480,18 @@ def _cmd_bench_serve(args) -> int:
     options = LoadgenOptions(
         requests=args.requests,
         concurrency=args.concurrency,
+        processes=args.processes,
         rounds=args.rounds,
         protocol=args.protocol,
         spread=args.spread,
+        groups=args.groups,
         seed=args.seed,
     )
+    shard_counts = _parse_shard_counts(args.shards)
     server_config = None
+    sweep: Optional[List[int]] = None
     if args.host is None or args.port is None:
+        sweep = shard_counts
         server_config = ServiceConfig(
             port=0,
             backend=args.backend,
@@ -483,33 +501,48 @@ def _cmd_bench_serve(args) -> int:
             queue_limit=args.queue_limit,
             seed=args.seed,
         )
+    elif args.shards != "1":
+        print(
+            "--shards is ignored against an external server "
+            "(its shard count is discovered, not configured)",
+            file=sys.stderr,
+        )
     payload = run_bench(
         options,
         host=args.host,
         port=args.port,
         output=args.output,
         server_config=server_config,
+        shard_counts=sweep,
     )
-    latency = payload["latency_seconds"]
-    table = Table(
-        title="Serving benchmark",
-        columns=["quantity", "value"],
-        caption=f"target: {payload['target']}",
-    )
-    table.add_row("requests (ok/rejected/failed)", "{}/{}/{}".format(
-        payload["requests_ok"],
-        payload["requests_rejected"],
-        payload["requests_failed"],
-    ))
-    table.add_row("duration (s)", payload["duration_seconds"])
-    table.add_row("throughput (req/s)", payload["throughput_rps"])
-    for name in ("p50", "p95", "p99", "mean", "max"):
-        if name in latency:
-            table.add_row(f"latency {name} (s)", latency[name])
-    batch = payload["metrics"].get("service.batch.size", {})
-    if batch:
-        table.add_row("max coalesced batch", batch.get("max"))
-    print(table.render())
+    for entry in payload["scaling"]:
+        latency = entry["latency_seconds"]
+        table = Table(
+            title=f"Serving benchmark — {entry['shards']} shard(s)",
+            columns=["quantity", "value"],
+            caption=f"target: {payload['target']}",
+        )
+        table.add_row("requests (ok/shed/failed)", "{}/{}/{}".format(
+            entry["requests_ok"],
+            entry["requests_rejected"],
+            entry["requests_failed"],
+        ))
+        table.add_row("duration (s)", entry["duration_seconds"])
+        table.add_row("throughput (req/s)", entry["throughput_rps"])
+        table.add_row("shed rate", entry["shed_rate"])
+        for name in ("p50", "p95", "p99", "mean", "max"):
+            if name in latency:
+                table.add_row(f"served latency {name} (s)", latency[name])
+        if entry.get("batch_size_max") is not None:
+            table.add_row("max coalesced batch", entry["batch_size_max"])
+        print(table.render())
+        print()
+    if "speedup_vs_single_shard" in payload:
+        print(
+            f"speedup vs single shard: "
+            f"{payload['speedup_vs_single_shard']:.2f}x "
+            f"(on {payload['cpu_count']} CPU(s))"
+        )
     if args.output:
         print(f"artifact written to {args.output}")
     return 0
@@ -721,6 +754,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for in-flight requests on shutdown",
     )
     serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "engine shard processes behind a consistent-hash supervisor "
+            "(1 = classic single-process server; see DESIGN.md section 11)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache-snapshot-dir",
+        default=None,
+        help=(
+            "directory for warm-start cache snapshots: each shard exports "
+            "shard-<i>.cache on drain and re-imports it on boot"
+        ),
+    )
+    serve_parser.add_argument(
         "--debug-endpoints",
         action="store_true",
         help="enable the /v1/_sleep test hook (never in production)",
@@ -741,6 +791,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--port", type=int, default=None)
     bench_serve.add_argument("--requests", type=int, default=200)
     bench_serve.add_argument("--concurrency", type=int, default=16)
+    bench_serve.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="load-generator processes the workload is split across",
+    )
     bench_serve.add_argument("--rounds", type=int, default=8)
     bench_serve.add_argument(
         "--protocol", default="S:0.25", help="evaluated protocol spec"
@@ -749,6 +805,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--spread",
         action="store_true",
         help="vary the protocol per request (defeats coalescing)",
+    )
+    bench_serve.add_argument(
+        "--groups",
+        type=int,
+        default=1,
+        help=(
+            "rotate across this many distinct batch groups (coalescable "
+            "within each; gives a sharded server routing entropy)"
+        ),
+    )
+    bench_serve.add_argument(
+        "--shards",
+        default="1",
+        help=(
+            "comma list of shard counts to sweep for the scaling curve "
+            "(self-contained benches only), e.g. 1,2,4"
+        ),
     )
     add_service_knobs(bench_serve)
     bench_serve.add_argument(

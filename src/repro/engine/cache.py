@@ -1,0 +1,155 @@
+"""Pluggable memo caches for the evaluation :class:`~repro.engine.Engine`.
+
+The engine memoizes exact evaluation results keyed on
+:meth:`Engine.cache_key <repro.engine.Engine.cache_key>` — the
+hashable ``(protocol, topology, run, method, trials)`` tuple.  This
+module makes that cache an explicit, swappable component instead of a
+private dict inside one engine:
+
+* :class:`EngineCache` — the interface every cache implements
+  (``get`` / ``put`` / ``clear`` / ``__len__``).  Implementations must
+  treat keys and results as immutable shared values: the engine hands
+  the same objects to every caller, and a cache hit replays the stored
+  result verbatim.  Rule RC005 of :mod:`repro.staticcheck` enforces
+  that contract statically over :data:`CACHE_SURFACE_QUALNAMES`.
+* :class:`InProcessCache` — the bounded FIFO dict cache the engine has
+  always used, now behind the interface.
+* :class:`ShardLocalCache` — an :class:`InProcessCache` that can
+  export and import **warm-start snapshots**.  A serving shard drains
+  with a hot cache; exporting it and importing it on the next boot
+  (or on a replacement shard) skips the cold-start re-evaluation of
+  every popular query.  Snapshots store the key *components*, not the
+  key tuples: cache keys embed ``hash(protocol)``, which is not stable
+  across processes (string field hashing is salted per process), so
+  the import path re-derives every key through ``Engine.cache_key`` in
+  the importing process.
+
+Thread-affinity: like the engine itself, a cache instance belongs to
+one evaluation thread at a time.  The engine serializes its own access
+(the service tier runs one engine thread per shard); the cache does
+not lock.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..core.probability import EventProbabilities
+
+#: Cache-surface methods RC005 verifies: they may mutate the cache's
+#: own state (that is their job) but must not mutate keys or results,
+#: touch module globals, or consume RNG/clock — a hit replays the
+#: stored value, so anything impure would be silently frozen into it.
+CACHE_SURFACE_QUALNAMES: Tuple[str, ...] = (
+    "repro.engine.cache.InProcessCache.get",
+    "repro.engine.cache.InProcessCache.put",
+    "repro.engine.cache.ShardLocalCache.export_snapshot",
+    "repro.engine.cache.ShardLocalCache.import_snapshot",
+)
+
+#: Snapshot wire-format version; bump when the pickled shape changes.
+SNAPSHOT_VERSION = 1
+
+
+class EngineCache(ABC):
+    """The memo-cache interface the engine evaluates against.
+
+    Keys are ``Engine.cache_key`` tuples (never ``None`` — the engine
+    skips the cache for unhashable specs before calling in here).
+    Values are exact :class:`EventProbabilities` results; the engine
+    never asks a cache to store a Monte-Carlo estimate.
+    """
+
+    @abstractmethod
+    def get(self, key: tuple) -> Optional[EventProbabilities]:
+        """The stored result for ``key``, or ``None`` on a miss."""
+
+    @abstractmethod
+    def put(self, key: tuple, result: EventProbabilities) -> None:
+        """Store one exact result (evicting per policy if full)."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """The number of stored entries."""
+
+
+class InProcessCache(EngineCache):
+    """Bounded FIFO dict cache: the engine's historical default.
+
+    ``max_size <= 0`` disables storage entirely (every ``put`` is a
+    no-op), matching the old ``Engine(cache_size=0)`` behavior.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        self.max_size = max_size
+        self._data: "OrderedDict[tuple, EventProbabilities]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[EventProbabilities]:
+        return self._data.get(key)
+
+    def put(self, key: tuple, result: EventProbabilities) -> None:
+        if self.max_size <= 0:
+            return
+        if key not in self._data and len(self._data) >= self.max_size:
+            self._data.popitem(last=False)
+        self._data[key] = result
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class ShardLocalCache(InProcessCache):
+    """An in-process cache with warm-start snapshot export/import.
+
+    The snapshot is a pickled list of ``(components, result)`` pairs
+    where ``components`` is the ``(protocol, topology, run, method,
+    trials)`` argument tuple of ``Engine.cache_key``.  Import re-keys
+    every entry through ``Engine.cache_key`` in the importing process,
+    so snapshots survive per-process hash salting and can warm a
+    freshly spawned shard (or the same shard across a restart).
+    """
+
+    def export_snapshot(self) -> bytes:
+        """Serialize the current entries as a warm-start snapshot.
+
+        Keys are stored as their components (``key[1:]`` — everything
+        after the embedded ``hash(protocol)`` prefix), which is what
+        makes the snapshot portable across processes.
+        """
+        entries: List[Tuple[tuple, EventProbabilities]] = [
+            (key[1:], result) for key, result in self._data.items()
+        ]
+        return pickle.dumps((SNAPSHOT_VERSION, entries))
+
+    def import_snapshot(self, blob: bytes) -> int:
+        """Load a snapshot produced by :meth:`export_snapshot`.
+
+        Entries are re-keyed via ``Engine.cache_key`` so lookups in
+        this process hit them; entries whose components no longer hash
+        (or snapshot versions this build does not know) are skipped.
+        Returns the number of entries imported.
+        """
+        from .engine import Engine
+
+        version, entries = pickle.loads(blob)
+        if version != SNAPSHOT_VERSION:
+            return 0
+        imported = 0
+        for components, result in entries:
+            protocol, topology, run, method, trials = components
+            key = Engine.cache_key(protocol, topology, run, method, trials)
+            if key is None:
+                continue
+            self.put(key, result)
+            imported += 1
+        return imported

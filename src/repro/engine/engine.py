@@ -18,12 +18,16 @@ closed forms (enforced by the parity test suite), switching backends
 never changes a claim check — only wall time.
 
 Results whose method is exact (closed form or enumeration) are
-memoized in a bounded FIFO cache keyed on the hashable, immutable
-``(protocol, topology, run)`` triple, so greedy and random searches
-stop re-simulating duplicate neighbors and repeated certification
-passes (e.g. E16's family search after an exhaustive sweep) become
-cache hits.  Monte-Carlo results are never cached: caching them would
-silently freeze sampling noise and perturb downstream rng streams.
+memoized in a pluggable :class:`~repro.engine.cache.EngineCache`
+(default: a bounded FIFO :class:`~repro.engine.cache.InProcessCache`)
+keyed on the hashable, immutable ``(protocol, topology, run)`` triple,
+so greedy and random searches stop re-simulating duplicate neighbors
+and repeated certification passes (e.g. E16's family search after an
+exhaustive sweep) become cache hits.  Serving shards use the
+snapshot-capable :class:`~repro.engine.cache.ShardLocalCache` variant
+for warm starts.  Monte-Carlo results are never cached: caching them
+would silently freeze sampling noise and perturb downstream rng
+streams.
 
 Instrumentation lives in :mod:`repro.obs`: each engine owns a
 :class:`~repro.obs.MetricsRegistry` (``engine.*`` counters, the
@@ -41,9 +45,10 @@ from __future__ import annotations
 
 import logging
 import random
-from collections import OrderedDict
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.probability import (
     DEFAULT_ENUMERATION_LIMIT,
@@ -57,6 +62,7 @@ from ..core.topology import Topology
 from ..core.types import Round
 from ..obs import MetricsRegistry, Obs, get_obs
 from ..obs.runtime import monotonic
+from .cache import EngineCache, InProcessCache
 
 logger = logging.getLogger(__name__)
 
@@ -157,15 +163,37 @@ class EngineStats:
         }
 
 
+class EngineBusyError(RuntimeError):
+    """Cache maintenance attempted while evaluations are in flight."""
+
+
 @dataclass
 class Engine:
-    """Facade over the reference and vectorized evaluation backends."""
+    """Facade over the reference and vectorized evaluation backends.
+
+    **Thread affinity.** An engine instance is single-threaded by
+    contract: evaluations (:meth:`evaluate`, :meth:`evaluate_many`,
+    the pair fast paths) and cache maintenance (:meth:`clear_cache`,
+    :meth:`reset`) must all run on one thread at a time.  The service
+    tier honors this by giving each shard its own engine on a
+    dedicated single-thread executor.  The contract is enforced, not
+    just documented: :meth:`clear_cache` and :meth:`reset` raise
+    :class:`EngineBusyError` if any evaluation is in flight (on this
+    or any other thread) instead of mutating the memo cache under a
+    concurrent reader; :attr:`cache_len` is always safe to read.
+
+    **Cache.** The memo cache is pluggable (``cache=`` takes any
+    :class:`~repro.engine.cache.EngineCache`); by default a bounded
+    FIFO :class:`~repro.engine.cache.InProcessCache` of ``cache_size``
+    entries.  Only exact results are ever stored.
+    """
 
     backend: str = "auto"
     cache_size: int = DEFAULT_CACHE_SIZE
     min_vectorized_batch: int = MIN_VECTORIZED_BATCH
     obs: Optional[Obs] = None
     stats: Optional[EngineStats] = field(default=None, repr=False)
+    cache: Optional[EngineCache] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -183,7 +211,10 @@ class Engine:
             )
         metrics = self.obs.metrics
         self.stats = EngineStats(metrics)
-        self._cache: "OrderedDict[tuple, EventProbabilities]" = OrderedDict()
+        if self.cache is None:
+            self.cache = InProcessCache(self.cache_size)
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
         # Resolve hot-path metrics once; updates are attribute bumps.
         self._runs_counter = metrics.counter("engine.runs_evaluated")
         self._reference_counter = metrics.counter("engine.reference_evaluations")
@@ -197,8 +228,8 @@ class Engine:
 
     # -- cache ---------------------------------------------------------
 
+    @staticmethod
     def cache_key(
-        self,
         protocol: Protocol,
         topology: Topology,
         run: Run,
@@ -207,18 +238,20 @@ class Engine:
     ) -> Optional[tuple]:
         """The memo-cache key for one evaluation, or None if unhashable.
 
-        Public because callers that sit *in front of* the engine — the
-        service tier's micro-batcher, most notably — need to know
-        whether two requests would land on the same cache line (and
-        therefore dedupe/coalesce) without evaluating anything.
+        Public (and static: no engine required) because callers that
+        sit *in front of* the engine — the service tier's
+        micro-batcher, shard routers, warm-start snapshot import —
+        need to know whether two requests would land on the same cache
+        line without evaluating anything, sometimes before any engine
+        exists in the process.
         """
         try:
             return (hash(protocol), protocol, topology, run, method, trials)
         except TypeError:
             return None  # unhashable protocol: skip memoization
 
+    @staticmethod
     def batch_key(
-        self,
         protocol: Protocol,
         topology: Topology,
         method: str = "auto",
@@ -230,17 +263,42 @@ class Engine:
         None) may be coalesced into a single :meth:`evaluate_many`
         call without changing any result — they share the protocol,
         topology, method, and trial count, so only their runs differ.
-        This is the grouping hook the service micro-batcher uses.
+        This is the grouping hook the service micro-batcher uses, and
+        (static, so routers need no engine) the key the sharded
+        serving tier consistent-hashes to pick the shard whose cache
+        owns the group (see :mod:`repro.service.sharding`).
         """
         try:
             return (hash(protocol), protocol, topology, method, trials)
         except TypeError:
             return None  # unhashable protocol: never coalesce
 
+    @contextmanager
+    def _evaluating(self) -> Iterator[None]:
+        """Mark an evaluation in flight (guards cache maintenance)."""
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def _check_not_busy(self, operation: str) -> None:
+        with self._inflight_lock:
+            inflight = self._inflight
+        if inflight:
+            raise EngineBusyError(
+                f"{operation} with {inflight} evaluation(s) in flight: "
+                "the memo cache must not be mutated under a concurrent "
+                "reader (see the Engine thread-affinity contract)"
+            )
+
     def _cache_get(self, key: Optional[tuple]) -> Optional[EventProbabilities]:
         if key is None:
             return None
-        result = self._cache.get(key)
+        assert self.cache is not None
+        result = self.cache.get(key)
         if result is not None:
             self._hit_counter.value += 1
         else:
@@ -250,14 +308,17 @@ class Engine:
     def _cache_put(
         self, key: Optional[tuple], result: EventProbabilities
     ) -> None:
-        if key is None or not result.is_exact() or self.cache_size <= 0:
+        if key is None or not result.is_exact():
             return
-        if key not in self._cache and len(self._cache) >= self.cache_size:
-            self._cache.popitem(last=False)
-        self._cache[key] = result
+        assert self.cache is not None
+        self.cache.put(key, result)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        """Drop the memo cache (raises :class:`EngineBusyError` if
+        evaluations are in flight on any thread)."""
+        self._check_not_busy("clear_cache()")
+        assert self.cache is not None
+        self.cache.clear()
 
     def reset(self) -> None:
         """Zero the instrumentation and drop the memo cache.
@@ -269,10 +330,13 @@ class Engine:
         place, so resolved counter references — including this
         engine's :class:`EngineStats` view — stay valid; recorded
         trace spans are left alone (they belong to the session, not
-        the engine).
+        the engine).  Raises :class:`EngineBusyError` while
+        evaluations are in flight, like :meth:`clear_cache`.
         """
+        self._check_not_busy("reset()")
         self.obs.metrics.reset()
-        self._cache.clear()
+        assert self.cache is not None
+        self.cache.clear()
         logger.debug(
             "engine reset: memo cache dropped, metrics zeroed (backend=%s)",
             self.backend,
@@ -280,7 +344,38 @@ class Engine:
 
     @property
     def cache_len(self) -> int:
-        return len(self._cache)
+        """Entry count; safe to read concurrently with evaluations."""
+        assert self.cache is not None
+        return len(self.cache)
+
+    def export_cache_snapshot(self) -> bytes:
+        """Warm-start snapshot of the cache, if it supports one.
+
+        Delegates to :meth:`ShardLocalCache.export_snapshot
+        <repro.engine.cache.ShardLocalCache.export_snapshot>`; raises
+        ``TypeError`` for cache implementations without snapshots.
+        """
+        self._check_not_busy("export_cache_snapshot()")
+        exporter = getattr(self.cache, "export_snapshot", None)
+        if exporter is None:
+            raise TypeError(
+                f"{type(self.cache).__name__} does not support warm-start "
+                "snapshots (use ShardLocalCache)"
+            )
+        blob: bytes = exporter()
+        return blob
+
+    def import_cache_snapshot(self, blob: bytes) -> int:
+        """Load a warm-start snapshot; returns entries imported."""
+        self._check_not_busy("import_cache_snapshot()")
+        importer = getattr(self.cache, "import_snapshot", None)
+        if importer is None:
+            raise TypeError(
+                f"{type(self.cache).__name__} does not support warm-start "
+                "snapshots (use ShardLocalCache)"
+            )
+        imported: int = importer(blob)
+        return imported
 
     # -- backend selection --------------------------------------------
 
@@ -329,7 +424,7 @@ class Engine:
             )
         else:
             span = tracer.span("engine.evaluate")
-        with span:
+        with span, self._evaluating():
             self._runs_counter.value += 1
             key = self.cache_key(protocol, topology, run, method, trials)
             cached = self._cache_get(key)
@@ -392,7 +487,7 @@ class Engine:
             )
         else:
             span = tracer.span("engine.evaluate_many")
-        with span:
+        with span, self._evaluating():
             self._batch_counter.value += 1
             self._runs_counter.value += len(runs)
             results: List[Optional[EventProbabilities]] = [None] * len(runs)
@@ -420,7 +515,12 @@ class Engine:
                     # Re-consult the cache so duplicate runs inside one
                     # batch are evaluated once (exact results only; the
                     # cache never stores Monte-Carlo estimates).
-                    cached = self._cache.get(keys[index]) if keys[index] else None
+                    assert self.cache is not None
+                    cached = (
+                        self.cache.get(keys[index])
+                        if keys[index] is not None
+                        else None
+                    )
                     if cached is not None:
                         results[index] = cached
                         continue

@@ -16,10 +16,14 @@ that each do one thing:
   deadlines and metrics-snapshot merge-back;
 * :mod:`~repro.service.server` — admission control (bounded queue,
   429 + ``Retry-After`` backpressure), routing, and graceful drain on
-  SIGTERM.
+  SIGTERM;
+* :mod:`~repro.service.sharding` — horizontal scale: N spawn-context
+  engine shards behind a consistent-hash supervisor that routes on
+  the batch key and merges per-shard metrics (``--shards N``).
 
 Surfaced on the CLI as ``repro serve`` and ``repro bench-serve``; see
-DESIGN.md §10 for the architecture and endpoint schemas.
+DESIGN.md §10 for the architecture and endpoint schemas, §11 for the
+sharded deployment.
 """
 
 from .batcher import MicroBatcher
@@ -33,7 +37,12 @@ from .loadgen import (
     run_bench,
     run_load,
 )
-from .server import EvaluationServer, serve
+from .server import AsyncJsonServer, EvaluationServer, make_server, serve
+from .sharding import (
+    ShardedEvaluationServer,
+    ShardRing,
+    routing_key,
+)
 from .specs import (
     EvaluateRequest,
     RequestError,
@@ -44,6 +53,7 @@ from .testing import BackgroundServer
 from .workers import DeadlineExceeded, WorkerPool
 
 __all__ = [
+    "AsyncJsonServer",
     "BENCH_SCHEMA_VERSION",
     "BackgroundServer",
     "ClientConnection",
@@ -58,11 +68,15 @@ __all__ = [
     "MicroBatcher",
     "RequestError",
     "ServiceConfig",
+    "ShardRing",
+    "ShardedEvaluationServer",
     "WorkerPool",
     "evaluate_response",
+    "make_server",
     "parse_evaluate_payload",
     "percentile",
     "request_once",
+    "routing_key",
     "run_bench",
     "run_load",
     "serve",

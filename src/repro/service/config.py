@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..engine import BACKENDS
+from ..engine import BACKENDS, DEFAULT_CACHE_SIZE
 
 DEFAULT_PORT = 8642
 
@@ -34,6 +34,21 @@ class ServiceConfig:
     key, and a group is flushed early once ``max_batch`` requests have
     coalesced.
 
+    ``shards`` scales the serving tier horizontally: ``1`` (the
+    default) is the classic single-process server; ``> 1`` runs that
+    many spawn-context shard processes — each a complete
+    :class:`~repro.service.server.EvaluationServer` with its own
+    engine, cache, batcher, and worker tier — behind a supervisor
+    that consistent-hash routes ``/v1/evaluate`` on the request's
+    batch key (DESIGN.md §11).  Per-shard knobs (``workers``,
+    ``queue_limit``, ``max_batch``, ...) apply to *each* shard.
+
+    ``cache_size`` bounds each engine's exact-result memo cache, and
+    ``cache_snapshot_dir`` (optional) enables warm starts: on drain
+    every shard exports its cache to ``<dir>/shard-<i>.cache`` and
+    re-imports it on the next boot, re-keyed through
+    ``Engine.cache_key`` so snapshots survive hash randomization.
+
     ``debug`` enables the ``POST /v1/_sleep`` test hook (an admitted,
     deadline-checked request that just sleeps), which the backpressure
     and drain tests use to hold the admission queue open
@@ -52,6 +67,9 @@ class ServiceConfig:
     drain_timeout_s: float = 10.0
     max_body_bytes: int = 1 << 20
     enumeration_limit: Optional[int] = None
+    shards: int = 1
+    cache_size: int = DEFAULT_CACHE_SIZE
+    cache_snapshot_dir: Optional[str] = None
     debug: bool = False
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
@@ -77,6 +95,10 @@ class ServiceConfig:
             raise ValueError("drain_timeout_s must be >= 0")
         if self.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
+        if not 1 <= self.shards <= 64:
+            raise ValueError("shards must be in [1, 64]")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
 
     @property
     def max_wait_s(self) -> float:

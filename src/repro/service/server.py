@@ -22,6 +22,12 @@ requests to finish (no admitted request loses its response), then
 close idle connections, flush the batcher, stop the worker tier, and
 export the ``--trace`` / ``--metrics`` artifacts if configured.
 
+The connection-handling machinery lives in :class:`AsyncJsonServer`,
+shared with the shard supervisor of :mod:`repro.service.sharding` —
+``repro serve --shards N`` runs N of these servers as spawn-context
+processes behind one supervisor, each with its own engine and cache
+(see DESIGN.md §11).
+
 Ops endpoints: ``GET /healthz`` (liveness + queue state) and ``GET
 /metrics`` (the :class:`~repro.obs.MetricsRegistry` JSON export,
 schema documented in DESIGN.md §8 — the same payload ``--metrics``
@@ -32,10 +38,11 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import pathlib
 import signal
 from typing import Any, Dict, Optional, Tuple
 
-from ..engine import Engine
+from ..engine import Engine, ShardLocalCache
 from ..obs import MetricsRegistry, Obs, Tracer
 from ..obs.runtime import monotonic
 from .batcher import MicroBatcher
@@ -58,12 +65,19 @@ RETRY_AFTER_SECONDS = 1
 Route = Tuple[int, Dict[str, Any], Dict[str, str]]
 
 
-class EvaluationServer:
-    """One asyncio HTTP server wired to an engine, batcher, and pool."""
+class AsyncJsonServer:
+    """Shared asyncio HTTP machinery: accept, parse, route, drain.
 
-    def __init__(
-        self, config: ServiceConfig, obs: Optional[Obs] = None
-    ) -> None:
+    Subclasses implement :meth:`_route` (and optionally the
+    :meth:`_shutdown_components` hook, called after in-flight requests
+    drained).  Everything else — keep-alive connection loops, request
+    accounting, 5xx shielding, the idle/draining bookkeeping the
+    graceful-shutdown path relies on — is identical between the
+    single-process evaluation server and the shard supervisor, so it
+    lives here once.
+    """
+
+    def __init__(self, config: ServiceConfig, obs: Optional[Obs]) -> None:
         self.config = config
         if obs is None:
             obs = Obs(
@@ -72,14 +86,6 @@ class EvaluationServer:
             )
         self.obs = obs
         self.metrics = obs.metrics
-        self.engine = Engine(backend=config.backend, obs=obs)
-        self.batcher = MicroBatcher(
-            self.engine,
-            self.metrics,
-            max_batch=config.max_batch,
-            max_wait_s=config.max_wait_s,
-        )
-        self.pool = WorkerPool(config.workers, self.metrics)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task[None]]" = set()
         self._inflight = 0
@@ -121,20 +127,17 @@ class EvaluationServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._shutdown_requested = asyncio.Event()
+        await self._start_components()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
-        logger.info(
-            "serving on http://%s:%d (backend=%s, workers=%d, "
-            "max_batch=%d, max_wait=%.1fms, queue_limit=%d)",
-            self.config.host,
-            self.port,
-            self.config.backend,
-            self.config.workers,
-            self.config.max_batch,
-            self.config.max_wait_ms,
-            self.config.queue_limit,
-        )
+        self._log_started()
+
+    async def _start_components(self) -> None:
+        """Hook: bring up subclass-owned resources before binding."""
+
+    def _log_started(self) -> None:
+        logger.info("serving on http://%s:%d", self.config.host, self.port)
 
     def request_shutdown(self) -> None:
         """Signal-safe: ask the serve loop to drain and exit."""
@@ -185,13 +188,14 @@ class EvaluationServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        await self.batcher.drain()
-        self.batcher.shutdown()
-        self.pool.shutdown()
+        await self._shutdown_components()
         self._server = None
         self.metrics.gauge("service.drain.seconds").set(monotonic() - started)
         self._export_artifacts()
         logger.info("shutdown complete")
+
+    async def _shutdown_components(self) -> None:
+        """Hook: tear down subclass-owned resources after the drain."""
 
     def _export_artifacts(self) -> None:
         if self.config.trace_path:
@@ -292,6 +296,134 @@ class EvaluationServer:
             self._responses[bucket].inc()
         return status, payload, headers
 
+    async def _route(self, request: HttpRequest) -> Route:
+        raise NotImplementedError
+
+    @staticmethod
+    def _expect_method(request: HttpRequest, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405,
+                f"{request.path} expects {method}, got {request.method}",
+                headers={"Allow": method},
+            )
+
+    # -- inflight bookkeeping (admission + drain) ----------------------
+
+    def _enter_inflight(self) -> None:
+        self._inflight += 1
+        self._inflight_gauge.set(self._inflight)
+        assert self._idle is not None
+        self._idle.clear()
+
+    def _leave_inflight(self) -> None:
+        self._inflight -= 1
+        self._inflight_gauge.set(self._inflight)
+        if self._inflight == 0:
+            assert self._idle is not None
+            self._idle.set()
+
+    def _refuse_if_draining(self) -> None:
+        if self._draining:
+            raise HttpError(
+                503,
+                "server is draining",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+
+
+class EvaluationServer(AsyncJsonServer):
+    """One asyncio HTTP server wired to an engine, batcher, and pool.
+
+    ``shard_index`` identifies this server inside a sharded deployment
+    (``repro serve --shards N``): it labels the health payload, the
+    ``service.shard.index`` gauge, and the warm-start cache snapshot
+    file.  A standalone server is simply shard ``None``.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        obs: Optional[Obs] = None,
+        shard_index: Optional[int] = None,
+    ) -> None:
+        super().__init__(config, obs)
+        self.shard_index = shard_index
+        self.engine = Engine(
+            backend=config.backend,
+            obs=self.obs,
+            cache=ShardLocalCache(config.cache_size),
+        )
+        self.batcher = MicroBatcher(
+            self.engine,
+            self.metrics,
+            max_batch=config.max_batch,
+            max_wait_s=config.max_wait_s,
+        )
+        self.pool = WorkerPool(config.workers, self.metrics)
+        if shard_index is not None:
+            self.metrics.gauge("service.shard.index").set(shard_index)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _start_components(self) -> None:
+        self._import_cache_snapshot()
+
+    def _log_started(self) -> None:
+        logger.info(
+            "serving on http://%s:%d (backend=%s, workers=%d, "
+            "max_batch=%d, max_wait=%.1fms, queue_limit=%d, shard=%s)",
+            self.config.host,
+            self.port,
+            self.config.backend,
+            self.config.workers,
+            self.config.max_batch,
+            self.config.max_wait_ms,
+            self.config.queue_limit,
+            self.shard_index if self.shard_index is not None else "-",
+        )
+
+    async def _shutdown_components(self) -> None:
+        await self.batcher.drain()
+        self.batcher.shutdown()
+        self.pool.shutdown()
+        self._export_cache_snapshot()
+
+    # -- warm-start cache snapshots ------------------------------------
+
+    def _snapshot_path(self) -> Optional[pathlib.Path]:
+        if not self.config.cache_snapshot_dir:
+            return None
+        index = self.shard_index if self.shard_index is not None else 0
+        return (
+            pathlib.Path(self.config.cache_snapshot_dir)
+            / f"shard-{index}.cache"
+        )
+
+    def _import_cache_snapshot(self) -> None:
+        path = self._snapshot_path()
+        if path is None or not path.exists():
+            return
+        try:
+            imported = self.engine.import_cache_snapshot(path.read_bytes())
+        except Exception:  # a stale/corrupt snapshot must not kill boot
+            logger.warning("ignoring unreadable cache snapshot %s", path)
+            return
+        self.metrics.counter("service.cache.warm_start_entries").inc(imported)
+        logger.info("warm start: %d cache entries from %s", imported, path)
+
+    def _export_cache_snapshot(self) -> None:
+        path = self._snapshot_path()
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.engine.export_cache_snapshot())
+        logger.info(
+            "cache snapshot (%d entries) written to %s",
+            self.engine.cache_len,
+            path,
+        )
+
     # -- routing -------------------------------------------------------
 
     async def _route(self, request: HttpRequest) -> Route:
@@ -320,32 +452,21 @@ class EvaluationServer:
             return await self._admitted(self._handle_sleep, request)
         raise HttpError(404, f"no route for {path!r}")
 
-    @staticmethod
-    def _expect_method(request: HttpRequest, method: str) -> None:
-        if request.method != method:
-            raise HttpError(
-                405,
-                f"{request.path} expects {method}, got {request.method}",
-                headers={"Allow": method},
-            )
-
     def _health_payload(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "status": "draining" if self._draining else "ok",
             "inflight": self._inflight,
             "queue_limit": self.config.queue_limit,
             "workers": self.config.workers,
             "backend": self.config.backend,
         }
+        if self.shard_index is not None:
+            payload["shard"] = self.shard_index
+        return payload
 
     async def _admitted(self, handler: Any, request: HttpRequest) -> Route:
         """Run ``handler`` under admission control and the deadline."""
-        if self._draining:
-            raise HttpError(
-                503,
-                "server is draining",
-                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
-            )
+        self._refuse_if_draining()
         if self._inflight >= self.config.queue_limit:
             self._rejected_counter.inc()
             raise HttpError(
@@ -354,10 +475,7 @@ class EvaluationServer:
                 "flight); retry shortly",
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
             )
-        self._inflight += 1
-        self._inflight_gauge.set(self._inflight)
-        assert self._idle is not None
-        self._idle.clear()
+        self._enter_inflight()
         try:
             result: Route = await asyncio.wait_for(
                 handler(request), timeout=self.config.deadline_s
@@ -368,10 +486,7 @@ class EvaluationServer:
                 f"request exceeded its {self.config.deadline_s:.3f}s deadline"
             ) from error
         finally:
-            self._inflight -= 1
-            self._inflight_gauge.set(self._inflight)
-            if self._inflight == 0:
-                self._idle.set()
+            self._leave_inflight()
 
     # -- endpoint handlers ---------------------------------------------
 
@@ -435,9 +550,20 @@ class EvaluationServer:
         return 200, {"slept": float(seconds)}, {}
 
 
+def make_server(
+    config: ServiceConfig, obs: Optional[Obs] = None
+) -> AsyncJsonServer:
+    """The server for ``config``: sharded supervisor or single process."""
+    if config.shards > 1:
+        from .sharding import ShardedEvaluationServer
+
+        return ShardedEvaluationServer(config, obs=obs)
+    return EvaluationServer(config, obs=obs)
+
+
 async def serve(config: ServiceConfig, obs: Optional[Obs] = None) -> None:
     """Run a server until SIGTERM/SIGINT (the ``repro serve`` body)."""
-    server = EvaluationServer(config, obs=obs)
+    server = make_server(config, obs=obs)
     await server.start()
     server.install_signal_handlers()
     # An unbuffered, parseable readiness line: scripts wait for it.

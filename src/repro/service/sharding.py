@@ -1,0 +1,525 @@
+"""Sharded serving: N engine shards behind a consistent-hash router.
+
+One asyncio process tops out well before the engine does — request
+parsing, batch bookkeeping, and response serialization all contend on
+a single event loop.  ``repro serve --shards N`` therefore runs N
+complete :class:`~repro.service.server.EvaluationServer` processes
+("shards", spawn-context so no state leaks in by fork), each owning
+its private engine, memo cache, micro-batcher, admission queue, and
+worker tier, behind a lightweight supervisor
+(:class:`ShardedEvaluationServer`) that owns the public port.
+
+Routing is a consistent-hash ring over the request's **batch key**:
+the wire-level image of :meth:`repro.engine.engine.Engine.batch_key`
+(protocol, topology, rounds, method, trials — everything but the run
+and seed).  Keying the ring on the batch key, not the whole request,
+is the load-bearing choice: all runs of one batch group land on one
+shard, so the micro-batcher still coalesces them into single
+``evaluate_many`` calls and the memo cache keeps its hit rate — a
+random spray would fragment both N ways.
+
+Clients have two ways in:
+
+* **Proxy path** — ``POST /v1/evaluate`` on the supervisor port works
+  exactly like the single-process server (curl, CI smoke, examples);
+  the supervisor forwards over pooled keep-alive connections and
+  relays the shard's status and ``Retry-After`` verbatim.
+* **Direct path** — ``GET /shards`` publishes the routing table
+  (ports + algorithm); a smart client (the load generator) hashes
+  locally and talks straight to the shards, taking the supervisor
+  hop off the hot path entirely.
+
+``GET /metrics`` on the supervisor scrapes every shard and merges the
+snapshots into one fresh :class:`~repro.obs.MetricsRegistry` (plus a
+``per_shard`` breakdown), so one scrape still tells the whole story.
+``GET /healthz`` fans out similarly.  SIGTERM drains end-to-end: the
+supervisor drains its own proxied requests, then forwards SIGTERM to
+every shard and waits for their drains — no admitted request on any
+shard loses its response (see DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import logging
+import multiprocessing
+import os
+import signal
+from dataclasses import replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from multiprocessing.connection import Connection
+
+from ..core.probability import DEFAULT_TRIALS
+from ..obs import MetricsRegistry, Obs
+from ..obs.runtime import monotonic
+from .config import ServiceConfig
+from .http import ClientConnection, HttpError, HttpRequest
+from .server import (
+    RETRY_AFTER_SECONDS,
+    AsyncJsonServer,
+    EvaluationServer,
+    Route,
+)
+from .workers import DeadlineExceeded
+
+logger = logging.getLogger(__name__)
+
+#: Virtual nodes per shard on the hash ring: enough that the keyspace
+#: splits within a few percent of evenly for small shard counts.
+VIRTUAL_NODES = 64
+
+#: Seconds the supervisor waits for a shard to report readiness.
+SHARD_STARTUP_TIMEOUT_S = 60.0
+
+#: Extra seconds the proxy allows past the shard's own deadline before
+#: giving up on it (the shard answers 504 first in the normal case).
+PROXY_DEADLINE_GRACE_S = 5.0
+
+#: Payload fields that form the routing key — the wire-level image of
+#: ``Engine.batch_key``: run and seed are deliberately absent so every
+#: run of a batch group lands on the same shard.
+ROUTED_FIELDS = ("protocol", "topology", "rounds", "method", "trials")
+
+#: Wire defaults for the routed fields, kept in sync with
+#: ``specs.parse_evaluate_payload`` so an omitted field routes exactly
+#: like its explicit default.
+_ROUTED_DEFAULTS: Dict[str, Any] = {
+    "protocol": "S",
+    "topology": "pair",
+    "rounds": 8,
+    "method": "auto",
+    "trials": DEFAULT_TRIALS,
+}
+
+
+def routing_key(payload: Mapping[str, Any]) -> bytes:
+    """The consistent-hash key for one ``/v1/evaluate`` wire payload.
+
+    Canonical JSON over the :data:`ROUTED_FIELDS`, with wire defaults
+    filled in — deterministic across processes (unlike ``hash()``,
+    which is salted per process), so the load generator's worker
+    processes and the supervisor agree on every placement.
+    """
+    components = {
+        name: payload.get(name, _ROUTED_DEFAULTS[name])
+        for name in ROUTED_FIELDS
+    }
+    return json.dumps(
+        components, sort_keys=True, separators=(",", ":"), default=repr
+    ).encode("utf-8")
+
+
+class ShardRing:
+    """A consistent-hash ring mapping routing keys to shard indices.
+
+    blake2b over ``VIRTUAL_NODES`` virtual points per shard; a key is
+    owned by the first point clockwise from its hash.  Deterministic
+    given ``shard_count``, so any process can rebuild the identical
+    ring from the ``/shards`` routing table alone.
+    """
+
+    def __init__(self, shard_count: int, replicas: int = VIRTUAL_NODES) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shard_count = shard_count
+        points: List[Tuple[int, int]] = []
+        for shard in range(shard_count):
+            for replica in range(replicas):
+                label = f"shard-{shard}:{replica}".encode("ascii")
+                points.append((self._hash(label), shard))
+        points.sort()
+        self._hashes = [point[0] for point in points]
+        self._owners = [point[1] for point in points]
+
+    @staticmethod
+    def _hash(data: bytes) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(data, digest_size=8).digest(), "big"
+        )
+
+    def shard_for(self, key: bytes) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_right(self._hashes, self._hash(key))
+        return self._owners[index % len(self._owners)]
+
+
+def shard_config(config: ServiceConfig, index: int) -> ServiceConfig:
+    """The child config for shard ``index``.
+
+    Ephemeral port (the supervisor learns the bound port from the
+    readiness message), ``shards=1`` (no nesting), ``debug`` inherited
+    (the drain tests drive ``/v1/_sleep`` on shards directly), and
+    artifact paths suffixed per shard so exports never collide.
+    """
+    return replace(
+        config,
+        port=0,
+        shards=1,
+        trace_path=_suffixed(config.trace_path, index),
+        metrics_path=_suffixed(config.metrics_path, index),
+    )
+
+
+def _suffixed(path: Optional[str], index: int) -> Optional[str]:
+    if path is None:
+        return None
+    root, extension = os.path.splitext(path)
+    return f"{root}-shard{index}{extension}"
+
+
+def _shard_entry(
+    config: ServiceConfig, shard_index: int, ready: Connection
+) -> None:
+    """The spawn-context entry point of one shard process."""
+    logging.basicConfig(
+        level=logging.INFO,
+        format=(
+            f"%(asctime)s %(levelname)s shard[{shard_index}] "
+            "%(name)s: %(message)s"
+        ),
+    )
+    asyncio.run(_shard_main(config, shard_index, ready))
+
+
+async def _shard_main(
+    config: ServiceConfig, shard_index: int, ready: Connection
+) -> None:
+    server = EvaluationServer(config, shard_index=shard_index)
+    try:
+        await server.start()
+    except Exception as error:
+        ready.send(("error", f"{type(error).__name__}: {error}"))
+        ready.close()
+        return
+    server.install_signal_handlers()
+    ready.send(("ready", server.port))
+    ready.close()
+    await server.serve_until_shutdown()
+
+
+class ShardManager:
+    """Owns the shard processes: spawn, readiness, SIGTERM, reap."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.ports: List[int] = []
+        self._processes: List[Any] = []
+
+    def start(self) -> List[int]:
+        """Spawn every shard and block until all report readiness.
+
+        On any failure the already-started shards are terminated
+        before the error propagates — no orphaned processes.
+        """
+        context = multiprocessing.get_context("spawn")
+        receivers: List[Connection] = []
+        try:
+            for index in range(self.config.shards):
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_shard_entry,
+                    args=(shard_config(self.config, index), index, sender),
+                    name=f"repro-shard-{index}",
+                )
+                process.start()
+                sender.close()
+                self._processes.append(process)
+                receivers.append(receiver)
+            for index, receiver in enumerate(receivers):
+                if not receiver.poll(SHARD_STARTUP_TIMEOUT_S):
+                    raise RuntimeError(
+                        f"shard {index} did not report readiness within "
+                        f"{SHARD_STARTUP_TIMEOUT_S:.0f}s"
+                    )
+                kind, value = receiver.recv()
+                if kind != "ready":
+                    raise RuntimeError(f"shard {index} failed to start: {value}")
+                self.ports.append(int(value))
+        except BaseException:
+            self.terminate()
+            raise
+        finally:
+            for receiver in receivers:
+                receiver.close()
+        return self.ports
+
+    def signal_shutdown(self) -> None:
+        """Forward SIGTERM to every live shard (starts their drains)."""
+        for process in self._processes:
+            if process.is_alive() and process.pid is not None:
+                os.kill(process.pid, signal.SIGTERM)
+
+    def join(self, timeout_s: float) -> None:
+        """Wait up to ``timeout_s`` for shards to exit, then reap."""
+        deadline = monotonic() + timeout_s
+        for process in self._processes:
+            process.join(max(0.0, deadline - monotonic()))
+        self.terminate()
+
+    def terminate(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(1.0)
+        self._processes = []
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for process in self._processes if process.is_alive())
+
+
+class _ShardClient:
+    """A small keep-alive connection pool to one shard.
+
+    Connections are parked between proxied requests and reused; a
+    parked connection the shard has since closed gets one transparent
+    retry on a fresh connection.  ``limit`` bounds concurrent proxied
+    requests per shard (beyond it, callers queue on the semaphore —
+    the shard's own admission control is the real backpressure).
+    """
+
+    def __init__(self, host: str, port: int, limit: int = 32) -> None:
+        self.host = host
+        self.port = port
+        self._idle: List[ClientConnection] = []
+        self._gate = asyncio.Semaphore(limit)
+        self._closed = False
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        async with self._gate:
+            connection = self._idle.pop() if self._idle else None
+            reused = connection is not None
+            if connection is None:
+                connection = await ClientConnection.open(self.host, self.port)
+            try:
+                result = await connection.request(method, path, payload)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                await connection.close()
+                if not reused:
+                    raise
+                # A parked keep-alive connection the shard closed
+                # between requests: retry once on a fresh one.
+                connection = await ClientConnection.open(self.host, self.port)
+                try:
+                    result = await connection.request(method, path, payload)
+                except BaseException:
+                    await connection.close()
+                    raise
+            except BaseException:
+                await connection.close()
+                raise
+            _, headers, _ = result
+            if self._closed or headers.get("connection", "").lower() == "close":
+                await connection.close()
+            else:
+                self._idle.append(connection)
+            return result
+
+    async def close(self) -> None:
+        self._closed = True
+        while self._idle:
+            await self._idle.pop().close()
+
+
+class ShardedEvaluationServer(AsyncJsonServer):
+    """The supervisor: public port, hash routing, merged observability.
+
+    Inherits the whole connection/drain machinery from
+    :class:`AsyncJsonServer`; its ``_route`` proxies instead of
+    evaluating.  Every proxied request is tracked in the supervisor's
+    own in-flight set, so its drain completes only after every relayed
+    response has been written — then SIGTERM propagates to the shards
+    for their own drains.
+    """
+
+    def __init__(self, config: ServiceConfig, obs: Optional[Obs] = None) -> None:
+        if config.shards < 2:
+            raise ValueError(
+                "ShardedEvaluationServer requires shards >= 2; use "
+                "EvaluationServer for a single shard"
+            )
+        super().__init__(config, obs)
+        self.manager = ShardManager(config)
+        self.ring = ShardRing(config.shards)
+        self._clients: List[_ShardClient] = []
+        self._round_robin = 0
+        self.metrics.gauge("service.shards").set(config.shards)
+        self._proxied_counters = [
+            self.metrics.counter(f"service.proxy.shard.{index}.requests")
+            for index in range(config.shards)
+        ]
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _start_components(self) -> None:
+        loop = asyncio.get_running_loop()
+        ports = await loop.run_in_executor(None, self.manager.start)
+        self._clients = [
+            _ShardClient(self.config.host, port) for port in ports
+        ]
+
+    def _log_started(self) -> None:
+        logger.info(
+            "supervising %d shards on http://%s:%d (shard ports: %s)",
+            self.config.shards,
+            self.config.host,
+            self.port,
+            ", ".join(str(port) for port in self.manager.ports),
+        )
+
+    async def _shutdown_components(self) -> None:
+        for client in self._clients:
+            await client.close()
+        self.manager.signal_shutdown()
+        loop = asyncio.get_running_loop()
+        timeout_s = self.config.drain_timeout_s + PROXY_DEADLINE_GRACE_S
+        await loop.run_in_executor(None, self.manager.join, timeout_s)
+        logger.info("all shards drained and reaped")
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(self, request: HttpRequest) -> Route:
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._expect_method(request, "GET")
+            return await self._handle_health()
+        if path == "/metrics":
+            self._expect_method(request, "GET")
+            return await self._handle_metrics()
+        if path == "/shards":
+            self._expect_method(request, "GET")
+            return self._handle_shards()
+        if path == "/v1/evaluate":
+            self._expect_method(request, "POST")
+            shard = self.ring.shard_for(routing_key(request.json()))
+            return await self._proxy(shard, request)
+        if path.startswith("/v1/experiments/") or (
+            path == "/v1/_sleep" and self.config.debug
+        ):
+            self._expect_method(request, "POST")
+            # Run-of-the-mill load balancing: experiments and the debug
+            # sleep hook have no batch locality to preserve.
+            shard = self._round_robin % len(self._clients)
+            self._round_robin += 1
+            return await self._proxy(shard, request)
+        raise HttpError(404, f"no route for {path!r}")
+
+    async def _proxy(self, shard: int, request: HttpRequest) -> Route:
+        self._refuse_if_draining()
+        payload = request.json()
+        self._proxied_counters[shard].inc()
+        self._enter_inflight()
+        try:
+            status, headers, body = await asyncio.wait_for(
+                self._clients[shard].request(
+                    request.method, request.path, payload
+                ),
+                timeout=self.config.deadline_s + PROXY_DEADLINE_GRACE_S,
+            )
+        except asyncio.TimeoutError as error:
+            raise DeadlineExceeded(
+                f"shard {shard} exceeded the proxy deadline"
+            ) from error
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            raise HttpError(
+                503,
+                f"shard {shard} unreachable: {error}",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            ) from error
+        finally:
+            self._leave_inflight()
+        relayed: Dict[str, str] = {}
+        if "retry-after" in headers:
+            relayed["Retry-After"] = headers["retry-after"]
+        return status, body, relayed
+
+    # -- ops endpoints -------------------------------------------------
+
+    async def _handle_health(self) -> Route:
+        outcomes = await asyncio.gather(
+            *(client.request("GET", "/healthz") for client in self._clients),
+            return_exceptions=True,
+        )
+        status = "draining" if self._draining else "ok"
+        shards: List[Dict[str, Any]] = []
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, BaseException):
+                shards.append(
+                    {
+                        "shard": index,
+                        "port": self.manager.ports[index],
+                        "status": "unreachable",
+                    }
+                )
+                if status == "ok":
+                    status = "degraded"
+                continue
+            _, _, body = outcome
+            entry = dict(body)
+            entry.setdefault("shard", index)
+            entry["port"] = self.manager.ports[index]
+            shards.append(entry)
+        payload: Dict[str, Any] = {
+            "status": status,
+            "inflight": self._inflight,
+            "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+            "backend": self.config.backend,
+            "shards": shards,
+        }
+        return 200, payload, {}
+
+    async def _handle_metrics(self) -> Route:
+        # A fresh registry per scrape: shard counters are cumulative,
+        # so merging into a persistent registry would double-count on
+        # the second scrape.
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        per_shard: Dict[str, Any] = {}
+        outcomes = await asyncio.gather(
+            *(client.request("GET", "/metrics") for client in self._clients),
+            return_exceptions=True,
+        )
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, BaseException):
+                continue
+            _, _, body = outcome
+            snapshot = body.get("metrics", {})
+            per_shard[str(index)] = snapshot
+            merged.merge(snapshot)
+        return (
+            200,
+            {
+                "schema_version": 1,
+                "metrics": merged.snapshot(),
+                "per_shard": per_shard,
+            },
+            {},
+        )
+
+    def _handle_shards(self) -> Route:
+        """The routing table a smart client needs to bypass the proxy."""
+        payload: Dict[str, Any] = {
+            "shards": [
+                {"shard": index, "host": self.config.host, "port": port}
+                for index, port in enumerate(self.manager.ports)
+            ],
+            "routing": {
+                "fields": list(ROUTED_FIELDS),
+                "algorithm": "blake2b-ring",
+                "replicas": VIRTUAL_NODES,
+            },
+        }
+        return 200, payload, {}

@@ -19,6 +19,15 @@ rule verifies each one's body syntactically:
   ``.append`` / ``.update`` on a bare parameter) — callers hand the
   engine shared immutable values.
 
+The rule also covers the **cache surface itself**:
+:data:`repro.engine.cache.CACHE_SURFACE_QUALNAMES` registers the
+methods of every :class:`~repro.engine.cache.EngineCache`
+implementation (``get`` / ``put`` / snapshot export/import).  Those
+run under the same no-globals / no-RNG / no-clock discipline, with
+one relaxation: mutating *their own* state through ``self`` is their
+job, so ``self`` is exempt from the argument-mutation check — keys
+and results stay immutable shared values.
+
 The check is intraprocedural: helpers a cacheable function calls are
 not followed.  A registered qualname whose function is missing from
 its module is reported as a stale registration.
@@ -66,30 +75,42 @@ _MUTATING_METHODS = frozenset(
 )
 
 
-def _load_registry() -> Dict[str, Dict[Tuple[str, ...], str]]:
-    """``{module: {(class?, function): qualname}}`` from the engine.
+#: Registry entry: (qualname, exempt_self) — cache-surface methods may
+#: mutate their receiver, evaluation functions may not touch anything.
+Target = Tuple[str, bool]
+
+
+def _load_registry() -> Dict[str, Dict[Tuple[str, ...], Target]]:
+    """``{module: {(class?, function): (qualname, exempt_self)}}``.
 
     Imported lazily so the analyzer framework itself stays import-free
     of the code under check.
     """
+    from ..engine.cache import CACHE_SURFACE_QUALNAMES
     from ..engine.engine import CACHEABLE_QUALNAMES
 
-    registry: Dict[str, Dict[Tuple[str, ...], str]] = {}
-    for qualname in CACHEABLE_QUALNAMES:
-        parts = qualname.split(".")
-        # The object path is the trailing CamelCase/function segments;
-        # everything up to the last lowercase module segment is the
-        # module.  Convention in this repo: modules are lowercase,
-        # classes are CamelCase, so split at the first capitalized
-        # segment (or the final segment for plain functions).
-        split = len(parts) - 1
-        for index, part in enumerate(parts):
-            if part[:1].isupper():
-                split = index
-                break
-        module = ".".join(parts[:split])
-        objpath = tuple(parts[split:])
-        registry.setdefault(module, {})[objpath] = qualname
+    registry: Dict[str, Dict[Tuple[str, ...], Target]] = {}
+    surfaces = (
+        (CACHEABLE_QUALNAMES, False),
+        (CACHE_SURFACE_QUALNAMES, True),
+    )
+    for qualnames, exempt_self in surfaces:
+        for qualname in qualnames:
+            parts = qualname.split(".")
+            # The object path is the trailing CamelCase/function
+            # segments; everything up to the last lowercase module
+            # segment is the module.  Convention in this repo: modules
+            # are lowercase, classes are CamelCase, so split at the
+            # first capitalized segment (or the final segment for
+            # plain functions).
+            split = len(parts) - 1
+            for index, part in enumerate(parts):
+                if part[:1].isupper():
+                    split = index
+                    break
+            module = ".".join(parts[:split])
+            objpath = tuple(parts[split:])
+            registry.setdefault(module, {})[objpath] = (qualname, exempt_self)
     return registry
 
 
@@ -146,12 +167,12 @@ class CachePurity(Rule):
 
     def __init__(self) -> None:
         self._registry: Optional[
-            Dict[str, Dict[Tuple[str, ...], str]]
+            Dict[str, Dict[Tuple[str, ...], Target]]
         ] = None
 
     def _targets(
         self, module: Optional[str]
-    ) -> Dict[Tuple[str, ...], str]:
+    ) -> Dict[Tuple[str, ...], Target]:
         if self._registry is None:
             self._registry = _load_registry()
         if module is None:
@@ -162,7 +183,8 @@ class CachePurity(Rule):
         return bool(self._targets(ctx.module))
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for objpath, qualname in sorted(self._targets(ctx.module).items()):
+        targets = self._targets(ctx.module)
+        for objpath, (qualname, exempt_self) in sorted(targets.items()):
             func = _find_function(ctx.tree, objpath)
             if func is None:
                 yield Violation(
@@ -173,17 +195,30 @@ class CachePurity(Rule):
                     message=(
                         f"stale cacheable registration: {qualname!r} is "
                         "not defined in this module; update "
-                        "repro.engine.engine.CACHEABLE_QUALNAMES"
+                        "repro.engine.engine.CACHEABLE_QUALNAMES / "
+                        "repro.engine.cache.CACHE_SURFACE_QUALNAMES"
                     ),
                 )
                 continue
-            yield from self._check_purity(ctx, func, qualname)
+            yield from self._check_purity(ctx, func, qualname, exempt_self)
 
     def _check_purity(
-        self, ctx: FileContext, func: ast.FunctionDef, qualname: str
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef,
+        qualname: str,
+        exempt_self: bool = False,
     ) -> Iterator[Violation]:
         params = _parameter_names(func)
-        label = f"cacheable function {qualname!r}"
+        if exempt_self and func.args.args:
+            # Cache-surface methods mutate their own state by design;
+            # the receiver is exempt, keys/results stay immutable.
+            params.discard(func.args.args[0].arg)
+        label = (
+            f"cache-surface method {qualname!r}"
+            if exempt_self
+            else f"cacheable function {qualname!r}"
+        )
         for node in ast.walk(func):
             if isinstance(node, (ast.Global, ast.Nonlocal)):
                 yield self.violation(

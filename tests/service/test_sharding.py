@@ -1,0 +1,240 @@
+"""The sharded serving tier, unit-level and over real sockets.
+
+The unit half pins the consistent-hash ring and the wire-level routing
+key (the contract that keeps batch groups co-located per shard).  The
+socket half boots a real two-shard supervisor — spawned shard
+processes, proxied traffic, merged ``/metrics`` — and checks parity
+with a single-shard server and the direct engine path, plus the
+two-phase SIGTERM drain with in-flight work on both shards.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cli import parse_protocol, parse_run, parse_topology
+from repro.engine import Engine
+from repro.service import BackgroundServer, ServiceConfig, ShardRing, routing_key
+from repro.service.http import ClientConnection, request_once
+from repro.service.sharding import ROUTED_FIELDS, VIRTUAL_NODES
+from repro.service.specs import parse_evaluate_payload
+
+
+def call(port, method, path, payload=None):
+    return asyncio.run(request_once("127.0.0.1", port, method, path, payload))
+
+
+# -- routing: pure unit tests ------------------------------------------
+
+
+class TestShardRing:
+    def test_mapping_is_deterministic_across_instances(self):
+        keys = [f"spec-{index}".encode() for index in range(64)]
+        first, second = ShardRing(4), ShardRing(4)
+        assert [first.shard_for(key) for key in keys] == [
+            second.shard_for(key) for key in keys
+        ]
+
+    def test_single_shard_takes_everything(self):
+        ring = ShardRing(1)
+        assert {ring.shard_for(f"k{i}".encode()) for i in range(32)} == {0}
+
+    def test_keys_spread_over_every_shard(self):
+        ring = ShardRing(4)
+        counts = [0, 0, 0, 0]
+        total = 2000
+        for index in range(total):
+            counts[ring.shard_for(f"workload-{index}".encode())] += 1
+        assert sum(counts) == total
+        # 64 virtual nodes per shard keeps the split rough but real:
+        # no shard should starve or hoard.
+        assert min(counts) >= total // 10
+
+    def test_growing_the_ring_moves_a_minority_of_keys(self):
+        """The consistent in consistent hashing: adding a shard
+        remaps roughly 1/N of the keyspace, not all of it."""
+        keys = [f"spec-{index}".encode() for index in range(1000)]
+        four, five = ShardRing(4), ShardRing(5)
+        moved = sum(
+            1 for key in keys if four.shard_for(key) != five.shard_for(key)
+        )
+        assert 0 < moved < len(keys) // 2
+
+
+class TestRoutingKey:
+    def test_defaults_match_the_request_parser(self):
+        """The routing defaults must stay in sync with
+        ``parse_evaluate_payload``: a client that omits a field and a
+        client that spells the default out are the same cache line and
+        must land on the same shard."""
+        spec = parse_evaluate_payload({})
+        assert routing_key({}) == routing_key(spec.payload)
+
+    def test_run_and_seed_do_not_route(self):
+        """Runs differ within one engine batch; routing on them would
+        scatter a coalescable group across shards."""
+        assert routing_key({"run": "cut:3", "seed": 9}) == routing_key({})
+
+    def test_routed_fields_change_the_key(self):
+        base = routing_key({})
+        assert routing_key({"protocol": "S:0.5"}) != base
+        assert routing_key({"rounds": 9}) != base
+        assert routing_key({"method": "enumeration"}) != base
+        assert routing_key({"trials": 7}) != base
+        assert routing_key({"topology": "chain:3"}) != base
+
+    def test_key_is_a_stable_wire_form(self):
+        key = routing_key({"protocol": "S:0.25", "rounds": 6, "seed": 3})
+        assert isinstance(key, bytes)
+        assert key == routing_key({"protocol": "S:0.25", "rounds": 6})
+
+
+# -- the live two-shard supervisor -------------------------------------
+
+SHARDED = ServiceConfig(port=0, shards=2, debug=True, drain_timeout_s=10.0)
+
+PARITY_SPECS = [
+    {"protocol": "S:0.25", "topology": "pair", "rounds": 6, "run": "cut:3"},
+    {"protocol": "S:0.75", "rounds": 5, "run": "good"},
+    {"protocol": "S:0.5", "rounds": 4, "run": "silent"},
+]
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    with BackgroundServer(SHARDED) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def single():
+    with BackgroundServer(ServiceConfig(port=0, debug=True)) as background:
+        yield background
+
+
+def test_shards_table_exposes_routing(sharded):
+    status, _, payload = call(sharded.port, "GET", "/shards")
+    assert status == 200
+    assert [entry["shard"] for entry in payload["shards"]] == [0, 1]
+    ports = [entry["port"] for entry in payload["shards"]]
+    assert len(set(ports)) == 2 and sharded.port not in ports
+    assert payload["routing"]["fields"] == list(ROUTED_FIELDS)
+    assert payload["routing"]["algorithm"] == "blake2b-ring"
+    assert payload["routing"]["replicas"] == VIRTUAL_NODES
+
+
+def test_healthz_fans_out_to_every_shard(sharded):
+    status, _, payload = call(sharded.port, "GET", "/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert len(payload["shards"]) == 2
+    for index, entry in enumerate(payload["shards"]):
+        assert entry["shard"] == index
+        assert entry["status"] == "ok"
+
+
+def test_sharded_evaluation_matches_single_shard_and_direct_engine(
+    sharded, single
+):
+    """The acceptance parity bar: the consistent-hash proxy changes
+    where an evaluation runs, never what it answers."""
+    engine = Engine()
+    for spec in PARITY_SPECS:
+        status, _, proxied = call(sharded.port, "POST", "/v1/evaluate", spec)
+        assert status == 200
+        status, _, direct_served = call(
+            single.port, "POST", "/v1/evaluate", spec
+        )
+        assert status == 200
+        assert proxied == direct_served
+        topology = parse_topology(spec.get("topology", "pair"))
+        protocol = parse_protocol(spec["protocol"], spec["rounds"])
+        run = parse_run(spec["run"], topology, spec["rounds"])
+        result = engine.evaluate(protocol, topology, run)
+        assert proxied["method"] == result.method
+        assert proxied["unsafety"] == result.pr_partial_attack
+        assert proxied["liveness"] == result.pr_total_attack
+
+
+def test_repeated_spec_routes_to_one_shard(sharded):
+    """Cache locality over the wire: the same spec always lands on
+    the same shard, so its second evaluation is that shard's memo hit."""
+    spec = {"protocol": "S:0.125", "rounds": 5, "run": "cut:2"}
+    for _ in range(2):
+        status, _, _ = call(sharded.port, "POST", "/v1/evaluate", spec)
+        assert status == 200
+    _, _, payload = call(sharded.port, "GET", "/metrics")
+    merged = payload["metrics"]
+    assert merged["engine.cache.hit"]["value"] >= 1
+
+
+def test_metrics_merges_shard_snapshots(sharded):
+    for spec in PARITY_SPECS:
+        call(sharded.port, "POST", "/v1/evaluate", spec)
+    status, _, payload = call(sharded.port, "GET", "/metrics")
+    assert status == 200
+    assert sorted(payload["per_shard"]) == ["0", "1"]
+    merged = payload["metrics"]
+    assert merged["service.shards"]["value"] == 2
+    # Every shard-side request is visible in the merged counter.
+    for snapshot in payload["per_shard"].values():
+        assert (
+            merged["service.requests_total"]["value"]
+            >= snapshot["service.requests_total"]["value"]
+        )
+    proxied = sum(
+        merged[f"service.proxy.shard.{index}.requests"]["value"]
+        for index in range(2)
+    )
+    assert proxied >= len(PARITY_SPECS)
+
+
+def test_sigterm_drain_loses_no_admitted_response():
+    """Satellite contract: a SIGTERM'd sharded server answers every
+    admitted request — including requests sitting directly on shard
+    sockets — before any shard exits."""
+    background = BackgroundServer(SHARDED).start()
+    port = background.port
+
+    async def go():
+        _, _, table = await request_once("127.0.0.1", port, "GET", "/shards")
+        shard_ports = [entry["port"] for entry in table["shards"]]
+        assert len(shard_ports) == 2
+        # One sleeper proxied through the supervisor keeps its drain
+        # phase open; one sleeper parked directly on each shard port
+        # proves the shard-side drain also waits for admitted work.
+        sleepers = [
+            asyncio.create_task(
+                request_once(
+                    "127.0.0.1", target, "POST", "/v1/_sleep", {"seconds": 0.8}
+                )
+            )
+            for target in [port, *shard_ports]
+        ]
+        survivor = await ClientConnection.open("127.0.0.1", port)
+        await asyncio.sleep(0.3)  # all three admitted and sleeping
+        stop = asyncio.get_running_loop().run_in_executor(
+            None, background.stop
+        )
+        await asyncio.sleep(0.1)
+        # New work on a live supervisor connection is refused while
+        # the proxied sleeper keeps the drain open.
+        status, headers, _ = await survivor.request(
+            "POST", "/v1/evaluate", {"protocol": "S"}
+        )
+        assert status == 503
+        assert "retry-after" in headers
+        await survivor.close()
+        results = await asyncio.gather(*sleepers)
+        assert [status for status, _, _ in results] == [200, 200, 200]
+        assert [payload["slept"] for _, _, payload in results] == [0.8] * 3
+        await stop
+        # Fully stopped: supervisor and shard listeners are all gone.
+        for target in [port, *shard_ports]:
+            try:
+                await request_once("127.0.0.1", target, "GET", "/healthz")
+            except (ConnectionError, OSError):
+                continue
+            raise AssertionError(f"port {target} still accepting after drain")
+
+    asyncio.run(go())

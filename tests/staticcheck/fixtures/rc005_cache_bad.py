@@ -1,0 +1,31 @@
+# repro: path=src/repro/engine/cache.py
+"""Fixture impersonating the cache surface with impure bodies."""
+
+import random
+import time
+
+_EPOCH = {}
+
+
+class InProcessCache:
+    def __init__(self, max_size):
+        self.max_size = max_size
+        self._data = {}
+
+    def get(self, key):
+        global _EPOCH
+        _EPOCH[key] = time.time()
+        return self._data.get(key)
+
+    def put(self, key, result):
+        result.append(random.random())
+        self._data[key] = result
+
+
+class ShardLocalCache(InProcessCache):
+    def export_snapshot(self):
+        return list(self._data.items())
+
+    def import_snapshot(self, blob):
+        blob["stamp"] = time.monotonic()
+        return 0

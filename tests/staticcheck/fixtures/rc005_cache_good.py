@@ -1,0 +1,28 @@
+# repro: path=src/repro/engine/cache.py
+"""Fixture impersonating the cache surface with compliant bodies."""
+
+
+class InProcessCache:
+    def __init__(self, max_size):
+        self.max_size = max_size
+        self._data = {}
+
+    def get(self, key):
+        return self._data.get(key)
+
+    def put(self, key, result):
+        if self.max_size <= 0:
+            return
+        self._data[key] = result
+
+
+class ShardLocalCache(InProcessCache):
+    def export_snapshot(self):
+        return list(self._data.items())
+
+    def import_snapshot(self, blob):
+        imported = 0
+        for key, result in blob:
+            self.put(key, result)
+            imported += 1
+        return imported

@@ -33,6 +33,7 @@ def check_fixture(name):
         ("rc003_bad.py", "RC003", [6, 8]),
         ("rc004_bad.py", "RC004", [1, 2]),
         ("rc005_bad.py", "RC005", [10, 12, 12, 13]),
+        ("rc005_cache_bad.py", "RC005", [16, 17, 21, 21, 30, 30]),
     ],
 )
 def test_bad_fixture_trips_rule(name, rule_id, lines):
@@ -50,6 +51,7 @@ def test_bad_fixture_trips_rule(name, rule_id, lines):
         "rc003_good.py",
         "rc004_good.py",
         "rc005_good.py",
+        "rc005_cache_good.py",
     ],
 )
 def test_good_fixture_is_clean(name):
@@ -77,6 +79,23 @@ def test_rc005_flags_global_rng_and_mutation():
     assert any("random.random" in m for m in messages)
     assert any(".append" in m for m in messages)
     assert any("writes through parameter" in m for m in messages)
+
+
+def test_rc005_cache_surface_exempts_self_but_not_arguments():
+    """The EngineCache surface may mutate its own state, nothing else."""
+    messages = [
+        v.message
+        for v in check_fixture("rc005_cache_bad.py")
+        if v.rule == "RC005"
+    ]
+    assert any("global _EPOCH" in m for m in messages)
+    assert any("time.time" in m for m in messages)
+    assert any(
+        ".append" in m and "parameter `result`" in m for m in messages
+    )
+    assert any("writes through parameter `blob`" in m for m in messages)
+    # The compliant fixture mutates self._data freely: no violations.
+    assert check_fixture("rc005_cache_good.py") == []
 
 
 def test_select_and_ignore_filter_rules():
