@@ -9,24 +9,39 @@ Usage::
 Checks the ``--trace`` JSONL export (meta line, span records,
 parent/child consistency), the ``--metrics`` JSON export
 (schema_version, per-metric shape, histogram bucket invariants) as
-documented in DESIGN.md §8, and the ``--bench-serve`` artifact
-(schema_version 3: provenance stamps, CPU count, the scaling curve
+documented in DESIGN.md §8, the ``--bench-serve`` artifact
+(schema_version 4: provenance stamps, CPU count, the scaling curve
 with per-entry SLO blocks and served-only latency percentiles,
 shed-rate arithmetic, per-shard count consistency, embedded metrics
-snapshot) from DESIGN.md §10-§11.  Exits non-zero with a message per
-violation — CI runs this against the artifacts it uploads so schema
-drift fails the build instead of silently shipping.
+snapshot, and — when present — the ``tracing`` overhead block) from
+DESIGN.md §10-§12, and ``--audit`` request audit logs (per-file meta
+line, span record shape, known stages) from DESIGN.md §12.  Exits
+non-zero with a message per violation — CI runs this against the
+artifacts it uploads so schema drift fails the build instead of
+silently shipping.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 TRACE_SCHEMA_VERSION = 1
 METRICS_SCHEMA_VERSION = 1
-BENCH_SERVE_SCHEMA_VERSION = 3
+BENCH_SERVE_SCHEMA_VERSION = 4
+AUDIT_SCHEMA_VERSION = 1
+
+AUDIT_STAGES = {
+    "admission",
+    "route",
+    "proxy",
+    "batch",
+    "engine",
+    "worker",
+    "response",
+}
 
 
 def _fail(errors, message):
@@ -328,7 +343,114 @@ def validate_bench_serve(path: str, errors: list) -> int:
                 f"{path}: metrics missing service.batch.size (the "
                 "coalescing evidence)",
             )
+    tracing = payload.get("tracing")
+    if tracing is not None:
+        _validate_tracing_block(path, tracing, errors)
     return total
+
+
+def _validate_tracing_block(path: str, tracing, errors: list) -> None:
+    """The v4 tracing-overhead block: shape only, no ratio threshold
+    (overhead acceptance is an EXPERIMENTS.md measurement, not a CI
+    gate — a loaded runner would flake it)."""
+    label = "tracing"
+    if not isinstance(tracing, dict):
+        _fail(errors, f"{path}: {label} must be an object")
+        return
+    rate = tracing.get("sample_rate")
+    if not isinstance(rate, (int, float)) or not 0 < rate <= 1:
+        _fail(errors, f"{path}: {label}: sample_rate must be in (0, 1]")
+    for field in ("baseline_p99_seconds", "traced_p99_seconds"):
+        value = tracing.get(field)
+        if value is not None and not isinstance(value, (int, float)):
+            _fail(errors, f"{path}: {label}: non-numeric {field}")
+    ratio = tracing.get("p99_overhead_ratio")
+    if ratio is not None and not isinstance(ratio, (int, float)):
+        _fail(errors, f"{path}: {label}: non-numeric p99_overhead_ratio")
+    records = tracing.get("audit_records")
+    if not isinstance(records, int) or records < 0:
+        _fail(
+            errors,
+            f"{path}: {label}: audit_records must be a non-negative "
+            "integer",
+        )
+
+
+def validate_audit_dir(directory: str, errors: list) -> int:
+    """Validate every audit log under ``directory``; returns span count."""
+    base = pathlib.Path(directory)
+    paths = sorted(base.glob("audit-*.jsonl")) + sorted(
+        base.glob("audit-*.jsonl.1")
+    )
+    if not paths:
+        _fail(errors, f"{directory}: no audit-*.jsonl files")
+        return 0
+    spans = 0
+    for path in paths:
+        spans += _validate_audit_file(str(path), errors)
+    return spans
+
+
+def _validate_audit_file(path: str, errors: list) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        _fail(errors, f"{path}: empty audit file")
+        return 0
+    meta = json.loads(lines[0])
+    if meta.get("kind") != "meta":
+        _fail(errors, f"{path}: first line must be the meta record")
+    if meta.get("schema_version") != AUDIT_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"{path}: schema_version {meta.get('schema_version')!r}, "
+            f"expected {AUDIT_SCHEMA_VERSION}",
+        )
+    if meta.get("clock") != "unix-epoch" or meta.get("unit") != "seconds":
+        _fail(errors, f"{path}: unexpected clock/unit in meta: {meta}")
+    process = meta.get("process")
+    if not isinstance(process, str) or not process:
+        _fail(errors, f"{path}: meta missing 'process'")
+    spans = 0
+    for position, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(lines):
+                continue  # torn tail write is legal; mid-file junk is not
+            _fail(errors, f"{path}:{position}: malformed JSON")
+            continue
+        if record.get("kind") != "span":
+            _fail(
+                errors,
+                f"{path}:{position}: unknown record kind "
+                f"{record.get('kind')!r}",
+            )
+            continue
+        spans += 1
+        stage = record.get("stage")
+        if stage not in AUDIT_STAGES:
+            _fail(errors, f"{path}:{position}: unknown stage {stage!r}")
+        if record.get("process") != process:
+            _fail(
+                errors,
+                f"{path}:{position}: span process "
+                f"{record.get('process')!r} != meta process {process!r}",
+            )
+        for field, kinds in (
+            ("t_start", (int, float)),
+            ("duration", (int, float)),
+            ("attributes", dict),
+        ):
+            if not isinstance(record.get(field), kinds):
+                _fail(errors, f"{path}:{position}: missing/invalid {field!r}")
+        duration = record.get("duration")
+        if isinstance(duration, (int, float)) and duration < 0:
+            _fail(errors, f"{path}:{position}: negative duration")
+        request_id = record.get("request_id")
+        if request_id is not None and not isinstance(request_id, str):
+            _fail(errors, f"{path}:{position}: non-string request_id")
+    return spans
 
 
 def main(argv=None) -> int:
@@ -350,11 +472,22 @@ def main(argv=None) -> int:
         metavar="NAME",
         help="require this metric name to be present (repeatable)",
     )
+    parser.add_argument(
+        "--audit",
+        default=None,
+        metavar="DIR",
+        help="audit-log directory (audit-*.jsonl files) to check",
+    )
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics and not args.bench_serve:
+    if (
+        not args.trace
+        and not args.metrics
+        and not args.bench_serve
+        and not args.audit
+    ):
         parser.error(
-            "nothing to validate: pass --trace, --metrics, and/or "
-            "--bench-serve"
+            "nothing to validate: pass --trace, --metrics, "
+            "--bench-serve, and/or --audit"
         )
     errors: list = []
     if args.trace:
@@ -372,6 +505,9 @@ def main(argv=None) -> int:
     if args.bench_serve:
         requests = validate_bench_serve(args.bench_serve, errors)
         print(f"{args.bench_serve}: {requests} requests")
+    if args.audit:
+        spans = validate_audit_dir(args.audit, errors)
+        print(f"{args.audit}: {spans} audit spans")
     for message in errors:
         print(f"ERROR: {message}", file=sys.stderr)
     if errors:

@@ -13,7 +13,9 @@ Subcommands:
 * ``serve`` — run the asyncio evaluation server (JSON endpoints,
   micro-batching, bounded admission queue; see DESIGN.md section 10);
 * ``bench-serve`` — drive a server with the load generator and write
-  the ``BENCH_serve.json`` latency/throughput artifact.
+  the ``BENCH_serve.json`` latency/throughput artifact;
+* ``audit`` — stitch the per-process audit logs a traced server wrote
+  (``repro serve --audit-dir DIR``) into one request's span tree.
 
 Observability flags (see DESIGN.md section 8): every evaluating
 subcommand takes ``--backend`` / ``--engine-stats`` plus ``--trace
@@ -449,6 +451,10 @@ def _cmd_serve(args) -> int:
         debug=args.debug_endpoints,
         trace_path=args.trace,
         metrics_path=args.metrics,
+        audit_dir=args.audit_dir,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_request_ms=args.slow_request_ms,
+        log_level=args.log_level or "info",
     )
     obs = Obs(
         metrics=MetricsRegistry(),
@@ -507,6 +513,9 @@ def _cmd_bench_serve(args) -> int:
             "(its shard count is discovered, not configured)",
             file=sys.stderr,
         )
+    sample_rate: Optional[float] = None
+    if sweep is not None and args.trace_sample_rate > 0:
+        sample_rate = args.trace_sample_rate
     payload = run_bench(
         options,
         host=args.host,
@@ -514,6 +523,7 @@ def _cmd_bench_serve(args) -> int:
         output=args.output,
         server_config=server_config,
         shard_counts=sweep,
+        trace_sample_rate=sample_rate,
     )
     for entry in payload["scaling"]:
         latency = entry["latency_seconds"]
@@ -543,8 +553,68 @@ def _cmd_bench_serve(args) -> int:
             f"{payload['speedup_vs_single_shard']:.2f}x "
             f"(on {payload['cpu_count']} CPU(s))"
         )
+    tracing = payload.get("tracing")
+    if tracing is not None:
+        ratio = tracing.get("p99_overhead_ratio")
+        print(
+            "tracing overhead at sample rate "
+            f"{tracing['sample_rate']:g}: "
+            + (f"{ratio * 100:+.1f}% p99" if ratio is not None else "n/a")
+            + f" ({tracing['audit_records']} audit records)"
+        )
     if args.output:
         print(f"artifact written to {args.output}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    import json
+
+    from .obs.audit import (
+        load_audit_dir,
+        missing_stages,
+        render_request_tree,
+        stitch_request,
+    )
+
+    try:
+        records = load_audit_dir(args.log_dir)
+    except OSError as error:
+        print(f"cannot read audit logs in {args.log_dir!r}: {error}",
+              file=sys.stderr)
+        return 1
+    tree = stitch_request(records, args.request_id)
+    if not tree.spans:
+        print(
+            f"no audit records for request {args.request_id!r} under "
+            f"{args.log_dir!r} ({len(records)} records scanned)",
+            file=sys.stderr,
+        )
+        return 1
+    missing = missing_stages(tree)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "request_id": tree.request_id,
+                    "status": tree.status,
+                    "processes": tree.processes,
+                    "missing_stages": missing,
+                    "spans": tree.spans,
+                },
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+    else:
+        print(render_request_tree(tree))
+    if args.expect_complete and missing:
+        print(
+            f"request tree incomplete: missing {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -775,6 +845,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the /v1/_sleep test hook (never in production)",
     )
+    serve_parser.add_argument(
+        "--audit-dir",
+        default=None,
+        help=(
+            "directory for per-process request audit logs "
+            "(audit-<process>.jsonl; stitch them with `repro audit`)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help=(
+            "fraction of requests audited, decided by a deterministic "
+            "hash of the request id (client-supplied ids are always "
+            "audited); default 1.0"
+        ),
+    )
+    serve_parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=1_000.0,
+        help="log requests slower than this at WARNING with their id",
+    )
     add_obs_flags(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
@@ -825,11 +919,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_service_knobs(bench_serve)
     bench_serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.1,
+        help=(
+            "also measure tracing overhead: a tracing-off vs tracing-on "
+            "pair of runs at this sample rate lands in the artifact's "
+            "'tracing' block (self-contained benches only; 0 skips it)"
+        ),
+    )
+    bench_serve.add_argument(
         "--output",
         default="benchmarks/results/BENCH_serve.json",
         help="artifact path (empty string skips writing)",
     )
     bench_serve.set_defaults(handler=_cmd_bench_serve)
+
+    audit = subparsers.add_parser(
+        "audit",
+        help=(
+            "stitch per-process audit logs into one request's span tree "
+            "(admission -> route -> shard -> batch -> engine -> response)"
+        ),
+    )
+    audit.add_argument("request_id", help="the request id to reconstruct")
+    audit.add_argument(
+        "--log-dir",
+        default="audit",
+        help="the --audit-dir the server wrote (default: audit)",
+    )
+    audit.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stitched spans as JSON instead of the tree",
+    )
+    audit.add_argument(
+        "--expect-complete",
+        action="store_true",
+        help="exit 1 unless every required stage is present",
+    )
+    audit.set_defaults(handler=_cmd_audit)
 
     lint = subparsers.add_parser(
         "lint",

@@ -48,7 +48,16 @@ import random
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.probability import (
     DEFAULT_ENUMERATION_LIMIT,
@@ -194,6 +203,16 @@ class Engine:
     obs: Optional[Obs] = None
     stats: Optional[EngineStats] = field(default=None, repr=False)
     cache: Optional[EngineCache] = field(default=None, repr=False)
+    #: Optional audit hook fired after each timed evaluation with
+    #: ``(operation, duration_seconds, attributes)``.  The serving
+    #: tier installs one that appends an audit span record (joined to
+    #: the executing micro-batch via the engine thread's batch
+    #: context), giving every stitched request tree cache hit/miss
+    #: provenance without the engine knowing about audit logs.  Runs
+    #: on the evaluating thread; must be cheap and must not raise.
+    span_hook: Optional[Callable[[str, float, Dict[str, Any]], None]] = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -450,6 +469,12 @@ class Engine:
             elapsed = monotonic() - started
             self._wall_counter.value += elapsed
             self._latency_histogram.observe(elapsed)
+            if self.span_hook is not None:
+                self.span_hook(
+                    "engine.evaluate",
+                    elapsed,
+                    {"runs": 1, "cache_hits": 0, "cache_misses": 1},
+                )
             if result.method == "monte-carlo" and result.trials:
                 self._mc_trials_counter.inc(result.trials)
             self._cache_put(key, result)
@@ -502,6 +527,16 @@ class Engine:
                 else:
                     pending.append(index)
             if not pending:
+                if self.span_hook is not None:
+                    self.span_hook(
+                        "engine.evaluate_many",
+                        0.0,
+                        {
+                            "runs": len(runs),
+                            "cache_hits": len(runs),
+                            "cache_misses": 0,
+                        },
+                    )
                 return [result for result in results if result is not None]
             started = monotonic()
             if self._wants_vectorized(
@@ -541,6 +576,16 @@ class Engine:
             elapsed = monotonic() - started
             self._wall_counter.value += elapsed
             self._latency_histogram.observe(elapsed)
+            if self.span_hook is not None:
+                self.span_hook(
+                    "engine.evaluate_many",
+                    elapsed,
+                    {
+                        "runs": len(runs),
+                        "cache_hits": len(runs) - len(pending),
+                        "cache_misses": len(pending),
+                    },
+                )
             return [result for result in results if result is not None]
 
     def _evaluate_pending_vectorized(

@@ -13,6 +13,10 @@ question in the reproduction:
 * :mod:`repro.obs.exec_trace` — opt-in per-round protocol events:
   messages delivered/cut, ``L_i^r`` / ``ML_i^r`` progression, fire
   decisions vs ``rfire``.
+* :mod:`repro.obs.audit` — per-request audit trails for the serving
+  tier: :class:`TraceContext` propagation, per-process JSONL span
+  logs (:class:`AuditLogger`), and the stitching behind
+  ``repro audit <request_id>``.
 * :mod:`repro.obs.runtime` — the process-wide :class:`Obs` bundle and
   the ``repro.*`` logging hierarchy.
 
@@ -38,6 +42,21 @@ from .tracing import (
     render_span_tree,
 )
 from .exec_trace import trace_execution
+from .audit import (
+    AUDIT_SCHEMA_VERSION,
+    REQUEST_ID_HEADER,
+    AuditLogger,
+    RequestTree,
+    TraceContext,
+    audit_log_path,
+    deterministic_sample,
+    load_audit_dir,
+    missing_stages,
+    new_request_id,
+    read_audit_log,
+    render_request_tree,
+    stitch_request,
+)
 from .runtime import (
     LOG_LEVELS,
     Obs,
@@ -46,9 +65,12 @@ from .runtime import (
     set_obs,
     setup_logging,
     utc_now_isoformat,
+    utc_now_timestamp,
 )
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "AuditLogger",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Event",
@@ -58,15 +80,27 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "Obs",
+    "REQUEST_ID_HEADER",
+    "RequestTree",
     "SCHEMA_VERSION",
     "Span",
     "TRACE_SCHEMA_VERSION",
+    "TraceContext",
     "Tracer",
+    "audit_log_path",
+    "deterministic_sample",
     "get_obs",
+    "load_audit_dir",
+    "missing_stages",
     "monotonic",
+    "new_request_id",
+    "read_audit_log",
+    "render_request_tree",
     "render_span_tree",
     "set_obs",
     "setup_logging",
+    "stitch_request",
     "trace_execution",
     "utc_now_isoformat",
+    "utc_now_timestamp",
 ]

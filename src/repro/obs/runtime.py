@@ -55,6 +55,20 @@ def utc_now_isoformat() -> str:
     return datetime.datetime.now(datetime.timezone.utc).isoformat()
 
 
+def utc_now_timestamp() -> float:
+    """The current wall-clock instant as epoch seconds (UTC).
+
+    The audit trail's cross-process ordering key: span records written
+    by different processes (supervisor, shards) are stitched into one
+    request tree by wall-clock start time, which a per-process
+    :func:`monotonic` epoch cannot provide.  Like
+    :func:`utc_now_isoformat` this is a sanctioned escape hatch from
+    rule RC002 — use it for *ordering and stamping only*, never for
+    durations (those stay on :func:`monotonic`).
+    """
+    return time.time()
+
+
 @dataclass
 class Obs:
     """One bundle of observability state: metrics + tracer + flags."""
@@ -87,13 +101,18 @@ LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
 LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
 
 
-def setup_logging(level: str = "info", stream=None) -> logging.Logger:
+def setup_logging(
+    level: str = "info", stream=None, prefix: str = ""
+) -> logging.Logger:
     """Configure the ``repro`` logger hierarchy at ``level``.
 
-    Idempotent: repeated calls adjust the level of the single handler
-    this function owns instead of stacking handlers.  Logs go to
-    ``stream`` (default ``sys.stderr``) so they never pollute the
-    CLI's stdout tables.
+    Idempotent: repeated calls adjust the level (and line prefix) of
+    the single handler this function owns instead of stacking
+    handlers.  Logs go to ``stream`` (default ``sys.stderr``) so they
+    never pollute the CLI's stdout tables.  ``prefix`` is injected in
+    front of the logger name on every line — shard processes pass
+    ``"shard=<i> "`` so interleaved supervisor/shard output stays
+    attributable.
     """
     name = str(level).lower()
     if name not in LOG_LEVELS:
@@ -109,8 +128,13 @@ def setup_logging(level: str = "info", stream=None) -> logging.Logger:
     if handler is None:
         handler = logging.StreamHandler(stream or sys.stderr)
         handler._repro_obs = True  # type: ignore[attr-defined]
-        handler.setFormatter(logging.Formatter(LOG_FORMAT))
         logger.addHandler(handler)
+    log_format = (
+        LOG_FORMAT
+        if not prefix
+        else f"%(asctime)s %(levelname)-7s {prefix}%(name)s: %(message)s"
+    )
+    handler.setFormatter(logging.Formatter(log_format))
     handler.setLevel(numeric)
     logger.propagate = False
     return logger

@@ -25,11 +25,13 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.probability import EventProbabilities
 from ..engine import Engine
-from ..obs import MetricsRegistry
+from ..obs import AuditLogger, MetricsRegistry, TraceContext, new_request_id
+from ..obs.audit import BATCH_STAGE, clear_batch_context, set_batch_context
+from ..obs.runtime import monotonic
 from .specs import EvaluateRequest
 
 #: Batch-size histogram buckets: powers of two up to a generous cap.
@@ -39,12 +41,14 @@ BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 1
 class _PendingBatch:
     """One forming batch: requests plus the futures awaiting them."""
 
-    __slots__ = ("requests", "futures", "timer")
+    __slots__ = ("requests", "futures", "timer", "traces", "submitted")
 
     def __init__(self) -> None:
         self.requests: List[EvaluateRequest] = []
         self.futures: List["asyncio.Future[EventProbabilities]"] = []
         self.timer: Optional[asyncio.TimerHandle] = None
+        self.traces: List[Optional[TraceContext]] = []
+        self.submitted: List[float] = []
 
 
 class MicroBatcher:
@@ -56,12 +60,14 @@ class MicroBatcher:
         metrics: MetricsRegistry,
         max_batch: int = 32,
         max_wait_s: float = 0.002,
+        audit: Optional[AuditLogger] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._engine = engine
         self._max_batch = max_batch
         self._max_wait_s = max_wait_s
+        self._audit = audit
         self._pending: Dict[tuple, _PendingBatch] = {}
         self._tasks: "set[asyncio.Task[None]]" = set()
         self._executor = ThreadPoolExecutor(
@@ -74,8 +80,18 @@ class MicroBatcher:
         self._request_counter = metrics.counter("service.batch.requests")
         self._coalesced_counter = metrics.counter("service.batch.coalesced")
 
-    async def submit(self, request: EvaluateRequest) -> EventProbabilities:
-        """Evaluate one request, possibly riding a coalesced batch."""
+    async def submit(
+        self,
+        request: EvaluateRequest,
+        trace: Optional[TraceContext] = None,
+    ) -> EventProbabilities:
+        """Evaluate one request, possibly riding a coalesced batch.
+
+        ``trace`` is the request's audit identity: sampled members get
+        their id listed on the batch's audit record (with the
+        queue-wait each one paid for coalescing), which is how
+        ``repro audit`` joins one batch span to N request spans.
+        """
         loop = asyncio.get_running_loop()
         self._request_counter.inc()
         key = self._engine.batch_key(
@@ -109,6 +125,8 @@ class MicroBatcher:
         future: "asyncio.Future[EventProbabilities]" = loop.create_future()
         batch.requests.append(request)
         batch.futures.append(future)
+        batch.traces.append(trace)
+        batch.submitted.append(monotonic())
         if len(batch.requests) >= self._max_batch or self._max_wait_s == 0:
             self._flush(key)
         return await future
@@ -133,19 +151,30 @@ class MicroBatcher:
             self._coalesced_counter.inc(size)
         template = batch.requests[0]
         runs = [request.run for request in batch.requests]
+        audited = self._audit is not None and any(
+            trace is not None and trace.sampled for trace in batch.traces
+        )
+        batch_id = new_request_id() if audited else None
+        call: Callable[[], List[EventProbabilities]] = partial(
+            self._engine.evaluate_many,
+            template.protocol,
+            template.topology,
+            runs,
+            method=template.method,
+            trials=template.trials,
+        )
+        if batch_id is not None:
+            call = partial(self._call_with_batch_context, batch_id, call)
+        flushed = monotonic()
+        error: Optional[Exception] = None
+        results: List[EventProbabilities] = []
         try:
-            results = await loop.run_in_executor(
-                self._executor,
-                partial(
-                    self._engine.evaluate_many,
-                    template.protocol,
-                    template.topology,
-                    runs,
-                    method=template.method,
-                    trials=template.trials,
-                ),
-            )
-        except Exception as error:  # surface to every coalesced waiter
+            results = await loop.run_in_executor(self._executor, call)
+        except Exception as caught:  # surface to every coalesced waiter
+            error = caught
+        if batch_id is not None:
+            self._record_batch(batch, batch_id, flushed, size, error)
+        if error is not None:
             for future in batch.futures:
                 if not future.done():
                     future.set_exception(error)
@@ -153,6 +182,56 @@ class MicroBatcher:
         for future, result in zip(batch.futures, results):
             if not future.done():
                 future.set_result(result)
+
+    @staticmethod
+    def _call_with_batch_context(
+        batch_id: str, call: Callable[[], List[EventProbabilities]]
+    ) -> List[EventProbabilities]:
+        """Run ``call`` on the engine thread tagged with the batch id.
+
+        The tag is what lets the engine's ``span_hook`` join its audit
+        record to this batch — executor boundaries drop contextvars,
+        so the identity travels by thread-local instead.
+        """
+        set_batch_context(batch_id)
+        try:
+            return call()
+        finally:
+            clear_batch_context()
+
+    def _record_batch(
+        self,
+        batch: _PendingBatch,
+        batch_id: str,
+        flushed: float,
+        size: int,
+        error: Optional[Exception],
+    ) -> None:
+        """One batch span fanning in N member request spans.
+
+        ``member_queue_wait_s`` aligns with ``member_request_ids``:
+        each entry is the time that member spent parked in the
+        coalescing window — the queue-wait half of the queue-wait vs.
+        compute-time split (compute is the joined engine span).
+        """
+        assert self._audit is not None
+        attributes: Dict[str, Any] = {
+            "batch_id": batch_id,
+            "size": size,
+            "member_request_ids": [
+                trace.request_id if trace is not None else None
+                for trace in batch.traces
+            ],
+            "member_queue_wait_s": [
+                round(max(0.0, flushed - submitted), 6)
+                for submitted in batch.submitted
+            ],
+        }
+        if error is not None:
+            attributes["error"] = type(error).__name__
+        self._audit.record(
+            BATCH_STAGE, None, monotonic() - flushed, **attributes
+        )
 
     @property
     def pending_requests(self) -> int:

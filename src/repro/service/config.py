@@ -13,8 +13,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..engine import BACKENDS, DEFAULT_CACHE_SIZE
+from ..obs.runtime import LOG_LEVELS
 
 DEFAULT_PORT = 8642
+
+#: Default size-based rotation threshold for per-process audit logs.
+DEFAULT_AUDIT_MAX_BYTES = 4 * 1024 * 1024
+
+#: Default in-memory ring-buffer depth behind ``/v1/debug/requests``.
+DEFAULT_AUDIT_RING = 256
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,22 @@ class ServiceConfig:
     deadline-checked request that just sleeps), which the backpressure
     and drain tests use to hold the admission queue open
     deterministically.  Never enable it on a real deployment.
+
+    ``audit_dir`` enables persistent request audit trails: every
+    process (supervisor, each shard, a standalone server) appends
+    span records to its own ``audit-<process>.jsonl`` under the
+    directory, rotated once it passes ``audit_max_bytes`` (one ``.1``
+    backup is kept).  ``repro audit <request_id>`` stitches those
+    files into one request tree.  With no directory, the in-memory
+    ring of the last ``audit_ring`` records behind
+    ``GET /v1/debug/requests`` still works.  ``trace_sample_rate``
+    picks which requests are audited — the decision is a
+    deterministic hash of the request id, so every process agrees
+    without coordination, and client-supplied ``X-Repro-Request-Id``
+    values are always sampled.  Requests slower than
+    ``slow_request_ms`` are logged at WARNING with their request id.
+    ``log_level`` is the ``repro.*`` logger level, propagated into
+    spawned shard processes (each prefixes its lines ``shard=<i>``).
     """
 
     host: str = "127.0.0.1"
@@ -73,6 +96,12 @@ class ServiceConfig:
     debug: bool = False
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
+    audit_dir: Optional[str] = None
+    audit_max_bytes: int = DEFAULT_AUDIT_MAX_BYTES
+    audit_ring: int = DEFAULT_AUDIT_RING
+    trace_sample_rate: float = 1.0
+    slow_request_ms: float = 1_000.0
+    log_level: str = "info"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -99,6 +128,19 @@ class ServiceConfig:
             raise ValueError("shards must be in [1, 64]")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if self.audit_max_bytes < 1024:
+            raise ValueError("audit_max_bytes must be >= 1024")
+        if self.audit_ring < 1:
+            raise ValueError("audit_ring must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.slow_request_ms <= 0:
+            raise ValueError("slow_request_ms must be > 0")
+        if self.log_level not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log_level {self.log_level!r}; expected one of "
+                f"{LOG_LEVELS}"
+            )
 
     @property
     def max_wait_s(self) -> float:
@@ -107,3 +149,7 @@ class ServiceConfig:
     @property
     def deadline_s(self) -> float:
         return self.deadline_ms / 1000.0
+
+    @property
+    def slow_request_s(self) -> float:
+        return self.slow_request_ms / 1000.0

@@ -18,7 +18,10 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..obs.audit import TraceContext
 
 MAX_HEADER_LINE = 8192
 MAX_HEADER_COUNT = 100
@@ -61,6 +64,9 @@ class HttpRequest:
     version: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: The request's audit identity, assigned by the server at the top
+    #: of routing (never by the parser — admission owns id assignment).
+    trace: Optional["TraceContext"] = None
 
     @property
     def keep_alive(self) -> bool:
@@ -191,8 +197,13 @@ class ClientConnection:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
-        """Issue one request; returns (status, headers, JSON payload)."""
+        """Issue one request; returns (status, headers, JSON payload).
+
+        ``headers`` adds extra request headers — how trace context
+        (``X-Repro-Request-Id``) crosses the supervisor → shard hop.
+        """
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
@@ -202,6 +213,8 @@ class ClientConnection:
             "Content-Type: application/json",
             f"Content-Length: {len(body)}",
         ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
         self._writer.write(
             ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
         )
@@ -237,10 +250,11 @@ async def request_once(
     method: str,
     path: str,
     payload: Optional[Dict[str, Any]] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
     """One-shot convenience: open, request, close."""
     connection = await ClientConnection.open(host, port)
     try:
-        return await connection.request(method, path, payload)
+        return await connection.request(method, path, payload, headers)
     finally:
         await connection.close()

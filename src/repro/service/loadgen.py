@@ -5,12 +5,14 @@ keep-alive connections (optionally across ``processes`` spawn-context
 generator processes, so the measuring side stops being the bottleneck
 before the serving side does), push ``requests`` evaluation requests
 through them as fast as the server answers, then write a
-self-describing ``BENCH_serve.json`` artifact (``schema_version`` 3:
+self-describing ``BENCH_serve.json`` artifact (``schema_version`` 4:
 UTC timestamp, git SHA, CPU count, a **scaling curve** across shard
-counts, and per-entry SLO blocks — aggregate and per-shard
-p50/p95/p99 over *served* requests, shed rate, and the
-``service.batch.size`` maximum that proves the micro-batcher
-coalesced).
+counts, per-entry SLO blocks — aggregate and per-shard p50/p95/p99
+over *served* requests, shed rate, and the ``service.batch.size``
+maximum that proves the micro-batcher coalesced — plus an optional
+``tracing`` block measuring the audit trail's p99 overhead, a
+tracing-off vs. tracing-on pair of runs at the headline shard
+count).
 
 Latency accounting is deliberate: a ``429`` shed with ``Retry-After``
 is the server doing its job *fast*, so sheds are counted separately
@@ -44,17 +46,19 @@ import multiprocessing
 import os
 import pathlib
 import subprocess
+import tempfile
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from multiprocessing.connection import Connection
 
+from ..obs.audit import load_audit_dir
 from ..obs.runtime import monotonic, utc_now_isoformat
 from .http import ClientConnection, request_once
 from .sharding import ShardRing, routing_key
 from .testing import BackgroundServer
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: Percentiles reported in the artifact.
 PERCENTILES = (50.0, 95.0, 99.0)
@@ -483,15 +487,18 @@ def bench_payload(
     options: LoadgenOptions,
     target: str,
     server_metrics: Optional[Dict[str, Any]] = None,
+    tracing: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """The ``BENCH_serve.json`` artifact body (schema v3).
+    """The ``BENCH_serve.json`` artifact body (schema v4).
 
     ``entries`` is the scaling curve, one entry per shard count (a
     plain single-server bench is a one-point curve).  The last entry
     is the headline; when a one-shard entry exists too, the measured
     speedup lands in ``speedup_vs_single_shard``.  ``cpu_count``
     records the hardware the curve was measured on — scaling claims
-    are meaningless without it.
+    are meaningless without it.  ``tracing`` (v4) is the audit-trail
+    overhead block from :func:`_tracing_overhead_entry`, present when
+    the bench measured it.
     """
     if not entries:
         raise ValueError("at least one scaling entry is required")
@@ -528,6 +535,8 @@ def bench_payload(
         payload["speedup_vs_single_shard"] = (
             headline["throughput_rps"] / single["throughput_rps"]
         )
+    if tracing is not None:
+        payload["tracing"] = tracing
     if server_metrics is not None:
         payload["metrics"] = server_metrics
     return payload
@@ -548,6 +557,7 @@ def run_bench(
     output: Optional[str] = None,
     server_config: Optional[Any] = None,
     shard_counts: Optional[Sequence[int]] = None,
+    trace_sample_rate: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One full bench: external server if addressed, else self-contained.
 
@@ -557,15 +567,24 @@ def run_bench(
     :class:`BackgroundServer` (configured by ``server_config``) is
     stood up per entry of ``shard_counts`` (default: the config's own
     ``shards``) on an ephemeral port, loaded, and drained — the full
-    sweep becomes the scaling curve.  Returns the artifact payload;
+    sweep becomes the scaling curve.  ``trace_sample_rate`` adds the
+    v4 ``tracing`` overhead block (self-contained benches only: the
+    comparison needs to restart the server with tracing off, which an
+    external target does not allow).  Returns the artifact payload;
     also writes it to ``output`` when given.
     """
     entries: List[Dict[str, Any]] = []
+    tracing: Optional[Dict[str, Any]] = None
     if host is not None and port is not None:
         if shard_counts is not None:
             raise ValueError(
                 "shard_counts requires a self-contained bench; an external "
                 "server's shard count cannot be changed from here"
+            )
+        if trace_sample_rate is not None:
+            raise ValueError(
+                "trace_sample_rate requires a self-contained bench; the "
+                "overhead comparison restarts the server with tracing off"
             )
         target = f"http://{host}:{port}"
         report = execute_load(host, port, options)
@@ -584,10 +603,61 @@ def run_bench(
                 report = execute_load(background.host, background.port, options)
             entries.append(scaling_entry(report, shards))
             metrics = report.server_metrics
-    payload = bench_payload(entries, options, target, server_metrics=metrics)
+        if trace_sample_rate is not None:
+            tracing = _tracing_overhead_entry(
+                base, counts[-1], options, trace_sample_rate
+            )
+    payload = bench_payload(
+        entries, options, target, server_metrics=metrics, tracing=tracing
+    )
     if output:
         write_bench_artifact(output, payload)
     return payload
+
+
+def _tracing_overhead_entry(
+    base: Any,
+    shards: int,
+    options: LoadgenOptions,
+    sample_rate: float,
+) -> Dict[str, Any]:
+    """Tracing-off vs. tracing-on, same workload, same shard count.
+
+    The baseline run disables sampling and the audit directory
+    entirely; the traced run samples at ``sample_rate`` into a
+    temporary audit directory (counted, then discarded).  The ratio of
+    served p99s is the cost of the audit trail — the number
+    EXPERIMENTS.md holds under 10%.
+    """
+    baseline_config = replace(
+        base, port=0, shards=shards, trace_sample_rate=0.0, audit_dir=None
+    )
+    with BackgroundServer(baseline_config) as background:
+        baseline = execute_load(background.host, background.port, options)
+    with tempfile.TemporaryDirectory(prefix="repro-audit-") as audit_dir:
+        traced_config = replace(
+            base,
+            port=0,
+            shards=shards,
+            trace_sample_rate=sample_rate,
+            audit_dir=audit_dir,
+        )
+        with BackgroundServer(traced_config) as background:
+            traced = execute_load(background.host, background.port, options)
+        audit_records = len(load_audit_dir(audit_dir))
+    baseline_p99 = baseline.latency_summary().get("p99")
+    traced_p99 = traced.latency_summary().get("p99")
+    overhead: Optional[float] = None
+    if baseline_p99 and traced_p99 is not None:
+        overhead = traced_p99 / baseline_p99 - 1.0
+    return {
+        "shards": shards,
+        "sample_rate": sample_rate,
+        "baseline_p99_seconds": baseline_p99,
+        "traced_p99_seconds": traced_p99,
+        "p99_overhead_ratio": overhead,
+        "audit_records": audit_records,
+    }
 
 
 def _external_shards(report: LoadReport) -> int:

@@ -43,7 +43,19 @@ import signal
 from typing import Any, Dict, Optional, Tuple
 
 from ..engine import Engine, ShardLocalCache
-from ..obs import MetricsRegistry, Obs, Tracer
+from ..obs import Histogram, MetricsRegistry, Obs, Tracer
+from ..obs.audit import (
+    ADMISSION_STAGE,
+    AUDIT_SCHEMA_VERSION,
+    ENGINE_STAGE,
+    REQUEST_ID_HEADER,
+    RESPONSE_STAGE,
+    WORKER_STAGE,
+    AuditLogger,
+    TraceContext,
+    audit_log_path,
+    current_batch_id,
+)
 from ..obs.runtime import monotonic
 from .batcher import MicroBatcher
 from .config import ServiceConfig
@@ -62,7 +74,58 @@ logger = logging.getLogger(__name__)
 #: Seconds a 429/503 response suggests the client wait before retrying.
 RETRY_AFTER_SECONDS = 1
 
+#: Deadline-burn histogram buckets (elapsed / deadline): a request in
+#: the 1.0+ buckets blew its deadline; 0.75+ is the worry zone.
+DEADLINE_BURN_BUCKETS: Tuple[float, ...] = (
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    0.9,
+    1.0,
+    2.0,
+)
+
 Route = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+def _endpoint_name(path: str) -> str:
+    """A bounded metric label for one request path.
+
+    Raw paths would mint one histogram per experiment id (or per
+    attacker-chosen 404 target); a fixed endpoint vocabulary keeps
+    the per-endpoint latency metrics enumerable.
+    """
+    path = path.split("?", 1)[0]
+    if path == "/v1/evaluate":
+        return "evaluate"
+    if path.startswith("/v1/experiments/"):
+        return "experiments"
+    if path == "/healthz":
+        return "healthz"
+    if path == "/metrics":
+        return "metrics"
+    if path == "/shards":
+        return "shards"
+    if path == "/v1/debug/requests":
+        return "debug_requests"
+    if path == "/v1/_sleep":
+        return "sleep"
+    return "other"
+
+
+def _query_int(path: str, name: str, default: int) -> int:
+    """``?name=N`` from a request target, tolerant of junk."""
+    query = path.partition("?")[2]
+    for part in query.split("&"):
+        key, separator, value = part.partition("=")
+        if separator and key == name:
+            try:
+                return max(0, int(value))
+            except ValueError:
+                return default
+    return default
 
 
 class AsyncJsonServer:
@@ -77,7 +140,12 @@ class AsyncJsonServer:
     lives here once.
     """
 
-    def __init__(self, config: ServiceConfig, obs: Optional[Obs]) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        obs: Optional[Obs],
+        process_name: str = "server",
+    ) -> None:
         self.config = config
         if obs is None:
             obs = Obs(
@@ -86,6 +154,17 @@ class AsyncJsonServer:
             )
         self.obs = obs
         self.metrics = obs.metrics
+        self.process_name = process_name
+        self.audit = AuditLogger(
+            path=(
+                audit_log_path(config.audit_dir, process_name)
+                if config.audit_dir
+                else None
+            ),
+            process=process_name,
+            max_bytes=config.audit_max_bytes,
+            ring_size=config.audit_ring,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task[None]]" = set()
         self._inflight = 0
@@ -100,6 +179,16 @@ class AsyncJsonServer:
         }
         self._latency_histogram = self.metrics.histogram(
             "service.request.latency"
+        )
+        self._endpoint_histograms: Dict[str, Histogram] = {}
+        self._deadline_burn_gauge = self.metrics.gauge(
+            "service.deadline.burn"
+        )
+        self._deadline_burn_histogram = self.metrics.histogram(
+            "service.deadline.burn_ratio", DEADLINE_BURN_BUCKETS
+        )
+        self._slow_counter = self.metrics.counter(
+            "service.slow_requests_total"
         )
         self._inflight_gauge = self.metrics.gauge("service.inflight")
         self._inflight_gauge.set(0)
@@ -248,9 +337,7 @@ class AsyncJsonServer:
                 return
             if request is None:
                 return
-            started = monotonic()
             status, payload, headers = await self._route_safely(request)
-            self._latency_histogram.observe(monotonic() - started)
             keep_alive = (
                 request.keep_alive and not self._draining and status < 500
             )
@@ -265,9 +352,18 @@ class AsyncJsonServer:
 
     async def _route_safely(self, request: HttpRequest) -> Route:
         self._requests_counter.inc()
+        if request.trace is None:
+            request.trace = TraceContext.from_headers(
+                request.headers, self.config.trace_sample_rate
+            )
+        trace = request.trace
+        started = monotonic()
         tracer = self.obs.tracer
         with tracer.span(
-            "service.request", method=request.method, path=request.path
+            "service.request",
+            method=request.method,
+            path=request.path,
+            request_id=trace.request_id,
         ) as span:
             try:
                 status, payload, headers = await self._route(request)
@@ -294,7 +390,67 @@ class AsyncJsonServer:
         bucket = f"{status // 100}xx"
         if bucket in self._responses:
             self._responses[bucket].inc()
+        # Every response — 429s and 504s included — echoes the request
+        # id, and error bodies carry it so clients can quote it.
+        headers = dict(headers)
+        headers.setdefault(REQUEST_ID_HEADER, trace.request_id)
+        if status >= 400 and "error" in payload:
+            payload = dict(payload)
+            payload.setdefault("request_id", trace.request_id)
+        self._observe_request(request, status, monotonic() - started)
         return status, payload, headers
+
+    def _observe_request(
+        self, request: HttpRequest, status: int, elapsed: float
+    ) -> None:
+        """Per-request accounting: histograms, burn, slow log, audit."""
+        path = request.path.split("?", 1)[0]
+        self._latency_histogram.observe(elapsed)
+        self._endpoint_histogram(_endpoint_name(path)).observe(elapsed)
+        burn = elapsed / self.config.deadline_s
+        self._deadline_burn_gauge.set(burn)
+        self._deadline_burn_histogram.observe(burn)
+        trace = request.trace
+        if elapsed >= self.config.slow_request_s:
+            self._slow_counter.inc()
+            logger.warning(
+                "slow request: %s %s -> %d in %.1fms (%.0f%% of the "
+                "deadline, request_id=%s)",
+                request.method,
+                path,
+                status,
+                elapsed * 1e3,
+                burn * 100,
+                trace.request_id if trace is not None else "-",
+            )
+        if trace is not None and trace.sampled:
+            self.audit.record(
+                RESPONSE_STAGE,
+                trace.request_id,
+                elapsed,
+                status=status,
+                method=request.method,
+                path=path,
+            )
+
+    def _endpoint_histogram(self, endpoint: str) -> Histogram:
+        histogram = self._endpoint_histograms.get(endpoint)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                f"service.request.latency.{endpoint}"
+            )
+            self._endpoint_histograms[endpoint] = histogram
+        return histogram
+
+    def _debug_requests_payload(self, request: HttpRequest) -> Dict[str, Any]:
+        """The ring-buffer view behind ``GET /v1/debug/requests``."""
+        limit = _query_int(request.path, "limit", 64)
+        return {
+            "schema_version": AUDIT_SCHEMA_VERSION,
+            "process": self.process_name,
+            "sample_rate": self.config.trace_sample_rate,
+            "requests": self.audit.recent(limit),
+        }
 
     async def _route(self, request: HttpRequest) -> Route:
         raise NotImplementedError
@@ -347,22 +503,52 @@ class EvaluationServer(AsyncJsonServer):
         obs: Optional[Obs] = None,
         shard_index: Optional[int] = None,
     ) -> None:
-        super().__init__(config, obs)
+        super().__init__(
+            config,
+            obs,
+            process_name=(
+                "server" if shard_index is None else f"shard{shard_index}"
+            ),
+        )
         self.shard_index = shard_index
         self.engine = Engine(
             backend=config.backend,
             obs=self.obs,
             cache=ShardLocalCache(config.cache_size),
         )
+        self.engine.span_hook = self._engine_span_hook
         self.batcher = MicroBatcher(
             self.engine,
             self.metrics,
             max_batch=config.max_batch,
             max_wait_s=config.max_wait_s,
+            audit=self.audit,
         )
         self.pool = WorkerPool(config.workers, self.metrics)
         if shard_index is not None:
             self.metrics.gauge("service.shard.index").set(shard_index)
+
+    def _engine_span_hook(
+        self, name: str, duration: float, attributes: Dict[str, Any]
+    ) -> None:
+        """Audit one engine execution, joined to its batch.
+
+        Fires on the engine thread.  Only batch-tagged executions are
+        recorded — the tag doubles as the sampling decision (the
+        batcher tags the thread only when a sampled request rides the
+        batch), so unsampled traffic costs nothing here.
+        """
+        batch_id = current_batch_id()
+        if batch_id is None:
+            return
+        self.audit.record(
+            ENGINE_STAGE,
+            None,
+            duration,
+            batch_id=batch_id,
+            operation=name,
+            **attributes,
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -441,6 +627,9 @@ class EvaluationServer(AsyncJsonServer):
                 },
                 {},
             )
+        if path == "/v1/debug/requests":
+            self._expect_method(request, "GET")
+            return 200, self._debug_requests_payload(request), {}
         if path == "/v1/evaluate":
             self._expect_method(request, "POST")
             return await self._admitted(self._handle_evaluate, request)
@@ -466,14 +655,36 @@ class EvaluationServer(AsyncJsonServer):
 
     async def _admitted(self, handler: Any, request: HttpRequest) -> Route:
         """Run ``handler`` under admission control and the deadline."""
+        trace = request.trace
+        sampled = trace is not None and trace.sampled
         self._refuse_if_draining()
         if self._inflight >= self.config.queue_limit:
             self._rejected_counter.inc()
+            if sampled:
+                assert trace is not None
+                self.audit.record(
+                    ADMISSION_STAGE,
+                    trace.request_id,
+                    0.0,
+                    admitted=False,
+                    inflight=self._inflight,
+                    queue_limit=self.config.queue_limit,
+                )
             raise HttpError(
                 429,
                 f"admission queue full ({self.config.queue_limit} in "
                 "flight); retry shortly",
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        if sampled:
+            assert trace is not None
+            self.audit.record(
+                ADMISSION_STAGE,
+                trace.request_id,
+                0.0,
+                admitted=True,
+                inflight=self._inflight,
+                queue_limit=self.config.queue_limit,
             )
         self._enter_inflight()
         try:
@@ -499,15 +710,46 @@ class EvaluationServer(AsyncJsonServer):
             else spec.resolves_exact()
         )
         if exact:
-            result = await self.batcher.submit(spec)
+            result = await self.batcher.submit(spec, trace=request.trace)
             return 200, build_evaluate_response(spec, result), {}
         payload = dict(spec.payload)
         payload["_backend"] = self.config.backend
+        started = monotonic()
         outcome = await self.pool.run(
             evaluate_in_worker, payload, self.config.deadline_s
         )
+        self._record_worker(
+            request.trace, "evaluate", monotonic() - started, outcome
+        )
         self.metrics.merge(outcome["metrics"])
         return 200, dict(outcome["response"]), {}
+
+    def _record_worker(
+        self,
+        trace: Optional[TraceContext],
+        operation: str,
+        total_s: float,
+        outcome: Dict[str, Any],
+    ) -> None:
+        """Audit one worker-tier dispatch, split into wait vs. compute.
+
+        ``elapsed_seconds`` is the child's self-reported compute time;
+        the difference from the dispatch total is time spent queued for
+        a worker slot (plus dispatch overhead) — the worker tier's half
+        of the queue-wait vs. compute-time split.
+        """
+        if trace is None or not trace.sampled:
+            return
+        compute = outcome.get("elapsed_seconds")
+        attributes: Dict[str, Any] = {"operation": operation}
+        if isinstance(compute, (int, float)):
+            attributes["compute_s"] = round(float(compute), 6)
+            attributes["queue_wait_s"] = round(
+                max(0.0, total_s - float(compute)), 6
+            )
+        self.audit.record(
+            WORKER_STAGE, trace.request_id, total_s, **attributes
+        )
 
     async def _handle_experiment(self, request: HttpRequest) -> Route:
         experiment_id = request.path.rsplit("/", 1)[1]
@@ -532,8 +774,12 @@ class EvaluationServer(AsyncJsonServer):
             "seed": seed,
             "_backend": self.config.backend,
         }
+        started = monotonic()
         outcome = await self.pool.run(
             run_experiment_in_worker, payload, self.config.deadline_s
+        )
+        self._record_worker(
+            request.trace, "experiment", monotonic() - started, outcome
         )
         self.metrics.merge(outcome["metrics"])
         return 200, dict(outcome["response"]), {}

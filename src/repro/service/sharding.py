@@ -55,7 +55,8 @@ from multiprocessing.connection import Connection
 
 from ..core.probability import DEFAULT_TRIALS
 from ..obs import MetricsRegistry, Obs
-from ..obs.runtime import monotonic
+from ..obs.audit import ADMISSION_STAGE, PROXY_STAGE, ROUTE_STAGE
+from ..obs.runtime import monotonic, setup_logging
 from .config import ServiceConfig
 from .http import ClientConnection, HttpError, HttpRequest
 from .server import (
@@ -176,14 +177,13 @@ def _suffixed(path: Optional[str], index: int) -> Optional[str]:
 def _shard_entry(
     config: ServiceConfig, shard_index: int, ready: Connection
 ) -> None:
-    """The spawn-context entry point of one shard process."""
-    logging.basicConfig(
-        level=logging.INFO,
-        format=(
-            f"%(asctime)s %(levelname)s shard[{shard_index}] "
-            "%(name)s: %(message)s"
-        ),
-    )
+    """The spawn-context entry point of one shard process.
+
+    A spawned child starts with no logging configuration, so the
+    supervisor's ``--log-level`` is re-applied here (it rode in on the
+    shard's config) and every line is prefixed with the shard index.
+    """
+    setup_logging(config.log_level, prefix=f"shard={shard_index} ")
     asyncio.run(_shard_main(config, shard_index, ready))
 
 
@@ -297,6 +297,7 @@ class _ShardClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
         async with self._gate:
             connection = self._idle.pop() if self._idle else None
@@ -304,7 +305,7 @@ class _ShardClient:
             if connection is None:
                 connection = await ClientConnection.open(self.host, self.port)
             try:
-                result = await connection.request(method, path, payload)
+                result = await connection.request(method, path, payload, headers)
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 await connection.close()
                 if not reused:
@@ -313,7 +314,9 @@ class _ShardClient:
                 # between requests: retry once on a fresh one.
                 connection = await ClientConnection.open(self.host, self.port)
                 try:
-                    result = await connection.request(method, path, payload)
+                    result = await connection.request(
+                        method, path, payload, headers
+                    )
                 except BaseException:
                     await connection.close()
                     raise
@@ -350,7 +353,7 @@ class ShardedEvaluationServer(AsyncJsonServer):
                 "ShardedEvaluationServer requires shards >= 2; use "
                 "EvaluationServer for a single shard"
             )
-        super().__init__(config, obs)
+        super().__init__(config, obs, process_name="supervisor")
         self.manager = ShardManager(config)
         self.ring = ShardRing(config.shards)
         self._clients: List[_ShardClient] = []
@@ -401,9 +404,13 @@ class ShardedEvaluationServer(AsyncJsonServer):
         if path == "/shards":
             self._expect_method(request, "GET")
             return self._handle_shards()
+        if path == "/v1/debug/requests":
+            self._expect_method(request, "GET")
+            return await self._handle_debug_requests(request)
         if path == "/v1/evaluate":
             self._expect_method(request, "POST")
             shard = self.ring.shard_for(routing_key(request.json()))
+            self._record_route(request, shard, "consistent-hash")
             return await self._proxy(shard, request)
         if path.startswith("/v1/experiments/") or (
             path == "/v1/_sleep" and self.config.debug
@@ -413,26 +420,63 @@ class ShardedEvaluationServer(AsyncJsonServer):
             # sleep hook have no batch locality to preserve.
             shard = self._round_robin % len(self._clients)
             self._round_robin += 1
+            self._record_route(request, shard, "round-robin")
             return await self._proxy(shard, request)
         raise HttpError(404, f"no route for {path!r}")
+
+    def _record_route(
+        self, request: HttpRequest, shard: int, policy: str
+    ) -> None:
+        trace = request.trace
+        if trace is None or not trace.sampled:
+            return
+        self.audit.record(
+            ROUTE_STAGE, trace.request_id, 0.0, shard=shard, policy=policy
+        )
 
     async def _proxy(self, shard: int, request: HttpRequest) -> Route:
         self._refuse_if_draining()
         payload = request.json()
+        trace = request.trace
+        sampled = trace is not None and trace.sampled
+        # The forward re-asserts the trace identity (and pins the
+        # sampling verdict) so the shard joins the same request tree
+        # instead of minting a fresh id for the hop.
+        propagation = (
+            trace.propagation_headers() if trace is not None else None
+        )
+        if sampled:
+            assert trace is not None
+            self.audit.record(
+                ADMISSION_STAGE,
+                trace.request_id,
+                0.0,
+                admitted=True,
+                inflight=self._inflight,
+                proxied_to=shard,
+            )
         self._proxied_counters[shard].inc()
         self._enter_inflight()
+        started = monotonic()
+        outcome: Any = None
         try:
             status, headers, body = await asyncio.wait_for(
                 self._clients[shard].request(
-                    request.method, request.path, payload
+                    request.method,
+                    request.path,
+                    payload,
+                    headers=propagation,
                 ),
                 timeout=self.config.deadline_s + PROXY_DEADLINE_GRACE_S,
             )
+            outcome = status
         except asyncio.TimeoutError as error:
+            outcome = "proxy-deadline"
             raise DeadlineExceeded(
                 f"shard {shard} exceeded the proxy deadline"
             ) from error
         except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            outcome = "unreachable"
             raise HttpError(
                 503,
                 f"shard {shard} unreachable: {error}",
@@ -440,6 +484,15 @@ class ShardedEvaluationServer(AsyncJsonServer):
             ) from error
         finally:
             self._leave_inflight()
+            if sampled:
+                assert trace is not None
+                self.audit.record(
+                    PROXY_STAGE,
+                    trace.request_id,
+                    monotonic() - started,
+                    shard=shard,
+                    status=outcome,
+                )
         relayed: Dict[str, str] = {}
         if "retry-after" in headers:
             relayed["Retry-After"] = headers["retry-after"]
@@ -508,6 +561,31 @@ class ShardedEvaluationServer(AsyncJsonServer):
             },
             {},
         )
+
+    async def _handle_debug_requests(self, request: HttpRequest) -> Route:
+        """The supervisor's recent-request ring plus every shard's.
+
+        One endpoint answers for the whole deployment: the payload is
+        the supervisor's own view with a ``shards`` map of each
+        shard's recent audit records fanned in (unreachable shards
+        are simply absent, mirroring ``/healthz``).
+        """
+        payload = self._debug_requests_payload(request)
+        outcomes = await asyncio.gather(
+            *(
+                client.request("GET", request.path)
+                for client in self._clients
+            ),
+            return_exceptions=True,
+        )
+        shards: Dict[str, Any] = {}
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, BaseException):
+                continue
+            _, _, body = outcome
+            shards[str(index)] = body.get("requests", [])
+        payload["shards"] = shards
+        return 200, payload, {}
 
     def _handle_shards(self) -> Route:
         """The routing table a smart client needs to bypass the proxy."""

@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional
 from ..core.seeding import spawn_random
 from ..engine import Engine
 from ..obs import MetricsRegistry, Obs, Tracer
+from ..obs.runtime import monotonic
 from .specs import evaluate_response, parse_evaluate_payload
 
 
@@ -51,6 +52,9 @@ def evaluate_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Top-level (picklable) on purpose.  Runs with a private engine and
     registry; the caller merges the returned metrics snapshot.
+    ``elapsed_seconds`` is the child's own compute time — the server
+    subtracts it from the dispatch total to attribute queue-wait on
+    the request's audit record (it never reaches the client response).
     """
     payload = dict(payload)
     backend = str(payload.pop("_backend", "auto"))
@@ -68,6 +72,7 @@ def evaluate_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         request.run_spec,
         request.trials,
     )
+    started = monotonic()
     result = engine.evaluate(
         request.protocol,
         request.topology,
@@ -79,6 +84,7 @@ def evaluate_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "response": evaluate_response(request, result),
         "metrics": metrics.snapshot(),
+        "elapsed_seconds": monotonic() - started,
     }
 
 
@@ -92,7 +98,9 @@ def run_experiment_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         seed=int(payload.get("seed", 0)),
         backend=str(payload.get("_backend", "auto")),
     )
+    started = monotonic()
     report = run_experiment(str(payload["experiment"]), config)
+    elapsed = monotonic() - started
     return {
         "response": {
             "experiment": report.experiment_id,
@@ -105,6 +113,7 @@ def run_experiment_in_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
             "engine": report.metadata.get("engine", {}),
         },
         "metrics": config.obs().metrics.snapshot(),
+        "elapsed_seconds": elapsed,
     }
 
 

@@ -13,6 +13,13 @@ deadlines, and drain timeouts are exactly the durations that go wrong
 on a wall clock; its one legitimate wall-clock need — stamping
 ``BENCH_serve.json`` — routes through
 :func:`repro.obs.runtime.utc_now_isoformat`.
+
+``repro.obs.audit`` is individually in scope as well: audit records
+cross process boundaries, so their span durations must be monotonic
+and their wall-clock start stamps must come from the sanctioned
+:func:`repro.obs.runtime.utc_now_timestamp` escape hatch — not ad-hoc
+``time.time()`` calls scattered through the module.  The rest of
+``obs/`` stays exempt: ``obs/runtime.py`` *is* the clock facade.
 """
 
 from __future__ import annotations
@@ -25,6 +32,12 @@ from .base import FileContext, Rule, Violation, register
 #: Subpackages of ``repro`` the rule scopes to.
 SCOPED_SUBPACKAGES = frozenset({"engine", "protocols", "adversary", "service"})
 
+#: Individually scoped modules outside those subpackages.  The audit
+#: module writes cross-process timestamps, so it is held to the
+#: ``obs.runtime`` clock facade even though ``obs/`` at large (which
+#: contains that facade) cannot be.
+SCOPED_MODULES = frozenset({"repro.obs.audit"})
+
 
 @register
 class ClockDiscipline(Rule):
@@ -36,7 +49,10 @@ class ClockDiscipline(Rule):
     )
 
     def applies(self, ctx: FileContext) -> bool:
-        return ctx.subpackage in SCOPED_SUBPACKAGES
+        return (
+            ctx.subpackage in SCOPED_SUBPACKAGES
+            or ctx.module in SCOPED_MODULES
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):

@@ -99,6 +99,29 @@ class TestJsonlExport:
         times = [r.get("start", r.get("time")) for r in records]
         assert times == sorted(times)
 
+    def test_empty_tracer_exports_meta_only(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        Tracer(enabled=True).export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "meta"
+
+    def test_export_overwrites_previous_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(enabled=True)
+        with tracer.span("first"):
+            pass
+        tracer.export_jsonl(str(path))
+        tracer.clear()
+        with tracer.span("second"):
+            pass
+        tracer.export_jsonl(str(path))
+        names = [
+            json.loads(line).get("name")
+            for line in path.read_text().splitlines()
+        ]
+        assert "second" in names and "first" not in names
+
     def test_non_json_attributes_stringified(self):
         tracer = Tracer(enabled=True)
         with tracer.span("s", topology=object()):

@@ -1,0 +1,10 @@
+# repro: path=src/repro/obs/audit.py
+"""Fixture: ad-hoc wall clocks in the audit module."""
+
+import time
+
+
+def record_span(write):
+    started = time.monotonic()
+    write()
+    return {"t_start": time.time(), "duration": time.monotonic() - started}

@@ -1,0 +1,10 @@
+# repro: path=src/repro/obs/audit.py
+"""Fixture: audit timestamps via the runtime clock facade."""
+
+from repro.obs.runtime import monotonic, utc_now_timestamp
+
+
+def record_span(write):
+    started = monotonic()
+    write()
+    return {"t_start": utc_now_timestamp(), "duration": monotonic() - started}

@@ -30,6 +30,7 @@ def check_fixture(name):
         ("rc001_service_bad.py", "RC001", [8, 9]),
         ("rc002_bad.py", "RC002", [9, 10]),
         ("rc002_service_bad.py", "RC002", [9, 11, 12]),
+        ("rc002_obs_bad.py", "RC002", [8, 10, 10]),
         ("rc003_bad.py", "RC003", [6, 8]),
         ("rc004_bad.py", "RC004", [1, 2]),
         ("rc005_bad.py", "RC005", [10, 12, 12, 13]),
@@ -48,6 +49,7 @@ def test_bad_fixture_trips_rule(name, rule_id, lines):
         "rc001_service_good.py",
         "rc002_good.py",
         "rc002_service_good.py",
+        "rc002_obs_good.py",
         "rc003_good.py",
         "rc004_good.py",
         "rc005_good.py",
