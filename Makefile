@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint bench serve bench-serve experiments experiments-full artifacts examples clean
+.PHONY: install test lint lint-fast bench serve bench-serve experiments experiments-full artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -18,6 +18,12 @@ lint:
 	    else echo "mypy not installed; skipping (pip install -e .[lint])"; fi
 	@if command -v ruff >/dev/null 2>&1; then ruff check; \
 	    else echo "ruff not installed; skipping (pip install -e .[lint])"; fi
+
+# Inner-loop lint: only files the git working tree touched are
+# reported, and phase-1 indexes for everything else come from the
+# content-hash cache (.repro-lint-cache.json).
+lint-fast:
+	python -m repro lint src/ tests/ --changed
 
 bench:
 	pytest benchmarks/ --benchmark-only

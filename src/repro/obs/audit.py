@@ -16,8 +16,10 @@ request did:
   debugging signal.
 * :class:`AuditLogger` — a per-process JSONL span log with size-based
   rotation (one ``.1`` backup) and an in-memory ring buffer backing
-  ``GET /v1/debug/requests``.  Appends are lock-guarded, so the event
-  loop, the engine thread, and worker callbacks may all write.
+  ``GET /v1/debug/requests``.  ``record()`` only appends to the ring
+  and enqueues — a single background writer thread owns the file and
+  rotation — so the event loop, the engine thread, and worker
+  callbacks may all record without ever blocking on disk I/O.
 * :func:`stitch_request` / :func:`render_request_tree` — merge the
   per-process logs (any order — records carry wall-clock start times
   from :func:`repro.obs.runtime.utc_now_timestamp`) into one request
@@ -46,6 +48,7 @@ import hashlib
 import json
 import os
 import pathlib
+import queue
 import re
 import threading
 from collections import deque
@@ -169,6 +172,16 @@ class AuditLogger:
     ``max_bytes``, the current file moves to ``<path>.1`` (replacing
     any previous backup) and a fresh file starts with its own meta
     line — bounded disk at roughly ``2 * max_bytes`` per process.
+
+    :meth:`record` never touches the filesystem: it appends to the
+    ring and enqueues the encoded line for a single background writer
+    thread, which owns the file handle, the size accounting, and
+    rotation.  That keeps ``record`` safe to call from the event loop
+    (rule RC006) — the old design appended and rotated inline, which
+    stalled the supervisor loop for the duration of an ``os.replace``
+    on every rotation.  :meth:`flush` blocks until everything enqueued
+    so far is on disk; :meth:`close` flushes, stops the writer, and is
+    idempotent (records issued after close still reach the ring).
     """
 
     def __init__(
@@ -189,9 +202,23 @@ class AuditLogger:
         self._ring: Deque[Dict[str, Any]] = deque(maxlen=ring_size)
         self._size = 0
         self._records_counter = 0
+        self._closed = False
+        self._queue: Optional["queue.Queue[Optional[str]]"] = None
+        self._writer: Optional[threading.Thread] = None
         if self.path is not None:
+            # Construction is a startup-path act (make_server, shard
+            # boot), so the initial mkdir + meta line stay synchronous:
+            # a misconfigured --audit-dir fails loudly at startup, not
+            # silently in a background thread mid-flight.
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._size = self._start_file()
+            self._queue = queue.Queue()
+            self._writer = threading.Thread(
+                target=self._writer_loop,
+                name=f"audit-writer-{process}",
+                daemon=True,
+            )
+            self._writer.start()
 
     @property
     def records_written(self) -> int:
@@ -217,6 +244,29 @@ class AuditLogger:
             handle.write(line)
         return len(line.encode("utf-8"))
 
+    def _writer_loop(self) -> None:
+        """Drain the queue onto disk; the only code that appends/rotates.
+
+        ``_size`` is written exclusively here after construction, so
+        rotation needs no lock — single-writer ownership is the
+        synchronization.  A ``None`` sentinel stops the loop.
+        """
+        assert self.path is not None and self._queue is not None
+        while True:
+            line = self._queue.get()
+            try:
+                if line is None:
+                    return
+                encoded = line.encode("utf-8")
+                if self._size + len(encoded) > self.max_bytes:
+                    os.replace(self.path, str(self.path) + ".1")
+                    self._size = self._start_file()
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line)
+                self._size += len(encoded)
+            finally:
+                self._queue.task_done()
+
     def record(
         self,
         stage: str,
@@ -225,11 +275,12 @@ class AuditLogger:
         t_start: Optional[float] = None,
         **attributes: Any,
     ) -> Dict[str, Any]:
-        """Append one span record (and mirror it into the ring buffer).
+        """Record one span: ring append + enqueue for the writer thread.
 
         ``t_start`` defaults to "now minus duration" — call sites that
         measured on the monotonic clock need not also read the wall
-        clock.  Returns the record written.
+        clock.  Returns the record; it reaches disk asynchronously
+        (call :meth:`flush` to wait for it).
         """
         if t_start is None:
             t_start = utc_now_timestamp() - duration
@@ -244,18 +295,32 @@ class AuditLogger:
             "attributes": attributes,
         }
         line = json.dumps(entry, sort_keys=True, default=str) + "\n"
-        encoded = line.encode("utf-8")
         with self._lock:
             self._ring.append(entry)
             self._records_counter += 1
-            if self.path is not None:
-                if self._size + len(encoded) > self.max_bytes:
-                    os.replace(self.path, str(self.path) + ".1")
-                    self._size = self._start_file()
-                with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(line)
-                self._size += len(encoded)
+            if self._queue is not None and not self._closed:
+                self._queue.put(line)
         return entry
+
+    def flush(self) -> None:
+        """Block until every record enqueued so far is on disk."""
+        if self._queue is not None:
+            self._queue.join()
+
+    def close(self) -> None:
+        """Flush and stop the writer thread; idempotent.
+
+        Later :meth:`record` calls still land in the ring buffer but
+        are no longer persisted — shutdown paths call this exactly to
+        guarantee the file is complete before the process exits.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._queue is not None and self._writer is not None:
+            self._queue.put(None)
+            self._writer.join()
 
     def recent(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
         """The newest ring-buffer records, oldest first."""

@@ -69,6 +69,38 @@ def utc_now_timestamp() -> float:
     return time.time()
 
 
+#: Surfaces that are *deliberately* written from more than one
+#: execution context (event loop, engine/default-executor threads) and
+#: carry their own synchronization.  The static analyzer's RC008
+#: shared-state rule treats any other multi-context write as a data
+#: race — mirroring how RC005 fences the cacheable surface with
+#: :data:`repro.engine.engine.CACHEABLE_QUALNAMES`.  Registering a
+#: name here is a reviewed claim that the synchronization exists; keep
+#: the justification next to the entry.
+SYNCHRONIZED_QUALNAMES = (
+    # GIL-atomic single-op counters/gauges; merges happen on snapshots,
+    # never in place (see MetricsRegistry's class docstring).
+    "repro.obs.metrics.MetricsRegistry",
+    "repro.obs.metrics.Counter",
+    "repro.obs.metrics.Gauge",
+    "repro.obs.metrics.Histogram",
+    # Ring buffer + counters guarded by AuditLogger._lock; JSONL
+    # persistence is owned by the single background writer thread.
+    "repro.obs.audit.AuditLogger",
+    # Span records/ids guarded by Tracer._lock; the open-span stack is
+    # per-thread state (threading.local) so loop and engine threads
+    # cannot corrupt each other's parent attribution.
+    "repro.obs.tracing.Tracer",
+    # The engine's busy-guard: cache/RNG mutation is confined to the
+    # single engine-executor thread, and cross-context admin calls
+    # (snapshot import/export, reset) raise EngineBusyError instead of
+    # racing (see Engine._check_not_busy).
+    "repro.engine.engine.Engine",
+    "repro.engine.cache.InProcessCache",
+    "repro.engine.cache.ShardLocalCache",
+)
+
+
 @dataclass
 class Obs:
     """One bundle of observability state: metrics + tracer + flags."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -123,17 +124,17 @@ class _SpanContext:
 
     def __enter__(self) -> Span:
         tracer = self._tracer
-        parent = tracer._stack[-1] if tracer._stack else None
+        stack = tracer._thread_stack()
+        parent = stack[-1] if stack else None
         span = Span(
             name=self._name,
-            span_id=tracer._next_id,
+            span_id=tracer._allocate_id(),
             parent_id=parent.span_id if parent is not None else None,
             depth=parent.depth + 1 if parent is not None else 0,
             start=tracer._now(),
             attributes=self._attributes,
         )
-        tracer._next_id += 1
-        tracer._stack.append(span)
+        stack.append(span)
         self._span = span
         return span
 
@@ -141,14 +142,16 @@ class _SpanContext:
         span = self._span
         tracer = self._tracer
         span.end = tracer._now()
-        if tracer._stack and tracer._stack[-1] is span:
-            tracer._stack.pop()
+        stack = tracer._thread_stack()
+        if stack and stack[-1] is span:
+            stack.pop()
         else:  # tolerate out-of-order exits rather than corrupt the stack
             try:
-                tracer._stack.remove(span)
+                stack.remove(span)
             except ValueError:
                 pass
-        tracer.records.append(span)
+        with tracer._lock:
+            tracer.records.append(span)
         return False
 
 
@@ -158,19 +161,44 @@ class Tracer:
     ``records`` holds finished spans (appended at close) and events
     (appended at emit), so an open span only becomes visible once its
     ``with`` block exits.
+
+    Thread-safety: the serving tier opens spans from both the event
+    loop and the engine-executor thread (the engine span hook fires on
+    whatever thread runs the batch), so ``records`` appends and span-id
+    allocation are guarded by ``_lock``, and the open-span stack is
+    per-thread (``threading.local``) — each thread nests its own spans
+    without ever adopting another thread's parent, which would both
+    misattribute the tree and race the shared list.  The tracer is
+    registered in :data:`repro.obs.runtime.SYNCHRONIZED_QUALNAMES` on
+    the strength of exactly this scheme.
     """
 
-    __slots__ = ("enabled", "records", "_stack", "_next_id", "_t0")
+    __slots__ = ("enabled", "records", "_local", "_next_id", "_t0", "_lock")
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.records: List[Union[Span, Event]] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
         self._next_id = 1
         self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0
+
+    def _thread_stack(self) -> List[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
 
     def span(self, name: str, **attributes: object):
         """A context manager timing ``name`` (no-op singleton when disabled)."""
@@ -182,31 +210,42 @@ class Tracer:
         """Record a point-in-time event under the current span."""
         if not self.enabled:
             return None
-        parent = self._stack[-1] if self._stack else None
+        stack = self._thread_stack()
+        parent = stack[-1] if stack else None
         event = Event(
             name=name,
             span_id=parent.span_id if parent is not None else None,
             time=self._now(),
             attributes=attributes,
         )
-        self.records.append(event)
+        with self._lock:
+            self.records.append(event)
         return event
 
     @property
     def spans(self) -> List[Span]:
         """All finished spans, in close order."""
-        return [record for record in self.records if isinstance(record, Span)]
+        with self._lock:
+            records = list(self.records)
+        return [record for record in records if isinstance(record, Span)]
 
     @property
     def events(self) -> List[Event]:
         """All events, in emit order."""
-        return [record for record in self.records if isinstance(record, Event)]
+        with self._lock:
+            records = list(self.records)
+        return [record for record in records if isinstance(record, Event)]
 
     def clear(self) -> None:
-        """Drop recorded spans/events (ids restart, clock keeps running)."""
-        self.records.clear()
-        self._stack.clear()
-        self._next_id = 1
+        """Drop recorded spans/events (ids restart, clock keeps running).
+
+        Only this thread's open-span stack is reset — other threads'
+        in-flight spans close into the fresh record list.
+        """
+        with self._lock:
+            self.records.clear()
+            self._next_id = 1
+        self._thread_stack().clear()
 
     def to_jsonl(self) -> str:
         """The JSONL export (meta line + one line per record)."""
@@ -222,8 +261,10 @@ class Tracer:
             )
         )
         out.write("\n")
+        with self._lock:
+            records = list(self.records)
         for record in sorted(
-            self.records, key=lambda r: (r.start if isinstance(r, Span) else r.time)
+            records, key=lambda r: (r.start if isinstance(r, Span) else r.time)
         ):
             out.write(json.dumps(record.to_record(), default=str))
             out.write("\n")

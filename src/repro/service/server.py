@@ -280,7 +280,14 @@ class AsyncJsonServer:
         await self._shutdown_components()
         self._server = None
         self.metrics.gauge("service.drain.seconds").set(monotonic() - started)
-        self._export_artifacts()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._export_artifacts
+        )
+        # Stop the audit writer last: every record from the drain above
+        # must be on disk before the process exits (the CI smoke test
+        # runs `repro audit --expect-complete` against these files
+        # after SIGTERM).
+        self.audit.close()
         logger.info("shutdown complete")
 
     async def _shutdown_components(self) -> None:
@@ -553,7 +560,10 @@ class EvaluationServer(AsyncJsonServer):
     # -- lifecycle -----------------------------------------------------
 
     async def _start_components(self) -> None:
-        self._import_cache_snapshot()
+        # Snapshot import reads from disk — keep it off the loop even
+        # at boot so a slow volume cannot delay the accept loop (RC006).
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._import_cache_snapshot)
 
     def _log_started(self) -> None:
         logger.info(
@@ -573,7 +583,8 @@ class EvaluationServer(AsyncJsonServer):
         await self.batcher.drain()
         self.batcher.shutdown()
         self.pool.shutdown()
-        self._export_cache_snapshot()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._export_cache_snapshot)
 
     # -- warm-start cache snapshots ------------------------------------
 
@@ -702,7 +713,11 @@ class EvaluationServer(AsyncJsonServer):
     # -- endpoint handlers ---------------------------------------------
 
     async def _handle_evaluate(self, request: HttpRequest) -> Route:
-        spec = parse_evaluate_payload(request.json())
+        # parse_run resolves spec files named by the payload, so
+        # parsing can touch disk — run it off-loop (RC006).
+        spec = await asyncio.get_running_loop().run_in_executor(
+            None, parse_evaluate_payload, request.json()
+        )
         enumeration_limit = self.config.enumeration_limit
         exact = (
             spec.resolves_exact(enumeration_limit)

@@ -27,6 +27,23 @@ machine-checked invariants over the source itself:
   (:data:`repro.engine.engine.CACHEABLE_QUALNAMES`) must not write
   globals, mutate their arguments, or call RNG/clock APIs.
 
+Three further rules are *project-wide*: a two-phase analyzer first
+indexes every file (:mod:`repro.staticcheck.index`), then builds an
+interprocedural call graph with an execution-context classification
+(:mod:`repro.staticcheck.graph`) and runs
+
+* ``RC006 async-discipline`` — no blocking calls (file/socket I/O,
+  ``time.sleep``, ``subprocess``, direct ``Engine.evaluate*``)
+  reachable from event-loop context in ``service/``, including
+  transitively-blocking helpers;
+* ``RC007 spawn-safety`` — callables and arguments crossing spawn
+  ``Process``/pool boundaries must be picklable by construction, and
+  module state must not straddle the boundary;
+* ``RC008 shared-state`` — mutable module/class state written from
+  more than one execution context must be registered in
+  :data:`repro.obs.runtime.SYNCHRONIZED_QUALNAMES` (the registry
+  pattern RC005 pioneered for the cache surface).
+
 Violations can be suppressed per line with
 ``# repro: noqa[RC001] justification`` — the justification is
 mandatory, and unused suppressions are themselves reported (``RC000``).
@@ -37,9 +54,11 @@ json``); the same gate runs in CI.  See DESIGN.md section 9.
 
 from __future__ import annotations
 
-from .base import RULES, FileContext, Rule, Violation, all_rule_ids
+from .base import RULES, FileContext, ProjectRule, Rule, Violation, all_rule_ids
 from .checker import check_file, check_paths, check_source, iter_python_files
 from .claims import CLAIMS, Claim, claims_for_experiment, normalize_tag, resolve
+from .graph import CallGraph, ProjectContext
+from .index import RepoIndex, build_module_index
 
 # Importing the rule modules registers them in RULES.
 from . import rc001_rng as _rc001  # noqa: F401  (registration import)
@@ -47,15 +66,23 @@ from . import rc002_clock as _rc002  # noqa: F401
 from . import rc003_float_eq as _rc003  # noqa: F401
 from . import rc004_claims as _rc004  # noqa: F401
 from . import rc005_cache_purity as _rc005  # noqa: F401
+from . import rc006_async_discipline as _rc006  # noqa: F401
+from . import rc007_spawn_safety as _rc007  # noqa: F401
+from . import rc008_shared_state as _rc008  # noqa: F401
 
 __all__ = [
     "CLAIMS",
+    "CallGraph",
     "Claim",
     "FileContext",
+    "ProjectContext",
+    "ProjectRule",
     "RULES",
+    "RepoIndex",
     "Rule",
     "Violation",
     "all_rule_ids",
+    "build_module_index",
     "check_file",
     "check_paths",
     "check_source",

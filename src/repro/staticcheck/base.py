@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 __all__ = [
     "FileContext",
     "ImportMap",
+    "ProjectRule",
     "RULES",
     "Rule",
     "Violation",
@@ -179,17 +180,28 @@ class Rule:
     Subclasses set the class attributes and implement :meth:`check`;
     :meth:`applies` implements the path scoping so ``check`` can assume
     it only sees in-scope files.
+
+    Per-file rules see one :class:`FileContext` at a time.  *Project*
+    rules (``project = True``, see :class:`ProjectRule`) instead
+    implement :meth:`check_project` over the phase-1 repo index and the
+    phase-2 call graph, and run once per analysis, after every file has
+    been parsed.
     """
 
     rule_id: str = ""
     name: str = ""
     summary: str = ""
+    project: bool = False
 
     def applies(self, ctx: FileContext) -> bool:
         return True
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        """Graph-aware pass; ``project`` is a ProjectContext."""
+        return iter(())
 
     def violation(
         self, ctx: FileContext, node: ast.AST, message: str
@@ -198,6 +210,32 @@ class Rule:
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for graph-aware rules (RC006–RC008).
+
+    These run after phase 1 has indexed every file in the run; the
+    checker hands them a ``ProjectContext`` (repo index + call graph)
+    and merges their violations into the per-file streams so the noqa
+    machinery treats them exactly like syntactic findings.
+    """
+
+    project = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())  # all work happens in check_project
+
+    def project_violation(
+        self, path: str, line: int, column: int, message: str
+    ) -> Violation:
+        return Violation(
+            path=path,
+            line=line,
+            column=max(column, 1),
             rule=self.rule_id,
             message=message,
         )

@@ -1,5 +1,22 @@
 """Orchestration: walk files, run rules, apply per-line suppressions.
 
+The checker now runs in two phases.  Phase 1 parses every file once
+and produces, per file, the *raw* per-file-rule violations, the noqa
+comments, and a serializable :class:`~repro.staticcheck.index.ModuleIndex`
+(symbol tables, normalized call sites, dispatch boundaries, mutable
+state).  Phase 2 aggregates the module indexes into a
+:class:`~repro.staticcheck.graph.CallGraph` and runs the project-wide
+rules (RC006–RC008) over it.  Only then are suppressions applied, so a
+``# repro: noqa[RC006] reason`` works on a graph-derived finding
+exactly like on a syntactic one — including unused-suppression
+detection (RC000).
+
+Because the phase-1 record is plain data, it caches: ``check_paths``
+accepts a cache file keyed on source content hash, and unchanged
+files skip parsing and per-file rules entirely (the project rules
+always re-run — they are cheap once the index exists, and their
+results depend on *other* files).
+
 Suppression syntax (per physical line)::
 
     risky_call()  # repro: noqa[RC001] seed comes from the CLI flag
@@ -19,15 +36,28 @@ files only get checked when named explicitly.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import os
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .base import RULES, FileContext, Violation
+from .graph import CallGraph, ProjectContext
+from .index import ANALYZER_SCHEMA_VERSION, ModuleIndex, RepoIndex, build_module_index
 
 __all__ = [
     "check_file",
@@ -58,6 +88,19 @@ class _Noqa:
     rules: Tuple[str, ...]
     reason: str
     used: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _FileRecord:
+    """Phase-1 output for one file (cacheable as plain data)."""
+
+    path: str
+    logical: str
+    digest: str = ""
+    raw: List[Violation] = field(default_factory=list)  # pre-noqa, per-file
+    noqas: List[_Noqa] = field(default_factory=list)
+    index: Optional[ModuleIndex] = None
+    error: Optional[Violation] = None  # RC999: parse/decode failure
 
 
 def _scan_comments(source: str) -> Tuple[Optional[str], List[_Noqa]]:
@@ -167,24 +210,25 @@ def _suppression_violations(
                 )
 
 
-def check_source(
-    source: str,
-    path: str,
-    logical: Optional[str] = None,
-) -> List[Violation]:
-    """Lint one source string; returns unfiltered, sorted violations."""
+# -- phase 1: per-file analysis -----------------------------------------
+
+
+def _analyze_source(source: str, path: str, logical: Optional[str]) -> _FileRecord:
+    """Parse one file, run per-file rules, extract the module index."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
-            Violation(
+        return _FileRecord(
+            path=path,
+            logical=logical or _logical_path(path),
+            error=Violation(
                 path=path,
                 line=error.lineno or 1,
                 column=(error.offset or 1),
                 rule="RC999",
                 message=f"syntax error: {error.msg}",
-            )
-        ]
+            ),
+        )
     directive, noqas = _scan_comments(source)
     ctx = FileContext(
         path=path,
@@ -192,31 +236,97 @@ def check_source(
         source=source,
         tree=tree,
     )
-    raw: List[Violation] = []
+    record = _FileRecord(path=path, logical=ctx.logical, noqas=noqas)
     for rule in RULES.values():
-        if rule.applies(ctx):
-            raw.extend(rule.check(ctx))
+        if not rule.project and rule.applies(ctx):
+            record.raw.extend(rule.check(ctx))
+    record.index = build_module_index(
+        tree=tree,
+        imports=ctx.imports,
+        path=path,
+        logical=ctx.logical,
+        module=ctx.module,
+    )
+    return record
 
-    by_line: Dict[int, List[_Noqa]] = {}
-    for noqa in noqas:
-        by_line.setdefault(noqa.line, []).append(noqa)
-    kept: List[Violation] = []
-    for violation in raw:
-        suppressed = False
-        for noqa in by_line.get(violation.line, ()):
-            if violation.rule in noqa.rules:
-                noqa.used.add(violation.rule)
-                suppressed = True
-        if not suppressed:
-            kept.append(violation)
-    kept.extend(_suppression_violations(path, noqas))
-    return sorted(kept)
+
+# -- phase 2 + suppression merge ----------------------------------------
+
+
+def _project_violations(records: Sequence[_FileRecord]) -> List[Violation]:
+    repo_index = RepoIndex()
+    for record in records:
+        if record.index is not None:
+            repo_index.add(record.index)
+    if not repo_index.modules:
+        return []
+    project = ProjectContext(index=repo_index, graph=CallGraph(repo_index))
+    violations: List[Violation] = []
+    for rule in RULES.values():
+        if rule.project:
+            violations.extend(rule.check_project(project))
+    return violations
+
+
+def _finalize(records: Sequence[_FileRecord]) -> List[Violation]:
+    """Merge per-file and project violations, apply noqa, emit RC000."""
+    project = _project_violations(records)
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in project:
+        by_path.setdefault(violation.path, []).append(violation)
+    results: List[Violation] = []
+    for record in records:
+        if record.error is not None:
+            results.append(record.error)
+            continue
+        raw = list(record.raw) + by_path.pop(record.path, [])
+        by_line: Dict[int, List[_Noqa]] = {}
+        for noqa in record.noqas:
+            noqa.used.clear()
+            by_line.setdefault(noqa.line, []).append(noqa)
+        for violation in raw:
+            suppressed = False
+            for noqa in by_line.get(violation.line, ()):
+                if violation.rule in noqa.rules:
+                    noqa.used.add(violation.rule)
+                    suppressed = True
+            if not suppressed:
+                results.append(violation)
+        results.extend(_suppression_violations(record.path, record.noqas))
+    # Project violations for paths not in the record set (should not
+    # happen, but never drop a finding silently).
+    for leftovers in by_path.values():
+        results.extend(leftovers)
+    return sorted(results)
+
+
+def check_source(
+    source: str,
+    path: str,
+    logical: Optional[str] = None,
+) -> List[Violation]:
+    """Lint one source string (including the graph rules, which see a
+    single-file project); returns suppression-filtered, sorted
+    violations."""
+    record = _analyze_source(source, path, logical)
+    return _finalize([record])
 
 
 def check_file(path: str) -> List[Violation]:
-    """Lint one file on disk."""
-    with open(path, encoding="utf-8") as handle:
-        source = handle.read()
+    """Lint one file on disk; undecodable bytes report RC999."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except (UnicodeDecodeError, ValueError) as error:
+        return [
+            Violation(
+                path=path,
+                line=1,
+                column=1,
+                rule="RC999",
+                message=f"file is not valid UTF-8: {error}",
+            )
+        ]
     return check_source(source, path)
 
 
@@ -224,11 +334,13 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
     """Expand files and directories into the .py files to check.
 
     Directories are walked recursively, skipping :data:`SKIP_DIR_NAMES`
-    and hidden directories; explicitly named files are always included.
+    and hidden directories; symlinked directories are not followed, so
+    a symlink cycle cannot hang the walk.  Explicitly named files are
+    always included.
     """
     for path in paths:
         if os.path.isdir(path):
-            for root, dirs, files in os.walk(path):
+            for root, dirs, files in os.walk(path, followlinks=False):
                 dirs[:] = sorted(
                     d
                     for d in dirs
@@ -241,14 +353,162 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
             yield path
 
 
+# -- the content-hash index cache ---------------------------------------
+
+_CACHE_VERSION = 1
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _cache_fingerprint() -> str:
+    """Rule-set fingerprint: a cache from another rule set is stale."""
+    return _digest(
+        ",".join(sorted(RULES)).encode()
+        + f":{_CACHE_VERSION}:{ANALYZER_SCHEMA_VERSION}".encode()
+    )
+
+
+def _load_cache(cache_path: Optional[str]) -> Dict[str, Dict[str, object]]:
+    if cache_path is None or not os.path.exists(cache_path):
+        return {}
+    try:
+        with open(cache_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("fingerprint") != _cache_fingerprint():
+            return {}
+        files = payload.get("files", {})
+        return dict(files) if isinstance(files, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def _save_cache(
+    cache_path: Optional[str], records: Sequence[_FileRecord]
+) -> None:
+    if cache_path is None:
+        return
+    files: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        if record.error is not None or record.index is None:
+            continue  # never cache failures
+        files[record.path] = {
+            "digest": record.digest,
+            "logical": record.logical,
+            "violations": [v.as_dict() for v in record.raw],
+            "noqas": [
+                {
+                    "line": n.line,
+                    "column": n.column,
+                    "rules": list(n.rules),
+                    "reason": n.reason,
+                }
+                for n in record.noqas
+            ],
+            "index": record.index.to_dict(),
+        }
+    payload = {"fingerprint": _cache_fingerprint(), "files": files}
+    try:
+        directory = os.path.dirname(cache_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = f"{cache_path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_path, cache_path)
+    except OSError:
+        pass  # a cache that cannot be written is just a slow run
+
+
+def _record_from_cache(
+    path: str, digest: str, entry: Dict[str, object]
+) -> Optional[_FileRecord]:
+    if entry.get("digest") != digest:
+        return None
+    try:
+        record = _FileRecord(
+            path=path, logical=str(entry["logical"]), digest=digest
+        )
+        record.raw = [
+            Violation(
+                path=str(v["path"]),
+                line=int(v["line"]),  # type: ignore[call-overload]
+                column=int(v["column"]),  # type: ignore[call-overload]
+                rule=str(v["rule"]),
+                message=str(v["message"]),
+            )
+            for v in entry["violations"]  # type: ignore[union-attr,index]
+        ]
+        record.noqas = [
+            _Noqa(
+                line=int(n["line"]),
+                column=int(n["column"]),
+                rules=tuple(n["rules"]),
+                reason=str(n["reason"]),
+            )
+            for n in entry["noqas"]  # type: ignore[union-attr,index]
+        ]
+        record.index = ModuleIndex.from_dict(entry["index"])  # type: ignore[arg-type]
+        return record
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _analyze_path(path: str, cache: Dict[str, Dict[str, object]]) -> _FileRecord:
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        record = _FileRecord(path=path, logical=_logical_path(path))
+        record.error = Violation(
+            path=path,
+            line=1,
+            column=1,
+            rule="RC999",
+            message=f"unreadable file: {error}",
+        )
+        return record
+    digest = _digest(data)
+    entry = cache.get(path)
+    if isinstance(entry, dict):
+        cached = _record_from_cache(path, digest, entry)
+        if cached is not None:
+            return cached
+    try:
+        source = data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        record = _FileRecord(path=path, logical=_logical_path(path))
+        record.error = Violation(
+            path=path,
+            line=1,
+            column=1,
+            rule="RC999",
+            message=f"file is not valid UTF-8: {error}",
+        )
+        return record
+    record = _analyze_source(source, path, None)
+    record.digest = digest
+    return record
+
+
 def check_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    cache_path: Optional[str] = None,
+    changed_only: Optional[Set[str]] = None,
 ) -> Tuple[List[Violation], int]:
     """Lint files/directories; returns (violations, files_checked).
 
     ``select`` keeps only the named rule ids; ``ignore`` drops them.
+    ``cache_path`` points at a JSON phase-1 cache keyed on content
+    hash; unchanged files skip parsing and per-file rules (the
+    project-wide rules always run over the full index).
+    ``changed_only`` — a set of paths (as produced by
+    :func:`os.path.normpath`) — restricts *reported* violations to
+    those files while still indexing everything, so graph rules keep
+    whole-repo visibility during incremental runs.
     Raises ``FileNotFoundError`` for a path that does not exist.
     """
     for path in paths:
@@ -256,14 +516,29 @@ def check_paths(
             raise FileNotFoundError(path)
     selected = set(select) if select else None
     ignored = set(ignore) if ignore else set()
-    violations: List[Violation] = []
-    files_checked = 0
+    cache = _load_cache(cache_path)
+    records: List[_FileRecord] = []
     for file_path in iter_python_files(paths):
-        files_checked += 1
-        for violation in check_file(file_path):
-            if selected is not None and violation.rule not in selected:
-                continue
-            if violation.rule in ignored:
-                continue
-            violations.append(violation)
+        records.append(_analyze_path(file_path, cache))
+    _save_cache(cache_path, records)
+    all_violations = _finalize(records)
+    files_checked = len(records)
+    if changed_only is not None:
+        all_violations = [
+            v
+            for v in all_violations
+            if os.path.normpath(v.path) in changed_only
+        ]
+        files_checked = sum(
+            1
+            for record in records
+            if os.path.normpath(record.path) in changed_only
+        )
+    violations: List[Violation] = []
+    for violation in all_violations:
+        if selected is not None and violation.rule not in selected:
+            continue
+        if violation.rule in ignored:
+            continue
+        violations.append(violation)
     return sorted(violations), files_checked

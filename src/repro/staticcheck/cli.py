@@ -1,4 +1,4 @@
-"""The ``repro lint`` subcommand: text and JSON frontends.
+"""The ``repro lint`` subcommand: text, JSON, and SARIF frontends.
 
 Examples::
 
@@ -6,18 +6,30 @@ Examples::
     python -m repro lint src/repro/engine/ --select RC002,RC005
     python -m repro lint tests/staticcheck/fixtures/rc001_bad.py \
         --format json
+    python -m repro lint src/ tests/ --changed   # git-diff scoped
+    python -m repro lint src/ --format sarif > lint.sarif
     python -m repro lint --list-rules
 
+``--changed`` restricts *reporting* to files the git working tree has
+touched relative to ``HEAD`` (staged, unstaged, and untracked) — the
+whole repo is still indexed, because the project-wide rules
+(RC006–RC008) need the full call graph, but the expensive per-file
+phase is served from the content-hash index cache (``--cache``,
+default ``.repro-lint-cache.json`` when ``--changed`` is on) so the
+incremental run touches only edited files.
+
 Exit codes: 0 — clean; 1 — violations found; 2 — usage error
-(unknown rule id, missing path).
+(unknown rule id, missing path, not a git checkout with ``--changed``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from .base import RULES, Violation, all_rule_ids
 
@@ -25,6 +37,17 @@ __all__ = ["add_lint_arguments", "main", "run_lint"]
 
 #: Schema version of the ``--format json`` payload.
 JSON_SCHEMA_VERSION = 1
+
+#: Default on-disk index cache, used when ``--changed`` is given
+#: without an explicit ``--cache``.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+#: The SARIF version the ``--format sarif`` payload conforms to.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def _parse_rule_list(text: Optional[str]) -> Optional[List[str]]:
@@ -68,6 +91,92 @@ def _render_json(
     return json.dumps(payload, indent=2, sort_keys=False)
 
 
+def _render_sarif(
+    violations: Sequence[Violation], files_checked: int
+) -> str:
+    """A minimal SARIF 2.1.0 log: one run, the full rule catalog,
+    one ``result`` per violation (uris are repo-relative with ``/``
+    separators, as SARIF artifact locations require)."""
+    results = [
+        {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace(os.sep, "/"),
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": RULES[rule_id].name,
+                                "shortDescription": {
+                                    "text": RULES[rule_id].summary
+                                },
+                            }
+                            for rule_id in all_rule_ids()
+                        ],
+                    }
+                },
+                "properties": {"files_checked": files_checked},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _git_changed_files() -> Set[str]:
+    """Python files the working tree has touched relative to ``HEAD``.
+
+    Staged and unstaged edits (``git diff --name-only HEAD``) plus
+    untracked files (``git ls-files --others --exclude-standard``) —
+    the set a pre-push ``make lint-fast`` wants to re-report.  Raises
+    ``RuntimeError`` outside a git checkout.
+    """
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    names: Set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as error:
+            raise RuntimeError(
+                "--changed needs a git checkout "
+                f"({' '.join(command)} failed)"
+            ) from error
+        names.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return names
+
+
 def _render_rules() -> str:
     width = max(len(rule_id) for rule_id in RULES)
     lines = ["Registered rules:"]
@@ -103,9 +212,27 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format",
         dest="output_format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report only files changed vs HEAD (staged, unstaged, "
+            "untracked); the full repo is still indexed for the "
+            "project-wide rules"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help=(
+            "content-hash index cache file (default: "
+            f"{DEFAULT_CACHE_PATH} when --changed is on, else none)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -127,15 +254,31 @@ def run_lint(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    changed_only: Optional[Set[str]] = None
+    if getattr(args, "changed", False):
+        try:
+            changed_only = _git_changed_files()
+        except RuntimeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    cache_path = getattr(args, "cache", None)
+    if cache_path is None and changed_only is not None:
+        cache_path = DEFAULT_CACHE_PATH
     try:
         violations, files_checked = check_paths(
-            args.paths, select=select, ignore=ignore
+            args.paths,
+            select=select,
+            ignore=ignore,
+            cache_path=cache_path,
+            changed_only=changed_only,
         )
     except FileNotFoundError as error:
         print(f"error: no such path: {error.args[0]}", file=sys.stderr)
         return 2
     if args.output_format == "json":
         print(_render_json(violations, files_checked))
+    elif args.output_format == "sarif":
+        print(_render_sarif(violations, files_checked))
     else:
         print(_render_text(violations, files_checked))
     return 1 if violations else 0

@@ -7,6 +7,13 @@ and products whose exact bit patterns are representation accidents.
 paper-faithful comparisons are ``math.isclose`` with an explicit
 tolerance, or exact ``fractions.Fraction`` arithmetic.
 
+``service/`` and ``obs/`` are in scope too: the serving tier carries
+the same probabilities over the wire (payload validation, sampling
+rates, latency thresholds), and a float-literal ``==`` there couples
+an HTTP contract to representation accidents just as silently.  The
+one sanctioned shape — sampling-rate *bounds* like ``rate >= 1.0`` —
+is an ordered comparison, which this rule never touches.
+
 Detection is syntactic and conservative: an ``==`` / ``!=``
 comparison is flagged when either operand is a float *literal* (the
 pattern both shipped instances had).  Comparisons against integers or
@@ -21,7 +28,9 @@ from typing import Iterator
 from .base import FileContext, Rule, Violation, register
 
 #: Subpackages of ``repro`` the rule scopes to.
-SCOPED_SUBPACKAGES = frozenset({"core", "analysis", "experiments"})
+SCOPED_SUBPACKAGES = frozenset(
+    {"core", "analysis", "experiments", "service", "obs"}
+)
 
 
 def _is_float_literal(node: ast.AST) -> bool:
@@ -38,8 +47,8 @@ class FloatEquality(Rule):
     name = "float-equality"
     summary = (
         "no ==/!= against float literals in core/, analysis/, "
-        "experiments/; use math.isclose, Fraction, or an explicit "
-        "tolerance"
+        "experiments/, service/, obs/; use math.isclose, Fraction, "
+        "or an explicit tolerance"
     )
 
     def applies(self, ctx: FileContext) -> bool:

@@ -1,0 +1,108 @@
+"""RC006 — async-discipline: no blocking calls on the serving event loop.
+
+The serving tier's latency story depends on one invariant: the asyncio
+event loop only ever does O(µs) work between awaits.  Engine
+evaluation goes through the micro-batcher's single-thread executor,
+process-wide work goes through the worker pool, and anything that
+touches a file, a socket, a subprocess, or ``time.sleep`` must be
+dispatched with ``run_in_executor``.
+
+This rule enforces that project-wide: any function classified as
+running in ``event_loop`` context (an ``async def``, or a sync helper
+called directly from one) that lives under ``src/repro/service/`` must
+not
+
+* call a blocking primitive directly (``time.sleep``, ``open``,
+  ``subprocess.*``, ``socket.*``, ``os`` file ops, pathlib
+  ``read_/write_`` helpers), nor
+* call ``Engine.evaluate`` / ``Engine.evaluate_many`` directly (that
+  is what the batcher's engine executor exists for), nor
+* call — directly or transitively — a repo function that does either.
+
+The call graph supplies the transitive part: a helper that merely
+*looks* cheap but bottoms out in ``AuditLogger.record``'s file append
+is reported at the call site inside the event-loop function, with the
+blocking chain spelled out in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from .base import ProjectRule, Violation, register
+from .graph import CONTEXT_EVENT_LOOP, ProjectContext, _short
+
+__all__ = ["AsyncDiscipline"]
+
+_SCOPE_PREFIX = "src/repro/service/"
+
+
+@register
+class AsyncDiscipline(ProjectRule):
+    rule_id = "RC006"
+    name = "async-discipline"
+    summary = (
+        "functions running in event-loop context under service/ must not "
+        "call blocking I/O, time.sleep, subprocess, or Engine.evaluate* — "
+        "directly or through helpers; dispatch through an executor instead"
+    )
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        assert isinstance(project, ProjectContext)
+        graph = project.graph
+        for fq in sorted(graph.functions):
+            node = graph.functions[fq]
+            if not node.module.logical.startswith(_SCOPE_PREFIX):
+                continue
+            if CONTEXT_EVENT_LOOP not in node.contexts:
+                continue
+            reported: Set[Tuple[int, int]] = set()
+            for call, reason in graph.direct_blocking_sites(fq):
+                key = (call.line, call.col)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.project_violation(
+                    path=node.module.path,
+                    line=call.line,
+                    column=call.col + 1,
+                    message=(
+                        f"blocking call on the event loop: {reason} inside "
+                        f"{_short(fq)} runs in event-loop context; dispatch "
+                        "it through run_in_executor, the engine executor, "
+                        "or the worker pool"
+                    ),
+                )
+            seen_callees: Set[Tuple[int, str]] = set()
+            for call, callee in node.edges:
+                cause = graph.blocking.get(callee)
+                if cause is None or callee == fq:
+                    continue
+                callee_node = graph.functions[callee]
+                # The callee will carry its own report when it is itself
+                # an in-scope event-loop function; reporting the edge
+                # too would double-count one defect.
+                if (
+                    callee_node.module.logical.startswith(_SCOPE_PREFIX)
+                    and CONTEXT_EVENT_LOOP in callee_node.contexts
+                ):
+                    continue
+                key = (call.line, callee)
+                if key in seen_callees or (call.line, call.col) in reported:
+                    continue
+                seen_callees.add(key)
+                chain = cause.render(graph)
+                detail = (
+                    f"blocks on {chain}" if cause.via is None else chain
+                )
+                yield self.project_violation(
+                    path=node.module.path,
+                    line=call.line,
+                    column=call.col + 1,
+                    message=(
+                        f"event-loop function {_short(fq)} calls "
+                        f"{_short(callee)}, which {detail}; move the call "
+                        "off-loop via run_in_executor or make the helper "
+                        "non-blocking"
+                    ),
+                )

@@ -1,0 +1,231 @@
+"""RC008 — shared-state discipline: a static race detector.
+
+The serving tier runs three execution contexts in one process: the
+asyncio event loop, the engine executor thread (plus the default
+thread pool), and — in children — spawn context.  Any module-level or
+class-level mutable state *written* from more than one of the
+in-process contexts (``event_loop`` and ``thread``) is a data race
+waiting for a scheduler to find it, exactly the class of bug the
+paper's adversarial schedulers formalize.
+
+Like RC005's ``CACHE_SURFACE_QUALNAMES``, the escape hatch is an
+explicit registry: ``SYNCHRONIZED_QUALNAMES`` in
+:mod:`repro.obs.runtime` names the surfaces that are deliberately
+written from several contexts and carry their own synchronization —
+``MetricsRegistry`` (GIL-atomic counters), ``AuditLogger`` (lock +
+writer thread), ``Tracer`` (lock + per-thread span stacks), the engine
+with its busy-guard.  Registering a surface is a reviewed act: the
+registry lives next to the code that implements the synchronization,
+so the claim and the lock travel together.
+
+``threading.local`` state is exempt by construction, and so are
+``__init__`` self-writes: constructing an object and *then* handing it
+to another context is ordered by the submission happens-before edge
+(publication), not a race.  Spawn context is *not* counted here —
+children share no memory with the parent; the cross-process hazard
+(module state on both sides of a spawn boundary) is RC007's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .base import ProjectRule, Violation, register
+from .graph import (
+    CONTEXT_EVENT_LOOP,
+    CONTEXT_THREAD,
+    CallGraph,
+    ProjectContext,
+)
+from .index import ModuleIndex
+
+__all__ = ["SharedStateDiscipline"]
+
+_SCOPE_PREFIXES = (
+    "src/repro/service/",
+    "src/repro/engine/",
+    "src/repro/obs/",
+)
+
+_RACY_CONTEXTS = frozenset({CONTEXT_EVENT_LOOP, CONTEXT_THREAD})
+
+_registry_cache: Optional[FrozenSet[str]] = None
+
+
+def _load_registry() -> FrozenSet[str]:
+    """The declared-synchronized qualnames, mirroring RC005's pattern.
+
+    Importing :mod:`repro.obs.runtime` is importing this package's own
+    distribution, not the code under check in general — the same
+    carve-out RC005 uses for the cacheable registry.  When the import
+    fails (e.g. the analyzer vendored elsewhere), the registry is
+    empty and the rule simply reports everything it sees.
+    """
+    global _registry_cache
+    if _registry_cache is None:
+        try:
+            from ..obs.runtime import SYNCHRONIZED_QUALNAMES
+
+            _registry_cache = frozenset(SYNCHRONIZED_QUALNAMES)
+        except Exception:  # pragma: no cover - vendored analyzer
+            _registry_cache = frozenset()
+    return _registry_cache
+
+
+def _in_scope(module: ModuleIndex) -> bool:
+    return any(module.logical.startswith(p) for p in _SCOPE_PREFIXES)
+
+
+@register
+class SharedStateDiscipline(ProjectRule):
+    rule_id = "RC008"
+    name = "shared-state"
+    summary = (
+        "module- or class-level mutable state written from more than one "
+        "execution context (event loop / threads) must be registered in "
+        "SYNCHRONIZED_QUALNAMES with real synchronization to match"
+    )
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        assert isinstance(project, ProjectContext)
+        registry = _load_registry()
+        yield from self._check_classes(project, registry)
+        yield from self._check_module_state(project, registry)
+
+    # -- class-level (instance attribute) state -------------------------
+
+    def _check_classes(
+        self, project: ProjectContext, registry: FrozenSet[str]
+    ) -> Iterator[Violation]:
+        graph = project.graph
+        # attr -> list of (context, writer fq, line), per class.
+        writes: Dict[str, Dict[str, List[Tuple[str, str, int]]]] = {}
+
+        def record(
+            class_fq: str, attr: str, contexts: Set[str], fq: str, line: int
+        ) -> None:
+            for context in sorted(contexts & _RACY_CONTEXTS):
+                writes.setdefault(class_fq, {}).setdefault(attr, []).append(
+                    (context, fq, line)
+                )
+
+        for fq in sorted(graph.functions):
+            node = graph.functions[fq]
+            if node.info.class_name and _in_scope(node.module):
+                # Constructor writes publish, they do not race: the
+                # object cannot be visible to another context before
+                # __init__ returns and the hand-off orders the memory.
+                if node.info.qual.endswith("__init__"):
+                    continue
+                class_fq = f"{node.module.module}.{node.info.class_name}"
+                for attr, line in node.info.attr_writes:
+                    record(class_fq, attr, node.contexts, fq, line)
+            # Writes through typed receivers land on the target class.
+            for receiver_type, attr, line in node.info.ext_writes:
+                target = self._resolve_class(graph, node.module, receiver_type)
+                if target is not None and _in_scope(
+                    graph.classes[target].module
+                ):
+                    record(target, attr, node.contexts, fq, line)
+
+        for class_fq in sorted(writes):
+            class_node = graph.classes.get(class_fq)
+            if class_node is None:
+                continue
+            if class_fq in registry:
+                continue
+            for attr in sorted(writes[class_fq]):
+                if f"{class_fq}.{attr}" in registry:
+                    continue
+                entries = writes[class_fq][attr]
+                contexts = {context for context, _, _ in entries}
+                if len(contexts) < 2:
+                    continue
+                line = min(entry_line for _, _, entry_line in entries)
+                writers = ", ".join(
+                    sorted({_tail(fq) for _, fq, _ in entries})
+                )
+                yield self.project_violation(
+                    path=class_node.module.path,
+                    line=line,
+                    column=1,
+                    message=(
+                        f"attribute {class_node.info.name}.{attr} is written "
+                        f"from multiple execution contexts "
+                        f"({', '.join(sorted(contexts))}; writers: {writers}) "
+                        "without a registered synchronization surface; add "
+                        "real synchronization and register the owner in "
+                        "SYNCHRONIZED_QUALNAMES (repro.obs.runtime)"
+                    ),
+                )
+
+    @staticmethod
+    def _resolve_class(
+        graph: CallGraph, module: ModuleIndex, receiver_type: str
+    ) -> Optional[str]:
+        if receiver_type in graph.classes:
+            return receiver_type
+        local = f"{module.module}.{receiver_type}"
+        if local in graph.classes:
+            return local
+        return None
+
+    # -- module-level state ---------------------------------------------
+
+    def _check_module_state(
+        self, project: ProjectContext, registry: FrozenSet[str]
+    ) -> Iterator[Violation]:
+        graph = project.graph
+        for module_key in sorted(project.index.modules):
+            module = project.index.modules[module_key]
+            if not _in_scope(module):
+                continue
+            # name -> (context, writer qual, line)
+            writes: Dict[str, List[Tuple[str, str, int]]] = {}
+            for qual, info in module.functions.items():
+                fn_fq = f"{module.module}.{qual}"
+                fn_node = graph.functions.get(fn_fq)
+                contexts = (
+                    fn_node.contexts if fn_node is not None else set()
+                ) & _RACY_CONTEXTS
+                if not contexts:
+                    continue
+                for name, line in info.state_writes:
+                    for context in sorted(contexts):
+                        writes.setdefault(name, []).append(
+                            (context, qual, line)
+                        )
+            for name in sorted(writes):
+                state = module.state.get(name)
+                if state is not None and state.synchronized:
+                    continue
+                if f"{module.module}.{name}" in registry:
+                    continue
+                entries = writes[name]
+                contexts = {context for context, _, _ in entries}
+                if len(contexts) < 2:
+                    continue
+                line = (
+                    state.line
+                    if state is not None
+                    else min(entry_line for _, _, entry_line in entries)
+                )
+                writers = ", ".join(sorted({qual for _, qual, _ in entries}))
+                yield self.project_violation(
+                    path=module.path,
+                    line=line,
+                    column=1,
+                    message=(
+                        f"module-level mutable state {name!r} is written "
+                        f"from multiple execution contexts "
+                        f"({', '.join(sorted(contexts))}; writers: {writers}) "
+                        "without synchronization; guard it and register "
+                        f"'{module.module}.{name}' in SYNCHRONIZED_QUALNAMES, "
+                        "or confine writes to one context"
+                    ),
+                )
+
+
+def _tail(fq: str) -> str:
+    parts = fq.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else fq

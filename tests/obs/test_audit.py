@@ -128,6 +128,7 @@ class TestAuditLogger:
         path = tmp_path / "audit-server.jsonl"
         logger = AuditLogger(path=str(path), process="server")
         logger.record(ADMISSION_STAGE, "r1", 0.0, admitted=True)
+        logger.flush()
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0] == {
             "kind": "meta",
@@ -189,6 +190,7 @@ class TestAuditLogger:
             thread.start()
         for thread in threads:
             thread.join()
+        logger.flush()
         assert logger.records_written == 8 * per_thread
         backup = tmp_path / "audit-server.jsonl.1"
         assert backup.exists(), "expected at least one rotation"
@@ -226,6 +228,7 @@ class TestAuditLogger:
         path = tmp_path / "audit-server.jsonl"
         logger = AuditLogger(path=str(path), process="server")
         logger.record(RESPONSE_STAGE, "r1", 0.0, status=200)
+        logger.close()
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"kind": "span", "request_id": "r2", "trunc')
         records = read_audit_log(str(path))
@@ -237,6 +240,7 @@ class TestAuditLogger:
         total = 64
         for index in range(total):
             logger.record(ENGINE_STAGE, f"r{index}", 0.001, runs=1)
+        logger.close()
         live = len(read_audit_log(path))
         assert live < total  # rotation happened
         merged = len(load_audit_dir(str(tmp_path)))
@@ -247,6 +251,41 @@ class TestAuditLogger:
             os.path.join(str(tmp_path), "audit-shard3.jsonl")
         )
 
+    def test_flush_makes_records_durable(self, tmp_path):
+        """flush() is the happens-before edge between record() and a
+        reader of the file — after it returns, every prior record is
+        on disk."""
+        path = tmp_path / "audit-server.jsonl"
+        logger = AuditLogger(path=str(path), process="server")
+        for index in range(16):
+            logger.record(ENGINE_STAGE, f"r{index}", 0.001)
+        logger.flush()
+        assert len(read_audit_log(str(path))) == 16
+        logger.close()
+
+    def test_close_is_idempotent_and_stops_persistence(self, tmp_path):
+        path = tmp_path / "audit-server.jsonl"
+        logger = AuditLogger(path=str(path), process="server")
+        logger.record(RESPONSE_STAGE, "r1", 0.0, status=200)
+        logger.close()
+        logger.close()  # second close is a no-op
+        assert [r["request_id"] for r in read_audit_log(str(path))] == [
+            "r1"
+        ]
+        # Post-close records reach the ring but not the file.
+        logger.record(RESPONSE_STAGE, "r2", 0.0, status=200)
+        assert [r["request_id"] for r in logger.recent()] == ["r1", "r2"]
+        assert [r["request_id"] for r in read_audit_log(str(path))] == [
+            "r1"
+        ]
+
+    def test_flush_and_close_without_persistence(self):
+        logger = AuditLogger(path=None, process="server")
+        logger.record(RESPONSE_STAGE, "r1", 0.0)
+        logger.flush()  # no-ops, must not raise
+        logger.close()
+        assert logger.records_written == 1
+
 
 def _spawn_writer(directory, process, count):
     """Module-level so spawn can pickle it: one child's audit writes."""
@@ -255,6 +294,7 @@ def _spawn_writer(directory, process, count):
     )
     for index in range(count):
         logger.record(WORKER_STAGE, f"{process}-r{index}", 0.001)
+    logger.close()  # drain the writer thread before the child exits
 
 
 # -- stitching ---------------------------------------------------------

@@ -1,0 +1,15 @@
+# repro: path=src/repro/service/fixture_async_bad.py
+"""Fixture: blocking work on the serving event loop."""
+
+import subprocess
+
+
+def load_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+async def handle_request(path):
+    text = load_config(path)
+    probe = subprocess.run(["true"])
+    return text, probe

@@ -1,0 +1,14 @@
+# repro: path=src/repro/service/fixture_async_good.py
+"""Fixture: the same blocking work, dispatched off-loop."""
+
+import asyncio
+import subprocess
+
+
+def run_probe():
+    return subprocess.run(["true"])
+
+
+async def handle_request():
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, run_probe)

@@ -1,0 +1,7 @@
+# repro: path=src/repro/service/fixture_async_noqa.py
+"""Fixture: a justified suppression silences RC006."""
+
+
+async def read_manifest(path):
+    with open(path) as handle:  # repro: noqa[RC006] boot-only, loop not serving yet
+        return handle.read()

@@ -1,0 +1,23 @@
+# repro: path=src/repro/service/fixture_spawn_bad.py
+"""Fixture: unpicklable payloads and state straddling a spawn boundary."""
+
+import multiprocessing
+
+PENDING = []
+
+
+def child_entry(item):
+    PENDING.append(item)
+
+
+class Manager:
+    def start(self, item):
+        PENDING.append(item)
+        worker = multiprocessing.Process(target=lambda: item)
+        helper = multiprocessing.Process(
+            target=self.run_child, args=(lambda: item,)
+        )
+        return worker, helper
+
+    def run_child(self, item):
+        PENDING.append(item)

@@ -1,0 +1,15 @@
+# repro: path=src/repro/service/fixture_spawn_good.py
+"""Fixture: picklable module-level entry points across spawn."""
+
+import multiprocessing
+
+
+def child_entry(payload):
+    return dict(payload)
+
+
+class Manager:
+    def start(self, payload):
+        return multiprocessing.Process(
+            target=child_entry, args=(dict(payload),)
+        )

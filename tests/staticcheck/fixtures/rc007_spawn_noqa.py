@@ -1,0 +1,8 @@
+# repro: path=src/repro/service/fixture_spawn_noqa.py
+"""Fixture: a justified suppression silences RC007."""
+
+import multiprocessing
+
+
+def launch(flag):
+    return multiprocessing.Process(target=lambda: flag)  # repro: noqa[RC007] never started, pickling not reached

@@ -1,0 +1,18 @@
+# repro: path=src/repro/service/fixture_shared_bad.py
+"""Fixture: one counter written from the loop and a worker thread."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.total = 0
+
+    async def on_request(self):
+        self.total += 1
+
+    def drain(self):
+        self.total += 1
+
+    def start(self):
+        return threading.Thread(target=self.drain)

@@ -1,0 +1,21 @@
+# repro: path=src/repro/service/fixture_shared_good.py
+"""Fixture: cross-context scratch is thread-local, the counter is loop-only."""
+
+import threading
+
+_SCRATCH = threading.local()
+
+
+class Stats:
+    def __init__(self):
+        self.total = 0
+
+    async def on_request(self):
+        self.total += 1
+        _SCRATCH.last = "request"
+
+    def worker(self):
+        _SCRATCH.last = "worker"
+
+    def start(self):
+        return threading.Thread(target=self.worker)

@@ -1,0 +1,18 @@
+# repro: path=src/repro/service/fixture_shared_noqa.py
+"""Fixture: a justified suppression silences RC008."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self.items = []
+
+    async def add(self, item):
+        self.items.append(item)  # repro: noqa[RC008] single GIL-atomic append, no invariant spans it
+
+    def flush(self):
+        self.items.append(None)
+
+    def start(self):
+        return threading.Thread(target=self.flush)

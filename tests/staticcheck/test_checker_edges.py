@@ -1,0 +1,162 @@
+"""Checker hardening: the walker, decode failures, and the index cache.
+
+``iter_python_files`` is what every ``repro lint`` invocation trusts to
+terminate and to skip generated/hidden trees; ``check_file`` must turn
+an unreadable file into an RC999 diagnostic instead of a traceback; and
+the content-hash cache behind ``--changed`` must only ever serve
+entries whose digest still matches the bytes on disk.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.staticcheck import check_file, check_paths, iter_python_files
+from repro.staticcheck.checker import check_source
+
+
+def write(path, text="x = 1\n"):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestIterPythonFiles:
+    def test_skips_pycache_and_hidden_directories(self, tmp_path):
+        write(tmp_path / "pkg" / "mod.py")
+        write(tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.py")
+        write(tmp_path / ".hidden" / "secret.py")
+        write(tmp_path / "pkg" / ".git" / "hook.py")
+        write(tmp_path / "pkg" / "notes.txt")
+        found = sorted(iter_python_files([str(tmp_path)]))
+        assert found == [str(tmp_path / "pkg" / "mod.py")]
+
+    def test_symlink_cycle_terminates(self, tmp_path):
+        real = write(tmp_path / "pkg" / "mod.py")
+        try:
+            os.symlink(
+                str(tmp_path / "pkg"), str(tmp_path / "pkg" / "loop")
+            )
+        except OSError:  # pragma: no cover - symlink-less filesystems
+            pytest.skip("filesystem does not support symlinks")
+        found = sorted(iter_python_files([str(tmp_path)]))
+        assert found == [str(real)]
+
+    def test_explicit_file_paths_pass_through(self, tmp_path):
+        target = write(tmp_path / "single.py")
+        assert list(iter_python_files([str(target)])) == [str(target)]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            check_paths([str(tmp_path / "nope")])
+
+
+class TestDecodeFailures:
+    def test_non_utf8_file_reports_rc999(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes(b"# caf\xe9\nx = 1\n")
+        violations = check_file(str(path))
+        assert [v.rule for v in violations] == ["RC999"]
+        assert "UTF-8" in violations[0].message
+
+    def test_non_utf8_via_check_paths_does_not_crash(self, tmp_path):
+        (tmp_path / "latin.py").write_bytes(b"\xff\xfe garbage")
+        violations, files_checked = check_paths([str(tmp_path)])
+        assert files_checked == 1
+        assert [v.rule for v in violations] == ["RC999"]
+
+    def test_syntax_error_reports_rc999(self, tmp_path):
+        path = write(tmp_path / "broken.py", "def f(:\n")
+        violations = check_file(str(path))
+        assert [v.rule for v in violations] == ["RC999"]
+
+
+class TestMultiRuleNoqa:
+    DIRECTIVE = "# repro: path=src/repro/analysis/fixture_edges.py\n"
+
+    def check(self, source):
+        return check_source(self.DIRECTIVE + source, "fixture_edges.py")
+
+    def test_multi_rule_noqa_suppresses_each_named_rule(self):
+        violations = self.check(
+            "import random\n"
+            "def f(x):\n"
+            "    return random.Random(0) if x == 1.0 else None  "
+            "# repro: noqa[RC001,RC003] fixture exercises multi-rule noqa\n"
+        )
+        assert violations == []
+
+    def test_partially_unused_multi_rule_noqa_reports_rc000(self):
+        violations = self.check(
+            "import random\n"
+            "def f():\n"
+            "    return random.Random(0)  "
+            "# repro: noqa[RC001,RC003] only RC001 actually fires here\n"
+        )
+        assert [v.rule for v in violations] == ["RC000"]
+        assert "RC003" in violations[0].message
+        assert "RC001" not in violations[0].message.split("suppress")[0]
+
+    def test_fully_unused_multi_rule_noqa_reports_each_rule(self):
+        violations = self.check(
+            "def f(x):\n"
+            "    return x  # repro: noqa[RC001,RC002] nothing fires\n"
+        )
+        rc000 = [v for v in violations if v.rule == "RC000"]
+        assert rc000, "expected unused-suppression diagnostics"
+        joined = " ".join(v.message for v in rc000)
+        assert "RC001" in joined and "RC002" in joined
+
+
+class TestIndexCache:
+    def lint(self, tmp_path, cache):
+        return check_paths([str(tmp_path)], cache_path=str(cache))
+
+    def test_cache_round_trip_preserves_results(self, tmp_path):
+        write(
+            tmp_path / "mod.py",
+            "def f(x):\n    return x\n",
+        )
+        cache = tmp_path / "cache.json"
+        first = self.lint(tmp_path / "mod.py", cache)
+        assert cache.exists()
+        second = self.lint(tmp_path / "mod.py", cache)
+        assert [v.as_dict() for v in first[0]] == [
+            v.as_dict() for v in second[0]
+        ]
+
+    def test_cache_entry_invalidates_on_content_change(self, tmp_path):
+        directive = "# repro: path=src/repro/analysis/cached.py\n"
+        path = write(tmp_path / "mod.py", directive + "x = 1\n")
+        cache = tmp_path / "cache.json"
+        violations, _ = self.lint(path, cache)
+        assert violations == []
+        write(path, directive + "bad = 1.0 == 1.0\n")
+        violations, _ = self.lint(path, cache)
+        assert [v.rule for v in violations] == ["RC003"]
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        path = write(tmp_path / "mod.py")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        violations, files_checked = self.lint(path, cache)
+        assert files_checked == 1
+        assert violations == []
+        # ...and the rewritten cache is valid JSON again.
+        json.loads(cache.read_text())
+
+    def test_changed_only_restricts_reporting_not_indexing(self, tmp_path):
+        directive = "# repro: path=src/repro/analysis/scoped.py\n"
+        touched = write(tmp_path / "touched.py", directive + "a = 1.0 == x\n")
+        write(tmp_path / "other.py", directive + "b = 2.0 == y\n")
+        violations, files_checked = check_paths(
+            [str(tmp_path)],
+            changed_only={os.path.normpath(str(touched))},
+        )
+        assert files_checked == 1
+        assert [v.rule for v in violations] == ["RC003"]
+        assert all(
+            os.path.normpath(v.path) == os.path.normpath(str(touched))
+            for v in violations
+        )

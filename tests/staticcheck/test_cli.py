@@ -10,7 +10,7 @@ REPO = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "fixtures"
 
 
-def run_lint(*args):
+def run_lint(*args, cwd=REPO):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
     return subprocess.run(
@@ -18,7 +18,7 @@ def run_lint(*args):
         capture_output=True,
         text=True,
         env=env,
-        cwd=REPO,
+        cwd=cwd,
     )
 
 
@@ -75,5 +75,106 @@ def test_missing_path_is_a_usage_error():
 def test_list_rules_mentions_every_rule():
     result = run_lint("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("RC000", "RC001", "RC002", "RC003", "RC004", "RC005"):
+    for rule_id in (
+        "RC000",
+        "RC001",
+        "RC002",
+        "RC003",
+        "RC004",
+        "RC005",
+        "RC006",
+        "RC007",
+        "RC008",
+    ):
         assert rule_id in result.stdout
+
+
+def test_project_rule_fixture_through_the_cli():
+    result = run_lint(
+        str(FIXTURES / "rc006_service_bad.py"), "--format", "json"
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["counts"] == {"RC006": 2}
+
+
+def test_sarif_output_is_valid_and_carries_results():
+    result = run_lint(
+        str(FIXTURES / "rc003_bad.py"), "--format", "sarif"
+    )
+    assert result.returncode == 1
+    sarif = json.loads(result.stdout)
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RC003", "RC006", "RC007", "RC008"} <= rule_ids
+    assert len(run["results"]) == 2
+    for entry in run["results"]:
+        assert entry["ruleId"] == "RC003"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("rc003_bad.py")
+        assert location["region"]["startLine"] in (6, 8)
+
+
+def test_sarif_clean_tree_has_empty_results():
+    result = run_lint(str(FIXTURES / "rc003_good.py"), "--format", "sarif")
+    assert result.returncode == 0
+    sarif = json.loads(result.stdout)
+    assert sarif["runs"][0]["results"] == []
+
+
+def _git(repo, *args):
+    subprocess.run(
+        ["git", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            **os.environ,
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.com",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.com",
+        },
+    )
+
+
+def test_changed_scopes_reporting_to_the_git_diff(tmp_path):
+    """Two files with identical violations; only the one the working
+    tree touched is reported, and the index cache lands on disk."""
+    repo = tmp_path / "proj"
+    repo.mkdir()
+    directive = "# repro: path=src/repro/analysis/fixture_changed.py\n"
+    committed = repo / "committed.py"
+    committed.write_text(directive + "a = 1.0 == x\n")
+    _git(repo, "init", "-q")
+    _git(repo, "add", "committed.py")
+    _git(repo, "commit", "-qm", "seed")
+    edited = repo / "edited.py"
+    edited.write_text(directive + "b = 2.0 == y\n")
+    result = run_lint(".", "--changed", "--format", "json", cwd=repo)
+    assert result.returncode == 1, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"RC003": 1}
+    assert payload["violations"][0]["path"].endswith("edited.py")
+    assert (repo / ".repro-lint-cache.json").exists()
+
+
+def test_changed_with_clean_tree_reports_nothing(tmp_path):
+    repo = tmp_path / "proj"
+    repo.mkdir()
+    (repo / "mod.py").write_text("x = 1\n")
+    _git(repo, "init", "-q")
+    _git(repo, "add", "mod.py")
+    _git(repo, "commit", "-qm", "seed")
+    result = run_lint(".", "--changed", cwd=repo)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 file(s) checked" in result.stdout
+
+
+def test_changed_outside_a_git_checkout_is_a_usage_error(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    result = run_lint(".", "--changed", cwd=tmp_path)
+    assert result.returncode == 2
+    assert "git" in result.stderr

@@ -1,0 +1,289 @@
+"""The two-phase analyzer's graph layer: contexts and blocking flow.
+
+These tests build small multi-module repos directly through
+``build_module_index`` + ``CallGraph`` — the path ``check_paths``
+takes, minus the filesystem — and pin the two properties the
+project-wide rules (RC006–RC008) stand on:
+
+* execution-context classification: ``async def`` seeds the event
+  loop, dispatch targets seed thread/spawn/loop contexts, and contexts
+  propagate along *direct* call edges only (a dispatch is a boundary);
+* blocking propagation: a primitive like ``time.sleep`` or builtin
+  ``open`` marks its caller, and the mark flows transitively up the
+  call graph until an executor dispatch cuts it off.
+"""
+
+import ast
+
+from repro.staticcheck.base import ImportMap
+from repro.staticcheck.graph import (
+    CONTEXT_EVENT_LOOP,
+    CONTEXT_SPAWN,
+    CONTEXT_THREAD,
+    CallGraph,
+)
+from repro.staticcheck.index import RepoIndex, build_module_index
+
+
+def build_repo(**sources):
+    """A CallGraph over ``{module_name: source}`` synthetic files."""
+    index = RepoIndex()
+    for module, source in sources.items():
+        tree = ast.parse(source)
+        logical = "src/" + module.replace(".", "/") + ".py"
+        imports = ImportMap(tree, module=module)
+        index.add(
+            build_module_index(
+                tree, imports, path=logical, logical=logical, module=module
+            )
+        )
+    return CallGraph(index)
+
+
+class TestContextClassification:
+    def test_async_def_seeds_event_loop(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "async def handler():\n"
+                    "    return helper()\n"
+                    "def helper():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        assert (
+            CONTEXT_EVENT_LOOP
+            in graph.functions["repro.service.app.handler"].contexts
+        )
+        # ...and propagates along the direct call edge into the helper.
+        assert (
+            CONTEXT_EVENT_LOOP
+            in graph.functions["repro.service.app.helper"].contexts
+        )
+
+    def test_thread_target_seeds_thread_context(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "import threading\n"
+                    "def boot():\n"
+                    "    threading.Thread(target=run).start()\n"
+                    "def run():\n"
+                    "    return inner()\n"
+                    "def inner():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        assert (
+            CONTEXT_THREAD
+            in graph.functions["repro.service.app.run"].contexts
+        )
+        # Transitive through the direct edge run -> inner.
+        assert (
+            CONTEXT_THREAD
+            in graph.functions["repro.service.app.inner"].contexts
+        )
+        # The dispatching side does NOT inherit the thread context.
+        assert (
+            CONTEXT_THREAD
+            not in graph.functions["repro.service.app.boot"].contexts
+        )
+
+    def test_spawn_process_target_seeds_spawn_context(self):
+        graph = build_repo(
+            **{
+                "repro.service.workers": (
+                    "import multiprocessing\n"
+                    "def parent():\n"
+                    "    multiprocessing.Process(target=child).start()\n"
+                    "def child():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        assert (
+            CONTEXT_SPAWN
+            in graph.functions["repro.service.workers.child"].contexts
+        )
+        assert (
+            CONTEXT_SPAWN
+            not in graph.functions["repro.service.workers.parent"].contexts
+        )
+
+    def test_asyncio_run_is_a_boundary_not_a_call(self):
+        """A thread hosting its own event loop (BackgroundServer's
+        pattern) must not bleed ``thread`` into the coroutine it runs —
+        the asyncio.run() hand-off is a loop boundary."""
+        graph = build_repo(
+            **{
+                "repro.service.testing": (
+                    "import asyncio\n"
+                    "import threading\n"
+                    "def start():\n"
+                    "    threading.Thread(target=run_loop).start()\n"
+                    "def run_loop():\n"
+                    "    asyncio.run(main())\n"
+                    "async def main():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        main = graph.functions["repro.service.testing.main"]
+        assert CONTEXT_EVENT_LOOP in main.contexts
+        assert CONTEXT_THREAD not in main.contexts
+        assert (
+            CONTEXT_THREAD
+            in graph.functions["repro.service.testing.run_loop"].contexts
+        )
+
+    def test_executor_dispatch_does_not_propagate_event_loop(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "import asyncio\n"
+                    "async def handler():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    await loop.run_in_executor(None, work)\n"
+                    "def work():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        work = graph.functions["repro.service.app.work"]
+        assert CONTEXT_EVENT_LOOP not in work.contexts
+        assert CONTEXT_THREAD in work.contexts
+
+
+class TestBlockingPropagation:
+    def test_direct_primitive_marks_the_function(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "import time\n"
+                    "def nap():\n"
+                    "    time.sleep(1)\n"
+                )
+            }
+        )
+        assert "repro.service.app.nap" in graph.blocking
+
+    def test_blocking_flows_transitively_across_modules(self):
+        graph = build_repo(
+            **{
+                "repro.obs.sink": (
+                    "def persist(data):\n"
+                    "    with open('x', 'w') as handle:\n"
+                    "        handle.write(data)\n"
+                ),
+                "repro.service.app": (
+                    "from ..obs.sink import persist\n"
+                    "def helper(data):\n"
+                    "    persist(data)\n"
+                    "async def handler(data):\n"
+                    "    helper(data)\n"
+                ),
+            }
+        )
+        # The chain handler -> helper -> persist -> open() marks every
+        # level, and the rendered cause names the primitive.
+        for fq in (
+            "repro.obs.sink.persist",
+            "repro.service.app.helper",
+            "repro.service.app.handler",
+        ):
+            assert fq in graph.blocking, fq
+        cause = graph.blocking["repro.service.app.helper"]
+        assert "open" in cause.render(graph)
+
+    def test_executor_dispatch_cuts_the_blocking_chain(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "import asyncio\n"
+                    "import time\n"
+                    "def work():\n"
+                    "    time.sleep(1)\n"
+                    "async def handler():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    await loop.run_in_executor(None, work)\n"
+                )
+            }
+        )
+        assert "repro.service.app.work" in graph.blocking
+        assert "repro.service.app.handler" not in graph.blocking
+
+    def test_direct_blocking_sites_reports_each_primitive(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "import time\n"
+                    "def slow():\n"
+                    "    time.sleep(1)\n"
+                    "    with open('x') as handle:\n"
+                    "        return handle.read()\n"
+                )
+            }
+        )
+        reasons = [
+            reason
+            for _, reason in graph.direct_blocking_sites(
+                "repro.service.app.slow"
+            )
+        ]
+        assert any("time.sleep" in reason for reason in reasons)
+        assert any("open" in reason for reason in reasons)
+
+    def test_engine_evaluate_counts_as_blocking(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "async def handler(engine, spec):\n"
+                    "    return engine.evaluate(spec)\n"
+                )
+            }
+        )
+        assert "repro.service.app.handler" in graph.blocking
+
+
+class TestMethodResolution:
+    def test_self_method_edges_resolve_within_the_class(self):
+        graph = build_repo(
+            **{
+                "repro.service.app": (
+                    "import time\n"
+                    "class Server:\n"
+                    "    async def handle(self):\n"
+                    "        self._flush()\n"
+                    "    def _flush(self):\n"
+                    "        time.sleep(1)\n"
+                )
+            }
+        )
+        flush = graph.functions["repro.service.app.Server._flush"]
+        assert CONTEXT_EVENT_LOOP in flush.contexts
+        assert "repro.service.app.Server.handle" in graph.blocking
+
+    def test_typed_attribute_calls_resolve_to_the_target_class(self):
+        graph = build_repo(
+            **{
+                "repro.obs.log": (
+                    "import os\n"
+                    "class Sink:\n"
+                    "    def write(self, data):\n"
+                    "        os.replace('a', 'b')\n"
+                ),
+                "repro.service.app": (
+                    "from ..obs.log import Sink\n"
+                    "class Server:\n"
+                    "    def __init__(self):\n"
+                    "        self.sink = Sink()\n"
+                    "    async def handle(self):\n"
+                    "        self.sink.write('x')\n"
+                ),
+            }
+        )
+        assert "repro.service.app.Server.handle" in graph.blocking
+        write = graph.functions["repro.obs.log.Sink.write"]
+        assert CONTEXT_EVENT_LOOP in write.contexts

@@ -35,6 +35,9 @@ def check_fixture(name):
         ("rc004_bad.py", "RC004", [1, 2]),
         ("rc005_bad.py", "RC005", [10, 12, 12, 13]),
         ("rc005_cache_bad.py", "RC005", [16, 17, 21, 21, 30, 30]),
+        ("rc006_service_bad.py", "RC006", [8, 14]),
+        ("rc007_spawn_bad.py", "RC007", [6, 16, 18, 18]),
+        ("rc008_shared_bad.py", "RC008", [12]),
     ],
 )
 def test_bad_fixture_trips_rule(name, rule_id, lines):
@@ -54,10 +57,59 @@ def test_bad_fixture_trips_rule(name, rule_id, lines):
         "rc004_good.py",
         "rc005_good.py",
         "rc005_cache_good.py",
+        "rc006_service_good.py",
+        "rc007_spawn_good.py",
+        "rc008_shared_good.py",
     ],
 )
 def test_good_fixture_is_clean(name):
     assert check_fixture(name) == []
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "rc006_service_noqa.py",
+        "rc007_spawn_noqa.py",
+        "rc008_shared_noqa.py",
+    ],
+)
+def test_project_rule_noqa_fixture_is_clean(name):
+    """Project-wide violations merge into the per-file stream before
+    suppression filtering, so `# repro: noqa[RC00x]` silences them and
+    the suppression counts as used (no RC000)."""
+    assert check_fixture(name) == []
+
+
+def test_rc006_transitive_message_names_the_chain():
+    messages = [
+        v.message
+        for v in check_fixture("rc006_service_bad.py")
+        if v.rule == "RC006"
+    ]
+    assert any("builtin open()" in m for m in messages)
+    assert any("subprocess.run()" in m for m in messages)
+
+
+def test_rc007_spawn_messages_name_the_hazards():
+    messages = [
+        v.message
+        for v in check_fixture("rc007_spawn_bad.py")
+        if v.rule == "RC007"
+    ]
+    assert any("is a lambda" in m for m in messages)
+    assert any("bound method" in m for m in messages)
+    assert any("both sides of a spawn boundary" in m for m in messages)
+
+
+def test_rc008_message_lists_contexts_and_registry():
+    (violation,) = [
+        v
+        for v in check_fixture("rc008_shared_bad.py")
+        if v.rule == "RC008"
+    ]
+    assert "event_loop, thread" in violation.message
+    assert "SYNCHRONIZED_QUALNAMES" in violation.message
 
 
 def test_violations_carry_positions_and_messages():

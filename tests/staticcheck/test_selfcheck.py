@@ -8,6 +8,7 @@ diagnostics.
 from pathlib import Path
 
 from repro.engine.engine import CACHEABLE_QUALNAMES
+from repro.obs.runtime import SYNCHRONIZED_QUALNAMES
 from repro.staticcheck import RULES, all_rule_ids, check_paths
 
 REPO = Path(__file__).resolve().parents[2]
@@ -37,10 +38,20 @@ def test_rule_catalog_is_complete():
         "RC003",
         "RC004",
         "RC005",
+        "RC006",
+        "RC007",
+        "RC008",
         "RC999",
     ]
     for rule in RULES.values():
         assert rule.name and rule.summary
+
+
+def test_project_rules_are_marked_project():
+    for rule_id in ("RC006", "RC007", "RC008"):
+        assert RULES[rule_id].project is True
+    for rule_id in ("RC001", "RC002", "RC003", "RC004", "RC005"):
+        assert RULES[rule_id].project is False
 
 
 def test_cacheable_registry_points_at_real_functions():
@@ -49,3 +60,16 @@ def test_cacheable_registry_points_at_real_functions():
     # enough that every registered qualname stays under the package.
     for qualname in CACHEABLE_QUALNAMES:
         assert qualname.startswith("repro."), qualname
+
+
+def test_synchronized_registry_points_at_real_classes():
+    # RC008's escape hatch mirrors RC005's: each entry is a claim that
+    # the named surface carries its own synchronization.  Keep the
+    # entries importable so a rename cannot silently widen the hatch.
+    import importlib
+
+    for qualname in SYNCHRONIZED_QUALNAMES:
+        assert qualname.startswith("repro."), qualname
+        module_name, _, attr = qualname.rpartition(".")
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), qualname
