@@ -24,8 +24,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Bumped whenever the BENCH_<eX>.json layout changes.  Version 2 added
 #: the self-description block (timestamp, git sha) and the ``metrics``
-#: registry snapshot.
-BENCH_SCHEMA_VERSION = 2
+#: registry snapshot.  Version 3 added the ``packed_kernel`` block
+#: (orbit-reduction factor and kernel speedup vs the per-run path) for
+#: experiments that run the packed-kernel microbenchmark;
+#: ``scripts/compare_bench.py`` gates CI on it.
+BENCH_SCHEMA_VERSION = 3
 
 
 def _git_sha() -> "str | None":
@@ -100,6 +103,7 @@ def _write_bench_json(benchmark, report, experiment_id, results_dir):
         "reference_evaluations": engine.get("reference_evaluations"),
         "cache_hit_rate": engine.get("cache_hit_rate"),
         "engine_wall_time_seconds": engine.get("wall_time_seconds"),
+        "packed_kernel": report.metadata.get("packed_kernel"),
         "metrics": report.metadata.get("metrics"),
     }
     json_path = results_dir / f"BENCH_{experiment_id.lower()}.json"

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Gate CI on packed-kernel benchmark regressions.
+
+Usage::
+
+    python scripts/compare_bench.py --baseline bench-baseline \
+        --current benchmarks/results --output comparison.json
+
+Compares the ``packed_kernel`` block of every freshly generated
+``BENCH_<eX>.json`` against the committed baseline copy (CI stashes
+``benchmarks/results`` before ``pytest benchmarks/`` rewrites it).
+
+The gated quantity is the *normalized kernel time* ``1 /
+kernel_speedup``: both the packed kernel and the per-run path it is
+compared against run on the same machine in the same job, so their
+ratio is hardware-independent, unlike raw seconds.  The gate fails on
+
+* a normalized-time regression above ``--max-regression`` (default
+  20%) relative to the baseline,
+* a speedup below the ``--min-speedup`` floor (default 10x — the
+  repo's standing claim for symmetric topologies),
+* ``values_match`` false (the orbit-weighted aggregate diverged from
+  the unreduced sweep — a correctness failure, not a perf one).
+
+Experiments without a ``packed_kernel`` block, and experiments absent
+from the baseline (first run after this gate was introduced), are
+reported but never fail the gate.  The full per-experiment comparison
+is written to ``--output`` for upload as a CI artifact; exit status is
+non-zero iff the gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional
+
+
+def _load_kernel_block(path: pathlib.Path) -> Optional[Dict[str, Any]]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    block = payload.get("packed_kernel")
+    return block if isinstance(block, dict) else None
+
+
+def _normalized_time(block: Dict[str, Any]) -> Optional[float]:
+    speedup = block.get("kernel_speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        return None
+    return 1.0 / speedup
+
+
+def compare_dirs(
+    baseline_dir: pathlib.Path,
+    current_dir: pathlib.Path,
+    max_regression: float,
+    min_speedup: float,
+) -> Dict[str, Any]:
+    """Compare every current BENCH file against its baseline twin."""
+    entries: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for current_path in sorted(current_dir.glob("BENCH_e*.json")):
+        name = current_path.name
+        current = _load_kernel_block(current_path)
+        if current is None:
+            entries.append({"file": name, "status": "no-packed-kernel"})
+            continue
+        entry: Dict[str, Any] = {
+            "file": name,
+            "kernel_speedup": current.get("kernel_speedup"),
+            "symmetry_reduction_factor": current.get(
+                "symmetry_reduction_factor"
+            ),
+            "values_match": current.get("values_match"),
+        }
+        if current.get("values_match") is not True:
+            entry["status"] = "values-mismatch"
+            failures.append(
+                f"{name}: orbit-weighted aggregate diverged from the "
+                "unreduced sweep (values_match != true)"
+            )
+            entries.append(entry)
+            continue
+        speedup = current.get("kernel_speedup")
+        if not isinstance(speedup, (int, float)) or speedup < min_speedup:
+            entry["status"] = "below-speedup-floor"
+            failures.append(
+                f"{name}: kernel speedup {speedup!r} is below the "
+                f"{min_speedup:g}x floor"
+            )
+            entries.append(entry)
+            continue
+        baseline = _load_kernel_block(baseline_dir / name)
+        if baseline is None:
+            entry["status"] = "no-baseline"
+            entries.append(entry)
+            continue
+        old_norm = _normalized_time(baseline)
+        new_norm = _normalized_time(current)
+        if old_norm is None or new_norm is None:
+            entry["status"] = "no-baseline"
+            entries.append(entry)
+            continue
+        regression = (new_norm - old_norm) / old_norm
+        entry["baseline_kernel_speedup"] = baseline.get("kernel_speedup")
+        entry["normalized_time_regression"] = regression
+        if regression > max_regression:
+            entry["status"] = "regression"
+            failures.append(
+                f"{name}: normalized kernel time regressed "
+                f"{regression:+.1%} (speedup "
+                f"{baseline.get('kernel_speedup'):.1f}x -> "
+                f"{speedup:.1f}x), above the {max_regression:.0%} "
+                "tolerance"
+            )
+        else:
+            entry["status"] = "ok"
+        entries.append(entry)
+    return {
+        "schema_version": 1,
+        "max_regression": max_regression,
+        "min_speedup": min_speedup,
+        "passed": not failures,
+        "failures": failures,
+        "entries": entries,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="directory holding the committed BENCH_*.json baseline",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the full comparison JSON here (CI artifact)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="fail above this fractional normalized-time regression",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="fail below this absolute kernel speedup",
+    )
+    args = parser.parse_args(argv)
+
+    comparison = compare_dirs(
+        pathlib.Path(args.baseline),
+        pathlib.Path(args.current),
+        args.max_regression,
+        args.min_speedup,
+    )
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(comparison, indent=2) + "\n")
+    for entry in comparison["entries"]:
+        print(
+            "{file}: {status}".format(**entry)
+            + (
+                " (speedup {0:.1f}x, reduction {1:.1f}x)".format(
+                    entry["kernel_speedup"],
+                    entry["symmetry_reduction_factor"],
+                )
+                if entry.get("kernel_speedup")
+                else ""
+            )
+        )
+    for failure in comparison["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 0 if comparison["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

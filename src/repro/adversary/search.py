@@ -24,8 +24,15 @@ from __future__ import annotations
 import logging
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.packed import (
+    PackedRun,
+    RunBatch,
+    enumerate_orbit_representatives,
+    layout_for,
+    orbit_tables,
+)
 from ..core.probability import EventProbabilities
 from ..core.seeding import spawn_random
 from ..core.protocol import Protocol
@@ -79,13 +86,23 @@ class SearchResult:
     runs_examined: int
     certification: str
     strategy: str
+    #: With orbit-reduced enumeration: how many runs of the full space
+    #: each examined run stood for on average (``space / examined``).
+    #: ``None`` when no symmetry reduction was applied.
+    reduction_factor: Optional[float] = None
 
     def describe(self) -> str:
         """One-line summary: strategy, value, budget, witness."""
         witness = self.run.describe() if self.run is not None else "none"
+        reduced = (
+            f" (orbit reduction {self.reduction_factor:.1f}x)"
+            if self.reduction_factor is not None
+            else ""
+        )
         return (
             f"{self.strategy}: value={self.value:.6f} over "
-            f"{self.runs_examined} runs [{self.certification}]; {witness}"
+            f"{self.runs_examined} runs{reduced} "
+            f"[{self.certification}]; {witness}"
         )
 
 
@@ -137,6 +154,53 @@ def _search_over(
     )
 
 
+#: Packed exhaustive sweeps evaluate this many runs per kernel batch.
+EXHAUSTIVE_CHUNK = 4_096
+
+
+def _search_packed_stream(
+    protocol: Protocol,
+    topology: Topology,
+    stream: Iterable[PackedRun],
+    objective: Objective,
+    engine,
+    num_rounds: Round,
+) -> Tuple[float, Optional[PackedRun], int]:
+    """Scan a packed-run stream in chunks; first strict max wins.
+
+    Returns ``(best_value, best_packed, examined)``.  Enumeration
+    order is preserved across chunk boundaries, so the winner is the
+    same run the one-big-list scan would pick.
+    """
+    layout = layout_for(topology, num_rounds)
+    best_value = float("-inf")
+    best_packed: Optional[PackedRun] = None
+    examined = 0
+    chunk: List[PackedRun] = []
+
+    def scan(batch_runs: List[PackedRun]) -> None:
+        nonlocal best_value, best_packed
+        batch = RunBatch.from_bits(layout, (p.bits for p in batch_runs))
+        results = engine.evaluate_packed_many(protocol, topology, batch)
+        for packed, result in zip(batch_runs, results):
+            value = objective(result)
+            if value > best_value:
+                best_value = value
+                best_packed = packed
+
+    for packed in stream:
+        chunk.append(packed)
+        examined += 1
+        if len(chunk) >= EXHAUSTIVE_CHUNK:
+            scan(chunk)
+            chunk = []
+    if chunk:
+        scan(chunk)
+    if examined == 0:
+        raise ValueError("exhaustive search was given no runs")
+    return best_value, best_packed, examined
+
+
 def exhaustive_search(
     protocol: Protocol,
     topology: Topology,
@@ -145,9 +209,115 @@ def exhaustive_search(
     fixed_inputs: Optional[frozenset] = None,
     limit: int = 300_000,
     engine=None,
+    symmetry_reduction: bool = False,
 ) -> SearchResult:
-    """Enumerate every run of the strong adversary (small instances)."""
+    """Enumerate every run of the strong adversary (small instances).
+
+    With ``symmetry_reduction=True`` *and* a protocol that declares
+    its symmetry (:meth:`Protocol.automorphism_invariant_vertices`
+    returns non-``None``), enumeration visits one representative per
+    orbit of the automorphism subgroup fixing the protocol's
+    distinguished vertices (and stabilizing ``fixed_inputs`` if set).
+    The maximum is exact — the objective takes the same value on every
+    run of an orbit — and ``runs_examined``/``reduction_factor``
+    report the savings; the ``limit`` guard then applies to the
+    reduced count.  The default (``False``) keeps the full sweep, so
+    results — witness, ``runs_examined``, tie-breaking — are
+    unchanged for existing callers.
+    """
+    engine = _resolve_engine(engine)
     adversary = StrongAdversary(fixed_inputs=fixed_inputs)
+
+    fixing = (
+        protocol.automorphism_invariant_vertices(topology)
+        if symmetry_reduction
+        else None
+    )
+    if fixing is not None:
+        space = adversary.size(topology, num_rounds)
+        tables = orbit_tables(
+            topology, num_rounds, sorted(fixing), fixed_inputs
+        )
+        # Representatives number at least space / |G|; refuse instances
+        # where even perfect reduction cannot fit the budget.
+        if space > limit * (len(tables) + 1):
+            raise ValueError(
+                f"strong adversary has {space} runs here, above the "
+                f"enumeration limit of {limit} even with orbit reduction "
+                f"by a group of order {len(tables) + 1}; "
+                "use repro.adversary.search"
+            )
+        stream = (
+            packed
+            for packed, _ in enumerate_orbit_representatives(
+                topology, num_rounds, sorted(fixing), fixed_inputs
+            )
+        )
+        with engine.obs.tracer.span(
+            "search.exhaustive",
+            protocol=protocol.name,
+            topology=topology.describe(),
+            runs=space,
+            certification="exact",
+            symmetry_reduction=True,
+        ):
+            best_value, best_packed, examined = _search_packed_stream(
+                protocol, topology, stream, objective, engine, num_rounds
+            )
+            if examined > limit:
+                raise ValueError(
+                    f"orbit-reduced enumeration produced {examined} "
+                    f"representatives, above the limit of {limit}"
+                )
+        engine.obs.metrics.counter("search.runs_examined").inc(examined)
+        reduction = space / examined
+        logger.debug(
+            "exhaustive search (orbit-reduced %.1fx) on %s: value=%.6f "
+            "over %d of %d runs",
+            reduction,
+            topology.describe(),
+            best_value,
+            examined,
+            space,
+        )
+        return SearchResult(
+            best_value,
+            best_packed.unpack() if best_packed is not None else None,
+            examined,
+            "exact",
+            "exhaustive",
+            reduction_factor=reduction,
+        )
+
+    if engine.backend != "reference" and engine.supports_vectorized(
+        protocol, topology
+    ):
+        stream = adversary.enumerate_packed(topology, num_rounds, limit=limit)
+        with engine.obs.tracer.span(
+            "search.exhaustive",
+            protocol=protocol.name,
+            topology=topology.describe(),
+            runs=adversary.size(topology, num_rounds),
+            certification="exact",
+        ):
+            best_value, best_packed, examined = _search_packed_stream(
+                protocol, topology, stream, objective, engine, num_rounds
+            )
+        engine.obs.metrics.counter("search.runs_examined").inc(examined)
+        logger.debug(
+            "exhaustive search (packed) on %s: value=%.6f over %d runs",
+            topology.describe(),
+            best_value,
+            examined,
+        )
+        return SearchResult(
+            best_value,
+            best_packed.unpack() if best_packed is not None else None,
+            examined,
+            "exact",
+            "exhaustive",
+        )
+
     runs = adversary.enumerate(topology, num_rounds, limit=limit)
     return _search_over(
         protocol, topology, runs, objective, "exact", "exhaustive",
@@ -195,6 +365,69 @@ def random_search(
     )
 
 
+def _greedy_search_incremental(
+    protocol: Protocol,
+    topology: Topology,
+    num_rounds: Round,
+    current: PackedRun,
+    objective: Objective,
+    max_passes: int,
+    engine,
+) -> SearchResult:
+    """Packed hill-climb: one incremental kernel call per pass.
+
+    Each pass asks the engine for the whole single-bit neighborhood at
+    once (:meth:`Engine.evaluate_neighbors` resumes simulation from the
+    flipped round, so the pass costs far less than ``num_bits`` full
+    evaluations).  Neighbor order — message bits ascending, then input
+    bits — is exactly the legacy flip order, so tie-breaking and the
+    returned witness are unchanged.
+    """
+    layout = current.layout
+    m = layout.num_processes
+    bit_order = list(range(m, layout.num_bits)) + list(range(m))
+    with engine.obs.tracer.span(
+        "search.greedy",
+        protocol=protocol.name,
+        topology=topology.describe(),
+        max_passes=max_passes,
+    ):
+        current_value: Optional[float] = None
+        examined = 1
+        for _ in range(max_passes):
+            parent_result, by_bit = engine.evaluate_neighbors(
+                protocol, topology, current
+            )
+            if current_value is None:
+                current_value = objective(parent_result)
+            examined += layout.num_bits
+            best_bit: Optional[int] = None
+            best_value = current_value
+            for bit in bit_order:
+                value = objective(by_bit[bit])
+                if value > best_value:
+                    best_bit = bit
+                    best_value = value
+            if best_bit is None:
+                break
+            current = current.with_bit_flipped(best_bit)
+            current_value = best_value
+        if current_value is None:  # max_passes <= 0: just score the seed
+            current_value = objective(
+                engine.evaluate(protocol, topology, current.unpack())
+            )
+    engine.obs.metrics.counter("search.runs_examined").inc(examined)
+    logger.debug(
+        "greedy search (incremental) on %s: value=%.6f over %d runs",
+        topology.describe(),
+        current_value,
+        examined,
+    )
+    return SearchResult(
+        current_value, current.unpack(), examined, "heuristic", "greedy"
+    )
+
+
 def greedy_search(
     protocol: Protocol,
     topology: Topology,
@@ -209,10 +442,23 @@ def greedy_search(
     Starts from ``seed_run`` and repeatedly applies the single-tuple
     flip (add/remove a message delivery, toggle an input) that most
     improves the objective, until a pass yields no improvement or the
-    pass budget is exhausted.  Each pass's neighborhood is evaluated as
-    one engine batch; revisited neighbors are cache hits.
+    pass budget is exhausted.  On backends with the incremental kernel
+    the whole neighborhood is one resumed-simulation call; otherwise
+    each pass's neighborhood is evaluated as one engine batch and
+    revisited neighbors are cache hits.  Both paths flip candidates in
+    the same order, so they return identical results.
     """
     engine = _resolve_engine(engine)
+    if engine.supports_incremental(protocol, topology):
+        try:
+            packed_seed = layout_for(topology, num_rounds).pack(seed_run)
+        except ValueError:
+            packed_seed = None  # off-layout seed: fall back to tuple path
+        if packed_seed is not None:
+            return _greedy_search_incremental(
+                protocol, topology, num_rounds, packed_seed,
+                objective, max_passes, engine,
+            )
     all_tuples = all_message_tuples(topology, num_rounds)
     current = seed_run
     with engine.obs.tracer.span(

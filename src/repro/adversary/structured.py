@@ -31,6 +31,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Sequence, Tuple
 
+from ..core.packed import PackedRun, layout_for
 from ..core.run import (
     Run,
     all_message_tuples,
@@ -55,6 +56,19 @@ class RunFamily:
     def runs(self, topology: Topology, num_rounds: Round) -> List[Run]:
         """Materialize the family for one (topology, horizon) pair."""
         return list(self.generate(topology, num_rounds))
+
+    def packed_runs(
+        self, topology: Topology, num_rounds: Round
+    ) -> List[PackedRun]:
+        """The family in packed form, in :meth:`runs` order.
+
+        Family generators are written in tuple-set vocabulary (that is
+        their whole point — the shapes are the paper's), so packing
+        happens on the way out; downstream batch evaluation and cache
+        keys then stay on the packed path.
+        """
+        layout = layout_for(topology, num_rounds)
+        return [layout.pack(run) for run in self.generate(topology, num_rounds)]
 
 
 def _input_variants(topology: Topology) -> List[frozenset]:

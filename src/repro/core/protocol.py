@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import FrozenSet, Optional, Sequence
 
 from .randomness import TapeSpace
 from .topology import Topology
@@ -107,6 +107,27 @@ class Protocol(ABC):
         Protocol A, for example, is a two-general protocol only.
         """
         return True
+
+    def automorphism_invariant_vertices(
+        self, topology: Topology
+    ) -> Optional[FrozenSet[ProcessId]]:
+        """The vertices an automorphism must fix to leave ``Pr[·|R]`` alone.
+
+        A graph automorphism ``π`` acts on runs by relabeling
+        processes.  When every local machine is the same function of
+        its position — except at some *distinguished* vertices (a
+        coordinator, a designated root) — then for every run ``R`` and
+        every automorphism fixing those vertices pointwise,
+        ``Pr[X | π·R] = Pr[X | R]`` for all events ``X``, and the
+        worst-run search may enumerate one run per orbit
+        (:mod:`repro.core.packed`) with exact answers unchanged.
+
+        Return the distinguished-vertex set (``frozenset()`` for a
+        fully symmetric protocol), or ``None`` — the conservative
+        default — to make no symmetry claim at all, which disables
+        orbit reduction for this protocol.
+        """
+        return None
 
     def describe(self) -> str:
         """One-line description for experiment reports."""

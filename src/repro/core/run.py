@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .topology import Topology
 from .types import (
@@ -47,6 +47,12 @@ class Run:
     num_rounds: Round
     inputs: FrozenSet[ProcessId]
     messages: FrozenSet[MessageTuple]
+    _round_index: Dict[Round, FrozenSet[MessageTuple]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+    _target_index: Dict[Tuple[ProcessId, Round], Tuple[MessageTuple, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
@@ -56,6 +62,28 @@ class Run:
                 raise ValueError(f"input target must be a process id, got {process}")
         for message in self.messages:
             message.validate(self.num_rounds)
+        # Per-round delivery index, built once: the round simulator
+        # asks for every (target, round) cell of its innermost loop,
+        # so a per-call scan-and-sort over `messages` is quadratic in
+        # practice.  One sort here serves every later query.
+        by_round: Dict[Round, List[MessageTuple]] = {}
+        for message in self.messages:
+            by_round.setdefault(message.round, []).append(message)
+        round_index: Dict[Round, FrozenSet[MessageTuple]] = {}
+        target_index: Dict[Tuple[ProcessId, Round], List[MessageTuple]] = {}
+        for round_number, batch in by_round.items():
+            batch.sort()
+            round_index[round_number] = frozenset(batch)
+            for message in batch:
+                target_index.setdefault(
+                    (message.target, round_number), []
+                ).append(message)
+        object.__setattr__(self, "_round_index", round_index)
+        object.__setattr__(
+            self,
+            "_target_index",
+            {key: tuple(found) for key, found in target_index.items()},
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -105,18 +133,12 @@ class Run:
         return MessageTuple(source, target, round_number) in self.messages
 
     def deliveries_in_round(self, round_number: Round) -> FrozenSet[MessageTuple]:
-        """All message tuples of a given round."""
-        return frozenset(m for m in self.messages if m.round == round_number)
+        """All message tuples of a given round (indexed, not scanned)."""
+        return self._round_index.get(round_number, frozenset())
 
     def deliveries_to(self, target: ProcessId, round_number: Round) -> List[MessageTuple]:
         """Message tuples delivered to ``target`` in a given round, sorted."""
-        found = [
-            m
-            for m in self.messages
-            if m.target == target and m.round == round_number
-        ]
-        found.sort()
-        return found
+        return list(self._target_index.get((target, round_number), ()))
 
     def message_count(self) -> int:
         """``|M(R)|`` — how many sent messages get through."""
@@ -399,18 +421,16 @@ def enumerate_runs(
     """Exhaustively enumerate runs (optionally with the input set fixed).
 
     The count is ``2^(2 |E| N)`` per input set — only usable for tiny
-    instances; the exhaustive worst-run search guards on this.
+    instances; the exhaustive worst-run search guards on this with
+    :func:`run_space_size`.  Packed-native and fully lazy: runs are
+    produced by incrementing a bitmask counter (``core.packed``), so
+    neither the input sets nor the message subsets are materialized as
+    collections — each candidate exists as one integer until unpacked.
     """
-    tuples = all_message_tuples(topology, num_rounds)
-    input_sets: Iterable[FrozenSet[ProcessId]]
-    if inputs is None:
-        input_sets = list(enumerate_input_sets(topology))
-    else:
-        input_sets = [frozenset(inputs)]
-    for input_set in input_sets:
-        for size in range(len(tuples) + 1):
-            for subset in itertools.combinations(tuples, size):
-                yield Run(num_rounds, input_set, frozenset(subset))
+    from .packed import enumerate_packed_runs
+
+    for packed in enumerate_packed_runs(topology, num_rounds, inputs):
+        yield packed.unpack()
 
 
 def run_space_size(topology: Topology, num_rounds: Round, fixed_inputs: bool) -> int:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .types import MIN_PROCESSES, ProcessId
@@ -283,12 +284,72 @@ class Topology:
             depth_of(vertex)
         return depths
 
+    def automorphisms(
+        self, fixing: Iterable[ProcessId] = ()
+    ) -> Tuple[Tuple[ProcessId, ...], ...]:
+        """The automorphism group of the graph (optionally a subgroup).
+
+        Each automorphism is a tuple ``perm`` with ``perm[i - 1]`` the
+        image of vertex ``i``; the identity is always included.  With
+        ``fixing`` non-empty, only automorphisms that fix each listed
+        vertex pointwise are returned — the subgroup under which a
+        protocol with distinguished vertices (e.g. Protocol S's
+        coordinator) is symmetric, which is what makes orbit-reduced
+        enumeration exact (DESIGN.md §14).
+
+        Found by backtracking with degree pruning; groups are cached
+        per ``(topology, fixing)`` pair, so the cost is paid once per
+        topology, not once per search.
+        """
+        fixed = tuple(sorted(set(fixing)))
+        for vertex in fixed:
+            if not 1 <= vertex <= self.num_processes:
+                raise ValueError(f"unknown process id {vertex}")
+        return _automorphism_group(self, fixed)
+
     def describe(self) -> str:
         """A short human-readable summary, used in experiment reports."""
         connectivity = "connected" if self.is_connected() else "disconnected"
         return (
             f"Topology(m={self.num_processes}, |E|={len(self.edges)}, {connectivity})"
         )
+
+
+@lru_cache(maxsize=256)
+def _automorphism_group(
+    topology: Topology, fixing: Tuple[ProcessId, ...]
+) -> Tuple[Tuple[ProcessId, ...], ...]:
+    """Backtracking automorphism search with degree pruning."""
+    vertices = list(topology.processes)
+    degrees = {v: len(topology.neighbors(v)) for v in vertices}
+    perms: List[Tuple[ProcessId, ...]] = []
+    assignment: Dict[ProcessId, ProcessId] = {}
+    used: set = set()
+
+    def backtrack(index: int) -> None:
+        if index == len(vertices):
+            perms.append(tuple(assignment[v] for v in vertices))
+            return
+        vertex = vertices[index]
+        candidates: Iterable[ProcessId] = (
+            (vertex,) if vertex in fixing else vertices
+        )
+        for image in candidates:
+            if image in used or degrees[image] != degrees[vertex]:
+                continue
+            if all(
+                topology.has_edge(vertex, other)
+                == topology.has_edge(image, assignment[other])
+                for other in assignment
+            ):
+                assignment[vertex] = image
+                used.add(image)
+                backtrack(index + 1)
+                used.discard(image)
+                del assignment[vertex]
+
+    backtrack(0)
+    return tuple(perms)
 
 
 def standard_topologies(num_processes: int) -> Sequence[Tuple[str, Topology]]:

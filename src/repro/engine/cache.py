@@ -51,7 +51,10 @@ CACHE_SURFACE_QUALNAMES: Tuple[str, ...] = (
 )
 
 #: Snapshot wire-format version; bump when the pickled shape changes.
-SNAPSHOT_VERSION = 1
+#: v2: cache keys carry runs in packed form — ``(..., num_rounds,
+#: bits, ...)`` instead of an embedded ``Run`` — so v1 snapshots (one
+#: component fewer, Run-keyed) are not importable and are skipped.
+SNAPSHOT_VERSION = 2
 
 
 class EngineCache(ABC):
@@ -112,9 +115,11 @@ class ShardLocalCache(InProcessCache):
     """An in-process cache with warm-start snapshot export/import.
 
     The snapshot is a pickled list of ``(components, result)`` pairs
-    where ``components`` is the ``(protocol, topology, run, method,
-    trials)`` argument tuple of ``Engine.cache_key``.  Import re-keys
-    every entry through ``Engine.cache_key`` in the importing process,
+    where ``components`` is everything after the leading
+    ``hash(protocol)`` of an ``Engine.cache_key`` tuple — since the
+    packed-run refactor that is ``(protocol, topology, num_rounds,
+    bits, method, trials)`` with the run as two ints.  Import re-keys
+    every entry by re-hashing its protocol in the importing process,
     so snapshots survive per-process hash salting and can warm a
     freshly spawned shard (or the same shard across a restart).
     """
@@ -134,21 +139,21 @@ class ShardLocalCache(InProcessCache):
     def import_snapshot(self, blob: bytes) -> int:
         """Load a snapshot produced by :meth:`export_snapshot`.
 
-        Entries are re-keyed via ``Engine.cache_key`` so lookups in
-        this process hit them; entries whose components no longer hash
-        (or snapshot versions this build does not know) are skipped.
-        Returns the number of entries imported.
+        Entries are re-keyed by prepending ``hash(components[0])``
+        (the protocol hash, salted per process) — shape-generically,
+        so the key layout is owned by ``Engine.cache_key`` alone.
+        Entries whose protocol no longer hashes, and snapshot versions
+        this build does not know, are skipped.  Returns the number of
+        entries imported.
         """
-        from .engine import Engine
-
         version, entries = pickle.loads(blob)
         if version != SNAPSHOT_VERSION:
             return 0
         imported = 0
         for components, result in entries:
-            protocol, topology, run, method, trials = components
-            key = Engine.cache_key(protocol, topology, run, method, trials)
-            if key is None:
+            try:
+                key = (hash(components[0]),) + tuple(components)
+            except TypeError:
                 continue
             self.put(key, result)
             imported += 1

@@ -59,6 +59,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.packed import PackedRun, RunBatch, layout_for
 from ..core.probability import (
     DEFAULT_ENUMERATION_LIMIT,
     DEFAULT_TRIALS,
@@ -88,6 +89,8 @@ BACKENDS = ("auto", "reference", "vectorized")
 CACHEABLE_QUALNAMES: Tuple[str, ...] = (
     "repro.core.probability.exact_probabilities",
     "repro.engine.vectorized.evaluate_batch",
+    "repro.engine.vectorized.evaluate_neighbor_batch",
+    "repro.engine.vectorized.evaluate_packed_batch",
     "repro.protocols.ablations.NaiveCountingS.closed_form_probabilities",
     "repro.protocols.ablations.SkewedS.closed_form_probabilities",
     "repro.protocols.deterministic.DeterministicProtocol.closed_form_probabilities",
@@ -263,9 +266,61 @@ class Engine:
         need to know whether two requests would land on the same cache
         line without evaluating anything, sometimes before any engine
         exists in the process.
+
+        The run is keyed in **packed form** — ``(num_rounds, bits)``
+        under the topology's :class:`~repro.core.packed.RunLayout` —
+        so evaluations arriving as :class:`Run` objects and as
+        :class:`~repro.core.packed.PackedRun` masks share cache lines
+        (and snapshot entries shrink to two ints per run).  A run that
+        does not fit the topology's layout (off-edge message, foreign
+        vertex) falls back to keying the run object itself: such runs
+        still reach the backend, which rejects or evaluates them with
+        reference semantics, and their cache behavior is unchanged.
         """
         try:
-            return (hash(protocol), protocol, topology, run, method, trials)
+            packed_bits = layout_for(topology, run.num_rounds).pack_bits(run)
+        except ValueError:
+            try:
+                return (hash(protocol), protocol, topology, run, method, trials)
+            except TypeError:
+                return None  # unhashable protocol: skip memoization
+        try:
+            return (
+                hash(protocol),
+                protocol,
+                topology,
+                run.num_rounds,
+                packed_bits,
+                method,
+                trials,
+            )
+        except TypeError:
+            return None  # unhashable protocol: skip memoization
+
+    @staticmethod
+    def packed_cache_key(
+        protocol: Protocol,
+        topology: Topology,
+        packed: PackedRun,
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
+    ) -> Optional[tuple]:
+        """The memo-cache key for a packed run — no ``Run`` needed.
+
+        Produces the same key :meth:`cache_key` would for the unpacked
+        run, so the packed search paths and the legacy scalar path hit
+        each other's entries.
+        """
+        try:
+            return (
+                hash(protocol),
+                protocol,
+                topology,
+                packed.num_rounds,
+                packed.bits,
+                method,
+                trials,
+            )
         except TypeError:
             return None  # unhashable protocol: skip memoization
 
@@ -617,6 +672,170 @@ class Engine:
                 for index in unique[run]:
                     results[index] = result
                     self._cache_put(keys[index], result)
+
+    # -- packed evaluation --------------------------------------------
+
+    def evaluate_packed_many(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        batch: RunBatch,
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
+        use_cache: bool = False,
+    ) -> List[EventProbabilities]:
+        """Evaluate a :class:`RunBatch`, packed end-to-end when possible.
+
+        When the vectorized kernel supports the pair, the batch's words
+        feed it directly — no ``Run`` objects exist at any point.
+        Otherwise the batch is unpacked and delegated to
+        :meth:`evaluate_many` (reference semantics), so the call is
+        total either way and results are bit-identical across paths.
+
+        ``use_cache`` defaults to False: the bulk callers (exhaustive
+        packed sweeps) visit each run exactly once, so per-run memo
+        traffic would only add overhead and evict genuinely reusable
+        entries.  Pass True to memoize each result under the same
+        packed keys the scalar path uses.
+        """
+        if len(batch) == 0:
+            return []
+        if not self._wants_vectorized(
+            protocol, topology, method, batch=len(batch)
+        ):
+            return self.evaluate_many(
+                protocol,
+                topology,
+                batch.to_runs(),
+                method=method,
+                trials=trials,
+            )
+        from . import vectorized
+
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "engine.evaluate_packed_many",
+                protocol=protocol.name,
+                method=method,
+                runs=len(batch),
+            )
+        else:
+            span = tracer.span("engine.evaluate_packed_many")
+        with span, self._evaluating():
+            self._batch_counter.value += 1
+            self._runs_counter.value += len(batch)
+            started = monotonic()
+            results = vectorized.evaluate_packed_batch(
+                protocol, topology, batch
+            )
+            self._vectorized_counter.value += len(batch)
+            if use_cache:
+                for index, result in enumerate(results):
+                    key = self.packed_cache_key(
+                        protocol, topology, batch.packed(index), method, trials
+                    )
+                    self._cache_put(key, result)
+            elapsed = monotonic() - started
+            self._wall_counter.value += elapsed
+            self._latency_histogram.observe(elapsed)
+            if self.span_hook is not None:
+                self.span_hook(
+                    "engine.evaluate_packed_many",
+                    elapsed,
+                    {
+                        "runs": len(batch),
+                        "cache_hits": 0,
+                        "cache_misses": len(batch),
+                    },
+                )
+            return results
+
+    def supports_incremental(
+        self, protocol: Protocol, topology: Topology
+    ) -> bool:
+        """Whether :meth:`evaluate_neighbors` can serve this pair.
+
+        The incremental kernel is a vectorized-backend feature; under
+        ``backend="reference"`` callers should evaluate neighbors
+        through :meth:`evaluate_many` instead (same results, no
+        prefix-state reuse).
+        """
+        return self.backend != "reference" and self.supports_vectorized(
+            protocol, topology
+        )
+
+    def evaluate_neighbors(
+        self,
+        protocol: Protocol,
+        topology: Topology,
+        parent: PackedRun,
+        method: str = "auto",
+        trials: int = DEFAULT_TRIALS,
+    ) -> Tuple[EventProbabilities, List[EventProbabilities]]:
+        """A run and all of its single-bit neighbors, incrementally.
+
+        Returns ``(parent_result, by_bit)`` — see
+        :func:`repro.engine.vectorized.evaluate_neighbor_batch`; each
+        neighbor re-derives its counts from the parent's cached
+        per-round state instead of simulating from scratch.  All
+        results are exact and are memoized under the packed cache
+        keys.  Raises ``ValueError`` when
+        :meth:`supports_incremental` is False for the pair.
+        """
+        if not self.supports_incremental(protocol, topology):
+            raise ValueError(
+                "incremental neighbor evaluation requires the vectorized "
+                f"backend to support protocol {protocol.name!r} on this "
+                "topology"
+            )
+        from . import vectorized
+
+        num_neighbors = parent.layout.num_bits
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "engine.evaluate_neighbors",
+                protocol=protocol.name,
+                neighbors=num_neighbors,
+            )
+        else:
+            span = tracer.span("engine.evaluate_neighbors")
+        with span, self._evaluating():
+            self._batch_counter.value += 1
+            self._runs_counter.value += 1 + num_neighbors
+            started = monotonic()
+            parent_result, by_bit = vectorized.evaluate_neighbor_batch(
+                protocol, topology, parent
+            )
+            self._vectorized_counter.value += 1 + num_neighbors
+            self._cache_put(
+                self.packed_cache_key(protocol, topology, parent, method, trials),
+                parent_result,
+            )
+            for bit, result in enumerate(by_bit):
+                key = self.packed_cache_key(
+                    protocol,
+                    topology,
+                    parent.with_bit_flipped(bit),
+                    method,
+                    trials,
+                )
+                self._cache_put(key, result)
+            elapsed = monotonic() - started
+            self._wall_counter.value += elapsed
+            self._latency_histogram.observe(elapsed)
+            if self.span_hook is not None:
+                self.span_hook(
+                    "engine.evaluate_neighbors",
+                    elapsed,
+                    {
+                        "runs": 1 + num_neighbors,
+                        "cache_hits": 0,
+                        "cache_misses": 1 + num_neighbors,
+                    },
+                )
+            return parent_result, by_bit
 
     # -- weak-adversary fast paths ------------------------------------
 

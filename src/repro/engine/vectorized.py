@@ -30,10 +30,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core.packed import PackedRun, RunBatch, layout_for
 from ..core.probability import EventProbabilities
 from ..core.protocol import Protocol
 from ..core.run import Run
@@ -91,30 +92,17 @@ def runs_to_tensors(
     has shape ``(batch, num_processes)``.  Raises ``ValueError`` for a
     run that does not fit the topology or horizon (the same conditions
     the reference simulator rejects).
+
+    Routed through :mod:`repro.core.packed`: each run becomes one
+    bitmask (the ``RunLayout`` link order is by construction the
+    ``_plan`` link order) and the tensors are extracted from the
+    resulting :class:`RunBatch` in one vectorized pass.
     """
-    plan = _plan(topology)
-    batch = len(runs)
-    delivered = np.zeros((batch, num_rounds, len(plan.links)), dtype=bool)
-    inputs = np.zeros((batch, plan.num_processes), dtype=bool)
-    link_index = plan.link_index
-    for b, run in enumerate(runs):
-        if run.num_rounds != num_rounds:
-            raise ValueError(
-                f"run horizon {run.num_rounds} != batch horizon {num_rounds}"
-            )
-        for process in run.inputs:
-            if process > plan.num_processes:
-                raise ValueError(f"input process {process} is not a vertex")
-            inputs[b, process - 1] = True
-        for message in run.messages:
-            try:
-                k = link_index[(message.source, message.target)]
-            except KeyError:
-                raise ValueError(
-                    f"message {message} does not follow an edge"
-                ) from None
-            delivered[b, message.round - 1, k] = True
-    return delivered, inputs
+    layout = layout_for(topology, num_rounds)
+    batch = RunBatch.from_bits(
+        layout, (layout.pack_bits(run) for run in runs)
+    )
+    return batch.tensors()
 
 
 # ----------------------------------------------------------------------
@@ -122,37 +110,45 @@ def runs_to_tensors(
 # ----------------------------------------------------------------------
 
 
-def simulate_counting_batch(
-    topology: Topology,
-    delivered: np.ndarray,
+@dataclass
+class CountingState:
+    """The Figure 1 machine's batched state at one round boundary.
+
+    All arrays have shape ``(batch, m)``.  The state before round
+    ``q`` depends only on deliveries in rounds ``< q``, which is what
+    makes single-bit neighbor evaluation incremental: a run differing
+    from its parent only in a round-``q`` delivery resumes from the
+    parent's saved state instead of re-simulating rounds ``1..q-1``
+    (:func:`evaluate_neighbor_batch`).
+    """
+
+    count: np.ndarray
+    seen: np.ndarray
+    valid: np.ndarray
+    rknown: np.ndarray
+
+    def tiled(self, lanes: int) -> "CountingState":
+        """A single-run state broadcast to ``lanes`` independent lanes."""
+        if self.count.shape[0] != 1:
+            raise ValueError("tiled() expects a single-run state")
+        return CountingState(
+            count=np.repeat(self.count, lanes, axis=0),
+            seen=np.repeat(self.seen, lanes, axis=0),
+            valid=np.repeat(self.valid, lanes, axis=0),
+            rknown=np.repeat(self.rknown, lanes, axis=0),
+        )
+
+
+def _initial_state(
+    plan: _TopologyPlan,
     inputs: np.ndarray,
     rfire_gated: bool,
-    coordinator: ProcessId = 1,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Run the Figure 1 counting machine over a batch of runs.
-
-    Returns ``(counts, rfire_known)`` of shape ``(batch, m)``: the
-    final ``count_i`` values and whether each process ever heard the
-    coordinator's ``rfire`` draw.  With ``rfire_gated`` the start rule
-    is Protocol S's (valid *and* rfire known); otherwise counting is
-    valid-gated (Protocol W, plain level tracking).
-
-    The transition is a line-for-line vectorization of
-    ``CountingLocal.transition``; ``seen`` sets are bitmasks.
-    """
-    plan = _plan(topology)
+    coordinator: ProcessId,
+) -> CountingState:
+    """The pre-round-1 state of the Figure 1 machine."""
     m = plan.num_processes
-    if m > MAX_VECTORIZED_PROCESSES:
-        raise ValueError(
-            f"vectorized kernel supports at most {MAX_VECTORIZED_PROCESSES} "
-            f"processes, got {m}"
-        )
-    batch, num_rounds, num_links = delivered.shape
-    if num_links != len(plan.links):
-        raise ValueError("delivery tensor does not match the topology")
+    batch = inputs.shape[0]
     own = np.array([np.int64(1) << i for i in range(m)], dtype=np.int64)
-    full_mask = np.int64((1 << m) - 1)
-
     valid = inputs.copy()
     rknown = np.zeros((batch, m), dtype=bool)
     if rfire_gated:
@@ -164,8 +160,31 @@ def simulate_counting_batch(
         counting0 = valid
     count = np.where(counting0, np.int64(1), np.int64(0))
     seen = np.where(counting0, own[None, :], np.int64(0))
+    return CountingState(count=count, seen=seen, valid=valid, rknown=rknown)
 
-    for round_number in range(num_rounds):
+
+def _advance_rounds(
+    plan: _TopologyPlan,
+    delivered: np.ndarray,
+    state: CountingState,
+    rfire_gated: bool,
+) -> CountingState:
+    """Advance the counting machine over ``delivered.shape[1]`` rounds.
+
+    The single source of truth for the round transition — full
+    simulation, the per-round history, and incremental resumption all
+    go through this loop, so they are bit-identical by construction.
+    The input ``state`` is not mutated; a fresh state is returned.
+    """
+    m = plan.num_processes
+    own = np.array([np.int64(1) << i for i in range(m)], dtype=np.int64)
+    full_mask = np.int64((1 << m) - 1)
+    count = state.count
+    seen = state.seen
+    valid = state.valid
+    rknown = state.rknown
+
+    for round_number in range(delivered.shape[1]):
         d = delivered[:, round_number, :]
         prev_count = count
         prev_seen = seen
@@ -216,7 +235,75 @@ def simulate_counting_batch(
             seen[:, i] = si
             valid[:, i] = valid_i
             rknown[:, i] = rknown_i
-    return count, rknown
+    return CountingState(count=count, seen=seen, valid=valid, rknown=rknown)
+
+
+def _check_kernel_shapes(
+    plan: _TopologyPlan, delivered: np.ndarray
+) -> None:
+    m = plan.num_processes
+    if m > MAX_VECTORIZED_PROCESSES:
+        raise ValueError(
+            f"vectorized kernel supports at most {MAX_VECTORIZED_PROCESSES} "
+            f"processes, got {m}"
+        )
+    if delivered.shape[2] != len(plan.links):
+        raise ValueError("delivery tensor does not match the topology")
+
+
+def simulate_counting_batch(
+    topology: Topology,
+    delivered: np.ndarray,
+    inputs: np.ndarray,
+    rfire_gated: bool,
+    coordinator: ProcessId = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the Figure 1 counting machine over a batch of runs.
+
+    Returns ``(counts, rfire_known)`` of shape ``(batch, m)``: the
+    final ``count_i`` values and whether each process ever heard the
+    coordinator's ``rfire`` draw.  With ``rfire_gated`` the start rule
+    is Protocol S's (valid *and* rfire known); otherwise counting is
+    valid-gated (Protocol W, plain level tracking).
+
+    The transition is a line-for-line vectorization of
+    ``CountingLocal.transition``; ``seen`` sets are bitmasks.
+    """
+    plan = _plan(topology)
+    _check_kernel_shapes(plan, delivered)
+    state = _initial_state(plan, inputs, rfire_gated, coordinator)
+    final = _advance_rounds(plan, delivered, state, rfire_gated)
+    return final.count, final.rknown
+
+
+def simulate_counting_history(
+    topology: Topology,
+    delivered: np.ndarray,
+    inputs: np.ndarray,
+    rfire_gated: bool,
+    coordinator: ProcessId = 1,
+) -> List[CountingState]:
+    """Run the counting machine, keeping the state at every boundary.
+
+    Returns ``num_rounds + 1`` states: ``states[k]`` is the state
+    after ``k`` rounds (``states[0]`` is pre-round-1).  Each round is
+    advanced through the same :func:`_advance_rounds` loop as the flat
+    simulation, so ``states[-1]`` equals the
+    :func:`simulate_counting_batch` result exactly.
+    """
+    plan = _plan(topology)
+    _check_kernel_shapes(plan, delivered)
+    state = _initial_state(plan, inputs, rfire_gated, coordinator)
+    states = [state]
+    for round_number in range(delivered.shape[1]):
+        state = _advance_rounds(
+            plan,
+            delivered[:, round_number : round_number + 1, :],
+            state,
+            rfire_gated,
+        )
+        states.append(state)
+    return states
 
 
 # ----------------------------------------------------------------------
@@ -295,35 +382,141 @@ def supports(protocol: Protocol, topology: Topology) -> bool:
     return False
 
 
-def evaluate_batch(
-    protocol: Protocol, topology: Topology, runs: Sequence[Run]
-) -> List[EventProbabilities]:
-    """Evaluate a uniform-horizon batch of runs on a supported protocol."""
+def _protocol_kernel(
+    protocol: Protocol,
+) -> Tuple[
+    bool,
+    ProcessId,
+    Callable[[np.ndarray, np.ndarray], List[EventProbabilities]],
+]:
+    """Dispatch a supported protocol to its kernel configuration.
+
+    Returns ``(rfire_gated, coordinator, finisher)`` where ``finisher``
+    maps the final ``(counts, rknown)`` arrays to per-run exact
+    probabilities.  Raises ``ValueError`` for unsupported protocols.
+    """
     from ..protocols.protocol_s import ProtocolS
     from ..protocols.weak_adversary import ProtocolW
 
-    if not runs:
-        return []
-    num_rounds = runs[0].num_rounds
-    delivered, inputs = runs_to_tensors(topology, num_rounds, runs)
     if type(protocol) is ProtocolS:
-        counts, rknown = simulate_counting_batch(
-            topology,
-            delivered,
-            inputs,
-            rfire_gated=True,
-            coordinator=protocol.coordinator,
-        )
-        return _protocol_s_results(counts, rknown, protocol.epsilon)
+        epsilon = protocol.epsilon
+
+        def finish_s(
+            counts: np.ndarray, rknown: np.ndarray
+        ) -> List[EventProbabilities]:
+            return _protocol_s_results(counts, rknown, epsilon)
+
+        return True, protocol.coordinator, finish_s
     if type(protocol) is ProtocolW:
-        counts, _ = simulate_counting_batch(
-            topology, delivered, inputs, rfire_gated=False
-        )
-        return _protocol_w_results(counts, protocol.threshold)
+        threshold = protocol.threshold
+
+        def finish_w(
+            counts: np.ndarray, rknown: np.ndarray
+        ) -> List[EventProbabilities]:
+            return _protocol_w_results(counts, threshold)
+
+        return False, 1, finish_w
     raise ValueError(
         f"protocol {protocol.name!r} is not supported by the vectorized "
         "backend"
     )
+
+
+def evaluate_batch(
+    protocol: Protocol, topology: Topology, runs: Sequence[Run]
+) -> List[EventProbabilities]:
+    """Evaluate a uniform-horizon batch of runs on a supported protocol."""
+    if not runs:
+        return []
+    num_rounds = runs[0].num_rounds
+    batch = RunBatch.from_runs(topology, num_rounds, runs)
+    return evaluate_packed_batch(protocol, topology, batch)
+
+
+def evaluate_packed_batch(
+    protocol: Protocol, topology: Topology, batch: RunBatch
+) -> List[EventProbabilities]:
+    """Evaluate a :class:`RunBatch` directly — no per-run unpacking.
+
+    The packed words are the wire form all the way from enumeration:
+    tensors come out of :meth:`RunBatch.tensors` as one bit-extraction
+    pass and feed the counting kernel unchanged, so the results are
+    bit-identical to :func:`evaluate_batch` over the unpacked runs.
+    """
+    if batch.layout.topology != topology:
+        raise ValueError("batch layout does not match the topology")
+    if len(batch) == 0:
+        return []
+    rfire_gated, coordinator, finish = _protocol_kernel(protocol)
+    delivered, inputs = batch.tensors()
+    counts, rknown = simulate_counting_batch(
+        topology, delivered, inputs, rfire_gated, coordinator
+    )
+    return finish(counts, rknown)
+
+
+def evaluate_neighbor_batch(
+    protocol: Protocol, topology: Topology, parent: PackedRun
+) -> Tuple[EventProbabilities, List[EventProbabilities]]:
+    """Evaluate a run and every single-bit neighbor incrementally.
+
+    Returns ``(parent_result, by_bit)`` where ``by_bit[b]`` is the
+    exact result for the parent with bit ``b`` flipped (every bit of
+    the layout appears).  The parent is simulated once with its
+    per-round state history retained; a neighbor differing in a
+    round-``q`` delivery shares the parent's prefix state before round
+    ``q`` (the counting machine is causal), so only rounds ``q..N``
+    are re-simulated — all ``L`` round-``q`` neighbors in one resumed
+    batch.  Input-bit flips change the initial state and take a full
+    (but still batched) re-simulation.  Every lane goes through the
+    same :func:`_advance_rounds` loop as a from-scratch evaluation,
+    so the results are bit-identical to it.
+    """
+    layout = parent.layout
+    if layout.topology != topology:
+        raise ValueError("parent layout does not match the topology")
+    rfire_gated, coordinator, finish = _protocol_kernel(protocol)
+    plan = _plan(topology)
+    m = layout.num_processes
+    num_links = layout.num_links
+    delivered, inputs = RunBatch.from_bits(
+        layout, (parent.bits,)
+    ).tensors()
+    states = simulate_counting_history(
+        topology, delivered, inputs, rfire_gated, coordinator
+    )
+    parent_result = finish(states[-1].count, states[-1].rknown)[0]
+    by_bit: List[EventProbabilities] = [parent_result] * layout.num_bits
+
+    # Input-bit neighbors: the flip changes the initial state, so the
+    # whole horizon re-runs — one m-lane batch.
+    flipped_inputs = np.repeat(inputs, m, axis=0)
+    flipped_inputs[np.arange(m), np.arange(m)] ^= True
+    counts, rknown = simulate_counting_batch(
+        topology,
+        np.repeat(delivered, m, axis=0),
+        flipped_inputs,
+        rfire_gated,
+        coordinator,
+    )
+    for process_index, result in enumerate(finish(counts, rknown)):
+        by_bit[process_index] = result
+
+    # Message-bit neighbors, grouped by round: resume the L round-q
+    # lanes from the parent's pre-round-q state and advance the
+    # suffix only.
+    lanes = np.arange(num_links)
+    for flip_round in range(1, layout.num_rounds + 1):
+        suffix = np.repeat(delivered[:, flip_round - 1 :, :], num_links, axis=0)
+        suffix[lanes, 0, lanes] ^= True
+        resumed = _advance_rounds(
+            plan, suffix, states[flip_round - 1].tiled(num_links), rfire_gated
+        )
+        results = finish(resumed.count, resumed.rknown)
+        base = m + (flip_round - 1) * num_links
+        for link_index, result in enumerate(results):
+            by_bit[base + link_index] = result
+    return parent_result, by_bit
 
 
 # ----------------------------------------------------------------------

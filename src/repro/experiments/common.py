@@ -11,15 +11,24 @@ sweep draws from.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.report import ExperimentReport
+from ..core.packed import (
+    RunBatch,
+    enumerate_orbit_representatives,
+    enumerate_packed_runs,
+    layout_for,
+)
+from ..core.run import enumerate_runs
 from ..core.seeding import spawn_generator, spawn_random
 from ..core.topology import Topology
 from ..engine import Engine
 from ..obs import MetricsRegistry, Obs, Tracer
+from ..obs.runtime import monotonic
 
 
 @dataclass(frozen=True)
@@ -141,6 +150,130 @@ def assert_in_report(
     if not condition:
         report.fail(message)
     return condition
+
+
+def packed_kernel_benchmark(
+    report: ExperimentReport,
+    config: Config,
+    sample: int = 256,
+    chunk: int = 4_096,
+) -> None:
+    """Time the packed orbit-reduced kernel against per-run evaluation.
+
+    Runs on a fixed, fully symmetric instance — complete-3, Protocol W,
+    all inputs present (4096 message patterns, automorphism group S3) —
+    so the number is comparable across experiments and commits:
+
+    * ``legacy_seconds`` — scalar per-run evaluation of ``sample``
+      runs on a fresh reference engine, extrapolated to the full space
+      (the pre-packed data path);
+    * ``packed_seconds`` — one orbit-reduced sweep: representative
+      enumeration plus chunked :meth:`Engine.evaluate_packed_many`;
+    * ``kernel_speedup`` — their ratio, with
+      ``symmetry_reduction_factor`` reporting how much of it the orbit
+      reduction contributed.
+
+    The sweep is checked, not just timed: the orbit-weighted aggregate
+    ``sum(|orbit| · Pr[PA])`` must equal the unreduced packed sweep's
+    aggregate bit-for-bit tolerance, and a mismatch fails the report.
+    Results land in ``report.metadata["packed_kernel"]`` (picked up by
+    ``BENCH_<eX>.json``).
+    """
+    from ..protocols.weak_adversary import ProtocolW
+
+    topology = Topology.complete(3)
+    num_rounds = 2
+    protocol = ProtocolW(2)
+    sample = config.pick(sample, 4 * sample)  # full scale: tighter estimate
+    inputs = frozenset(topology.processes)
+    layout = layout_for(topology, num_rounds)
+    space = 2**layout.num_message_bits
+
+    # Legacy baseline: the scalar per-run path on a fresh engine (no
+    # memo cache, no kernel), extrapolated from a sample of the space.
+    reference = Engine(backend="reference")
+    sample_runs = list(
+        itertools.islice(enumerate_runs(topology, num_rounds, inputs), sample)
+    )
+    started = monotonic()
+    reference.evaluate_many(protocol, topology, sample_runs)
+    legacy_sample_seconds = monotonic() - started
+    legacy_seconds = legacy_sample_seconds * (space / len(sample_runs))
+
+    # Packed sweep: orbit representatives through the batched kernel.
+    vectorized = Engine(backend="vectorized")
+    started = monotonic()
+    weighted = 0.0
+    representatives = 0
+    pending: List = []
+    pending_sizes: List[int] = []
+
+    def flush() -> None:
+        nonlocal weighted
+        batch = RunBatch.from_bits(layout, (p.bits for p in pending))
+        results = vectorized.evaluate_packed_many(protocol, topology, batch)
+        for size, result in zip(pending_sizes, results):
+            weighted += size * result.pr_partial_attack
+
+    for packed, orbit in enumerate_orbit_representatives(
+        topology, num_rounds, (), inputs
+    ):
+        pending.append(packed)
+        pending_sizes.append(orbit)
+        representatives += 1
+        if len(pending) >= chunk:
+            flush()
+            pending, pending_sizes = [], []
+    if pending:
+        flush()
+    packed_seconds = monotonic() - started
+
+    # Parity: the same aggregate from the unreduced packed sweep.
+    full = 0.0
+    stream = enumerate_packed_runs(topology, num_rounds, inputs)
+    while True:
+        block = list(itertools.islice(stream, chunk))
+        if not block:
+            break
+        batch = RunBatch.from_bits(layout, (p.bits for p in block))
+        for result in vectorized.evaluate_packed_many(
+            protocol, topology, batch
+        ):
+            full += result.pr_partial_attack
+    values_match = abs(weighted - full) < 1e-9
+
+    speedup = legacy_seconds / packed_seconds if packed_seconds > 0 else None
+    reduction = space / representatives
+    report.metadata["packed_kernel"] = {
+        "instance": (
+            f"{topology.describe()} N={num_rounds} {protocol.name} "
+            f"inputs={sorted(inputs)}"
+        ),
+        "run_space": space,
+        "orbit_representatives": representatives,
+        "symmetry_reduction_factor": reduction,
+        "legacy_sample_runs": len(sample_runs),
+        "legacy_seconds": legacy_seconds,
+        "packed_seconds": packed_seconds,
+        "kernel_speedup": speedup,
+        "values_match": values_match,
+    }
+    assert_in_report(
+        report,
+        values_match,
+        "packed kernel parity failure: orbit-weighted aggregate "
+        f"{weighted!r} != unreduced aggregate {full!r}",
+    )
+    report.add_note(
+        "packed kernel: {space} runs as {reps} orbit representatives "
+        "({reduction:.1f}x reduction), {speedup:.0f}x faster than the "
+        "per-run path".format(
+            space=space,
+            reps=representatives,
+            reduction=reduction,
+            speedup=speedup if speedup is not None else float("nan"),
+        )
+    )
 
 
 def attach_engine_stats(report: ExperimentReport, config: Config) -> None:

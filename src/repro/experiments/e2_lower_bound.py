@@ -26,7 +26,13 @@ from ..protocols.deterministic import InputAttack, NeverAttack
 from ..protocols.protocol_a import ProtocolA
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.repeated_a import RepeatedA
-from .common import Config, assert_in_report, attach_engine_stats, new_report
+from .common import (
+    Config,
+    assert_in_report,
+    attach_engine_stats,
+    new_report,
+    packed_kernel_benchmark,
+)
 
 EXPERIMENT_ID = "E2"
 TITLE = "First lower bound: L(F,R) <= U_s(F) * L(R) (Theorem 5.4)"
@@ -143,5 +149,6 @@ def run(config: Config = Config()) -> ExperimentReport:
         "Theorem 5.4 verified on every (protocol, run) pair swept; the "
         "zero-slack rows show the bound is attained (Protocol S)."
     )
+    packed_kernel_benchmark(report, config)
     attach_engine_stats(report, config)
     return report

@@ -30,7 +30,13 @@ from ..core.run import good_run, round_cut_run, spanning_tree_run, Run
 from ..core.topology import Topology
 from ..protocols.protocol_s import ProtocolS
 from ..protocols.variants import EagerS, GreedyS
-from .common import Config, assert_in_report, attach_engine_stats, new_report
+from .common import (
+    Config,
+    assert_in_report,
+    attach_engine_stats,
+    new_report,
+    packed_kernel_benchmark,
+)
 
 EXPERIMENT_ID = "E6"
 TITLE = "Second lower bound: no protocol dominates eps*ML(R) (Theorem A.1)"
@@ -158,5 +164,6 @@ def run(config: Config = Config()) -> ExperimentReport:
         "that exceeds the ceiling somewhere was found to violate the "
         "agreement precondition, as Theorem A.1 demands."
     )
+    packed_kernel_benchmark(report, config)
     attach_engine_stats(report, config)
     return report

@@ -80,6 +80,16 @@ class ProtocolS(ClosedFormProtocol):
     def supports_topology(self, topology: Topology) -> bool:
         return self.coordinator <= topology.num_processes
 
+    def automorphism_invariant_vertices(self, topology: Topology):
+        """Every process runs the same machine except the coordinator.
+
+        Relabeling by any automorphism that fixes the coordinator
+        permutes identically-distributed local protocols, so
+        ``Pr[·|R]`` is invariant and orbit-reduced search is exact
+        for the subgroup fixing this vertex.
+        """
+        return frozenset([self.coordinator])
+
     def local_protocol(
         self, process: ProcessId, topology: Topology
     ) -> LocalProtocol:

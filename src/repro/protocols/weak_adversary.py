@@ -79,6 +79,11 @@ class ProtocolW(ClosedFormProtocol):
     def name(self) -> str:  # type: ignore[override]
         return f"protocol-W(K={self.threshold})"
 
+    def automorphism_invariant_vertices(self, topology: Topology):
+        """W is fully symmetric: every process runs the same machine,
+        so the whole automorphism group preserves ``Pr[·|R]``."""
+        return frozenset()
+
     def local_protocol(
         self, process: ProcessId, topology: Topology
     ) -> LocalProtocol:

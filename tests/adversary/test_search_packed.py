@@ -1,0 +1,198 @@
+"""Packed search paths: parity with the legacy tuple-set paths.
+
+The refactor's acceptance bar — ``exhaustive_search`` and
+``greedy_search`` must return bit-identical ``SearchResult`` values to
+the pre-refactor implementation.  The reference backend still runs the
+legacy code (per-Run ``_search_over`` scan, tuple-flip greedy loop),
+so these tests pit each packed path against it directly: same maxima,
+same witnesses, same ``runs_examined`` budgets, for both the unsafety
+objective (``U_s``) and the negated-liveness objective (``L(R)``
+minimization), on K2/K3/chain/star instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.search import (
+    exhaustive_search,
+    greedy_search,
+    negated_liveness_objective,
+    unsafety_objective,
+)
+from repro.core.run import good_run, random_run, run_space_size
+from repro.core.topology import Topology
+from repro.engine import Engine
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.weak_adversary import ProtocolW
+
+PAIR = Topology.pair()
+K3 = Topology.complete(3)
+PATH3 = Topology.path(3)
+STAR4 = Topology.star(4)
+
+INSTANCES = [
+    (PAIR, 3, ProtocolW(2)),
+    (PAIR, 2, ProtocolS(epsilon=0.25)),
+    (K3, 1, ProtocolW(2)),
+    (K3, 1, ProtocolS(epsilon=0.25)),
+    (PATH3, 1, ProtocolS(epsilon=0.25)),
+    (STAR4, 1, ProtocolW(2)),
+]
+
+OBJECTIVES = [unsafety_objective, negated_liveness_objective]
+
+
+@pytest.fixture
+def vec_engine():
+    return Engine(backend="vectorized")
+
+
+@pytest.fixture
+def ref_engine():
+    return Engine(backend="reference")
+
+
+class TestExhaustiveParity:
+    @pytest.mark.parametrize("topology, num_rounds, protocol", INSTANCES)
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_packed_matches_legacy(
+        self, topology, num_rounds, protocol, objective, vec_engine, ref_engine
+    ):
+        packed = exhaustive_search(
+            protocol, topology, num_rounds, objective, engine=vec_engine
+        )
+        legacy = exhaustive_search(
+            protocol, topology, num_rounds, objective, engine=ref_engine
+        )
+        assert packed.value == legacy.value
+        assert packed.run == legacy.run
+        assert packed.runs_examined == legacy.runs_examined
+        assert packed.certification == legacy.certification == "exact"
+        assert packed.reduction_factor is None
+
+    @pytest.mark.parametrize("topology, num_rounds, protocol", INSTANCES)
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_orbit_reduced_matches_unreduced(
+        self, topology, num_rounds, protocol, objective, vec_engine
+    ):
+        full = exhaustive_search(
+            protocol, topology, num_rounds, objective, engine=vec_engine
+        )
+        reduced = exhaustive_search(
+            protocol,
+            topology,
+            num_rounds,
+            objective,
+            engine=vec_engine,
+            symmetry_reduction=True,
+        )
+        assert reduced.value == full.value
+        assert reduced.runs_examined <= full.runs_examined
+        assert reduced.reduction_factor is not None
+        assert reduced.reduction_factor >= 1.0
+        # The witness comes from the representative set, so it must
+        # attain the maximum (checked against the full sweep's value).
+        assert reduced.run is not None
+
+    def test_examined_counts_preserved(self, vec_engine, ref_engine):
+        # The historical budget numbers the parity suite pins.
+        for engine in (vec_engine, ref_engine):
+            result = exhaustive_search(
+                ProtocolS(epsilon=0.25), PAIR, 3, engine=engine
+            )
+            assert result.runs_examined == 256
+            fixed = exhaustive_search(
+                ProtocolS(epsilon=0.25),
+                PAIR,
+                3,
+                fixed_inputs=frozenset({1, 2}),
+                engine=engine,
+            )
+            assert fixed.runs_examined == 64
+
+    def test_fixed_inputs_orbit_parity(self, vec_engine):
+        fixed = frozenset({1, 2, 3})
+        full = exhaustive_search(
+            ProtocolW(2), K3, 1, fixed_inputs=fixed, engine=vec_engine
+        )
+        reduced = exhaustive_search(
+            ProtocolW(2),
+            K3,
+            1,
+            fixed_inputs=fixed,
+            engine=vec_engine,
+            symmetry_reduction=True,
+        )
+        assert reduced.value == full.value
+        assert reduced.runs_examined < full.runs_examined
+
+    def test_symmetry_flag_is_inert_without_protocol_support(
+        self, vec_engine
+    ):
+        # A protocol that does not declare its symmetry (default hook
+        # returns None) gets the plain sweep even when asked to reduce.
+        from repro.protocols.protocol_a import ProtocolA
+
+        result = exhaustive_search(
+            ProtocolA(3), PAIR, 3, engine=vec_engine, symmetry_reduction=True
+        )
+        assert result.reduction_factor is None
+        assert result.runs_examined == run_space_size(
+            PAIR, 3, fixed_inputs=False
+        )
+
+    def test_limit_guard_still_raises(self, vec_engine):
+        with pytest.raises(ValueError, match="enumeration limit"):
+            exhaustive_search(
+                ProtocolW(2), K3, 1, limit=100, engine=vec_engine
+            )
+        with pytest.raises(ValueError, match="enumeration limit"):
+            exhaustive_search(
+                ProtocolW(2),
+                K3,
+                2,
+                limit=10,
+                engine=vec_engine,
+                symmetry_reduction=True,
+            )
+
+
+class TestGreedyParity:
+    @pytest.mark.parametrize("topology, num_rounds, protocol", INSTANCES)
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_incremental_matches_legacy(
+        self, topology, num_rounds, protocol, objective, vec_engine, ref_engine
+    ):
+        rng = random.Random(31)
+        seeds = [good_run(topology, num_rounds)]
+        seeds.extend(random_run(topology, num_rounds, rng) for _ in range(3))
+        for seed in seeds:
+            incremental = greedy_search(
+                protocol, topology, num_rounds, seed, objective,
+                engine=vec_engine,
+            )
+            legacy = greedy_search(
+                protocol, topology, num_rounds, seed, objective,
+                engine=ref_engine,
+            )
+            assert incremental.value == legacy.value
+            assert incremental.run == legacy.run
+            assert incremental.runs_examined == legacy.runs_examined
+
+    def test_incremental_path_is_taken(self, vec_engine):
+        assert vec_engine.supports_incremental(ProtocolW(2), K3)
+        result = greedy_search(
+            ProtocolW(2), K3, 2, good_run(K3, 2), engine=vec_engine
+        )
+        # One seed evaluation plus max_passes full neighborhoods, where
+        # a neighborhood is every single-bit flip of the packed run.
+        from repro.core.packed import layout_for
+
+        num_bits = layout_for(K3, 2).num_bits
+        assert (result.runs_examined - 1) % num_bits == 0
+
+    def test_reference_backend_has_no_incremental(self, ref_engine):
+        assert not ref_engine.supports_incremental(ProtocolW(2), K3)

@@ -223,3 +223,54 @@ class TestEnumeration:
     def test_all_message_tuples_count(self):
         topology = Topology.path(3)
         assert len(all_message_tuples(topology, 5)) == 4 * 5
+
+
+class TestDeliveryIndexes:
+    """The prebuilt per-round / per-target indexes must agree with a
+    brute-force scan of ``run.messages`` on arbitrary runs."""
+
+    def test_indexes_match_brute_force(self):
+        rng = random.Random(99)
+        topology = Topology.star(4)
+        num_rounds = 3
+        for _ in range(25):
+            run = random_run(topology, num_rounds, rng)
+            for round_number in range(1, num_rounds + 1):
+                expected_round = {
+                    m for m in run.messages if m.round == round_number
+                }
+                assert run.deliveries_in_round(round_number) == expected_round
+                for target in topology.processes:
+                    expected = sorted(
+                        m
+                        for m in run.messages
+                        if m.round == round_number and m.target == target
+                    )
+                    assert (
+                        run.deliveries_to(target, round_number) == expected
+                    )
+
+    def test_empty_round_and_target(self):
+        run = Run.build(3, [1], [(1, 2, 1)])
+        assert run.deliveries_in_round(3) == frozenset()
+        assert run.deliveries_to(1, 1) == []
+        assert run.deliveries_to(2, 1) == [MessageTuple(1, 2, 1)]
+
+
+class TestLazyEnumeration:
+    def test_enumerate_runs_is_a_generator(self):
+        import itertools
+
+        stream = enumerate_runs(Topology.complete(3), 3)
+        assert iter(stream) is stream
+        # A prefix of an instance with 2^21 runs must come back without
+        # materializing input sets or the run space.
+        prefix = list(itertools.islice(stream, 3))
+        assert len(prefix) == 3
+
+    def test_lazy_count_cross_checks_run_space_size(self):
+        topology = Topology.complete(3)
+        total = sum(1 for _ in enumerate_runs(topology, 1))
+        assert total == run_space_size(topology, 1, fixed_inputs=False)
+        fixed = sum(1 for _ in enumerate_runs(topology, 1, inputs=[1, 3]))
+        assert fixed == run_space_size(topology, 1, fixed_inputs=True)

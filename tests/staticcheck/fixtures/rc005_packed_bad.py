@@ -1,0 +1,23 @@
+# repro: path=src/repro/engine/vectorized.py
+"""Fixture impersonating the packed kernel with impure bodies."""
+
+import time
+
+_LAST_BATCH = None
+
+
+def evaluate_batch(protocol, topology, runs):
+    runs.sort()
+    return runs
+
+
+def evaluate_packed_batch(protocol, topology, batch):
+    global _LAST_BATCH
+    _LAST_BATCH = batch
+    batch.words[0, 0] = 1
+    return batch
+
+
+def evaluate_neighbor_batch(protocol, topology, parent):
+    parent.bits = parent.bits | 1
+    return time.time()

@@ -1,0 +1,21 @@
+# repro: path=src/repro/engine/vectorized.py
+"""Fixture impersonating the packed kernel with pure bodies.
+
+Cache-keyed ``RunBatch`` arguments stay frozen: derived arrays are
+copies, and flips happen on the copies.
+"""
+
+
+def evaluate_batch(protocol, topology, runs):
+    return [run for run in runs]
+
+
+def evaluate_packed_batch(protocol, topology, batch):
+    words = batch.words.copy()
+    words[:, 0] |= 1
+    return int(words.sum())
+
+
+def evaluate_neighbor_batch(protocol, topology, parent):
+    flipped = parent.bits | 1
+    return (parent.bits, flipped)

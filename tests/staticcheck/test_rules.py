@@ -35,6 +35,7 @@ def check_fixture(name):
         ("rc004_bad.py", "RC004", [1, 2]),
         ("rc005_bad.py", "RC005", [10, 12, 12, 13]),
         ("rc005_cache_bad.py", "RC005", [16, 17, 21, 21, 30, 30]),
+        ("rc005_packed_bad.py", "RC005", [10, 15, 17, 22, 23]),
         ("rc006_service_bad.py", "RC006", [8, 14]),
         ("rc007_spawn_bad.py", "RC007", [6, 16, 18, 18]),
         ("rc008_shared_bad.py", "RC008", [12]),
@@ -57,6 +58,7 @@ def test_bad_fixture_trips_rule(name, rule_id, lines):
         "rc004_good.py",
         "rc005_good.py",
         "rc005_cache_good.py",
+        "rc005_packed_good.py",
         "rc006_service_good.py",
         "rc007_spawn_good.py",
         "rc008_shared_good.py",
@@ -69,6 +71,7 @@ def test_good_fixture_is_clean(name):
 @pytest.mark.parametrize(
     "name",
     [
+        "rc005_packed_noqa.py",
         "rc006_service_noqa.py",
         "rc007_spawn_noqa.py",
         "rc008_shared_noqa.py",
@@ -150,6 +153,20 @@ def test_rc005_cache_surface_exempts_self_but_not_arguments():
     assert any("writes through parameter `blob`" in m for m in messages)
     # The compliant fixture mutates self._data freely: no violations.
     assert check_fixture("rc005_cache_good.py") == []
+
+
+def test_rc005_packed_kernel_surface_is_covered():
+    """Mutating a cache-keyed RunBatch/PackedRun argument is flagged."""
+    messages = [
+        v.message
+        for v in check_fixture("rc005_packed_bad.py")
+        if v.rule == "RC005"
+    ]
+    assert any("writes through parameter `batch`" in m for m in messages)
+    assert any("writes through parameter `parent`" in m for m in messages)
+    assert any(
+        ".sort" in m and "parameter `runs`" in m for m in messages
+    )
 
 
 def test_select_and_ignore_filter_rules():

@@ -1,0 +1,143 @@
+"""Unit tests for the packed-kernel CI gate (scripts/compare_bench.py)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import runpy
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "compare_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    return runpy.run_path(str(SCRIPT))
+
+
+def _bench(path: pathlib.Path, name: str, kernel) -> None:
+    payload = {"schema_version": 3, "experiment": name.upper()}
+    if kernel is not None:
+        payload["packed_kernel"] = kernel
+    (path / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def _kernel(speedup: float, match: bool = True) -> dict:
+    return {
+        "kernel_speedup": speedup,
+        "symmetry_reduction_factor": 5.7,
+        "values_match": match,
+        "legacy_seconds": 1.0,
+        "packed_seconds": 1.0 / speedup,
+    }
+
+
+def test_identical_dirs_pass(compare_bench, tmp_path):
+    base = tmp_path / "base"
+    base.mkdir()
+    _bench(base, "e2", _kernel(18.0))
+    result = compare_bench["compare_dirs"](base, base, 0.20, 10.0)
+    assert result["passed"]
+    assert result["entries"][0]["status"] == "ok"
+    assert result["entries"][0]["normalized_time_regression"] == 0.0
+
+
+def test_regression_beyond_tolerance_fails(compare_bench, tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(base, "e2", _kernel(20.0))
+    _bench(cur, "e2", _kernel(12.0))  # 1/12 vs 1/20: +67% normalized time
+    result = compare_bench["compare_dirs"](base, cur, 0.20, 10.0)
+    assert not result["passed"]
+    assert result["entries"][0]["status"] == "regression"
+    assert "regressed" in result["failures"][0]
+
+
+def test_small_regression_within_tolerance_passes(compare_bench, tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(base, "e2", _kernel(20.0))
+    _bench(cur, "e2", _kernel(18.0))  # +11% normalized time: tolerated
+    result = compare_bench["compare_dirs"](base, cur, 0.20, 10.0)
+    assert result["passed"]
+
+
+def test_speedup_floor_is_enforced(compare_bench, tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(base, "e2", _kernel(9.0))
+    _bench(cur, "e2", _kernel(9.0))  # no regression, but below 10x
+    result = compare_bench["compare_dirs"](base, cur, 0.20, 10.0)
+    assert not result["passed"]
+    assert result["entries"][0]["status"] == "below-speedup-floor"
+
+
+def test_values_mismatch_fails_even_when_fast(compare_bench, tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(base, "e2", _kernel(20.0))
+    _bench(cur, "e2", _kernel(50.0, match=False))
+    result = compare_bench["compare_dirs"](base, cur, 0.20, 10.0)
+    assert not result["passed"]
+    assert result["entries"][0]["status"] == "values-mismatch"
+
+
+def test_missing_baseline_is_reported_not_failed(compare_bench, tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(cur, "e2", _kernel(18.0))
+    result = compare_bench["compare_dirs"](base, cur, 0.20, 10.0)
+    assert result["passed"]
+    assert result["entries"][0]["status"] == "no-baseline"
+
+
+def test_experiments_without_kernel_block_are_skipped(
+    compare_bench, tmp_path
+):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(base, "e1", None)
+    _bench(cur, "e1", None)
+    result = compare_bench["compare_dirs"](base, cur, 0.20, 10.0)
+    assert result["passed"]
+    assert result["entries"][0]["status"] == "no-packed-kernel"
+
+
+def test_main_writes_artifact_and_exits_nonzero_on_failure(
+    compare_bench, tmp_path, capsys
+):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    base.mkdir(), cur.mkdir()
+    _bench(base, "e2", _kernel(20.0))
+    _bench(cur, "e2", _kernel(11.0))
+    out = tmp_path / "artifacts" / "comparison.json"
+    status = compare_bench["main"](
+        [
+            "--baseline",
+            str(base),
+            "--current",
+            str(cur),
+            "--output",
+            str(out),
+        ]
+    )
+    assert status == 1
+    written = json.loads(out.read_text())
+    assert written["passed"] is False
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.err
+
+
+def test_main_passes_on_clean_comparison(compare_bench, tmp_path):
+    base = tmp_path / "base"
+    base.mkdir()
+    _bench(base, "e2", _kernel(18.0))
+    status = compare_bench["main"](
+        ["--baseline", str(base), "--current", str(base)]
+    )
+    assert status == 0
