@@ -1,0 +1,26 @@
+"""Benchmark E17 — regenerates the large-m counter-abstraction tables.
+
+Run with `pytest benchmarks/bench_e17.py --benchmark-only -s`; the
+rendered report lands in benchmarks/results/e17.txt and the m-scaling
+curve (10^3..10^6 processes, wall time per point) in BENCH_e17.json's
+``scaling`` block.
+"""
+
+from .conftest import run_and_record
+
+EXPERIMENT_ID = "E17"
+
+
+def test_e17_reproduction(benchmark, quick_config, results_dir):
+    report = run_and_record(benchmark, EXPERIMENT_ID, quick_config, results_dir)
+    assert report.experiment_id == EXPERIMENT_ID
+    scaling = report.metadata["scaling"]
+    assert [point["m"] for point in scaling["points"]] == [
+        10**3,
+        10**4,
+        10**5,
+        10**6,
+    ]
+    assert all(
+        point["wall_seconds"] < 60.0 for point in scaling["points"]
+    )

@@ -27,7 +27,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: registry snapshot.  Version 3 added the ``packed_kernel`` block
 #: (orbit-reduction factor and kernel speedup vs the per-run path) for
 #: experiments that run the packed-kernel microbenchmark;
-#: ``scripts/compare_bench.py`` gates CI on it.
+#: ``scripts/compare_bench.py`` gates CI on it.  The optional
+#: ``scaling`` / ``envelope`` blocks (E17's m-scaling curve and
+#: mean-field error-bound coverage) ride on version 3: absent keys,
+#: not a layout change.
 BENCH_SCHEMA_VERSION = 3
 
 
@@ -104,6 +107,8 @@ def _write_bench_json(benchmark, report, experiment_id, results_dir):
         "cache_hit_rate": engine.get("cache_hit_rate"),
         "engine_wall_time_seconds": engine.get("wall_time_seconds"),
         "packed_kernel": report.metadata.get("packed_kernel"),
+        "scaling": report.metadata.get("scaling"),
+        "envelope": report.metadata.get("envelope"),
         "metrics": report.metadata.get("metrics"),
     }
     json_path = results_dir / f"BENCH_{experiment_id.lower()}.json"

@@ -14,7 +14,10 @@ documented in DESIGN.md §8, the ``--bench-serve`` artifact
 with per-entry SLO blocks and served-only latency percentiles,
 shed-rate arithmetic, per-shard count consistency, embedded metrics
 snapshot, and — when present — the ``tracing`` overhead block) from
-DESIGN.md §10-§12, and ``--audit`` request audit logs (per-file meta
+DESIGN.md §10-§12, the ``--bench-e17`` artifact (the m-scaling curve
+at 10^3..10^6 processes with the Theorem 6.8 floor and per-point wall
+budget, plus the mean-field envelope coverage block) from DESIGN.md
+§15, and ``--audit`` request audit logs (per-file meta
 line, span record shape, known stages) from DESIGN.md §12.  Exits
 non-zero with a message per violation — CI runs this against the
 artifacts it uploads so schema drift fails the build instead of
@@ -31,7 +34,13 @@ import sys
 TRACE_SCHEMA_VERSION = 1
 METRICS_SCHEMA_VERSION = 1
 BENCH_SERVE_SCHEMA_VERSION = 4
+BENCH_E17_SCHEMA_VERSION = 3
 AUDIT_SCHEMA_VERSION = 1
+
+#: The m-scaling grid BENCH_e17.json must cover, and the per-point
+#: single-core wall budget (E17's acceptance criterion).
+BENCH_E17_GRID = (10**3, 10**4, 10**5, 10**6)
+BENCH_E17_WALL_BUDGET_SECONDS = 60.0
 
 AUDIT_STAGES = {
     "admission",
@@ -376,6 +385,113 @@ def _validate_tracing_block(path: str, tracing, errors: list) -> None:
         )
 
 
+def validate_bench_e17(path: str, errors: list) -> int:
+    """Validate a BENCH_e17.json artifact; returns the scaling-point count.
+
+    Checks the claims the artifact exists to carry: the full
+    ``10**3 .. 10**6`` grid is present in order, every point respects
+    the Theorem 6.8 tradeoff floor ``U_s >= L / (m + 1)`` and the
+    Theorem 6.7 ceiling ``U_s <= eps``, the per-point wall time is
+    under the single-core budget, and the mean-field envelope's exact
+    coverage never drops below its stated confidence.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema_version") != BENCH_E17_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"{path}: schema_version {payload.get('schema_version')!r}, "
+            f"expected {BENCH_E17_SCHEMA_VERSION}",
+        )
+    if payload.get("experiment") != "E17":
+        _fail(errors, f"{path}: experiment {payload.get('experiment')!r}")
+    if payload.get("passed") is not True:
+        _fail(errors, f"{path}: experiment did not pass")
+    scaling = payload.get("scaling")
+    if not isinstance(scaling, dict):
+        _fail(errors, f"{path}: missing 'scaling' block")
+        return 0
+    epsilon = scaling.get("epsilon")
+    if not isinstance(epsilon, (int, float)) or not 0 < epsilon < 1:
+        _fail(errors, f"{path}: scaling.epsilon must be in (0, 1)")
+        epsilon = None
+    points = scaling.get("points")
+    if not isinstance(points, list):
+        _fail(errors, f"{path}: scaling.points must be a list")
+        return 0
+    grid = [
+        point.get("m") for point in points if isinstance(point, dict)
+    ]
+    if grid != list(BENCH_E17_GRID):
+        _fail(
+            errors,
+            f"{path}: scaling grid {grid} != required {list(BENCH_E17_GRID)}",
+        )
+    for point in points:
+        if not isinstance(point, dict):
+            _fail(errors, f"{path}: scaling point must be an object")
+            continue
+        label = f"scaling point m={point.get('m')}"
+        fields = {}
+        for field in (
+            "unsafety_family",
+            "liveness_good",
+            "floor",
+            "wall_seconds",
+        ):
+            value = point.get(field)
+            if not isinstance(value, (int, float)):
+                _fail(errors, f"{path}: {label}: missing numeric {field}")
+                value = None
+            fields[field] = value
+        m = point.get("m")
+        if None in fields.values() or not isinstance(m, int):
+            continue
+        if abs(fields["floor"] - fields["liveness_good"] / (m + 1)) > 1e-15:
+            _fail(
+                errors,
+                f"{path}: {label}: floor {fields['floor']} != "
+                f"liveness/(m+1)",
+            )
+        if fields["unsafety_family"] < fields["floor"]:
+            _fail(
+                errors,
+                f"{path}: {label}: U_s {fields['unsafety_family']} below "
+                f"the tradeoff floor {fields['floor']} (Theorem 6.8)",
+            )
+        if epsilon is not None and fields["unsafety_family"] > epsilon:
+            _fail(
+                errors,
+                f"{path}: {label}: U_s {fields['unsafety_family']} above "
+                f"eps {epsilon} (Theorem 6.7)",
+            )
+        if fields["wall_seconds"] >= BENCH_E17_WALL_BUDGET_SECONDS:
+            _fail(
+                errors,
+                f"{path}: {label}: wall {fields['wall_seconds']:.1f}s "
+                f"over the {BENCH_E17_WALL_BUDGET_SECONDS:.0f}s budget",
+            )
+    envelope = payload.get("envelope")
+    if not isinstance(envelope, dict):
+        _fail(errors, f"{path}: missing 'envelope' block")
+    else:
+        confidence = envelope.get("confidence")
+        coverage = envelope.get("coverage")
+        if not isinstance(confidence, (int, float)) or not 0 < confidence <= 1:
+            _fail(errors, f"{path}: envelope.confidence must be in (0, 1]")
+        elif not isinstance(coverage, list) or not coverage:
+            _fail(errors, f"{path}: envelope.coverage must be non-empty")
+        else:
+            for round_number, mass in enumerate(coverage):
+                if not isinstance(mass, (int, float)) or mass < confidence:
+                    _fail(
+                        errors,
+                        f"{path}: envelope round {round_number}: coverage "
+                        f"{mass!r} below confidence {confidence}",
+                    )
+    return len(points)
+
+
 def validate_audit_dir(directory: str, errors: list) -> int:
     """Validate every audit log under ``directory``; returns span count."""
     base = pathlib.Path(directory)
@@ -466,6 +582,12 @@ def main(argv=None) -> int:
         help="BENCH_serve.json artifact to check",
     )
     parser.add_argument(
+        "--bench-e17",
+        default=None,
+        metavar="PATH",
+        help="BENCH_e17.json artifact (m-scaling curve) to check",
+    )
+    parser.add_argument(
         "--expect-metric",
         action="append",
         default=[],
@@ -483,11 +605,12 @@ def main(argv=None) -> int:
         not args.trace
         and not args.metrics
         and not args.bench_serve
+        and not args.bench_e17
         and not args.audit
     ):
         parser.error(
             "nothing to validate: pass --trace, --metrics, "
-            "--bench-serve, and/or --audit"
+            "--bench-serve, --bench-e17, and/or --audit"
         )
     errors: list = []
     if args.trace:
@@ -505,6 +628,9 @@ def main(argv=None) -> int:
     if args.bench_serve:
         requests = validate_bench_serve(args.bench_serve, errors)
         print(f"{args.bench_serve}: {requests} requests")
+    if args.bench_e17:
+        points = validate_bench_e17(args.bench_e17, errors)
+        print(f"{args.bench_e17}: {points} scaling points")
     if args.audit:
         spans = validate_audit_dir(args.audit, errors)
         print(f"{args.audit}: {spans} audit spans")

@@ -51,6 +51,13 @@ logger = logging.getLogger(__name__)
 
 Objective = Callable[[EventProbabilities], float]
 
+#: Below this run-space size :func:`worst_case_unsafety` runs the
+#: orbit-reduced *and* the full exhaustive sweep and asserts their
+#: maxima are identical — a standing self-check that symmetry
+#: reduction never changes an answer, cheap exactly where doubling
+#: the work is cheap.
+SYMMETRY_PARITY_LIMIT = 4_096
+
 
 def _resolve_engine(engine):
     """The engine to search with: the caller's, or the process default.
@@ -525,10 +532,19 @@ def worst_case_unsafety(
 ) -> SearchResult:
     """The composite search used by the experiments.
 
-    Exhaustive when the run space fits the budget; otherwise the best
-    of family search, greedy refinement seeded at the family winner,
-    and random probing — certified ``family`` if the family winner
-    stands, ``heuristic`` if a heuristic beat it.
+    Exhaustive when the run space fits the budget — orbit-reduced
+    whenever the protocol declares its symmetry
+    (:meth:`Protocol.automorphism_invariant_vertices` non-``None``),
+    since the objective is constant on automorphism orbits and one
+    representative per orbit certifies the same exact maximum for a
+    fraction of the evaluations.  On the smallest instances the
+    reduced and unreduced sweeps are both run and their maxima
+    asserted equal (the lumpability analogue of the backend parity
+    suite); reduction failures (width caps, guard limits) fall back
+    to the full sweep, never to a weaker certification.  Otherwise
+    the best of family search, greedy refinement seeded at the family
+    winner, and random probing — certified ``family`` if the family
+    winner stands, ``heuristic`` if a heuristic beat it.
     """
     engine = _resolve_engine(engine)
     space = run_space_size(topology, num_rounds, fixed_inputs=False)
@@ -540,10 +556,34 @@ def worst_case_unsafety(
         run_space=space,
     ):
         if space <= exhaustive_limit:
-            return exhaustive_search(
+            reduced: Optional[SearchResult] = None
+            if protocol.automorphism_invariant_vertices(topology) is not None:
+                try:
+                    reduced = exhaustive_search(
+                        protocol, topology, num_rounds, objective,
+                        limit=exhaustive_limit, engine=engine,
+                        symmetry_reduction=True,
+                    )
+                except ValueError:
+                    # Includes OrbitReductionUnsupported: the reduced
+                    # sweep could not run here; the full sweep below
+                    # gives the identical exact answer.
+                    reduced = None
+            if reduced is not None and space > SYMMETRY_PARITY_LIMIT:
+                return reduced
+            full = exhaustive_search(
                 protocol, topology, num_rounds, objective,
                 limit=exhaustive_limit, engine=engine,
             )
+            if reduced is not None:
+                # Exact parity: an orbit maximum is the space maximum.
+                assert reduced.value == full.value, (
+                    f"orbit-reduced maximum {reduced.value!r} != "
+                    f"full-sweep maximum {full.value!r} on "
+                    f"{topology.describe()} N={num_rounds}"
+                )
+                return reduced
+            return full
         family_result = family_search(
             protocol, topology, num_rounds, objective, engine=engine
         )

@@ -6,6 +6,9 @@ Subcommands:
 * ``search``   — worst-run search (the unsafety maximum);
 * ``level``    — level / modified-level tables for a run;
 * ``validity`` — check the validity condition on input-free probes;
+* ``scale-sweep`` — counter-abstraction sweep over process counts
+  (``m`` up to 10**6 and beyond; complete graphs, class-uniform
+  runs — see DESIGN.md section 15);
 * ``experiments`` — delegate to the experiment runner (same as
   ``python -m repro.experiments``);
 * ``profile`` — run one experiment with tracing and metrics enabled
@@ -30,7 +33,8 @@ Specification mini-language (shared by the flags):
 * run: ``good``, ``silent``, ``cut:R`` (deliver rounds < R),
   ``chain:B`` (two-general chain broken at B), ``tree``
   (the Lemma A.6 spanning-tree run), ``loss:P:SEED`` (i.i.d. loss);
-* protocol: ``S:EPS``, ``A``, ``W:K``, ``repeatedA:COPIES:COMBINER``,
+* protocol: ``S:EPS``, ``A``, ``W:K``, ``M:Q`` (simple-majority
+  consensus with quorum fraction Q), ``repeatedA:COPIES:COMBINER``,
   ``never``, ``input-attack``.
 
 Examples::
@@ -76,6 +80,7 @@ from .obs import (
 )
 from .protocols.deterministic import InputAttack, NeverAttack
 from .protocols.protocol_a import ProtocolA
+from .protocols.protocol_m import ProtocolM
 from .protocols.protocol_s import ProtocolS
 from .protocols.repeated_a import RepeatedA
 from .protocols.weak_adversary import ProtocolW
@@ -169,6 +174,8 @@ def parse_protocol(spec: str, num_rounds: Round):
         if name in ("W", "w"):
             threshold = int(argument) if argument else max(1, num_rounds // 3)
             return ProtocolW(threshold)
+        if name in ("M", "m"):
+            return ProtocolM(quorum=float(argument) if argument else 0.5)
         if name == "repeatedA":
             copies_text, _, combiner = argument.partition(":")
             return RepeatedA(
@@ -185,7 +192,7 @@ def parse_protocol(spec: str, num_rounds: Round):
     except (ValueError, TypeError) as error:
         raise SpecError(f"bad protocol spec {spec!r}: {error}") from error
     raise SpecError(
-        f"unknown protocol {spec!r} (try S:EPS, A, W:K, "
+        f"unknown protocol {spec!r} (try S:EPS, A, W:K, M:Q, "
         "repeatedA:COPIES:COMBINER, never, input-attack)"
     )
 
@@ -201,6 +208,7 @@ def print_engine_stats(engine: Engine) -> None:
     table.add_row("runs evaluated", stats.runs_evaluated)
     table.add_row("reference evaluations", stats.reference_evaluations)
     table.add_row("vectorized evaluations", stats.vectorized_evaluations)
+    table.add_row("meanfield evaluations", stats.meanfield_evaluations)
     table.add_row("batch calls", stats.batch_calls)
     table.add_row("cache hits", stats.cache_hits)
     table.add_row("cache misses", stats.cache_misses)
@@ -369,6 +377,94 @@ def _cmd_validity(args) -> int:
     _print_engine_stats(args, engine)
     _finish_obs(args, obs)
     return 1
+
+
+def _parse_process_counts(text: str) -> List[int]:
+    """Parse a comma-separated list of process counts (``10^K`` ok)."""
+    counts: List[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            if "^" in token:
+                base_text, _, exponent_text = token.partition("^")
+                counts.append(int(base_text) ** int(exponent_text))
+            else:
+                counts.append(int(token))
+        except ValueError as error:
+            raise SpecError(
+                f"bad process count {token!r}: {error}"
+            ) from error
+    if not counts:
+        raise SpecError(f"no process counts in {text!r}")
+    return counts
+
+
+def _cmd_scale_sweep(args) -> int:
+    from .meanfield import (
+        CounterAbstractionError,
+        scaled_spec,
+        unsafety_family,
+    )
+
+    protocol = parse_protocol(args.protocol, args.rounds)
+    counts = _parse_process_counts(args.processes)
+    obs = _setup_obs(args)
+    engine = Engine(backend=args.backend, obs=obs)
+    table = Table(
+        title=(
+            f"{protocol.name} on K_m, N={args.rounds} "
+            f"(counter abstraction)"
+        ),
+        columns=[
+            "m",
+            "P[TA] good",
+            "max P[PA] (family)",
+            "L(R_good)",
+            "ML(R_good)",
+            "wall (ms)",
+        ],
+        caption=(
+            "parametric counter kernels: cost is independent of m "
+            "(run `repro simulate --backend meanfield` for concrete runs)"
+        ),
+    )
+    needs_coordinator = type(protocol) is ProtocolS
+    with obs.tracer.span(
+        "cli.scale_sweep", protocol=protocol.name, points=len(counts)
+    ):
+        for num_processes in counts:
+            started = time.perf_counter()
+            try:
+                good = engine.evaluate_scaled(
+                    protocol,
+                    scaled_spec(
+                        num_processes,
+                        args.rounds,
+                        "good",
+                        distinguished=needs_coordinator,
+                    ),
+                )
+                worst, _ = unsafety_family(
+                    protocol, num_processes, args.rounds, engine=engine
+                )
+            except CounterAbstractionError as error:
+                print(f"m={num_processes}: {error}", file=sys.stderr)
+                return 1
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            table.add_row(
+                num_processes,
+                good.pr_total_attack,
+                worst,
+                good.level,
+                good.modified_level if needs_coordinator else "-",
+                f"{elapsed_ms:.2f}",
+            )
+    print(table.render())
+    _print_engine_stats(args, engine)
+    _finish_obs(args, obs)
+    return 0
 
 
 def _cmd_experiments(args) -> int:
@@ -711,8 +807,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(validity)
     validity.set_defaults(handler=_cmd_validity)
 
+    scale_sweep = subparsers.add_parser(
+        "scale-sweep",
+        help=(
+            "counter-abstraction sweep over process counts "
+            "(complete graphs; m up to 10^6 and beyond)"
+        ),
+    )
+    scale_sweep.add_argument(
+        "--processes",
+        default="10^3,10^4,10^5,10^6",
+        help="comma-separated process counts (10^K accepted)",
+    )
+    scale_sweep.add_argument(
+        "--rounds", type=int, default=8, help="message rounds N"
+    )
+    scale_sweep.add_argument(
+        "--protocol", default="S:0.015625", help="protocol spec (S/W/M)"
+    )
+    add_engine_flags(scale_sweep)
+    add_obs_flags(scale_sweep)
+    scale_sweep.set_defaults(handler=_cmd_scale_sweep)
+
     experiments = subparsers.add_parser(
-        "experiments", help="run reproduction experiments (E1..E16)"
+        "experiments", help="run reproduction experiments (E1..E17)"
     )
     experiments.add_argument("ids", nargs="*", help="experiment ids")
     experiments.add_argument("--all", action="store_true")

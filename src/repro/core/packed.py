@@ -71,6 +71,19 @@ from .types import MessageTuple, ProcessId, Round
 MAX_VECTOR_ORBIT_BITS = 63
 
 
+class OrbitReductionUnsupported(ValueError):
+    """A layout is too wide for the vectorized orbit machinery.
+
+    :func:`packed_run_space` and :func:`orbit_reduce` operate on
+    single-uint64 packed runs and refuse layouts wider than
+    :data:`MAX_VECTOR_ORBIT_BITS` bits with this exception (a
+    ``ValueError`` subclass, so legacy ``except ValueError`` handlers
+    keep working).  Callers that can tolerate streaming should catch
+    it and fall back to :func:`enumerate_orbit_representatives`, the
+    lazy pure-python path, which has no width limit.
+    """
+
+
 @dataclass(frozen=True)
 class RunLayout:
     """The bit layout for runs over one ``(topology, num_rounds)`` pair.
@@ -426,9 +439,10 @@ def packed_run_space(
     """
     layout = layout_for(topology, num_rounds)
     if layout.num_bits > MAX_VECTOR_ORBIT_BITS:
-        raise ValueError(
+        raise OrbitReductionUnsupported(
             f"run space of {layout.num_bits} bits exceeds the "
-            f"single-word limit of {MAX_VECTOR_ORBIT_BITS}"
+            f"single-word limit of {MAX_VECTOR_ORBIT_BITS}; stream "
+            "enumerate_orbit_representatives instead"
         )
     m = layout.num_processes
     message_space = 1 << layout.num_message_bits
@@ -544,9 +558,10 @@ def orbit_reduce(
     run itself always participates in the minimum.
     """
     if layout.num_bits > MAX_VECTOR_ORBIT_BITS:
-        raise ValueError(
+        raise OrbitReductionUnsupported(
             f"orbit_reduce vectorizes single-word layouts only "
-            f"(num_bits={layout.num_bits} > {MAX_VECTOR_ORBIT_BITS})"
+            f"(num_bits={layout.num_bits} > {MAX_VECTOR_ORBIT_BITS}); "
+            "stream enumerate_orbit_representatives instead"
         )
     images = np.empty((len(tables) + 1, space.shape[0]), dtype=np.uint64)
     images[0] = space
@@ -622,6 +637,7 @@ def enumerate_orbit_representatives(
 
 __all__ = [
     "MAX_VECTOR_ORBIT_BITS",
+    "OrbitReductionUnsupported",
     "PackedRun",
     "RunBatch",
     "RunLayout",

@@ -49,6 +49,7 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -74,9 +75,13 @@ from ..obs import MetricsRegistry, Obs, get_obs
 from ..obs.runtime import monotonic
 from .cache import EngineCache, InProcessCache
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ..meanfield.counter import CounterRunSpec
+    from ..meanfield.evaluate import CounterEvaluation
+
 logger = logging.getLogger(__name__)
 
-BACKENDS = ("auto", "reference", "vectorized")
+BACKENDS = ("auto", "reference", "vectorized", "meanfield")
 
 #: Functions whose results the memo cache may store, by dotted
 #: qualname.  Registration is a purity contract: these must be
@@ -91,11 +96,14 @@ CACHEABLE_QUALNAMES: Tuple[str, ...] = (
     "repro.engine.vectorized.evaluate_batch",
     "repro.engine.vectorized.evaluate_neighbor_batch",
     "repro.engine.vectorized.evaluate_packed_batch",
+    "repro.meanfield.evaluate.evaluate_counter",
+    "repro.meanfield.evaluate.evaluate_spec",
     "repro.protocols.ablations.NaiveCountingS.closed_form_probabilities",
     "repro.protocols.ablations.SkewedS.closed_form_probabilities",
     "repro.protocols.deterministic.DeterministicProtocol.closed_form_probabilities",
     "repro.protocols.message_validity.MessageValidityS.closed_form_probabilities",
     "repro.protocols.protocol_a.ProtocolA.closed_form_probabilities",
+    "repro.protocols.protocol_m.ProtocolM.closed_form_probabilities",
     "repro.protocols.protocol_s.ProtocolS.closed_form_probabilities",
     "repro.protocols.repeated_a.RepeatedA.closed_form_probabilities",
     "repro.protocols.variants.EagerS.closed_form_probabilities",
@@ -110,6 +118,10 @@ MIN_VECTORIZED_BATCH = 8
 # FIFO memo-cache bound — generous for the run counts the experiments
 # enumerate (tens of thousands) while keeping worst-case memory modest.
 DEFAULT_CACHE_SIZE = 200_000
+
+# Bound for the engine-internal scaled-evaluation memo (parametric
+# counter specs are tiny, but sweeps can generate many of them).
+SCALED_CACHE_SIZE = 4_096
 
 
 class EngineStats:
@@ -142,6 +154,10 @@ class EngineStats:
         return self._value("engine.vectorized_evaluations")
 
     @property
+    def meanfield_evaluations(self) -> int:
+        return self._value("engine.meanfield_evaluations")
+
+    @property
     def cache_hits(self) -> int:
         return self._value("engine.cache.hit")
 
@@ -167,6 +183,7 @@ class EngineStats:
             "runs_evaluated": self.runs_evaluated,
             "reference_evaluations": self.reference_evaluations,
             "vectorized_evaluations": self.vectorized_evaluations,
+            "meanfield_evaluations": self.meanfield_evaluations,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
@@ -241,12 +258,17 @@ class Engine:
         self._runs_counter = metrics.counter("engine.runs_evaluated")
         self._reference_counter = metrics.counter("engine.reference_evaluations")
         self._vectorized_counter = metrics.counter("engine.vectorized_evaluations")
+        self._meanfield_counter = metrics.counter("engine.meanfield_evaluations")
         self._hit_counter = metrics.counter("engine.cache.hit")
         self._miss_counter = metrics.counter("engine.cache.miss")
         self._batch_counter = metrics.counter("engine.batch_calls")
         self._wall_counter = metrics.counter("engine.wall_time_seconds")
         self._latency_histogram = metrics.histogram("engine.evaluate.latency")
         self._mc_trials_counter = metrics.counter("mc.trials")
+        # Scaled (parametric) evaluations return CounterEvaluation, not
+        # EventProbabilities, so they cannot share the typed memo cache;
+        # they get a small engine-internal FIFO keyed on the packed spec.
+        self._scaled_cache: Dict[tuple, "CounterEvaluation"] = {}
 
     # -- cache ---------------------------------------------------------
 
@@ -325,6 +347,22 @@ class Engine:
             return None  # unhashable protocol: skip memoization
 
     @staticmethod
+    def counter_cache_key(
+        protocol: Protocol, spec: "CounterRunSpec"
+    ) -> Optional[tuple]:
+        """The memo key for one scaled (parametric) evaluation.
+
+        Specs have no topology or ``Run`` — the run is keyed on its
+        packed integer form, which encodes classes and deliveries
+        completely — so two structurally identical specs share a line
+        regardless of how they were built.
+        """
+        try:
+            return (hash(protocol), protocol, "counter-spec", spec.packed())
+        except TypeError:
+            return None  # unhashable protocol: skip memoization
+
+    @staticmethod
     def batch_key(
         protocol: Protocol,
         topology: Topology,
@@ -393,6 +431,7 @@ class Engine:
         self._check_not_busy("clear_cache()")
         assert self.cache is not None
         self.cache.clear()
+        self._scaled_cache.clear()
 
     def reset(self) -> None:
         """Zero the instrumentation and drop the memo cache.
@@ -411,6 +450,7 @@ class Engine:
         self.obs.metrics.reset()
         assert self.cache is not None
         self.cache.clear()
+        self._scaled_cache.clear()
         logger.debug(
             "engine reset: memo cache dropped, metrics zeroed (backend=%s)",
             self.backend,
@@ -461,6 +501,20 @@ class Engine:
 
         return vectorized.supports(protocol, topology)
 
+    def supports_meanfield(
+        self, protocol: Protocol, topology: Topology
+    ) -> bool:
+        """Whether the counter-abstraction kernel evaluates this pair.
+
+        True only on complete graphs for the protocol families with a
+        lumped kernel (S, W, M); individual runs must additionally be
+        class-uniform, which :func:`repro.meanfield.evaluate_counter`
+        checks per call.
+        """
+        from .. import meanfield
+
+        return meanfield.supports(protocol, topology)
+
     def _wants_vectorized(
         self,
         protocol: Protocol,
@@ -468,7 +522,7 @@ class Engine:
         method: str,
         batch: int,
     ) -> bool:
-        if self.backend == "reference":
+        if self.backend in ("reference", "meanfield"):
             return False
         if method not in ("auto", "closed-form"):
             return False  # caller demanded enumeration / Monte Carlo
@@ -477,6 +531,23 @@ class Engine:
         if self.backend == "vectorized":
             return True
         return batch >= self.min_vectorized_batch
+
+    def _wants_meanfield(
+        self, protocol: Protocol, topology: Topology, method: str
+    ) -> bool:
+        """Route exact evaluations through the counter abstraction.
+
+        Only under ``backend="meanfield"``, and only for methods the
+        lumped kernels answer exactly; a caller explicitly demanding
+        enumeration or Monte Carlo keeps reference semantics (mirrors
+        the vectorized backend's Monte-Carlo passthrough).  Unsupported
+        (protocol, topology) pairs are *not* silently downgraded —
+        :func:`repro.meanfield.evaluate_counter` raises a typed error
+        naming the obstruction, which is the backend's contract.
+        """
+        if self.backend != "meanfield":
+            return False
+        return method in ("auto", "closed-form")
 
     # -- evaluation ----------------------------------------------------
 
@@ -505,7 +576,12 @@ class Engine:
             if cached is not None:
                 return cached
             started = monotonic()
-            if self._wants_vectorized(protocol, topology, method, batch=1):
+            if self._wants_meanfield(protocol, topology, method):
+                from ..meanfield import evaluate_counter
+
+                result = evaluate_counter(protocol, topology, run)
+                self._meanfield_counter.value += 1
+            elif self._wants_vectorized(protocol, topology, method, batch=1):
                 from . import vectorized
 
                 result = vectorized.evaluate_batch(protocol, topology, [run])[0]
@@ -614,16 +690,24 @@ class Engine:
                     if cached is not None:
                         results[index] = cached
                         continue
-                    result = evaluate(
-                        protocol,
-                        topology,
-                        runs[index],
-                        method=method,
-                        trials=trials,
-                        rng=rng,
-                        enumeration_limit=enumeration_limit,
-                    )
-                    self._reference_counter.value += 1
+                    if self._wants_meanfield(protocol, topology, method):
+                        from ..meanfield import evaluate_counter
+
+                        result = evaluate_counter(
+                            protocol, topology, runs[index]
+                        )
+                        self._meanfield_counter.value += 1
+                    else:
+                        result = evaluate(
+                            protocol,
+                            topology,
+                            runs[index],
+                            method=method,
+                            trials=trials,
+                            rng=rng,
+                            enumeration_limit=enumeration_limit,
+                        )
+                        self._reference_counter.value += 1
                     if result.method == "monte-carlo" and result.trials:
                         self._mc_trials_counter.inc(result.trials)
                     self._cache_put(keys[index], result)
@@ -757,11 +841,11 @@ class Engine:
         """Whether :meth:`evaluate_neighbors` can serve this pair.
 
         The incremental kernel is a vectorized-backend feature; under
-        ``backend="reference"`` callers should evaluate neighbors
-        through :meth:`evaluate_many` instead (same results, no
-        prefix-state reuse).
+        ``backend="reference"`` (or ``"meanfield"``) callers should
+        evaluate neighbors through :meth:`evaluate_many` instead (same
+        results, no prefix-state reuse).
         """
-        return self.backend != "reference" and self.supports_vectorized(
+        return self.backend in ("auto", "vectorized") and self.supports_vectorized(
             protocol, topology
         )
 
@@ -836,6 +920,59 @@ class Engine:
                     },
                 )
             return parent_result, by_bit
+
+    # -- scaled (parametric) evaluation --------------------------------
+
+    def evaluate_scaled(
+        self, protocol: Protocol, spec: "CounterRunSpec"
+    ) -> "CounterEvaluation":
+        """Evaluate a parametric counter spec — any ``m``, no graph.
+
+        The large-m entry point behind ``repro scale-sweep`` and E17:
+        cost is ``O(rounds * classes**2)`` regardless of
+        ``spec.num_processes``, and results are memoized in an
+        engine-internal FIFO keyed on the packed spec (the typed memo
+        cache stores :class:`~repro.core.probability.EventProbabilities`
+        only).  Available on every backend — the counter kernel is the
+        *only* evaluator that exists at ``m = 10**6``.
+        """
+        from ..meanfield import evaluate_spec
+
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "engine.evaluate_scaled",
+                protocol=protocol.name,
+                num_processes=spec.num_processes,
+            )
+        else:
+            span = tracer.span("engine.evaluate_scaled")
+        with span, self._evaluating():
+            self._runs_counter.value += 1
+            key = self.counter_cache_key(protocol, spec)
+            if key is not None:
+                cached = self._scaled_cache.get(key)
+                if cached is not None:
+                    self._hit_counter.value += 1
+                    return cached
+                self._miss_counter.value += 1
+            started = monotonic()
+            result = evaluate_spec(protocol, spec)
+            self._meanfield_counter.value += 1
+            elapsed = monotonic() - started
+            self._wall_counter.value += elapsed
+            self._latency_histogram.observe(elapsed)
+            if self.span_hook is not None:
+                self.span_hook(
+                    "engine.evaluate_scaled",
+                    elapsed,
+                    {"runs": 1, "cache_hits": 0, "cache_misses": 1},
+                )
+            if key is not None:
+                while len(self._scaled_cache) >= SCALED_CACHE_SIZE:
+                    self._scaled_cache.pop(next(iter(self._scaled_cache)))
+                self._scaled_cache[key] = result
+            return result
 
     # -- weak-adversary fast paths ------------------------------------
 

@@ -30,6 +30,7 @@ from . import (
     e14_knowledge,
     e15_ablations,
     e16_search_certification,
+    e17_large_m,
 )
 from .common import Config
 
@@ -69,6 +70,7 @@ _MODULES = (
     e14_knowledge,
     e15_ablations,
     e16_search_certification,
+    e17_large_m,
 )
 
 REGISTRY: Dict[str, ExperimentEntry] = {

@@ -1,0 +1,106 @@
+"""Counter-abstraction (mean-field) backend for the large-m regime.
+
+The paper states its tradeoff bounds (``U_s >= L(R) / (m + 1)``,
+Theorem 6.8) for arbitrary ``m``, but per-process simulation caps the
+repo at small instances.  On complete graphs the Figure 1 counting
+machine is *lumpable*: processes that agree on (a) whether they are a
+distinguished vertex (the coordinator) and (b) whether they received
+the input signal — and that send/receive along class-uniform delivery
+patterns — hold identical local states in every round.  The whole
+system is then a function of **class occupancies** (how many processes
+sit in each local-state class), so one representative per class
+simulates the entire network and the cost is ``O(rounds * classes**2)``
+— independent of ``m``.  That is the parameterized-system idiom of
+"Liveness of Randomised Parameterised Systems under Arbitrary
+Schedulers" (PAPERS.md).
+
+The subsystem has four layers:
+
+* :mod:`repro.meanfield.counter` — the :class:`CounterState` occupancy
+  abstraction, the state-class partition, the lumpability check that
+  verifies a (protocol, topology, run) triple is counter-sufficient
+  (raising :class:`CounterAbstractionError` / :class:`LumpabilityError`
+  with a precise reason otherwise), and the parametric
+  :class:`CounterRunSpec` that describes class-uniform runs at any
+  ``m`` without materializing a graph;
+* :mod:`repro.meanfield.kernel` — the lumped transcriptions of the
+  Figure 1 counting machine (Protocols S and W) and of the Protocol M
+  awareness machine, exact by construction on class-uniform runs;
+* :mod:`repro.meanfield.evaluate` — the engine-facing entry points:
+  :func:`evaluate_counter` (concrete runs, bit-for-bit equal to the
+  reference closed forms) and :func:`evaluate_spec` (parametric runs,
+  ``m`` up to 10**6 and beyond), plus the scaled run-spec builders and
+  the parametric worst-run family sweep;
+* :mod:`repro.meanfield.approximate` — the weak-adversary side: the
+  exact binomial message-loss convolution over awareness counts on
+  ``K_m`` and the mean-field fixed-point recursion with *computed*
+  concentration envelopes (DESIGN.md section 15 derives the bound).
+
+``Engine(backend="meanfield")`` routes exact evaluations through
+:func:`evaluate_counter`; ``repro scale-sweep`` and experiment E17
+drive the parametric path.
+"""
+
+from .approximate import (
+    MAX_EXACT_CONVOLUTION,
+    MeanFieldEnvelope,
+    envelope_coverage,
+    exact_awareness_distribution,
+    fixed_point_fraction,
+    meanfield_envelope,
+)
+from .counter import (
+    ClassSpec,
+    CounterAbstractionError,
+    CounterRunSpec,
+    CounterState,
+    LumpabilityError,
+    StateClassPartition,
+    counter_trajectory,
+    partition_processes,
+    spec_from_run,
+)
+from .evaluate import (
+    CounterEvaluation,
+    evaluate_counter,
+    evaluate_spec,
+    scaled_spec,
+    supports,
+    unsafety_family,
+)
+from .kernel import (
+    LumpedAwarenessState,
+    LumpedCountingState,
+    awareness_kernel,
+    counting_kernel,
+    known_sizes,
+)
+
+__all__ = [
+    "ClassSpec",
+    "CounterAbstractionError",
+    "CounterEvaluation",
+    "CounterRunSpec",
+    "CounterState",
+    "LumpabilityError",
+    "LumpedAwarenessState",
+    "LumpedCountingState",
+    "MAX_EXACT_CONVOLUTION",
+    "MeanFieldEnvelope",
+    "StateClassPartition",
+    "awareness_kernel",
+    "counter_trajectory",
+    "counting_kernel",
+    "envelope_coverage",
+    "evaluate_counter",
+    "evaluate_spec",
+    "exact_awareness_distribution",
+    "fixed_point_fraction",
+    "known_sizes",
+    "meanfield_envelope",
+    "partition_processes",
+    "scaled_spec",
+    "spec_from_run",
+    "supports",
+    "unsafety_family",
+]

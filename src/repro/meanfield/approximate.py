@@ -1,0 +1,258 @@
+"""Distributional kernels for the weak adversary at large ``m``.
+
+The lumped kernels of :mod:`repro.meanfield.kernel` are exact for
+*deterministic* class-uniform runs.  Against the **weak adversary** —
+i.i.d. message loss with probability ``p`` — the run is random, and on
+``K_m`` the Protocol M awareness dynamics collapse to a 1-dimensional
+Markov chain on the aware-count ``A_r``: given ``A_r = a``, every
+unaware process hears at least one aware process with probability
+``q_a = 1 - p**a`` independently, so
+
+    ``A_{r+1} = a + Binomial(m - a, 1 - p**a)``.
+
+Two evaluators are provided:
+
+* :func:`exact_awareness_distribution` — the exact distribution of
+  ``A_r`` by convolving the binomial message-loss kernel round by
+  round (``O(N · m**2)``; guarded to moderate ``m``).  ``|known_i|``
+  is bounded by the aware count, so ``Pr[A_N >= quorum]`` is an exact
+  upper bound on Protocol M's weak-adversary liveness.
+
+* :func:`meanfield_envelope` — the mean-field fixed-point recursion
+  ``x_{r+1} = f(x_r)``, ``f(x) = x + (1 - x)(1 - p**(m x))`` on
+  fractions, with a **computed** concentration envelope: with
+  probability at least ``1 - delta``, ``A_r / m`` lies within
+  ``x_r ± e_r`` for every round simultaneously, where
+
+    ``e_{r+1} = L_r · e_r + sqrt(ln(2N/δ) / (2m))``
+
+  combines one Hoeffding step for the binomial increment with the
+  local Lipschitz constant ``L_r = sup |f'|`` over the current
+  envelope interval (``f'(x) = p**(mx) (1 + (1-x) m ln(1/p))``, a
+  decreasing function, so the sup sits at the interval's left edge).
+  DESIGN.md section 15 derives the bound; the envelope is rigorous but
+  only *useful* for macroscopic seeds (``A_0 = Θ(m)``) — epidemics
+  from O(1) seeds genuinely do not concentrate in early rounds, and
+  the bound honestly blows up to the trivial ``e_r = 1`` there.
+
+E17 checks the two against each other: at moderate ``m`` the exact
+chain's mass inside the envelope must be at least ``1 - delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .counter import CounterAbstractionError
+
+#: Exact convolution is O(N · m²); refuse sizes where that stops being
+#: interactive.  Larger m is exactly what the mean-field envelope is for.
+MAX_EXACT_CONVOLUTION = 4096
+
+
+@dataclass(frozen=True)
+class MeanFieldEnvelope:
+    """The mean-field curve with its certified concentration band.
+
+    ``aware_fraction[r]`` is ``x_r`` and ``half_width[r]`` is ``e_r``:
+    with probability at least ``confidence`` (jointly over all rounds)
+    the true aware fraction ``A_r / m`` lies in
+    ``[x_r - e_r, x_r + e_r]``.
+    """
+
+    num_processes: int
+    num_rounds: int
+    loss_probability: float
+    initial_aware: int
+    confidence: float
+    aware_fraction: Tuple[float, ...]
+    half_width: Tuple[float, ...]
+
+    def band(self, round_number: int) -> Tuple[float, float]:
+        """The certified ``[lo, hi]`` band for ``A_r / m``."""
+        x = self.aware_fraction[round_number]
+        e = self.half_width[round_number]
+        return (max(0.0, x - e), min(1.0, x + e))
+
+    def quorum_round(self, quorum_fraction: float) -> Optional[int]:
+        """First round whose certified band sits above the quorum.
+
+        Returns the earliest ``r`` with ``x_r - e_r >= quorum_fraction``
+        — by then at least a quorum of processes is aware with
+        probability ``>= confidence`` — or ``None`` within horizon.
+        """
+        for round_number in range(self.num_rounds + 1):
+            lo, _ = self.band(round_number)
+            if lo >= quorum_fraction:
+                return round_number
+        return None
+
+
+def _step(x: float, m: int, p: float) -> float:
+    """One mean-field round: ``f(x) = x + (1 - x)(1 - p**(m x))``."""
+    return x + (1.0 - x) * (1.0 - p ** (m * x))
+
+
+def _lipschitz(lo: float, m: int, p: float) -> float:
+    """``sup |f'|`` over ``[lo, 1]`` — attained at the left edge."""
+    log_gain = m * math.log(1.0 / p)
+    return p ** (m * lo) * (1.0 + (1.0 - lo) * log_gain)
+
+
+def meanfield_envelope(
+    num_processes: int,
+    num_rounds: int,
+    loss_probability: float,
+    initial_aware: int,
+    delta: float = 1e-3,
+) -> MeanFieldEnvelope:
+    """The mean-field awareness curve with its Hoeffding envelope."""
+    if not 0.0 < loss_probability < 1.0:
+        raise ValueError(
+            f"loss probability must be in (0, 1), got {loss_probability}"
+        )
+    if not 0 <= initial_aware <= num_processes:
+        raise ValueError(
+            f"initial_aware must be in 0..{num_processes}, "
+            f"got {initial_aware}"
+        )
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    m = num_processes
+    p = loss_probability
+    hoeffding = math.sqrt(math.log(2.0 * num_rounds / delta) / (2.0 * m))
+    fractions = [initial_aware / m]
+    widths = [0.0]
+    for _ in range(num_rounds):
+        x = fractions[-1]
+        e = widths[-1]
+        lo = max(0.0, x - e)
+        lipschitz = _lipschitz(lo, m, p)
+        fractions.append(min(1.0, _step(x, m, p)))
+        widths.append(min(1.0, lipschitz * e + hoeffding))
+    return MeanFieldEnvelope(
+        num_processes=m,
+        num_rounds=num_rounds,
+        loss_probability=p,
+        initial_aware=initial_aware,
+        confidence=1.0 - delta,
+        aware_fraction=tuple(fractions),
+        half_width=tuple(widths),
+    )
+
+
+def fixed_point_fraction(
+    num_processes: int,
+    loss_probability: float,
+    initial_fraction: float,
+    tolerance: float = 1e-12,
+    max_iterations: int = 10_000,
+) -> float:
+    """The limit of the mean-field recursion from ``initial_fraction``.
+
+    For any positive seed the epidemic recursion climbs to the
+    absorbing fixed point ``x* = 1``; from a zero seed it stays at 0
+    (validity).  Iterated rather than solved in closed form so the
+    same code serves future kernels with interior fixed points.
+    """
+    if not 0.0 < loss_probability < 1.0:
+        raise ValueError(
+            f"loss probability must be in (0, 1), got {loss_probability}"
+        )
+    x = min(1.0, max(0.0, initial_fraction))
+    for _ in range(max_iterations):
+        advanced = min(1.0, _step(x, num_processes, loss_probability))
+        if abs(advanced - x) <= tolerance:
+            return advanced
+        x = advanced
+    return x
+
+
+def exact_awareness_distribution(
+    num_processes: int,
+    num_rounds: int,
+    loss_probability: float,
+    initial_aware: int,
+) -> np.ndarray:
+    """Exact per-round distributions of the aware count on ``K_m``.
+
+    Returns an array of shape ``(num_rounds + 1, m + 1)``: row ``r``
+    is the exact distribution of ``A_r`` under the binomial
+    message-loss kernel.  Deterministic, no sampling — this is the
+    "exact counter-dynamics transition convolution" of the complete
+    graph, feasible up to :data:`MAX_EXACT_CONVOLUTION` processes.
+    """
+    if not 0.0 < loss_probability < 1.0:
+        raise ValueError(
+            f"loss probability must be in (0, 1), got {loss_probability}"
+        )
+    if not 0 <= initial_aware <= num_processes:
+        raise ValueError(
+            f"initial_aware must be in 0..{num_processes}, "
+            f"got {initial_aware}"
+        )
+    m = num_processes
+    if m > MAX_EXACT_CONVOLUTION:
+        raise CounterAbstractionError(
+            f"exact convolution is O(N·m²) and capped at "
+            f"m = {MAX_EXACT_CONVOLUTION} (got {m}); use "
+            "meanfield_envelope for larger instances"
+        )
+    p = loss_probability
+    log_factorial = np.zeros(m + 1)
+    if m >= 1:
+        log_factorial[1:] = np.cumsum(np.log(np.arange(1, m + 1)))
+    rows = np.zeros((num_rounds + 1, m + 1))
+    rows[0, initial_aware] = 1.0
+    for round_number in range(1, num_rounds + 1):
+        previous = rows[round_number - 1]
+        current = rows[round_number]
+        for aware in range(m + 1):
+            mass = float(previous[aware])
+            if mass <= 0.0:
+                continue
+            unaware = m - aware
+            if unaware == 0:
+                current[m] += mass
+                continue
+            hear = 1.0 - p ** aware
+            if hear <= 0.0:
+                current[aware] += mass
+                continue
+            if hear >= 1.0:
+                current[m] += mass
+                continue
+            newly = np.arange(unaware + 1)
+            log_pmf = (
+                log_factorial[unaware]
+                - log_factorial[newly]
+                - log_factorial[unaware - newly]
+                + newly * math.log(hear)
+                + (unaware - newly) * math.log(1.0 - hear)
+            )
+            current[aware : m + 1] += mass * np.exp(log_pmf)
+    return rows
+
+
+def envelope_coverage(
+    envelope: MeanFieldEnvelope, distributions: np.ndarray
+) -> Tuple[float, ...]:
+    """Exact per-round probability mass inside the certified band.
+
+    ``distributions`` is the output of
+    :func:`exact_awareness_distribution` for the same parameters.  The
+    envelope guarantee says every entry is at least
+    ``envelope.confidence`` — E17 asserts exactly that.
+    """
+    m = envelope.num_processes
+    coverage = []
+    for round_number in range(envelope.num_rounds + 1):
+        lo, hi = envelope.band(round_number)
+        counts = np.arange(m + 1) / m
+        inside = (counts >= lo) & (counts <= hi)
+        coverage.append(float(distributions[round_number][inside].sum()))
+    return tuple(coverage)

@@ -1,0 +1,401 @@
+"""The counter abstraction: state classes, occupancies, lumpability.
+
+**State classes.**  Fix a protocol and a run on the complete graph
+``K_m``.  Partition the processes by the only two attributes the
+protocol's local machines can distinguish at round 0: whether the
+process is one of the protocol's *distinguished* vertices (the
+coordinator of Protocol S — exactly the set
+:meth:`~repro.core.protocol.Protocol.automorphism_invariant_vertices`
+declares), and whether it received the input signal.  Distinguished
+vertices form singleton classes; the rest split into an input class
+and a no-input class.
+
+**Lumpability.**  The partition is *lumpable* for a run iff, in every
+round and for every ordered class pair ``(A, B)``, the adversary
+either delivers **all** messages from ``A`` to ``B`` or **none** of
+them.  Under that condition a straightforward induction shows that all
+processes in a class hold identical local states in every round (they
+start identical and receive identical payload multisets), so the
+dynamics factor through class occupancies and one representative per
+class suffices.  :func:`spec_from_run` performs the check and compiles
+the run into a :class:`CounterRunSpec`; a run that is not class-uniform
+raises :class:`LumpabilityError` naming the first offending round and
+class pair.  The paper's deterministic run families (good, silent,
+round cuts, coordinator isolation) are all class-uniform; Bernoulli
+loss runs generally are not — they belong to the reference /
+vectorized backends or to the distributional kernels of
+:mod:`repro.meanfield.approximate`.
+
+**Occupancy vectors.**  :class:`CounterState` is the per-round
+occupancy histogram over *local-state classes* (count value, rfire
+known, validity, seen-set size).  It is the abstraction the lumped
+kernels evolve implicitly; :func:`counter_trajectory` materializes it
+from a reference execution so property tests can check the round-trip
+invariants (total mass ``m``, non-negativity, permutation invariance
+on complete graphs) without trusting the kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.protocol import Protocol
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import MessageTuple, ProcessId, Round
+
+
+class CounterAbstractionError(ValueError):
+    """The counter abstraction does not apply to this instance.
+
+    Raised before any lumped evaluation when the protocol declares no
+    symmetry, the topology is not complete, or no lumped kernel exists
+    for the protocol family.  Callers that can fall back (the engine's
+    ``auto`` backend, the CLI) should catch this and use the
+    per-process backends instead; ``backend="meanfield"`` propagates
+    it so the failure is explicit.
+    """
+
+
+class LumpabilityError(CounterAbstractionError):
+    """A concrete run is not class-uniform for the induced partition.
+
+    The message names the first round and ordered class pair whose
+    delivery pattern is partial, which is exactly the certificate that
+    per-class states would diverge from that round on.
+    """
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One process class of the partition, identity-free.
+
+    ``size`` is the occupancy (how many processes the class holds),
+    ``has_input`` whether its members received the input signal, and
+    ``distinguished`` whether the class is a singleton pinned by the
+    protocol's symmetry declaration (Protocol S's coordinator).
+    """
+
+    size: int
+    has_input: bool
+    distinguished: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"class size must be >= 1, got {self.size}")
+        if self.distinguished and self.size != 1:
+            raise ValueError(
+                "distinguished classes are singletons by construction, "
+                f"got size {self.size}"
+            )
+
+
+@dataclass(frozen=True)
+class CounterRunSpec:
+    """A class-uniform run, parameterized by occupancies — not ids.
+
+    ``deliveries[r - 1]`` is a bitmask over ordered class pairs for
+    round ``r``: bit ``a * k + b`` is set iff every message from class
+    ``a`` to class ``b`` is delivered that round (processes never send
+    to themselves, so the ``(a, a)`` block means "within-class" traffic
+    and is vacuous for singleton classes).  Together with the class
+    table this determines the lumped dynamics for **any** total size —
+    the same spec evaluates ``m = 8`` and ``m = 10**6`` in identical
+    time, which is the whole point of the subsystem.
+
+    The packed form (:meth:`packed`) is a flat tuple of ints — the
+    "packed counter state" the engine keys its scaled memo cache on.
+    """
+
+    num_rounds: Round
+    classes: Tuple[ClassSpec, ...]
+    deliveries: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 1:
+            raise ValueError(f"num_rounds must be >= 1, got {self.num_rounds}")
+        if not self.classes:
+            raise ValueError("a CounterRunSpec needs at least one class")
+        if len(self.deliveries) != self.num_rounds:
+            raise ValueError(
+                f"expected {self.num_rounds} delivery masks, "
+                f"got {len(self.deliveries)}"
+            )
+        k = len(self.classes)
+        full = (1 << (k * k)) - 1
+        for round_index, mask in enumerate(self.deliveries):
+            if not 0 <= mask <= full:
+                raise ValueError(
+                    f"delivery mask {mask:#x} for round {round_index + 1} "
+                    f"does not fit {k} classes"
+                )
+        if sum(1 for cls in self.classes if cls.distinguished) > 1:
+            raise ValueError("at most one distinguished class is supported")
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def num_processes(self) -> int:
+        return sum(cls.size for cls in self.classes)
+
+    def delivered(self, round_number: Round, source: int, target: int) -> bool:
+        """Whether the ``source -> target`` block is delivered."""
+        bit = source * len(self.classes) + target
+        return bool((self.deliveries[round_number - 1] >> bit) & 1)
+
+    def distinguished_class(self) -> Optional[int]:
+        """Index of the distinguished singleton class, if any."""
+        for index, cls in enumerate(self.classes):
+            if cls.distinguished:
+                return index
+        return None
+
+    def packed(self) -> Tuple[int, ...]:
+        """Flat int encoding for cache keys (and nothing else)."""
+        flat: List[int] = [self.num_rounds, len(self.classes)]
+        for cls in self.classes:
+            flat.append(cls.size)
+            flat.append(int(cls.has_input))
+            flat.append(int(cls.distinguished))
+        flat.extend(self.deliveries)
+        return tuple(flat)
+
+
+@dataclass(frozen=True)
+class StateClassPartition:
+    """The concrete partition behind a spec: blocks with identities.
+
+    Only the concrete (small-``m``) path needs this — it maps each
+    process id to its class index so per-process results (e.g. the
+    ``pr_attack`` tuple) can be expanded back out of per-class values.
+    """
+
+    blocks: Tuple[FrozenSet[ProcessId], ...]
+
+    def class_of(self, process: ProcessId) -> int:
+        for index, block in enumerate(self.blocks):
+            if process in block:
+                return index
+        raise KeyError(f"process {process} is in no class")
+
+    def index_map(self) -> Dict[ProcessId, int]:
+        mapping: Dict[ProcessId, int] = {}
+        for index, block in enumerate(self.blocks):
+            for process in block:
+                mapping[process] = index
+        return mapping
+
+
+def partition_processes(
+    processes: Sequence[ProcessId],
+    distinguished: FrozenSet[ProcessId],
+    inputs: FrozenSet[ProcessId],
+) -> StateClassPartition:
+    """Partition by (distinguished, got-input), distinguished first.
+
+    Distinguished vertices become singleton classes in id order; the
+    remaining processes split into an input class and a no-input class
+    (omitted when empty).  The order is canonical so equal instances
+    produce equal specs (and therefore shared cache lines).
+    """
+    blocks: List[FrozenSet[ProcessId]] = [
+        frozenset([vertex]) for vertex in sorted(distinguished)
+    ]
+    rest = [p for p in processes if p not in distinguished]
+    with_input = frozenset(p for p in rest if p in inputs)
+    without_input = frozenset(rest) - with_input
+    if with_input:
+        blocks.append(with_input)
+    if without_input:
+        blocks.append(without_input)
+    return StateClassPartition(tuple(blocks))
+
+
+def is_complete(topology: Topology) -> bool:
+    """Whether the graph is ``K_m`` (every unordered pair an edge)."""
+    m = topology.num_processes
+    return len(topology.edges) == m * (m - 1) // 2
+
+
+def spec_from_run(
+    topology: Topology,
+    run: Run,
+    distinguished: FrozenSet[ProcessId],
+) -> Tuple[StateClassPartition, CounterRunSpec]:
+    """Compile a concrete run into a class-uniform spec, or refuse.
+
+    This is the lumpability check: the topology must be complete and
+    every round's delivery pattern must be a union of class-pair
+    blocks.  The first violation raises :class:`LumpabilityError` with
+    the round and class pair, so callers (and users of
+    ``--backend meanfield``) see exactly why the counter abstraction
+    does not apply to their run.
+    """
+    if not is_complete(topology):
+        raise CounterAbstractionError(
+            "counter abstraction requires a complete graph; "
+            f"{topology.describe()} is not K_{topology.num_processes}"
+        )
+    partition = partition_processes(
+        list(topology.processes), distinguished, run.inputs
+    )
+    blocks = partition.blocks
+    k = len(blocks)
+    class_table = [
+        ClassSpec(
+            size=len(block),
+            has_input=next(iter(block)) in run.inputs,
+            distinguished=len(block) == 1 and next(iter(block)) in distinguished,
+        )
+        for block in blocks
+    ]
+    delivered = run.messages
+    masks: List[int] = []
+    for round_number in range(1, run.num_rounds + 1):
+        mask = 0
+        for a in range(k):
+            for b in range(k):
+                links = [
+                    (i, j)
+                    for i in blocks[a]
+                    for j in blocks[b]
+                    if i != j
+                ]
+                if not links:
+                    continue
+                hits = sum(
+                    1
+                    for (i, j) in links
+                    if MessageTuple(i, j, round_number) in delivered
+                )
+                if hits == len(links):
+                    mask |= 1 << (a * k + b)
+                elif hits != 0:
+                    raise LumpabilityError(
+                        f"run is not class-uniform: round {round_number} "
+                        f"delivers {hits}/{len(links)} messages from class "
+                        f"{sorted(blocks[a])} to class {sorted(blocks[b])}; "
+                        "the counter abstraction needs all-or-none "
+                        "delivery per class pair (use the reference or "
+                        "vectorized backend for this run)"
+                    )
+        masks.append(mask)
+    spec = CounterRunSpec(
+        num_rounds=run.num_rounds,
+        classes=tuple(class_table),
+        deliveries=tuple(masks),
+    )
+    return partition, spec
+
+
+# ---------------------------------------------------------------------------
+# Occupancy vectors (the CounterState abstraction)
+# ---------------------------------------------------------------------------
+
+#: A local-state class key: a flat, orderable tuple of ints.  The
+#: classifiers below map protocol states onto these keys using only
+#: permutation-invariant features (seen-*size*, never seen-*identity*),
+#: which is what makes occupancies invariant under graph automorphisms.
+StateKey = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CounterState:
+    """The occupancy vector at one round: ``#processes per state class``.
+
+    ``occupancy`` is sorted by key so equal histograms compare equal
+    regardless of construction order.
+    """
+
+    round_number: Round
+    occupancy: Tuple[Tuple[StateKey, int], ...]
+
+    @property
+    def total_mass(self) -> int:
+        """Sum of occupancies — always ``m`` for a real execution."""
+        return sum(count for _, count in self.occupancy)
+
+    def counts(self) -> Dict[StateKey, int]:
+        return dict(self.occupancy)
+
+    @classmethod
+    def from_keys(
+        cls, round_number: Round, keys: Sequence[StateKey]
+    ) -> "CounterState":
+        histogram: Dict[StateKey, int] = {}
+        for key in keys:
+            histogram[key] = histogram.get(key, 0) + 1
+        return cls(
+            round_number=round_number,
+            occupancy=tuple(sorted(histogram.items())),
+        )
+
+
+def default_state_key(state: object) -> StateKey:
+    """Classify a protocol-local state into a permutation-invariant key.
+
+    Supports the counting machine (Protocols S / W) and the Protocol M
+    awareness machine; anything else raises
+    :class:`CounterAbstractionError` because no occupancy semantics
+    have been defined for it.
+    """
+    from ..protocols.counting import CountingState
+    from ..protocols.protocol_m import MState
+
+    if isinstance(state, CountingState):
+        return (
+            0,
+            state.count,
+            int(state.rfire is not None),
+            int(state.valid),
+            len(state.seen),
+        )
+    if isinstance(state, MState):
+        return (1, int(state.aware), len(state.known), 0, 0)
+    raise CounterAbstractionError(
+        f"no occupancy classifier for local state type "
+        f"{type(state).__name__}"
+    )
+
+
+def counter_trajectory(
+    protocol: Protocol,
+    topology: Topology,
+    run: Run,
+    tapes: Optional[Mapping[ProcessId, object]] = None,
+    state_key: Callable[[object], StateKey] = default_state_key,
+) -> Tuple[CounterState, ...]:
+    """``Run -> CounterState`` projection via a reference execution.
+
+    Executes the protocol with the reference simulator and collapses
+    each round's per-process states into an occupancy vector — one
+    :class:`CounterState` per round ``0..N``.  This is deliberately
+    *independent* of the lumped kernels: the property tests use it to
+    check the abstraction's invariants against ground truth.
+    """
+    from ..core.execution import execute
+
+    execution = execute(protocol, topology, run, dict(tapes or {}))
+    states_by_process = [
+        execution.local(process).states for process in topology.processes
+    ]
+    horizon = run.num_rounds
+    trajectory: List[CounterState] = []
+    for round_number in range(horizon + 1):
+        keys = [
+            state_key(states[round_number]) for states in states_by_process
+        ]
+        trajectory.append(CounterState.from_keys(round_number, keys))
+    return tuple(trajectory)

@@ -1,0 +1,230 @@
+"""Lumped (one-representative-per-class) protocol kernels.
+
+Each kernel evolves one state per process class instead of one per
+process.  Correctness rests on the lumpability invariant established
+in :mod:`repro.meanfield.counter`: on a class-uniform run all members
+of a class hold identical local states every round, so the class state
+*is* the member state, with one representational twist — ``seen`` /
+``known`` sets are identity sets in the reference machines, so the
+lumped kernels store them as **sets of fully-contained classes** plus
+an implicit ``{self}``.
+
+The implicit-self convention is sound because of the machines' own
+invariants (Invariant 7 of the paper: ``count >= 1`` implies
+``i in seen``; Protocol M: ``aware`` iff ``i in known``), and the
+update rules only ever produce sets of that shape:
+
+* a sender class ``B != A`` contributes all of ``B`` (every member
+  names itself) plus ``B``'s fully-seen classes;
+* the receiver's own class ``A`` as sender contributes ``A \\ {i}``,
+  which together with the always-unioned ``{i}`` is all of ``A``;
+* singleton classes are normalized eagerly (``{i} = A``), so the
+  stored class set plus implicit self is canonical.
+
+The counting kernel below is a line-for-line lumping of Figure 1
+(:class:`repro.protocols.counting.CountingLocal`) — same temporaries
+(``highcount`` / ``highset`` / ``highseen``), same branch structure —
+so on class-uniform runs it reproduces the reference final counts
+*exactly*, not approximately, and the closed-form probabilities built
+from them are bit-for-bit identical.  The differential test suite
+(tests/meanfield) enforces this against the reference simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from .counter import CounterRunSpec
+
+
+@dataclass(frozen=True)
+class LumpedCountingState:
+    """The class-level image of :class:`CountingState`.
+
+    ``seen_full`` holds the indices of classes fully contained in the
+    member's ``seen`` set; the member itself is implicit whenever
+    ``count >= 1`` (Invariant 7).  ``has_rfire`` abstracts ``rfire``
+    to definedness — the counting dynamics only test ``rfire is None``,
+    never its value.
+    """
+
+    count: int
+    has_rfire: bool
+    valid: bool
+    seen_full: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class LumpedAwarenessState:
+    """The class-level image of Protocol M's :class:`MState`.
+
+    ``known_full`` holds the classes fully contained in ``known``;
+    the member itself is implicit whenever ``aware`` is set.
+    """
+
+    aware: bool
+    known_full: FrozenSet[int]
+
+
+def _received_classes(
+    spec: CounterRunSpec, round_number: int, target: int
+) -> List[int]:
+    """Sender classes whose block to ``target`` is delivered this round.
+
+    The within-class block ``(A, A)`` only carries messages when the
+    class has at least two members (processes never send to
+    themselves), so it is vacuous for singletons.
+    """
+    received: List[int] = []
+    for source in range(spec.num_classes):
+        if not spec.delivered(round_number, source, target):
+            continue
+        if source == target and spec.classes[source].size < 2:
+            continue
+        received.append(source)
+    return received
+
+
+def counting_kernel(
+    spec: CounterRunSpec,
+    rfire_gated: bool,
+    rfire_class: Optional[int] = None,
+) -> Tuple[LumpedCountingState, ...]:
+    """Run the lumped Figure 1 machine; return final per-class states.
+
+    ``rfire_gated`` selects Protocol S's start rule (valid *and* rfire
+    heard) versus Protocol W's (valid suffices); ``rfire_class`` is the
+    class holding the coordinator's random draw (Protocol S) or
+    ``None`` when no process ever defines ``rfire`` (Protocol W).
+    """
+    k = spec.num_classes
+    all_classes = frozenset(range(k))
+    states: List[LumpedCountingState] = []
+    for index, cls in enumerate(spec.classes):
+        has_rfire = rfire_class is not None and index == rfire_class
+        if rfire_gated:
+            counting = cls.has_input and has_rfire
+        else:
+            counting = cls.has_input
+        count = 1 if counting else 0
+        seen = (
+            frozenset([index]) if counting and cls.size == 1 else frozenset()
+        )
+        states.append(
+            LumpedCountingState(
+                count=count,
+                has_rfire=has_rfire,
+                valid=cls.has_input,
+                seen_full=seen,
+            )
+        )
+    for round_number in range(1, spec.num_rounds + 1):
+        next_states: List[LumpedCountingState] = []
+        for index, cls in enumerate(spec.classes):
+            received = _received_classes(spec, round_number, index)
+            state = states[index]
+            # Line 1: adopt the first defined rfire heard.
+            has_rfire = state.has_rfire or any(
+                states[b].has_rfire for b in received
+            )
+            # Line 2: adopt validity.
+            valid = state.valid or any(states[b].valid for b in received)
+            count = state.count
+            seen = state.seen_full
+            # Line 3: start counting (probe uses the adopted values).
+            starts = (
+                valid
+                and count == 0
+                and (has_rfire if rfire_gated else True)
+            )
+            if starts:
+                count = 1
+                seen = frozenset([index]) if cls.size == 1 else frozenset()
+            # Counting block — the highcount/highset/highseen update.
+            if count >= 1 and received:
+                highcount = max(states[b].count for b in received)
+                highset = [
+                    b for b in received if states[b].count == highcount
+                ]
+                highseen: FrozenSet[int] = frozenset().union(
+                    *({b} | states[b].seen_full for b in highset)
+                )
+                if highcount == count:
+                    seen = seen | highseen
+                elif highcount > count:
+                    seen = highseen
+                    count = highcount
+                if cls.size == 1:
+                    # Normalize: the implicit {i} makes a singleton full.
+                    seen = seen | {index}
+                if seen == all_classes:
+                    count = count + 1
+                    seen = (
+                        frozenset([index]) if cls.size == 1 else frozenset()
+                    )
+            next_states.append(
+                LumpedCountingState(
+                    count=count,
+                    has_rfire=has_rfire,
+                    valid=valid,
+                    seen_full=seen,
+                )
+            )
+        states = next_states
+    return tuple(states)
+
+
+def awareness_kernel(spec: CounterRunSpec) -> Tuple[LumpedAwarenessState, ...]:
+    """Run the lumped Protocol M awareness machine.
+
+    The reference transition is ``known' = known ∪ (∪ payloads)``,
+    ``aware' = (known' != ∅)``, then ``known' ∪= {i}`` if aware.  A
+    sender's payload is non-empty iff the sender is aware (awareness
+    and a non-empty known set coincide by construction), and an aware
+    sender class contributes all of itself plus its fully-known
+    classes, so the lumped update mirrors the reference exactly.
+    """
+    states: List[LumpedAwarenessState] = []
+    for index, cls in enumerate(spec.classes):
+        known = (
+            frozenset([index])
+            if cls.has_input and cls.size == 1
+            else frozenset()
+        )
+        states.append(
+            LumpedAwarenessState(aware=cls.has_input, known_full=known)
+        )
+    for round_number in range(1, spec.num_rounds + 1):
+        next_states: List[LumpedAwarenessState] = []
+        for index, cls in enumerate(spec.classes):
+            received = _received_classes(spec, round_number, index)
+            state = states[index]
+            union = state.known_full
+            aware = state.aware
+            for b in received:
+                if states[b].aware:
+                    aware = True
+                    union = union | states[b].known_full | {b}
+            if aware and cls.size == 1:
+                union = union | {index}
+            next_states.append(
+                LumpedAwarenessState(aware=aware, known_full=union)
+            )
+        states = next_states
+    return tuple(states)
+
+
+def known_sizes(
+    spec: CounterRunSpec, states: Tuple[LumpedAwarenessState, ...]
+) -> Tuple[int, ...]:
+    """``|known_i|`` per class, expanding the implicit self."""
+    sizes: List[int] = []
+    for index, state in enumerate(states):
+        total = sum(
+            spec.classes[c].size for c in state.known_full
+        )
+        if state.aware and index not in state.known_full:
+            total += 1
+        sizes.append(total)
+    return tuple(sizes)

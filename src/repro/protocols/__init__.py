@@ -8,6 +8,8 @@
   proves cannot beat the tradeoff.
 * :class:`ProtocolW` — our reconstruction of the Section 8 weak-
   adversary protocol (deterministic level threshold).
+* :class:`ProtocolM` — simple-majority consensus (PAPERS.md
+  substitution) for the large-m / mean-field regime.
 * deterministic baselines (:mod:`repro.protocols.deterministic`) for
   the impossibility backdrop.
 * executable Lemma 6.3 invariants (:mod:`repro.protocols.invariants`).
@@ -35,6 +37,7 @@ from .invariants import (
 )
 from .message_validity import MessageValidityS
 from .protocol_a import APacket, AState, ProtocolA, sender_for_round
+from .protocol_m import MState, ProtocolM
 from .protocol_s import ProtocolS
 from .repeated_a import COMBINERS, RepeatedA
 from .variants import (
@@ -57,10 +60,12 @@ __all__ = [
     "EagerS",
     "GreedyS",
     "InputAttack",
+    "MState",
     "MessageValidityS",
     "NaiveCountingS",
     "NeverAttack",
     "ProtocolA",
+    "ProtocolM",
     "ProtocolS",
     "ProtocolW",
     "RepeatedA",

@@ -1,0 +1,167 @@
+"""Protocol M — simple-majority consensus for the large-m regime.
+
+A reconstruction of the quorum rule of "Simple Majority Consensus in
+Networks with Unreliable Communication" (Tamir, Livshits & Shadmi;
+PAPERS.md), adapted to the coordinated-attack model (documented as a
+substitution in DESIGN.md section 15): instead of certifying a level
+count like Protocols S and W, a process tracks the set of processes it
+*knows to be aware* of the input signal and attacks iff that set
+reaches a quorum — by default a strict simple majority of the network.
+
+Mechanics (the awareness machine):
+
+* ``known_i`` starts as ``{i}`` if ``i`` received the input signal,
+  else ``∅``;
+* every round each process broadcasts ``known_i`` (silence when
+  empty);
+* on receipt, ``known_i`` absorbs the union of the received sets; a
+  process that hears any non-empty set becomes *aware* and adds
+  itself;
+* after ``N`` rounds, ``O_i = 1`` iff ``|known_i| >= ⌊q·m⌋ + 1``.
+
+Validity is structural: with no input tuple in the run every ``known``
+set stays empty and nobody attacks.  The protocol is deterministic
+(all probabilities are 0 or 1 per run) and fully symmetric — no
+coordinator — so the whole automorphism group of the graph preserves
+``Pr[·|R]`` and the counter abstraction of :mod:`repro.meanfield`
+lumps it over (input, no-input) classes.
+
+Against the *strong* adversary M is as hopeless as any deterministic
+protocol (the adversary builds a run where ``|known|`` straddles the
+quorum); its interest is the weak-adversary/large-m regime, where
+awareness spreads like an epidemic under i.i.d. losses and the quorum
+concentrates — exactly the regime E17 measures with the binomial
+convolution and mean-field kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from ..core.probability import EventProbabilities
+from ..core.protocol import ClosedFormProtocol, LocalProtocol, ReceivedMessage
+from ..core.randomness import TapeSpace
+from ..core.run import Run
+from ..core.topology import Topology
+from ..core.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class MState:
+    """Protocol M's local state: awareness plus the known-aware set."""
+
+    aware: bool
+    known: FrozenSet[ProcessId]
+
+
+class _ProtocolMLocal(LocalProtocol):
+    """The awareness machine with a quorum output rule."""
+
+    def __init__(self, process: ProcessId, threshold: int) -> None:
+        self._process = process
+        self._threshold = threshold
+
+    def initial_state(self, got_input: bool, tape: object) -> MState:
+        if got_input:
+            return MState(aware=True, known=frozenset([self._process]))
+        return MState(aware=False, known=frozenset())
+
+    def transition(
+        self,
+        state: MState,
+        round_number: Round,
+        received: Sequence[ReceivedMessage],
+        tape: object,
+    ) -> MState:
+        union = state.known
+        for message in received:
+            payload = message.payload
+            assert isinstance(payload, frozenset)
+            union = union | payload
+        aware = state.aware or bool(union)
+        if aware:
+            union = union | {self._process}
+        return MState(aware=aware, known=union)
+
+    def message(
+        self, state: MState, neighbor: ProcessId
+    ) -> Optional[FrozenSet[ProcessId]]:
+        """Broadcast the known-aware set; silence while it is empty."""
+        return state.known if state.known else None
+
+    def output(self, state: MState) -> bool:
+        """``O_i = 1`` iff the known-aware set reaches the quorum."""
+        return len(state.known) >= self._threshold
+
+
+@dataclass(frozen=True)
+class ProtocolM(ClosedFormProtocol):
+    """Simple-majority consensus with quorum fraction ``q``.
+
+    The attack threshold on an ``m``-process graph is ``⌊q·m⌋ + 1``
+    — for the default ``q = 0.5`` a strict simple majority.  ``q`` must
+    satisfy ``0 <= q < 1`` so the threshold is at least 1 (validity)
+    and reachable (liveness on good runs).
+    """
+
+    quorum: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quorum < 1.0:
+            raise ValueError(f"quorum must be in [0, 1), got {self.quorum}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"protocol-M(q={self.quorum:g})"
+
+    def threshold(self, num_processes: int) -> int:
+        """``⌊q·m⌋ + 1`` — the quorum size on an ``m``-process graph."""
+        return int(self.quorum * num_processes) + 1
+
+    def automorphism_invariant_vertices(self, topology: Topology):
+        """M is fully symmetric: every process runs the same machine."""
+        return frozenset()
+
+    def local_protocol(
+        self, process: ProcessId, topology: Topology
+    ) -> LocalProtocol:
+        return _ProtocolMLocal(
+            process=process,
+            threshold=self.threshold(topology.num_processes),
+        )
+
+    def tape_space(self, topology: Topology) -> TapeSpace:
+        """M is deterministic: no process holds any randomness."""
+        return TapeSpace.deterministic(list(topology.processes))
+
+    def final_known(self, topology: Topology, run: Run) -> Dict[ProcessId, int]:
+        """The deterministic final ``|known_i|`` per process."""
+        from ..core.execution import execute
+
+        execution = execute(self, topology, run, {})
+        sizes: Dict[ProcessId, int] = {}
+        for process in topology.processes:
+            state = execution.local(process).states[-1]
+            assert isinstance(state, MState)
+            sizes[process] = len(state.known)
+        return sizes
+
+    def closed_form_probabilities(
+        self, topology: Topology, run: Run
+    ) -> EventProbabilities:
+        """M is deterministic, so every probability is 0 or 1."""
+        threshold = self.threshold(topology.num_processes)
+        sizes = self.final_known(topology, run)
+        outputs = [
+            sizes[process] >= threshold for process in topology.processes
+        ]
+        all_attack = all(outputs)
+        none_attack = not any(outputs)
+        return EventProbabilities(
+            pr_total_attack=1.0 if all_attack else 0.0,
+            pr_no_attack=1.0 if none_attack else 0.0,
+            pr_partial_attack=1.0 if not (all_attack or none_attack) else 0.0,
+            pr_attack=tuple(1.0 if decided else 0.0 for decided in outputs),
+            method="closed-form",
+        )

@@ -46,8 +46,10 @@ from .sharding import (
 from .specs import (
     EvaluateRequest,
     RequestError,
+    ScaledEvaluateRequest,
     evaluate_response,
     parse_evaluate_payload,
+    scaled_evaluate_response,
 )
 from .testing import BackgroundServer
 from .workers import DeadlineExceeded, WorkerPool
@@ -67,6 +69,7 @@ __all__ = [
     "LoadgenOptions",
     "MicroBatcher",
     "RequestError",
+    "ScaledEvaluateRequest",
     "ServiceConfig",
     "ShardRing",
     "ShardedEvaluationServer",
@@ -78,6 +81,7 @@ __all__ = [
     "request_once",
     "routing_key",
     "run_bench",
+    "scaled_evaluate_response",
     "run_load",
     "serve",
 ]

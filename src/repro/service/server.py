@@ -60,7 +60,13 @@ from ..obs.runtime import monotonic
 from .batcher import MicroBatcher
 from .config import ServiceConfig
 from .http import HttpError, HttpRequest, read_request, render_response
-from .specs import RequestError, parse_evaluate_payload
+from ..meanfield.evaluate import evaluate_spec
+from .specs import (
+    RequestError,
+    ScaledEvaluateRequest,
+    parse_evaluate_payload,
+    scaled_evaluate_response,
+)
 from .specs import evaluate_response as build_evaluate_response
 from .workers import (
     DeadlineExceeded,
@@ -718,6 +724,14 @@ class EvaluationServer(AsyncJsonServer):
         spec = await asyncio.get_running_loop().run_in_executor(
             None, parse_evaluate_payload, request.json()
         )
+        if isinstance(spec, ScaledEvaluateRequest):
+            # Counter-abstraction request: exact, O(classes^2), no
+            # graph — answered inline (off-loop with the parse-side
+            # executor), bypassing micro-batcher and worker tier.
+            evaluation = await asyncio.get_running_loop().run_in_executor(
+                None, evaluate_spec, spec.protocol, spec.spec
+            )
+            return 200, scaled_evaluate_response(spec, evaluation), {}
         enumeration_limit = self.config.enumeration_limit
         exact = (
             spec.resolves_exact(enumeration_limit)

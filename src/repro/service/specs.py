@@ -16,7 +16,7 @@ those theorems relate the measures to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from ..core.measures import level_profile, modified_level_profile
 from ..core.probability import (
@@ -27,9 +27,22 @@ from ..core.probability import (
 from ..core.protocol import ClosedFormProtocol, Protocol
 from ..core.run import Run
 from ..core.topology import Topology
+from ..meanfield.counter import CounterRunSpec
+from ..meanfield.evaluate import CounterEvaluation, scaled_spec
+from ..protocols.protocol_m import ProtocolM
 from ..protocols.protocol_s import ProtocolS
+from ..protocols.weak_adversary import ProtocolW
 
 METHODS = ("auto", "closed-form", "enumeration", "monte-carlo")
+
+#: Per-request backends the wire accepts.  ``auto`` defers to the
+#: server's configured backend; ``meanfield`` selects the scaled
+#: counter-abstraction path (the only way to ask for ``m = 10**6`` —
+#: the concrete paths would have to materialize the graph).
+#: ``reference``/``vectorized`` are deliberately not per-request
+#: choices: they are bit-identical, so picking between them is a
+#: server deployment decision (``repro serve --backend``).
+REQUEST_BACKENDS = ("auto", "meanfield")
 
 
 class RequestError(ValueError):
@@ -88,6 +101,96 @@ class EvaluateRequest:
         return size is not None and size <= enumeration_limit
 
 
+@dataclass(frozen=True)
+class ScaledEvaluateRequest:
+    """A large-``m`` counter-abstraction request (``backend: meanfield``).
+
+    No :class:`~repro.core.topology.Topology` or
+    :class:`~repro.core.run.Run` is ever materialized — at
+    ``m = 10**6`` the complete graph alone would hold ``~5 * 10**11``
+    edges — only the parametric
+    :class:`~repro.meanfield.counter.CounterRunSpec`.  Evaluation is
+    ``O(rounds * classes**2)``, so the server answers these inline
+    (off-loop), bypassing both the micro-batcher and the worker tier.
+    """
+
+    protocol_spec: str
+    num_processes: int
+    run_spec: str
+    rounds: int
+    protocol: Protocol
+    spec: CounterRunSpec
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol_spec,
+            "topology": f"complete:{self.num_processes}",
+            "run": self.run_spec,
+            "rounds": self.rounds,
+            "backend": "meanfield",
+        }
+
+
+def _parse_scaled_payload(
+    payload: Dict[str, Any],
+    protocol_spec: str,
+    topology_spec: str,
+    run_spec: str,
+    rounds: int,
+    method: str,
+) -> ScaledEvaluateRequest:
+    """The ``backend: meanfield`` arm of :func:`parse_evaluate_payload`."""
+    if method not in ("auto", "closed-form"):
+        raise RequestError(
+            f"backend 'meanfield' is exact; method {method!r} is not "
+            "available on the counter path (drop the field or use "
+            "'closed-form')"
+        )
+    name, _, argument = topology_spec.partition(":")
+    if name != "complete" or not argument:
+        raise RequestError(
+            "backend 'meanfield' requires topology 'complete:M' "
+            f"(counter abstraction needs K_m), got {topology_spec!r}"
+        )
+    try:
+        num_processes = int(argument)
+    except ValueError as error:
+        raise RequestError(
+            f"bad process count in topology {topology_spec!r}: {error}"
+        ) from error
+    from ..cli import parse_protocol
+
+    try:
+        protocol = parse_protocol(protocol_spec, rounds)
+    except ValueError as error:
+        raise RequestError(str(error)) from error
+    if type(protocol) not in (ProtocolS, ProtocolW, ProtocolM):
+        raise RequestError(
+            f"backend 'meanfield' has no counter kernel for protocol "
+            f"{protocol.name!r}; supported: S, W, M"
+        )
+    try:
+        spec = scaled_spec(
+            num_processes,
+            rounds,
+            run_spec,
+            distinguished=type(protocol) is ProtocolS,
+        )
+    except ValueError as error:
+        raise RequestError(
+            f"backend 'meanfield' run spec {run_spec!r}: {error}"
+        ) from error
+    return ScaledEvaluateRequest(
+        protocol_spec=protocol_spec,
+        num_processes=num_processes,
+        run_spec=run_spec,
+        rounds=rounds,
+        protocol=protocol,
+        spec=spec,
+    )
+
+
 def _field(payload: Dict[str, Any], name: str, kind: type, default: Any) -> Any:
     value = payload.get(name, default)
     if kind is int and isinstance(value, bool):
@@ -100,14 +203,27 @@ def _field(payload: Dict[str, Any], name: str, kind: type, default: Any) -> Any:
     return value
 
 
-def parse_evaluate_payload(payload: Dict[str, Any]) -> EvaluateRequest:
+def parse_evaluate_payload(
+    payload: Dict[str, Any]
+) -> Union[EvaluateRequest, ScaledEvaluateRequest]:
     """Validate and parse one ``/v1/evaluate`` body.
 
     Raises :class:`RequestError` with a client-actionable message for
     anything malformed: unknown fields, bad types, or specs the CLI
-    mini-language rejects.
+    mini-language rejects.  A ``backend: "meanfield"`` field selects
+    the scaled counter-abstraction path and yields a
+    :class:`ScaledEvaluateRequest` instead.
     """
-    known = {"protocol", "topology", "run", "rounds", "method", "trials", "seed"}
+    known = {
+        "protocol",
+        "topology",
+        "run",
+        "rounds",
+        "method",
+        "trials",
+        "seed",
+        "backend",
+    }
     unknown = sorted(set(payload) - known)
     if unknown:
         raise RequestError(
@@ -120,6 +236,7 @@ def parse_evaluate_payload(payload: Dict[str, Any]) -> EvaluateRequest:
     method = _field(payload, "method", str, "auto")
     trials = _field(payload, "trials", int, DEFAULT_TRIALS)
     seed = _field(payload, "seed", int, 0)
+    backend = _field(payload, "backend", str, "auto")
     if rounds < 1:
         raise RequestError(f"rounds must be >= 1, got {rounds}")
     if trials < 1:
@@ -127,6 +244,16 @@ def parse_evaluate_payload(payload: Dict[str, Any]) -> EvaluateRequest:
     if method not in METHODS:
         raise RequestError(
             f"unknown method {method!r}; expected one of {METHODS}"
+        )
+    if backend not in REQUEST_BACKENDS:
+        raise RequestError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{REQUEST_BACKENDS} (reference/vectorized are server "
+            "deployment choices, see `repro serve --backend`)"
+        )
+    if backend == "meanfield":
+        return _parse_scaled_payload(
+            payload, protocol_spec, topology_spec, run_spec, rounds, method
         )
     # The CLI's parsers are the single source of truth for the
     # mini-language; SpecError subclasses ValueError, so both spec and
@@ -185,4 +312,38 @@ def evaluate_response(
         response["liveness_lower_bound"] = min(
             1.0, request.protocol.epsilon * modified_level
         )
+    return response
+
+
+def scaled_evaluate_response(
+    request: ScaledEvaluateRequest, evaluation: CounterEvaluation
+) -> Dict[str, Any]:
+    """The JSON body for one scaled (counter-abstraction) request.
+
+    Per-process quantities come back per *class* — a million-entry
+    ``pr_attack`` array would defeat the point of never materializing
+    the graph — with ``class_sizes`` carrying the occupancies.
+    """
+    response: Dict[str, Any] = {
+        "protocol": request.protocol.name,
+        "topology": f"complete:{request.num_processes}",
+        "run": request.run_spec,
+        "rounds": request.rounds,
+        "method": evaluation.method,
+        "backend": "meanfield",
+        "num_processes": evaluation.num_processes,
+        "unsafety": evaluation.pr_partial_attack,
+        "liveness": evaluation.pr_total_attack,
+        "pr_no_attack": evaluation.pr_no_attack,
+        "class_sizes": list(evaluation.class_sizes),
+        "pr_attack_by_class": list(evaluation.pr_attack_by_class),
+        "level": evaluation.level,
+        "modified_level": evaluation.modified_level,
+    }
+    if isinstance(request.protocol, ProtocolS):
+        response["epsilon"] = request.protocol.epsilon
+        if evaluation.modified_level is not None:
+            response["liveness_lower_bound"] = min(
+                1.0, request.protocol.epsilon * evaluation.modified_level
+            )
     return response

@@ -10,7 +10,10 @@ tolerance, or exact ``fractions.Fraction`` arithmetic.
 ``service/`` and ``obs/`` are in scope too: the serving tier carries
 the same probabilities over the wire (payload validation, sampling
 rates, latency thresholds), and a float-literal ``==`` there couples
-an HTTP contract to representation accidents just as silently.  The
+an HTTP contract to representation accidents just as silently.  So is
+``meanfield/``: its closed forms promise bit-for-bit parity with the
+reference backend, which makes accidental ``==`` against float
+literals exactly as fragile as everywhere else.  The
 one sanctioned shape — sampling-rate *bounds* like ``rate >= 1.0`` —
 is an ordered comparison, which this rule never touches.
 
@@ -29,7 +32,7 @@ from .base import FileContext, Rule, Violation, register
 
 #: Subpackages of ``repro`` the rule scopes to.
 SCOPED_SUBPACKAGES = frozenset(
-    {"core", "analysis", "experiments", "service", "obs"}
+    {"core", "analysis", "experiments", "meanfield", "service", "obs"}
 )
 
 
@@ -47,8 +50,8 @@ class FloatEquality(Rule):
     name = "float-equality"
     summary = (
         "no ==/!= against float literals in core/, analysis/, "
-        "experiments/, service/, obs/; use math.isclose, Fraction, "
-        "or an explicit tolerance"
+        "experiments/, meanfield/, service/, obs/; use math.isclose, "
+        "Fraction, or an explicit tolerance"
     )
 
     def applies(self, ctx: FileContext) -> bool:

@@ -10,7 +10,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert experiment_ids() == [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "E11", "E12", "E13", "E14", "E15", "E16",
+            "E11", "E12", "E13", "E14", "E15", "E16", "E17",
         ]
 
     def test_entries_carry_titles(self):

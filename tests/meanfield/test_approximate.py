@@ -1,0 +1,100 @@
+"""Tests for the mean-field layer: exact convolution vs the envelope.
+
+The exact binomial convolution is the ground truth (a proper
+distribution every round, monotone awareness); the mean-field envelope
+is the ``O(N)`` approximation whose *computed* error bound must
+actually contain the exact mass at the stated confidence — the bound
+is the deliverable, so it is what gets tested.
+"""
+
+import math
+
+import pytest
+
+from repro.meanfield import (
+    MAX_EXACT_CONVOLUTION,
+    CounterAbstractionError,
+    envelope_coverage,
+    exact_awareness_distribution,
+    fixed_point_fraction,
+    meanfield_envelope,
+)
+
+
+class TestExactDistribution:
+    def test_rows_are_distributions(self):
+        table = exact_awareness_distribution(64, 5, 0.4, 8)
+        assert table.shape == (6, 65)
+        for row in table:
+            assert math.isclose(float(row.sum()), 1.0, rel_tol=1e-12)
+            assert float(row.min()) >= 0.0
+
+    def test_awareness_is_monotone_in_expectation(self):
+        table = exact_awareness_distribution(64, 5, 0.4, 8)
+        means = [
+            float(sum(k * p for k, p in enumerate(row))) for row in table
+        ]
+        assert means == sorted(means)
+
+    def test_initial_round_is_a_point_mass(self):
+        table = exact_awareness_distribution(32, 3, 0.5, 4)
+        assert math.isclose(float(table[0][4]), 1.0, rel_tol=0.0, abs_tol=0.0)
+
+    def test_rejects_oversized_instances(self):
+        with pytest.raises(CounterAbstractionError, match="convolution"):
+            exact_awareness_distribution(
+                MAX_EXACT_CONVOLUTION + 1, 2, 0.5, 1
+            )
+
+    def test_rejects_degenerate_loss(self):
+        with pytest.raises(ValueError):
+            exact_awareness_distribution(16, 2, 0.0, 1)
+        with pytest.raises(ValueError):
+            exact_awareness_distribution(16, 2, 1.0, 1)
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize(
+        "m,loss,initial", [(128, 0.3, 16), (512, 0.3, 64), (256, 0.7, 4)]
+    )
+    def test_exact_mass_stays_inside_the_band(self, m, loss, initial):
+        rounds = 6
+        envelope = meanfield_envelope(m, rounds, loss, initial)
+        table = exact_awareness_distribution(m, rounds, loss, initial)
+        coverage = envelope_coverage(envelope, table)
+        assert len(coverage) == rounds + 1
+        for round_number, mass in enumerate(coverage):
+            assert mass >= envelope.confidence, (round_number, mass)
+
+    def test_band_is_clipped_to_the_unit_interval(self):
+        envelope = meanfield_envelope(64, 8, 0.5, 8)
+        for round_number in range(9):
+            lo, hi = envelope.band(round_number)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_quorum_round_consistent_with_band(self):
+        envelope = meanfield_envelope(512, 8, 0.3, 64)
+        hit = envelope.quorum_round(0.5)
+        assert hit is not None
+        lo, _ = envelope.band(hit)
+        assert lo >= 0.5
+
+    def test_unreachable_quorum_returns_none(self):
+        envelope = meanfield_envelope(64, 2, 0.999, 1)
+        assert envelope.quorum_round(0.999999) is None
+
+
+class TestFixedPoint:
+    def test_fixed_point_is_a_fixed_point(self):
+        m, loss = 512, 0.3
+        x = fixed_point_fraction(m, loss, 1.0 / m)
+        step = x + (1.0 - x) * (1.0 - loss ** (m * x))
+        assert math.isclose(step, x, rel_tol=0.0, abs_tol=1e-9)
+
+    def test_epidemic_takes_off_from_a_seed(self):
+        assert fixed_point_fraction(512, 0.3, 1.0 / 512) > 0.99
+
+    def test_monotone_in_initial_fraction(self):
+        lower = fixed_point_fraction(64, 0.9, 1.0 / 64)
+        higher = fixed_point_fraction(64, 0.9, 0.5)
+        assert higher >= lower

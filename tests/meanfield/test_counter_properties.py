@@ -1,0 +1,119 @@
+"""Property tests: the ``Run -> CounterState`` occupancy round trip.
+
+Hypothesis drives arbitrary runs on small complete graphs through
+:func:`repro.meanfield.counter.counter_trajectory` (the ground-truth
+projection via the reference simulator, independent of the lumped
+kernels) and demands the abstraction's invariants:
+
+* **total mass** — every round's occupancies sum to exactly ``m``;
+* **non-negativity** — no class ever holds a negative count;
+* **permutation invariance** — relabeling processes by any graph
+  automorphism leaves every occupancy vector unchanged (the property
+  that makes counters a sufficient statistic in the first place).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.run import Run
+from repro.core.topology import Topology
+from repro.core.types import MessageTuple
+from repro.meanfield import counter_trajectory
+from repro.protocols.protocol_m import ProtocolM
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.weak_adversary import ProtocolW
+
+from ..conftest import runs_for
+
+K3 = Topology.complete(3)
+K4 = Topology.complete(4)
+
+PROTOCOLS = [
+    ProtocolS(epsilon=0.25),
+    ProtocolW(2),
+    ProtocolM(quorum=0.5),
+]
+
+#: Tapes for the reference execution: Protocol S's coordinator draws
+#: one uniform real; the deterministic machines need none.
+TAPES = {ProtocolS: {1: 1.0}, ProtocolW: {}, ProtocolM: {}}
+
+
+def _permute(run: Run, mapping: dict) -> Run:
+    """Relabel a run's processes by ``mapping`` (an automorphism)."""
+    return Run(
+        run.num_rounds,
+        frozenset(mapping[p] for p in run.inputs),
+        frozenset(
+            MessageTuple(mapping[m.source], mapping[m.target], m.round)
+            for m in run.messages
+        ),
+    )
+
+
+@given(runs_for(K3, 3), st.sampled_from(range(len(PROTOCOLS))))
+@settings(max_examples=60, deadline=None)
+def test_total_mass_and_nonnegativity_k3(run, index):
+    protocol = PROTOCOLS[index]
+    trajectory = counter_trajectory(
+        protocol, K3, run, TAPES[type(protocol)]
+    )
+    assert len(trajectory) == run.num_rounds + 1
+    for state in trajectory:
+        assert state.total_mass == K3.num_processes
+        assert all(count > 0 for _, count in state.occupancy)
+
+
+@given(runs_for(K4, 2), st.sampled_from(range(len(PROTOCOLS))))
+@settings(max_examples=40, deadline=None)
+def test_total_mass_k4(run, index):
+    protocol = PROTOCOLS[index]
+    trajectory = counter_trajectory(
+        protocol, K4, run, TAPES[type(protocol)]
+    )
+    for state in trajectory:
+        assert state.total_mass == K4.num_processes
+
+
+@given(runs_for(K3, 2), st.sampled_from([ProtocolW(2), ProtocolM(quorum=0.5)]))
+@settings(max_examples=40, deadline=None)
+def test_permutation_invariance_deterministic(run, protocol):
+    """Any permutation of K_3 fixes every occupancy vector (W, M)."""
+    baseline = counter_trajectory(protocol, K3, run, {})
+    for image in itertools.permutations(sorted(K3.processes)):
+        mapping = dict(zip(sorted(K3.processes), image))
+        permuted = counter_trajectory(
+            protocol, K3, _permute(run, mapping), {}
+        )
+        assert permuted == baseline
+
+
+@given(runs_for(K3, 2))
+@settings(max_examples=40, deadline=None)
+def test_permutation_invariance_protocol_s(run):
+    """Coordinator-fixing permutations preserve Protocol S occupancies.
+
+    Protocol S distinguishes its coordinator (the rfire source), so
+    only automorphisms fixing it are symmetries of the protocol.
+    """
+    protocol = ProtocolS(epsilon=0.25)
+    baseline = counter_trajectory(protocol, K3, run, {1: 1.0})
+    others = sorted(set(K3.processes) - {1})
+    for image in itertools.permutations(others):
+        mapping = {1: 1, **dict(zip(others, image))}
+        permuted = counter_trajectory(
+            protocol, K3, _permute(run, mapping), {1: 1.0}
+        )
+        assert permuted == baseline
+
+
+@given(runs_for(K3, 2))
+@settings(max_examples=20, deadline=None)
+def test_occupancy_keys_are_sorted_and_deduplicated(run):
+    protocol = ProtocolW(2)
+    for state in counter_trajectory(protocol, K3, run, {}):
+        keys = [key for key, _ in state.occupancy]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))

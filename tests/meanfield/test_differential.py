@@ -1,0 +1,118 @@
+"""Differential tests: ``meanfield == reference`` for ``m <= 8`` on K_m.
+
+The counter backend's whole warrant is exactness — its concrete path
+must be **bit-for-bit** identical to the reference closed forms, not
+merely close.  These tests sweep Protocols S, W and M over the
+class-uniform run families on every complete graph up to ``m = 8``
+and compare every field of the result with exact equality (integral
+0/1 probabilities and copied float arithmetic make this well-defined).
+
+The negative space is contractual too: a run that is *not*
+class-uniform must raise the typed :class:`LumpabilityError` (a
+:class:`CounterAbstractionError`), never return a silently wrong
+number.
+"""
+
+import math
+
+import pytest
+
+from repro.core.run import good_run, round_cut_run, silent_run
+from repro.core.topology import Topology
+from repro.engine import Engine
+from repro.meanfield import (
+    CounterAbstractionError,
+    LumpabilityError,
+    evaluate_counter,
+)
+from repro.protocols.protocol_m import ProtocolM
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.weak_adversary import ProtocolW
+
+NUM_ROUNDS = 3
+
+PROTOCOLS = [
+    ProtocolS(epsilon=0.125),
+    ProtocolW(2),
+    ProtocolM(quorum=0.5),
+]
+
+
+def _class_uniform_runs(topology):
+    everyone = frozenset(topology.processes)
+    runs = [
+        good_run(topology, NUM_ROUNDS),
+        silent_run(topology, NUM_ROUNDS, inputs=everyone),
+        silent_run(topology, NUM_ROUNDS, inputs=frozenset({1})),
+        good_run(topology, NUM_ROUNDS, inputs=frozenset({1})),
+    ]
+    runs += [
+        round_cut_run(topology, NUM_ROUNDS, boundary)
+        for boundary in range(1, NUM_ROUNDS + 2)
+    ]
+    return runs
+
+
+def _assert_identical(lumped, exact):
+    pairs = [
+        (lumped.pr_total_attack, exact.pr_total_attack),
+        (lumped.pr_no_attack, exact.pr_no_attack),
+        (lumped.pr_partial_attack, exact.pr_partial_attack),
+        *zip(lumped.pr_attack, exact.pr_attack),
+    ]
+    for ours, theirs in pairs:
+        assert math.isclose(ours, theirs, rel_tol=0.0, abs_tol=0.0), (
+            lumped,
+            exact,
+        )
+
+
+@pytest.mark.parametrize("m", range(2, 9))
+@pytest.mark.parametrize(
+    "protocol", PROTOCOLS, ids=lambda p: p.name
+)
+def test_bitwise_parity_with_reference(m, protocol):
+    topology = Topology.complete(m)
+    reference = Engine(backend="reference")
+    for run in _class_uniform_runs(topology):
+        lumped = evaluate_counter(protocol, topology, run)
+        exact = reference.evaluate(protocol, topology, run)
+        _assert_identical(lumped, exact)
+
+
+@pytest.mark.parametrize("m", [3, 5])
+def test_engine_backend_matches_reference(m):
+    """The registered backend routes through the same kernel."""
+    topology = Topology.complete(m)
+    meanfield = Engine(backend="meanfield")
+    reference = Engine(backend="reference")
+    for protocol in PROTOCOLS:
+        for run in _class_uniform_runs(topology):
+            _assert_identical(
+                meanfield.evaluate(protocol, topology, run),
+                reference.evaluate(protocol, topology, run),
+            )
+
+
+def test_non_uniform_run_raises_lumpability_error():
+    """Dropping a single message breaks class uniformity — typed error."""
+    topology = Topology.complete(3)
+    run = good_run(topology, NUM_ROUNDS)
+    victim = next(iter(run.messages))
+    broken = type(run)(
+        run.num_rounds, run.inputs, run.messages - {victim}
+    )
+    with pytest.raises(LumpabilityError):
+        evaluate_counter(ProtocolW(2), topology, broken)
+
+
+def test_non_complete_topology_raises_counter_error():
+    topology = Topology.ring(4)
+    run = good_run(topology, NUM_ROUNDS)
+    with pytest.raises(CounterAbstractionError, match="complete graph"):
+        evaluate_counter(ProtocolW(2), topology, run)
+
+
+def test_lumpability_error_is_a_counter_abstraction_error():
+    assert issubclass(LumpabilityError, CounterAbstractionError)
+    assert issubclass(CounterAbstractionError, ValueError)

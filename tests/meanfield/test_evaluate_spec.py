@@ -1,0 +1,164 @@
+"""Parametric-path tests: ``evaluate_spec`` against concrete ground truth.
+
+``scaled_spec`` builds the paper's run families without a graph; at
+small ``m`` the same families exist concretely, so every probability
+and both level measures must agree with the reference engine.  At
+``m = 10**6`` no ground truth exists — there the tests pin the
+invariants the paper proves: the Theorem 6.8 value of good-run
+liveness, the Theorem 6.7 ceiling on the family sweep, the tradeoff
+floor, and sub-second evaluation (the point of the abstraction).
+"""
+
+import math
+
+import pytest
+
+from repro.core.measures import level_profile, modified_level_profile
+from repro.core.run import good_run, round_cut_run, silent_run
+from repro.core.topology import Topology
+from repro.engine import Engine
+from repro.meanfield import (
+    evaluate_spec,
+    scaled_spec,
+    unsafety_family,
+)
+from repro.obs.runtime import monotonic
+from repro.protocols.protocol_m import ProtocolM
+from repro.protocols.protocol_s import ProtocolS
+from repro.protocols.weak_adversary import ProtocolW
+
+
+def _concrete(topology, num_rounds, pattern):
+    """The concrete run matching ``scaled_spec(..., pattern)``."""
+    everyone = frozenset(topology.processes)
+    name, _, argument = pattern.partition(":")
+    if name == "good":
+        return good_run(topology, num_rounds)
+    if name == "silent":
+        return silent_run(topology, num_rounds, inputs=everyone)
+    if name == "cut":
+        return round_cut_run(topology, num_rounds, int(argument))
+    if name == "isolate":
+        boundary = int(argument)
+        kept = frozenset(
+            m
+            for m in good_run(topology, num_rounds).messages
+            if m.round < boundary or (m.source != 1 and m.target != 1)
+        )
+        return type(good_run(topology, num_rounds))(
+            num_rounds, everyone, kept
+        )
+    raise AssertionError(pattern)
+
+
+PATTERNS = ["good", "silent", "cut:1", "cut:2", "cut:3", "isolate:2"]
+
+
+@pytest.mark.parametrize("m", [2, 3, 5, 6])
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_spec_matches_concrete_reference(m, pattern):
+    num_rounds = 3
+    topology = Topology.complete(m)
+    reference = Engine(backend="reference")
+    run = _concrete(topology, num_rounds, pattern)
+    for protocol in (
+        ProtocolS(epsilon=0.125),
+        ProtocolW(2),
+        ProtocolM(quorum=0.5),
+    ):
+        needs_coordinator = type(protocol) is ProtocolS
+        if pattern.startswith("isolate") and not needs_coordinator:
+            continue
+        spec = scaled_spec(
+            m, num_rounds, pattern, distinguished=needs_coordinator
+        )
+        evaluation = evaluate_spec(protocol, spec)
+        exact = reference.evaluate(protocol, topology, run)
+        assert math.isclose(
+            evaluation.pr_total_attack,
+            exact.pr_total_attack,
+            rel_tol=0.0,
+            abs_tol=0.0,
+        )
+        assert math.isclose(
+            evaluation.pr_no_attack,
+            exact.pr_no_attack,
+            rel_tol=0.0,
+            abs_tol=0.0,
+        )
+        assert math.isclose(
+            evaluation.pr_partial_attack,
+            exact.pr_partial_attack,
+            rel_tol=0.0,
+            abs_tol=0.0,
+        )
+        assert evaluation.num_processes == m
+        assert sum(evaluation.class_sizes) == m
+        # The level measures ride along and must equal the concrete ones.
+        levels = level_profile(run, topology.num_processes)
+        assert evaluation.level == levels.run_level()
+        if needs_coordinator:
+            mlevels = modified_level_profile(run, topology.num_processes)
+            assert evaluation.modified_level == mlevels.run_level()
+
+
+def test_spec_class_expansion_matches_per_process():
+    """Per-class attack probabilities expand to the reference tuple."""
+    m, num_rounds = 4, 3
+    topology = Topology.complete(m)
+    protocol = ProtocolS(epsilon=0.125)
+    spec = scaled_spec(m, num_rounds, "cut:2", distinguished=True)
+    evaluation = evaluate_spec(protocol, spec)
+    exact = Engine(backend="reference").evaluate(
+        protocol, topology, _concrete(topology, num_rounds, "cut:2")
+    )
+    expanded = []
+    for size, value in zip(
+        evaluation.class_sizes, evaluation.pr_attack_by_class
+    ):
+        expanded.extend([value] * size)
+    assert sorted(expanded) == sorted(exact.pr_attack)
+
+
+@pytest.mark.parametrize("m", [10**3, 10**6])
+def test_large_m_theorem_invariants(m):
+    """Theorems 6.7/6.8 at sizes only the counter path can reach."""
+    num_rounds = 8
+    protocol = ProtocolS(epsilon=2.0**-6)
+    started = monotonic()
+    good = evaluate_spec(
+        protocol, scaled_spec(m, num_rounds, "good", distinguished=True)
+    )
+    family_value, witness = unsafety_family(protocol, m, num_rounds)
+    elapsed = monotonic() - started
+    # L(R_good) = N + 1 and ML(R_good) = N (Lemma 6.3's gap of one).
+    assert good.level == num_rounds + 1
+    assert good.modified_level == num_rounds
+    assert math.isclose(
+        good.pr_total_attack,
+        min(1.0, protocol.epsilon * good.modified_level),
+        rel_tol=1e-12,
+    )
+    assert family_value <= protocol.epsilon + 1e-15
+    assert family_value >= good.pr_total_attack / (m + 1)
+    assert witness.num_processes == m
+    assert elapsed < 60.0
+
+
+def test_scaled_spec_rejects_bad_patterns():
+    with pytest.raises(ValueError, match="unknown scaled run pattern"):
+        scaled_spec(8, 3, "zigzag")
+    with pytest.raises(ValueError, match="needs a round"):
+        scaled_spec(8, 3, "cut")
+    with pytest.raises(ValueError, match="distinguished class"):
+        scaled_spec(8, 3, "isolate:2", distinguished=False)
+    with pytest.raises(ValueError, match="input_count"):
+        scaled_spec(8, 3, "good", input_count=9)
+
+
+def test_unsafety_family_deterministic_protocols():
+    """M straddles (U_s = 1); W's family bound is provably vacuous."""
+    value_m, _ = unsafety_family(ProtocolM(quorum=0.5), 64, 4)
+    assert math.isclose(value_m, 1.0, rel_tol=0.0, abs_tol=0.0)
+    value_w, _ = unsafety_family(ProtocolW(2), 64, 4)
+    assert math.isclose(value_w, 0.0, rel_tol=0.0, abs_tol=0.0)

@@ -45,6 +45,7 @@ class TestEngineMetrics:
             "runs_evaluated",
             "reference_evaluations",
             "vectorized_evaluations",
+            "meanfield_evaluations",
             "cache_hits",
             "cache_misses",
             "cache_hit_rate",

@@ -1,0 +1,137 @@
+"""Unit tests for Protocol M (simple-majority consensus).
+
+The closed form is pinned against a from-scratch execution through the
+reference simulator, the quorum arithmetic against hand counts, and
+the model obligations (validity, determinism, full symmetry) against
+their definitions.
+"""
+
+import math
+
+import pytest
+
+from repro.core.execution import execute
+from repro.core.probability import evaluate
+from repro.core.run import good_run, round_cut_run, silent_run
+from repro.core.topology import Topology
+from repro.protocols.protocol_m import MState, ProtocolM
+
+
+def _exact(value, expected):
+    assert math.isclose(value, expected, rel_tol=0.0, abs_tol=0.0)
+
+
+class TestQuorum:
+    def test_threshold_is_strict_majority_by_default(self):
+        protocol = ProtocolM()
+        assert protocol.threshold(4) == 3
+        assert protocol.threshold(5) == 3
+        assert protocol.threshold(100) == 51
+
+    def test_threshold_other_fractions(self):
+        assert ProtocolM(quorum=0.0).threshold(8) == 1
+        assert ProtocolM(quorum=0.75).threshold(8) == 7
+
+    def test_rejects_out_of_range_quorum(self):
+        with pytest.raises(ValueError, match="quorum"):
+            ProtocolM(quorum=1.0)
+        with pytest.raises(ValueError, match="quorum"):
+            ProtocolM(quorum=-0.1)
+
+    def test_name_and_symmetry(self):
+        protocol = ProtocolM(quorum=0.5)
+        assert protocol.name == "protocol-M(q=0.5)"
+        # Fully symmetric: no distinguished vertices at all.
+        assert (
+            protocol.automorphism_invariant_vertices(Topology.complete(4))
+            == frozenset()
+        )
+
+
+class TestClosedForm:
+    def test_good_run_reaches_total_attack(self):
+        topology = Topology.complete(4)
+        protocol = ProtocolM(quorum=0.5)
+        result = protocol.closed_form_probabilities(
+            topology, good_run(topology, 2)
+        )
+        _exact(result.pr_total_attack, 1.0)
+        _exact(result.pr_partial_attack, 0.0)
+
+    def test_validity_on_input_free_runs(self):
+        topology = Topology.complete(4)
+        protocol = ProtocolM(quorum=0.5)
+        for run in (
+            silent_run(topology, 3),
+            good_run(topology, 3, inputs=frozenset()),
+        ):
+            result = protocol.closed_form_probabilities(topology, run)
+            _exact(result.pr_no_attack, 1.0)
+
+    def test_silent_run_with_inputs_cannot_reach_quorum(self):
+        topology = Topology.complete(5)
+        protocol = ProtocolM(quorum=0.5)
+        run = silent_run(topology, 3, inputs=frozenset(topology.processes))
+        result = protocol.closed_form_probabilities(topology, run)
+        # Everyone knows only itself: 1 < 3, nobody attacks.
+        _exact(result.pr_no_attack, 1.0)
+
+    def test_straddling_run_partial_attacks(self):
+        """cut:2 with one input: the sender knows it is not a majority."""
+        topology = Topology.complete(3)
+        protocol = ProtocolM(quorum=0.5)
+        run = round_cut_run(topology, 2, 2, inputs=frozenset({1}))
+        sizes = protocol.final_known(topology, run)
+        # Round 1: only process 1 broadcasts (the others' known sets are
+        # empty, hence silent), so 2 and 3 learn {1, self} while 1
+        # hears nothing back before the cut.
+        assert sizes == {1: 1, 2: 2, 3: 2}
+        result = protocol.closed_form_probabilities(topology, run)
+        _exact(result.pr_partial_attack, 1.0)
+
+    def test_matches_reference_execution(self):
+        topology = Topology.complete(3)
+        protocol = ProtocolM(quorum=0.5)
+        for run in (
+            good_run(topology, 2),
+            round_cut_run(topology, 2, 2),
+            silent_run(topology, 2, inputs=frozenset({1, 2})),
+        ):
+            closed = protocol.closed_form_probabilities(topology, run)
+            threshold = protocol.threshold(topology.num_processes)
+            execution = execute(protocol, topology, run, {})
+            outputs = []
+            for process in topology.processes:
+                state = execution.local(process).states[-1]
+                assert isinstance(state, MState)
+                outputs.append(len(state.known) >= threshold)
+            _exact(closed.pr_total_attack, 1.0 if all(outputs) else 0.0)
+            _exact(closed.pr_no_attack, 1.0 if not any(outputs) else 0.0)
+
+    def test_evaluate_auto_uses_closed_form(self):
+        topology = Topology.complete(3)
+        result = evaluate(
+            ProtocolM(quorum=0.5), topology, good_run(topology, 2)
+        )
+        assert result.method == "closed-form"
+
+
+class TestAwarenessMachine:
+    def test_awareness_spreads_and_absorbs(self):
+        topology = Topology.complete(3)
+        protocol = ProtocolM(quorum=0.5)
+        execution = execute(
+            protocol,
+            topology,
+            good_run(topology, 2, inputs=frozenset({1})),
+            {},
+        )
+        final = execution.local(3).states[-1]
+        assert isinstance(final, MState)
+        assert final.aware
+        assert final.known == frozenset({1, 2, 3})
+
+    def test_deterministic_tape_space(self):
+        topology = Topology.complete(3)
+        space = ProtocolM(quorum=0.5).tape_space(topology)
+        assert space.joint_support_size() == 1

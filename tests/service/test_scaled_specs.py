@@ -1,0 +1,141 @@
+"""Service-tier tests for ``backend: meanfield`` (scaled) requests.
+
+Parsing (strict validation with client-actionable 400s), the response
+schema (class-level quantities, never a million-entry array), and the
+end-to-end served path against a real server — including parity with
+the in-process evaluator, since a served scaled evaluation must be
+the same computation as ``evaluate_spec`` by construction.
+"""
+
+import json
+import math
+import urllib.request
+
+import pytest
+
+from repro.meanfield import evaluate_spec
+from repro.service import (
+    BackgroundServer,
+    RequestError,
+    ScaledEvaluateRequest,
+    parse_evaluate_payload,
+    scaled_evaluate_response,
+)
+from repro.service.config import ServiceConfig
+from repro.service.specs import REQUEST_BACKENDS
+
+
+def _payload(**overrides):
+    payload = {
+        "protocol": "S:0.125",
+        "topology": "complete:100000",
+        "run": "cut:3",
+        "rounds": 6,
+        "backend": "meanfield",
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestParsing:
+    def test_accepted_backends(self):
+        assert REQUEST_BACKENDS == ("auto", "meanfield")
+
+    def test_parses_scaled_request(self):
+        spec = parse_evaluate_payload(_payload())
+        assert isinstance(spec, ScaledEvaluateRequest)
+        assert spec.num_processes == 100000
+        assert spec.rounds == 6
+        assert spec.payload["backend"] == "meanfield"
+
+    def test_default_backend_stays_concrete(self):
+        spec = parse_evaluate_payload(
+            {"protocol": "S:0.25", "rounds": 4}
+        )
+        assert not isinstance(spec, ScaledEvaluateRequest)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(RequestError, match="unknown backend"):
+            parse_evaluate_payload(_payload(backend="vectorized"))
+
+    def test_rejects_non_complete_topology(self):
+        with pytest.raises(RequestError, match="complete:M"):
+            parse_evaluate_payload(_payload(topology="ring:4"))
+
+    def test_rejects_unsupported_protocol(self):
+        with pytest.raises(RequestError, match="no counter kernel"):
+            parse_evaluate_payload(_payload(protocol="A"))
+
+    def test_rejects_sampling_methods(self):
+        with pytest.raises(RequestError, match="exact"):
+            parse_evaluate_payload(_payload(method="monte-carlo"))
+
+    def test_rejects_bad_run_spec(self):
+        with pytest.raises(RequestError, match="run spec"):
+            parse_evaluate_payload(_payload(run="cut:99"))
+
+    def test_accepts_protocol_m(self):
+        spec = parse_evaluate_payload(_payload(protocol="M:0.6"))
+        assert isinstance(spec, ScaledEvaluateRequest)
+        assert spec.protocol.name == "protocol-M(q=0.6)"
+
+
+class TestResponse:
+    def test_response_is_class_level(self):
+        request = parse_evaluate_payload(_payload())
+        evaluation = evaluate_spec(request.protocol, request.spec)
+        response = scaled_evaluate_response(request, evaluation)
+        assert response["backend"] == "meanfield"
+        assert response["num_processes"] == 100000
+        assert sum(response["class_sizes"]) == 100000
+        assert len(response["pr_attack_by_class"]) == len(
+            response["class_sizes"]
+        )
+        # Theorem 6.8 floor rides along for Protocol S.
+        assert math.isclose(
+            response["liveness_lower_bound"],
+            min(1.0, 0.125 * response["modified_level"]),
+            rel_tol=0.0,
+            abs_tol=0.0,
+        )
+        assert json.dumps(response)  # wire-serializable
+
+
+class TestServedPath:
+    def test_served_scaled_evaluation_end_to_end(self):
+        with BackgroundServer(ServiceConfig(port=0)) as server:
+            url = (
+                f"http://{server.host}:{server.server.port}/v1/evaluate"
+            )
+            body = json.dumps(_payload(topology="complete:1000000")).encode()
+            request = urllib.request.Request(
+                url,
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                served = json.load(response)
+        assert served["num_processes"] == 10**6
+        # Served == in-process, field for field.
+        parsed = parse_evaluate_payload(
+            _payload(topology="complete:1000000")
+        )
+        local = scaled_evaluate_response(
+            parsed, evaluate_spec(parsed.protocol, parsed.spec)
+        )
+        assert served == local
+
+    def test_served_rejection_is_a_400(self):
+        with BackgroundServer(ServiceConfig(port=0)) as server:
+            url = (
+                f"http://{server.host}:{server.server.port}/v1/evaluate"
+            )
+            body = json.dumps(_payload(topology="star:5")).encode()
+            request = urllib.request.Request(
+                url,
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400

@@ -186,3 +186,69 @@ class TestWitnessRoundTrip:
         path.write_text(run_to_json(good_run(Topology.pair(), 3)))
         with pytest.raises(SpecError, match="N=3"):
             parse_run(f"file:{path}", Topology.pair(), 5)
+
+
+class TestProcessCounts:
+    def test_caret_notation(self):
+        from repro.cli import _parse_process_counts
+
+        assert _parse_process_counts("10^3,10^6") == [1000, 1000000]
+
+    def test_plain_and_mixed(self):
+        from repro.cli import _parse_process_counts
+
+        assert _parse_process_counts("100, 10^4 ,7") == [100, 10000, 7]
+
+    @pytest.mark.parametrize("bad", ["ten", "10^x", "", " , "])
+    def test_rejects_junk(self, bad):
+        from repro.cli import _parse_process_counts
+
+        with pytest.raises(SpecError):
+            _parse_process_counts(bad)
+
+
+class TestMeanfieldCommands:
+    def test_parse_protocol_m(self):
+        protocol = parse_protocol("M:0.6", 4)
+        assert protocol.name == "protocol-M(q=0.6)"
+        assert parse_protocol("M", 4).name == "protocol-M(q=0.5)"
+
+    def test_simulate_meanfield_backend(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--topology", "complete:4",
+                "--rounds", "3",
+                "--protocol", "M:0.5",
+                "--run", "good",
+                "--backend", "meanfield",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P[total attack]" in out
+
+    def test_scale_sweep(self, capsys):
+        code = main(
+            [
+                "scale-sweep",
+                "--processes", "10^3,10^6",
+                "--rounds", "6",
+                "--protocol", "S:0.015625",
+                "--engine-stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1000000" in out
+        assert "counter abstraction" in out
+        assert "meanfield evaluations" in out
+
+    def test_scale_sweep_rejects_incompatible_protocol(self, capsys):
+        code = main(
+            ["scale-sweep", "--processes", "100", "--protocol", "A",
+             "--rounds", "4"]
+        )
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "counter" in err.lower()
